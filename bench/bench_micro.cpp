@@ -1,0 +1,218 @@
+// Micro-benchmarks (google-benchmark) for the performance claims the paper
+// makes about its representation, plus the design-choice ablations from
+// DESIGN.md §7:
+//   * incremental completion-time updates vs full re-evaluation (§3.3);
+//   * TRANSPOSED (machine-major) vs task-major ETC layout — the paper's
+//     "5-10 % end-to-end" cache claim, exercised with the algorithm's
+//     actual access pattern (consecutive tasks probed on one machine);
+//   * per-individual shared_mutex acquire cost (uncontended), the price
+//     PA-CGA pays per neighbor access;
+//   * the operators on the paper's 512x16 instance shape.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "cga/crossover.hpp"
+#include "cga/engine.hpp"
+#include "cga/local_search.hpp"
+#include "cga/mutation.hpp"
+#include "etc/suite.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/sufferage.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pacga;
+
+const etc::EtcMatrix& paper_instance() {
+  static const etc::EtcMatrix m = etc::generate_by_name("u_i_hihi.0");
+  return m;
+}
+
+void BM_EvaluateMakespan(benchmark::State& state) {
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(1);
+  const auto s = sched::Schedule::random(m, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.makespan());
+  }
+}
+BENCHMARK(BM_EvaluateMakespan);
+
+void BM_IncrementalMove(benchmark::State& state) {
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(2);
+  auto s = sched::Schedule::random(m, rng);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    s.move_task(t, static_cast<sched::MachineId>(rng.index(m.machines())));
+    t = (t + 1) % m.tasks();
+  }
+  benchmark::DoNotOptimize(s.makespan());
+}
+BENCHMARK(BM_IncrementalMove);
+
+void BM_FullRecompute(benchmark::State& state) {
+  // The cost the incremental cache avoids on every operator application.
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(3);
+  auto s = sched::Schedule::random(m, rng);
+  for (auto _ : state) {
+    s.recompute();
+    benchmark::DoNotOptimize(s.completion(0));
+  }
+}
+BENCHMARK(BM_FullRecompute);
+
+void BM_Crossover(benchmark::State& state) {
+  const auto& m = paper_instance();
+  const auto kind = static_cast<cga::CrossoverKind>(state.range(0));
+  support::Xoshiro256 rng(4);
+  const auto a = sched::Schedule::random(m, rng);
+  const auto b = sched::Schedule::random(m, rng);
+  for (auto _ : state) {
+    auto child = cga::crossover(kind, a, b, rng);
+    benchmark::DoNotOptimize(child.makespan());
+  }
+}
+BENCHMARK(BM_Crossover)
+    ->Arg(static_cast<int>(cga::CrossoverKind::kOnePoint))
+    ->Arg(static_cast<int>(cga::CrossoverKind::kTwoPoint))
+    ->Arg(static_cast<int>(cga::CrossoverKind::kUniform));
+
+void BM_H2LL(benchmark::State& state) {
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(5);
+  const auto base = sched::Schedule::random(m, rng);
+  const cga::H2LLParams params{static_cast<std::size_t>(state.range(0)), 0};
+  for (auto _ : state) {
+    auto s = base;
+    cga::h2ll(s, params, rng);
+    benchmark::DoNotOptimize(s.makespan());
+  }
+}
+BENCHMARK(BM_H2LL)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_H2LLSteepest(benchmark::State& state) {
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(51);
+  const auto base = sched::Schedule::random(m, rng);
+  const cga::H2LLParams params{static_cast<std::size_t>(state.range(0)), 0};
+  for (auto _ : state) {
+    auto s = base;
+    cga::h2ll_steepest(s, params);
+    benchmark::DoNotOptimize(s.makespan());
+  }
+}
+BENCHMARK(BM_H2LLSteepest)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_LocalTabuHop(benchmark::State& state) {
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(6);
+  const auto base = sched::Schedule::random(m, rng);
+  const cga::TabuHopParams params{static_cast<std::size_t>(state.range(0)), 8};
+  for (auto _ : state) {
+    auto s = base;
+    cga::local_tabu_hop(s, params, rng);
+    benchmark::DoNotOptimize(s.makespan());
+  }
+}
+BENCHMARK(BM_LocalTabuHop)->Arg(5)->Arg(10);
+
+// --- ETC layout ablation (paper §3.3, DESIGN.md E6) ---------------------
+// Access pattern of the hot loops: probe the ETCs of a window of
+// consecutive tasks on the same machine (what H2LL's candidate scan and
+// the incremental updates do when neighboring tasks share a machine).
+// Machine-major streams these values from one cache line; task-major
+// strides by #machines * 8 bytes.
+
+template <bool kMachineMajor>
+void etc_layout_walk(benchmark::State& state) {
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(7);
+  double sink = 0.0;
+  for (auto _ : state) {
+    const std::size_t mac = rng.index(m.machines());
+    const std::size_t start = rng.index(m.tasks() - 64);
+    for (std::size_t t = start; t < start + 64; ++t) {
+      sink += kMachineMajor ? m(t, mac) : m.task_major_at(t, mac);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+void BM_EtcLayout_MachineMajor(benchmark::State& state) {
+  etc_layout_walk<true>(state);
+}
+BENCHMARK(BM_EtcLayout_MachineMajor);
+
+void BM_EtcLayout_TaskMajor(benchmark::State& state) {
+  etc_layout_walk<false>(state);
+}
+BENCHMARK(BM_EtcLayout_TaskMajor);
+
+// --- lock overhead -------------------------------------------------------
+
+void BM_SharedMutexReadAcquire(benchmark::State& state) {
+  std::shared_mutex mu;
+  for (auto _ : state) {
+    std::shared_lock lock(mu);
+    benchmark::DoNotOptimize(&lock);
+  }
+}
+BENCHMARK(BM_SharedMutexReadAcquire);
+
+void BM_SharedMutexWriteAcquire(benchmark::State& state) {
+  std::shared_mutex mu;
+  for (auto _ : state) {
+    std::unique_lock lock(mu);
+    benchmark::DoNotOptimize(&lock);
+  }
+}
+BENCHMARK(BM_SharedMutexWriteAcquire);
+
+// --- composite steps ------------------------------------------------------
+
+void BM_BreedStep(benchmark::State& state) {
+  // One full sequential breeding step (selection -> tpx -> move -> H2LL(10)
+  // -> evaluate) on the paper's population shape. The paper reports a whole
+  // 256-cell generation under 6 ms; one step should be ~25 us there.
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(8);
+  cga::Config config;
+  config.termination = cga::Termination::after_generations(1);
+  cga::Grid grid(config.width, config.height);
+  cga::Population pop(m, grid, rng, true, config.objective);
+  std::vector<std::size_t> neigh;
+  std::vector<double> fit;
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    auto child = cga::detail::breed(pop, idx, config, rng, neigh, fit);
+    benchmark::DoNotOptimize(child.fitness);
+    idx = (idx + 1) % pop.size();
+  }
+}
+BENCHMARK(BM_BreedStep);
+
+void BM_MinMin(benchmark::State& state) {
+  // The population seed heuristic on the full 512x16 shape.
+  const auto& m = paper_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heur::min_min(m).makespan());
+  }
+}
+BENCHMARK(BM_MinMin);
+
+void BM_Sufferage(benchmark::State& state) {
+  const auto& m = paper_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heur::sufferage(m).makespan());
+  }
+}
+BENCHMARK(BM_Sufferage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// §3.2 claim reproduction: "We experimented different sweep orders for
+// different blocks, in hope of limiting memory contention, but we did not
+// notice any significant improvement in the algorithm's execution speed."
+//
+// Protocol: PA-CGA at 3 threads under each per-block sweep policy, same
+// wall budget; report mean evaluations (throughput — the quantity the
+// paper says did not move) and mean best makespan (quality should not
+// move either), with 95 % CIs, plus a Mann-Whitney U of each policy's
+// evaluation counts against the line-sweep default.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+
+namespace {
+
+using namespace pacga;
+
+int run(int argc, char** argv) {
+  bench::CampaignOptions opts;
+  opts.wall_ms = 400.0;
+  opts.runs = 5;
+  std::size_t threads = 3;
+  std::string instance = "u_c_hihi.0";
+  support::Cli cli(
+      "bench_sweep_policies — reproduces the paper's §3.2 observation that "
+      "per-block sweep order does not significantly change throughput");
+  cli.option("wall-ms", &opts.wall_ms, "wall budget per run in ms")
+      .option("runs", &opts.runs, "independent runs per policy")
+      .option("seed", &opts.seed, "master seed")
+      .option("threads", &threads, "PA-CGA threads (paper: 3)")
+      .option("instance", &instance, "Braun instance name")
+      .flag("full", &opts.full, "paper protocol: 90 s x 100 runs")
+      .flag("csv", &opts.csv, "CSV output");
+  if (!cli.parse(argc, argv)) return 0;
+  opts.finalize();
+
+  const auto m = etc::generate_by_name(instance);
+  const cga::SweepPolicy policies[] = {
+      cga::SweepPolicy::kLineSweep, cga::SweepPolicy::kReverseSweep,
+      cga::SweepPolicy::kFixedShuffle, cga::SweepPolicy::kNewShuffle,
+      cga::SweepPolicy::kUniformChoice};
+
+  std::printf("# sweep-policy study on %s, %zu threads, %.0f ms x %zu runs\n",
+              instance.c_str(), threads, opts.wall_ms, opts.runs);
+  support::ConsoleTable table({"policy", "mean_evals", "evals_ci95",
+                               "mean_makespan", "ms_ci95",
+                               "p_vs_line (evals)"});
+
+  std::vector<double> line_evals;
+  for (const auto policy : policies) {
+    support::RunningStats evals, makespans;
+    std::vector<double> eval_sample;
+    for (std::size_t r = 0; r < opts.runs; ++r) {
+      cga::Config config;
+      config.threads = threads;
+      config.sweep = policy;
+      config.seed = opts.seed + r;
+      config.termination =
+          cga::Termination::after_seconds(opts.wall_seconds());
+      const auto result = par::run_parallel(m, config);
+      const auto e = static_cast<double>(result.total_evaluations());
+      evals.add(e);
+      eval_sample.push_back(e);
+      makespans.add(result.result.best_fitness);
+    }
+    std::string p_label = "-";
+    if (policy == cga::SweepPolicy::kLineSweep) {
+      line_evals = eval_sample;
+    } else if (line_evals.size() >= 2 && eval_sample.size() >= 2) {
+      const auto mw = support::mann_whitney_u(eval_sample, line_evals);
+      p_label = support::format_number(mw.p_value, 3);
+    }
+    table.add_row({cga::to_string(policy),
+                   support::format_number(evals.mean(), 6),
+                   support::format_number(support::ci95_halfwidth(evals), 3),
+                   support::format_number(makespans.mean()),
+                   support::format_number(support::ci95_halfwidth(makespans), 3),
+                   p_label});
+  }
+
+  if (opts.csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+  std::printf(
+      "\n# Paper finding: no significant throughput difference between "
+      "per-block sweep orders (expect overlapping CIs / p >> 0.05).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,106 @@
+// dynamic_grid — the paper's motivating scenario end to end: a stream of
+// independent tasks (parameter-sweep / Monte-Carlo style) arrives at a
+// heterogeneous grid whose machines can drop and rejoin; every epoch the
+// broker reschedules the pending batch. Compares scheduling policies
+// (random, MCT, Min-min, Sufferage, PA-CGA with a per-epoch budget) on
+// completion time, response time and utilization.
+//
+// Examples:
+//   dynamic_grid
+//   dynamic_grid --tasks 2000 --rate 50 --drop 0.1 --join 0.2
+//   dynamic_grid --ga-budget-ms 100 --epoch 2.0
+#include <cstdio>
+#include <iostream>
+
+#include "batch/policies.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+
+namespace {
+
+using namespace pacga;
+
+int run(int argc, char** argv) {
+  batch::WorkloadSpec wspec;
+  wspec.tasks = 500;
+  wspec.arrival_rate = 20.0;
+  batch::SimSpec sim;
+  sim.epoch_length = 1.0;
+  double ga_budget_ms = 30.0;
+  std::size_t ga_threads = 3;
+  bool csv = false;
+
+  support::Cli cli(
+      "dynamic_grid — simulate a dynamic grid (arrivals + machine churn) "
+      "and compare scheduling policies");
+  cli.option("tasks", &wspec.tasks, "number of submitted tasks")
+      .option("machines", &wspec.machines, "number of grid machines")
+      .option("rate", &wspec.arrival_rate, "task arrival rate (tasks/time)")
+      .option("inconsistency", &wspec.inconsistency,
+              "ETC noise (0 = consistent machines)")
+      .option("epoch", &sim.epoch_length, "rescheduling interval")
+      .option("drop", &sim.machine_drop_prob,
+              "per-epoch probability a machine drops")
+      .option("join", &sim.machine_join_prob,
+              "per-epoch probability a dropped machine rejoins")
+      .option("seed", &wspec.seed, "workload seed")
+      .option("ga-budget-ms", &ga_budget_ms, "PA-CGA budget per epoch")
+      .option("ga-threads", &ga_threads, "PA-CGA threads")
+      .flag("csv", &csv, "CSV output");
+  if (!cli.parse(argc, argv)) return 0;
+  sim.inconsistency = wspec.inconsistency;
+  sim.seed = wspec.seed;
+
+  const auto workload = batch::generate_workload(wspec);
+  std::printf(
+      "# dynamic grid: %zu tasks arriving at rate %.1f onto %zu machines, "
+      "epoch %.2f, drop %.2f / join %.2f\n",
+      wspec.tasks, wspec.arrival_rate, wspec.machines, sim.epoch_length,
+      sim.machine_drop_prob, sim.machine_join_prob);
+
+  struct Entry {
+    const char* name;
+    batch::Policy policy;
+  };
+  cga::Config ga_base;
+  ga_base.threads = ga_threads;
+  const Entry entries[] = {
+      {"random", batch::random_policy(wspec.seed ^ 1)},
+      {"mct", batch::mct_policy()},
+      {"minmin", batch::min_min_policy()},
+      {"sufferage", batch::sufferage_policy()},
+      {"pa-cga", batch::pa_cga_policy(ga_base, ga_budget_ms)},
+  };
+
+  support::ConsoleTable table({"policy", "completion", "mean_wait",
+                               "mean_response", "max_response", "utilization",
+                               "epochs", "resubmissions"});
+  for (const auto& entry : entries) {
+    const auto metrics = batch::simulate(workload, sim, entry.policy);
+    table.add_row({entry.name,
+                   support::format_number(metrics.completion_time),
+                   support::format_number(metrics.mean_wait),
+                   support::format_number(metrics.mean_response),
+                   support::format_number(metrics.max_response),
+                   support::format_number(metrics.utilization, 3),
+                   std::to_string(metrics.epochs),
+                   std::to_string(metrics.resubmissions)});
+  }
+  if (csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+  std::printf(
+      "\n# The GA policy trades per-epoch CPU for schedule quality; with "
+      "enough budget it should match or beat Min-min on completion time.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,123 @@
+// montecarlo_campaign — the paper's canonical workload (§2.1: "parameter
+// sweep applications, such as Monte-Carlo simulations"): a campaign of E
+// experiments, each submitted as R independent replica tasks whose
+// workload scales with the experiment's sample count. The broker schedules
+// the whole batch with PA-CGA and the report answers the scientist's
+// question: when is each EXPERIMENT (not each task) complete?
+//
+// Examples:
+//   montecarlo_campaign
+//   montecarlo_campaign --experiments 8 --replicas 96 --machines 32
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+#include "pacga/parallel_engine.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pacga;
+
+int run(int argc, char** argv) {
+  std::size_t experiments = 6;
+  std::size_t replicas = 64;
+  std::size_t machines = 16;
+  double wall_ms = 800.0;
+  std::size_t threads = 3;
+  std::uint64_t seed = 1;
+  bool csv = false;
+
+  support::Cli cli(
+      "montecarlo_campaign — schedule a Monte-Carlo campaign (experiments "
+      "x replicas) on a heterogeneous grid with PA-CGA");
+  cli.option("experiments", &experiments, "number of experiments")
+      .option("replicas", &replicas, "replica tasks per experiment")
+      .option("machines", &machines, "grid machines")
+      .option("wall-ms", &wall_ms, "scheduler budget in ms")
+      .option("threads", &threads, "PA-CGA threads")
+      .option("seed", &seed, "random seed")
+      .flag("csv", &csv, "CSV output");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Build the campaign: experiment e draws a per-replica sample count;
+  // all its replicas share that workload. Machines are heterogeneous in
+  // mips with mild inconsistency (cache-friendliness of a code varies
+  // per machine) — the ETC matrix is assembled directly.
+  support::Xoshiro256 rng(seed);
+  const std::size_t tasks = experiments * replicas;
+  std::vector<double> samples(experiments);
+  for (auto& s : samples) s = rng.uniform(50.0, 500.0);  // k-samples
+  std::vector<double> mips(machines);
+  for (auto& f : mips) f = rng.uniform(1.0, 8.0);
+
+  std::vector<double> etc_data(tasks * machines);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const double workload = samples[t / replicas];  // MI per replica
+    for (std::size_t m = 0; m < machines; ++m) {
+      const double noise = rng.uniform(1.0, 1.3);
+      etc_data[t * machines + m] = workload / mips[m] * noise;
+    }
+  }
+  const etc::EtcMatrix instance(tasks, machines, std::move(etc_data));
+
+  std::printf("# campaign: %zu experiments x %zu replicas = %zu tasks on %zu machines\n",
+              experiments, replicas, tasks, machines);
+
+  const auto minmin = heur::min_min(instance);
+  cga::Config config;
+  config.threads = threads;
+  config.seed = seed;
+  config.termination = cga::Termination::after_seconds(wall_ms / 1000.0);
+  const auto result = par::run_parallel(instance, config);
+  const auto& schedule = result.result.best;
+
+  std::printf("makespan: Min-min %.1f -> PA-CGA %.1f (%.2f%% better)\n",
+              minmin.makespan(), schedule.makespan(),
+              100.0 * (1.0 - schedule.makespan() / minmin.makespan()));
+
+  // Per-experiment completion: an experiment is done when the machine
+  // finishing its LAST replica completes. Conservative bound: each
+  // replica finishes no later than its machine's completion time.
+  support::ConsoleTable table({"experiment", "k_samples", "replica_machines",
+                               "completion_bound"});
+  for (std::size_t e = 0; e < experiments; ++e) {
+    double completion = 0.0;
+    std::vector<bool> used(machines, false);
+    std::size_t distinct = 0;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const auto m = schedule.machine_of(e * replicas + r);
+      completion = std::max(completion, schedule.completion(m));
+      if (!used[m]) {
+        used[m] = true;
+        ++distinct;
+      }
+    }
+    table.add_row({std::to_string(e), support::format_number(samples[e], 4),
+                   std::to_string(distinct),
+                   support::format_number(completion)});
+  }
+  if (csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+  std::printf(
+      "\n# replicas spread over many machines => experiments finish "
+      "together near the makespan; a greedy scheduler would serialize "
+      "heavy experiments.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

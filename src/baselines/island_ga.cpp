@@ -1,0 +1,173 @@
+#include "baselines/island_ga.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "cga/crossover.hpp"
+#include "cga/individual.hpp"
+#include "cga/local_search.hpp"
+#include "cga/mutation.hpp"
+#include "cga/selection.hpp"
+#include "heuristics/minmin.hpp"
+#include "support/threading.hpp"
+#include "support/timer.hpp"
+
+namespace pacga::baseline {
+
+void IslandConfig::validate() const {
+  if (islands == 0) throw std::invalid_argument("IslandConfig: 0 islands");
+  if (island_population < 2)
+    throw std::invalid_argument("IslandConfig: island population < 2");
+  if (!(p_comb >= 0.0 && p_comb <= 1.0) || !(p_mut >= 0.0 && p_mut <= 1.0))
+    throw std::invalid_argument("IslandConfig: probability out of [0,1]");
+  if (migration_interval == 0)
+    throw std::invalid_argument("IslandConfig: migration interval == 0");
+}
+
+namespace {
+
+/// One-slot mailbox on each ring edge, protected by a mutex. A sender
+/// overwrites a stale migrant (only the freshest best matters).
+struct Mailbox {
+  std::mutex mutex;
+  std::optional<cga::Individual> migrant;
+};
+
+}  // namespace
+
+cga::Result run_island_ga(const etc::EtcMatrix& etc,
+                          const IslandConfig& config) {
+  config.validate();
+  const std::size_t n_islands = config.islands;
+  auto rngs = support::make_streams(config.seed, n_islands + 1);
+
+  // Mailbox i feeds island i (written by island (i-1+n)%n).
+  std::vector<std::unique_ptr<Mailbox>> mail(n_islands);
+  for (auto& m : mail) m = std::make_unique<Mailbox>();
+
+  std::vector<support::Padded<std::uint64_t>> evals(n_islands);
+  std::vector<support::Padded<std::uint64_t>> gens(n_islands);
+  std::vector<std::optional<cga::Individual>> island_best(n_islands);
+
+  std::atomic<std::uint64_t> global_evaluations{0};
+  const support::WallTimer timer;
+  const support::Deadline deadline(config.termination.wall_seconds);
+
+  auto worker = [&](std::size_t tid) {
+    support::Xoshiro256& rng = rngs[tid + 1];
+    std::vector<cga::Individual> pop;
+    pop.reserve(config.island_population);
+    for (std::size_t i = 0; i < config.island_population; ++i) {
+      pop.push_back(cga::Individual::evaluated(
+          sched::Schedule::random(etc, rng), config.objective));
+    }
+    if (config.seed_min_min && tid == 0) {
+      pop[0] =
+          cga::Individual::evaluated(heur::min_min(etc), config.objective);
+    }
+
+    auto best_of = [&]() -> std::size_t {
+      std::size_t b = 0;
+      for (std::size_t i = 1; i < pop.size(); ++i) {
+        if (pop[i].fitness < pop[b].fitness) b = i;
+      }
+      return b;
+    };
+    auto worst_of = [&]() -> std::size_t {
+      std::size_t w = 0;
+      for (std::size_t i = 1; i < pop.size(); ++i) {
+        if (pop[i].fitness > pop[w].fitness) w = i;
+      }
+      return w;
+    };
+
+    cga::Individual best = pop[best_of()];
+    std::vector<double> fitness_view(pop.size());
+    std::uint64_t local_evals = 0;
+    std::uint64_t generation = 0;
+
+    while (true) {
+      // One steady-state generation: population-size offspring, each
+      // replacing the current worst when better.
+      for (std::size_t step = 0; step < pop.size(); ++step) {
+        for (std::size_t i = 0; i < pop.size(); ++i)
+          fitness_view[i] = pop[i].fitness;
+        const auto [pa, pb] =
+            cga::select_parents(config.selection, fitness_view, rng);
+        sched::Schedule offspring =
+            rng.bernoulli(config.p_comb)
+                ? cga::crossover(config.crossover, pop[pa].schedule,
+                                 pop[pb].schedule, rng)
+                : pop[pa].schedule;
+        if (rng.bernoulli(config.p_mut)) {
+          cga::mutate(config.mutation, offspring, rng);
+        }
+        if (config.local_search.iterations > 0) {
+          cga::h2ll(offspring, config.local_search, rng);
+        }
+        cga::Individual child = cga::Individual::evaluated(
+            std::move(offspring), config.objective);
+        ++local_evals;
+        if (child.fitness < best.fitness) best = child;
+        const std::size_t w = worst_of();
+        if (child.fitness < pop[w].fitness) pop[w] = std::move(child);
+      }
+      ++generation;
+
+      // Ring migration: send a copy of the island best to the right
+      // neighbor; adopt any migrant waiting in our own mailbox.
+      if (generation % config.migration_interval == 0 && n_islands > 1) {
+        {
+          Mailbox& out = *mail[(tid + 1) % n_islands];
+          std::lock_guard<std::mutex> lock(out.mutex);
+          out.migrant = pop[best_of()];
+        }
+        {
+          Mailbox& in = *mail[tid];
+          std::lock_guard<std::mutex> lock(in.mutex);
+          if (in.migrant) {
+            const std::size_t w = worst_of();
+            if (in.migrant->fitness < pop[w].fitness) {
+              pop[w] = std::move(*in.migrant);
+            }
+            in.migrant.reset();
+          }
+        }
+      }
+
+      const std::uint64_t evals_now =
+          global_evaluations.fetch_add(pop.size(),
+                                       std::memory_order_relaxed) +
+          pop.size();
+      if (deadline.expired()) break;
+      if (generation >= config.termination.max_generations) break;
+      if (evals_now >= config.termination.max_evaluations) break;
+    }
+    evals[tid].value = local_evals;
+    gens[tid].value = generation;
+    island_best[tid] = std::move(best);
+  };
+
+  {
+    support::ScopedThreads threads(n_islands, worker);
+  }  // join
+
+  std::optional<cga::Individual> best;
+  for (auto& ib : island_best) {
+    if (ib && (!best || ib->fitness < best->fitness)) best = std::move(*ib);
+  }
+  cga::Result result{std::move(best->schedule)};
+  result.best_fitness = best->fitness;
+  result.elapsed_seconds = timer.elapsed_seconds();
+  for (std::size_t i = 0; i < n_islands; ++i) {
+    result.evaluations += evals[i].value;
+    result.generations = std::max(result.generations, gens[i].value);
+  }
+  return result;
+}
+
+}  // namespace pacga::baseline

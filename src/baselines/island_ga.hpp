@@ -1,0 +1,43 @@
+// Island-model (coarse-grained) parallel GA.
+//
+// The other classic way to parallelize a GA (paper §1 cites the cluster
+// implementations of Luque et al.): independent panmictic sub-populations,
+// one per thread, exchanging their best individual around a ring every few
+// generations. Contrast with PA-CGA, which is fine-grained (one population,
+// per-cell locking). Having both in the library lets the benchmarks ask
+// "does the paper's fine-grained model beat the coarse-grained default on
+// shared memory?" — an ablation the paper motivates but does not run.
+#pragma once
+
+#include "cga/config.hpp"
+#include "etc/etc_matrix.hpp"
+
+namespace pacga::baseline {
+
+struct IslandConfig {
+  std::size_t islands = 4;            ///< one thread per island
+  std::size_t island_population = 64;
+  cga::SelectionKind selection = cga::SelectionKind::kTournament;
+  cga::CrossoverKind crossover = cga::CrossoverKind::kTwoPoint;
+  double p_comb = 0.9;
+  cga::MutationKind mutation = cga::MutationKind::kMove;
+  double p_mut = 1.0;
+  /// H2LL passes per offspring (0 disables; kept so comparisons against
+  /// PA-CGA can be local-search-for-local-search fair).
+  cga::H2LLParams local_search{0, 0};
+  /// Generations between ring migrations.
+  std::size_t migration_interval = 10;
+  bool seed_min_min = true;  ///< island 0 gets the Min-min individual
+  sched::Objective objective = sched::Objective::kMakespan;
+  cga::Termination termination = cga::Termination::after_generations(100);
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Runs the island GA with `config.islands` threads. Result::generations is
+/// the maximum island generation count; Result::evaluations is the total.
+cga::Result run_island_ga(const etc::EtcMatrix& etc,
+                          const IslandConfig& config);
+
+}  // namespace pacga::baseline

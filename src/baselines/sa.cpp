@@ -1,0 +1,123 @@
+#include "baselines/sa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "heuristics/minmin.hpp"
+#include "support/timer.hpp"
+
+namespace pacga::baseline {
+
+void SaConfig::validate() const {
+  if (initial_temp_factor <= 0.0)
+    throw std::invalid_argument("SaConfig: non-positive temperature factor");
+  if (!(cooling > 0.0 && cooling < 1.0))
+    throw std::invalid_argument("SaConfig: cooling not in (0,1)");
+  if (iters_per_temp == 0)
+    throw std::invalid_argument("SaConfig: zero iterations per temperature");
+  if (min_temp_ratio <= 0.0)
+    throw std::invalid_argument("SaConfig: non-positive min temp ratio");
+  if (neighbor == cga::MutationKind::kRebalance) {
+    // Rebalance is directed (always off the loaded machine); SA requires a
+    // symmetric-ish proposal to make acceptance probabilities meaningful.
+    throw std::invalid_argument("SaConfig: rebalance is not a SA neighbor");
+  }
+}
+
+cga::Result run_simulated_annealing(const etc::EtcMatrix& etc,
+                                    const SaConfig& config) {
+  config.validate();
+  support::Xoshiro256 rng(config.seed);
+
+  sched::Schedule current =
+      config.seed_min_min ? heur::min_min(etc)
+                          : sched::Schedule::random(etc, rng);
+  double current_fit = sched::evaluate(current, config.objective);
+  sched::Schedule best = current;
+  double best_fit = current_fit;
+
+  const double t0 = config.initial_temp_factor * current_fit;
+  double temperature = t0;
+
+  support::WallTimer timer;
+  const support::Deadline deadline(config.termination.wall_seconds);
+  std::uint64_t evaluations = 0;
+  std::uint64_t generations = 0;
+  std::vector<cga::TracePoint> trace;
+
+  auto record_trace = [&] {
+    if (!config.collect_trace) return;
+    trace.push_back(
+        {generations, timer.elapsed_seconds(), best_fit, current_fit});
+  };
+  record_trace();
+
+  bool stop = false;
+  while (!stop) {
+    for (std::size_t step = 0; step < config.iters_per_temp; ++step) {
+      // Revertible proposal: the incremental representation makes a move
+      // and its undo both O(1), so SA never copies the schedule.
+      std::size_t task_a = 0, task_b = 0;
+      sched::MachineId old_a = 0, old_b = 0;
+      if (config.neighbor == cga::MutationKind::kMove) {
+        task_a = rng.index(current.tasks());
+        old_a = current.machine_of(task_a);
+        const auto target =
+            static_cast<sched::MachineId>(rng.index(current.machines()));
+        if (target == old_a) continue;  // null move, nothing to evaluate
+        current.move_task(task_a, target);
+      } else {  // kSwap
+        if (current.tasks() < 2) break;
+        task_a = rng.index(current.tasks());
+        task_b = rng.index(current.tasks() - 1);
+        if (task_b >= task_a) ++task_b;
+        old_a = current.machine_of(task_a);
+        old_b = current.machine_of(task_b);
+        if (old_a == old_b) continue;
+        current.swap_tasks(task_a, task_b);
+      }
+
+      const double proposal_fit =
+          sched::evaluate(current, config.objective);
+      ++evaluations;
+      const double delta = proposal_fit - current_fit;
+      const bool accept =
+          delta <= 0.0 ||
+          rng.uniform() < std::exp(-delta / temperature);
+      if (accept) {
+        current_fit = proposal_fit;
+        if (current_fit < best_fit) {
+          best_fit = current_fit;
+          best = current;
+        }
+      } else {
+        // Undo.
+        if (config.neighbor == cga::MutationKind::kMove) {
+          current.move_task(task_a, old_a);
+        } else {
+          current.swap_tasks(task_a, task_b);
+        }
+      }
+      if (evaluations >= config.termination.max_evaluations) {
+        stop = true;
+        break;
+      }
+    }
+    temperature *= config.cooling;
+    ++generations;
+    record_trace();
+    if (temperature < config.min_temp_ratio * t0) stop = true;
+    if (deadline.expired()) stop = true;
+    if (generations >= config.termination.max_generations) stop = true;
+  }
+
+  cga::Result result{std::move(best)};
+  result.best_fitness = best_fit;
+  result.evaluations = evaluations;
+  result.generations = generations;
+  result.elapsed_seconds = timer.elapsed_seconds();
+  result.trace = std::move(trace);
+  return result;
+}
+
+}  // namespace pacga::baseline

@@ -1,0 +1,41 @@
+// Simulated Annealing baseline.
+//
+// SA is one of the eleven heuristics of Braun et al. 2001 (the study that
+// defined the paper's benchmark) and the classic single-solution
+// counterpoint to population methods: it shows how much of the GA's
+// advantage comes from the population/structure rather than from plain
+// stochastic descent. Geometric cooling, move/swap neighborhood, O(1)
+// revertible steps on the incremental completion-time representation.
+#pragma once
+
+#include "cga/config.hpp"
+#include "etc/etc_matrix.hpp"
+
+namespace pacga::baseline {
+
+struct SaConfig {
+  /// T0 = initial_temp_factor * initial makespan (Braun et al. start at
+  /// the first solution's makespan; 0.1 concentrates search earlier).
+  double initial_temp_factor = 0.1;
+  /// Geometric cooling multiplier applied after every temperature block.
+  double cooling = 0.98;
+  /// Proposed moves per temperature block (one "generation" equivalent).
+  std::size_t iters_per_temp = 256;
+  /// Stop when T < min_temp_ratio * T0 (also bounded by `termination`).
+  double min_temp_ratio = 1e-9;
+  cga::MutationKind neighbor = cga::MutationKind::kMove;
+  bool seed_min_min = true;
+  sched::Objective objective = sched::Objective::kMakespan;
+  cga::Termination termination = cga::Termination::after_generations(100);
+  std::uint64_t seed = 1;
+  bool collect_trace = false;
+
+  void validate() const;
+};
+
+/// Runs SA. Result::generations counts temperature blocks;
+/// Result::evaluations counts proposed (evaluated) moves.
+cga::Result run_simulated_annealing(const etc::EtcMatrix& etc,
+                                    const SaConfig& config);
+
+}  // namespace pacga::baseline

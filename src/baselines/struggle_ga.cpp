@@ -1,0 +1,123 @@
+#include "baselines/struggle_ga.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "cga/crossover.hpp"
+#include "cga/individual.hpp"
+#include "cga/mutation.hpp"
+#include "cga/selection.hpp"
+#include "heuristics/minmin.hpp"
+#include "support/timer.hpp"
+
+namespace pacga::baseline {
+
+void StruggleConfig::validate() const {
+  if (population < 2)
+    throw std::invalid_argument("StruggleConfig: population < 2");
+  if (!(p_comb >= 0.0 && p_comb <= 1.0) || !(p_mut >= 0.0 && p_mut <= 1.0))
+    throw std::invalid_argument("StruggleConfig: probability out of [0,1]");
+}
+
+cga::Result run_struggle_ga(const etc::EtcMatrix& etc,
+                            const StruggleConfig& config) {
+  config.validate();
+  support::Xoshiro256 rng(config.seed);
+
+  std::vector<cga::Individual> pop;
+  pop.reserve(config.population);
+  for (std::size_t i = 0; i < config.population; ++i) {
+    pop.push_back(cga::Individual::evaluated(
+        sched::Schedule::random(etc, rng), config.objective));
+  }
+  if (config.seed_min_min) {
+    pop[0] =
+        cga::Individual::evaluated(heur::min_min(etc), config.objective);
+  }
+
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < pop.size(); ++i) {
+    if (pop[i].fitness < pop[best_idx].fitness) best_idx = i;
+  }
+  cga::Individual best = pop[best_idx];
+
+  support::WallTimer timer;
+  const support::Deadline deadline(config.termination.wall_seconds);
+  std::uint64_t evaluations = 0;
+  std::uint64_t generations = 0;
+  std::vector<cga::TracePoint> trace;
+  std::vector<double> fitness_view(pop.size());
+
+  auto record_trace = [&] {
+    if (!config.collect_trace) return;
+    double sum = 0.0;
+    double b = pop[0].fitness;
+    for (const auto& ind : pop) {
+      sum += ind.fitness;
+      b = std::min(b, ind.fitness);
+    }
+    trace.push_back({generations, timer.elapsed_seconds(), b,
+                     sum / static_cast<double>(pop.size())});
+  };
+  record_trace();
+
+  bool stop = false;
+  while (!stop) {
+    // One generation-equivalent: population-size steady-state steps.
+    for (std::size_t step = 0; step < pop.size(); ++step) {
+      for (std::size_t i = 0; i < pop.size(); ++i)
+        fitness_view[i] = pop[i].fitness;
+      const auto [pa, pb] =
+          cga::select_parents(config.selection, fitness_view, rng);
+
+      sched::Schedule offspring =
+          rng.bernoulli(config.p_comb)
+              ? cga::crossover(config.crossover, pop[pa].schedule,
+                               pop[pb].schedule, rng)
+              : pop[pa].schedule;
+      if (rng.bernoulli(config.p_mut)) {
+        cga::mutate(config.mutation, offspring, rng);
+      }
+      cga::Individual child =
+          cga::Individual::evaluated(std::move(offspring), config.objective);
+      ++evaluations;
+      if (child.fitness < best.fitness) best = child;
+
+      // Struggle replacement: the offspring competes with the individual
+      // most similar to it, not with the worst one.
+      std::size_t most_similar = 0;
+      std::size_t min_dist = std::numeric_limits<std::size_t>::max();
+      for (std::size_t i = 0; i < pop.size(); ++i) {
+        const std::size_t d =
+            child.schedule.hamming_distance(pop[i].schedule);
+        if (d < min_dist) {
+          min_dist = d;
+          most_similar = i;
+        }
+      }
+      if (child.fitness < pop[most_similar].fitness) {
+        pop[most_similar] = std::move(child);
+      }
+
+      if (evaluations >= config.termination.max_evaluations) {
+        stop = true;
+        break;
+      }
+    }
+    ++generations;
+    record_trace();
+    if (deadline.expired()) stop = true;
+    if (generations >= config.termination.max_generations) stop = true;
+  }
+
+  cga::Result result{std::move(best.schedule)};
+  result.best_fitness = best.fitness;
+  result.evaluations = evaluations;
+  result.generations = generations;
+  result.elapsed_seconds = timer.elapsed_seconds();
+  result.trace = std::move(trace);
+  return result;
+}
+
+}  // namespace pacga::baseline

@@ -1,0 +1,51 @@
+#include "batch/policies.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "heuristics/listsched.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/sufferage.hpp"
+#include "pacga/parallel_engine.hpp"
+#include "support/rng.hpp"
+
+namespace pacga::batch {
+
+Policy min_min_policy() {
+  return [](const etc::EtcMatrix& etc) { return heur::min_min(etc); };
+}
+
+Policy mct_policy() {
+  return [](const etc::EtcMatrix& etc) { return heur::mct(etc); };
+}
+
+Policy sufferage_policy() {
+  return [](const etc::EtcMatrix& etc) { return heur::sufferage(etc); };
+}
+
+Policy random_policy(std::uint64_t seed) {
+  // Shared state: the policy is invoked once per epoch, sequentially.
+  auto rng = std::make_shared<support::Xoshiro256>(seed);
+  return [rng](const etc::EtcMatrix& etc) {
+    return sched::Schedule::random(etc, *rng);
+  };
+}
+
+Policy pa_cga_policy(cga::Config base, double budget_ms) {
+  return [base, budget_ms](const etc::EtcMatrix& etc) {
+    cga::Config config = base;
+    config.termination = cga::Termination::after_seconds(budget_ms / 1000.0);
+    // Shrink the grid for small batches: a 16x16 population on a 3-task
+    // batch is pure overhead. Keep at least 4x4 so neighborhoods exist.
+    const std::size_t target_pop =
+        std::clamp<std::size_t>(4 * etc.tasks(), 16, 256);
+    std::size_t side = 4;
+    while ((side + 1) * (side + 1) <= target_pop && side < 16) ++side;
+    config.width = side;
+    config.height = side;
+    config.threads = std::min(config.threads, config.population_size());
+    return par::run_parallel(etc, config).result.best;
+  };
+}
+
+}  // namespace pacga::batch

@@ -1,0 +1,35 @@
+// Policy adapters: turn the library's schedulers into simulator policies.
+//
+// Metaheuristic policies get a per-epoch wall budget — the live-broker
+// constraint the paper's 90 s experiments abstract away. A PA-CGA policy
+// with a 50 ms budget answers the practical question "is the GA worth
+// running inside the scheduling loop?".
+#pragma once
+
+#include <cstdint>
+
+#include "batch/simulator.hpp"
+#include "cga/config.hpp"
+
+namespace pacga::batch {
+
+/// Min-min on each batch (the strong constructive baseline).
+Policy min_min_policy();
+
+/// MCT on each batch (the cheap list-scheduling baseline).
+Policy mct_policy();
+
+/// Sufferage on each batch.
+Policy sufferage_policy();
+
+/// Uniformly random assignment (control).
+Policy random_policy(std::uint64_t seed);
+
+/// PA-CGA on each batch. `base` supplies the algorithm parameters; the
+/// termination is overridden with `budget_ms` per epoch. The grid is
+/// shrunk automatically for small batches (population never exceeds
+/// ~4x batch size) so tiny epochs do not waste the budget evolving a
+/// population much larger than the problem.
+Policy pa_cga_policy(cga::Config base, double budget_ms);
+
+}  // namespace pacga::batch

@@ -1,0 +1,179 @@
+#include "batch/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace pacga::batch {
+
+namespace {
+
+/// One accepted assignment on a machine's timeline.
+struct Commitment {
+  std::size_t task = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+}  // namespace
+
+SimMetrics simulate(const Workload& workload, const SimSpec& spec,
+                    const Policy& policy) {
+  if (spec.epoch_length <= 0.0)
+    throw std::invalid_argument("simulate: non-positive epoch length");
+  const std::size_t n_tasks = workload.tasks.size();
+  const std::size_t n_machines = workload.machines.size();
+  if (n_tasks == 0 || n_machines == 0)
+    throw std::invalid_argument("simulate: empty workload");
+
+  support::Xoshiro256 rng(spec.seed ^ 0x51u);
+  SimMetrics metrics;
+
+  std::vector<bool> alive(n_machines, true);
+  std::vector<double> busy_until(n_machines, 0.0);
+  std::vector<std::vector<Commitment>> queue(n_machines);
+  std::vector<double> task_start(n_tasks, -1.0);
+  std::vector<double> task_finish(n_tasks, -1.0);
+  std::vector<std::size_t> pending;   // arrived, not (re)scheduled
+  std::size_t next_arrival = 0;       // tasks are sorted by arrival
+  double busy_time = 0.0;
+  std::vector<double> alive_since(n_machines, 0.0);
+  std::vector<double> alive_total(n_machines, 0.0);
+
+  double now = 0.0;
+  const bool churn = spec.machine_drop_prob > 0.0 || spec.machine_join_prob > 0.0;
+
+  auto all_done = [&] {
+    if (next_arrival < n_tasks || !pending.empty()) return false;
+    if (!churn) return true;  // schedule fixed; outcome determined
+    // With churn, a still-running commitment can yet be killed: wait until
+    // wall time passes the last finish.
+    for (std::size_t m = 0; m < n_machines; ++m) {
+      if (alive[m] && busy_until[m] > now) return false;
+    }
+    return true;
+  };
+
+  while (!all_done()) {
+    if (spec.max_epochs != 0 && metrics.epochs >= spec.max_epochs)
+      throw std::runtime_error("simulate: epoch limit exceeded");
+    now = static_cast<double>(metrics.epochs) * spec.epoch_length;
+
+    // --- machine churn -----------------------------------------------
+    if (metrics.epochs > 0 && spec.machine_drop_prob > 0.0 &&
+        rng.bernoulli(spec.machine_drop_prob)) {
+      std::vector<std::size_t> candidates;
+      for (std::size_t m = 0; m < n_machines; ++m) {
+        if (alive[m]) candidates.push_back(m);
+      }
+      if (!candidates.empty()) {
+        const std::size_t victim = candidates[rng.index(candidates.size())];
+        alive[victim] = false;
+        alive_total[victim] += now - alive_since[victim];
+        ++metrics.drops;
+        // Non-preemptive model: anything unfinished on the victim restarts
+        // elsewhere from scratch; partially executed time is wasted but
+        // counted as busy.
+        auto& q = queue[victim];
+        for (auto it = q.begin(); it != q.end();) {
+          if (it->finish > now) {
+            if (it->start < now) busy_time += now - it->start;
+            task_start[it->task] = -1.0;
+            task_finish[it->task] = -1.0;
+            pending.push_back(it->task);
+            ++metrics.resubmissions;
+            it = q.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        busy_until[victim] = now;
+      }
+    }
+    if (metrics.epochs > 0 && spec.machine_join_prob > 0.0 &&
+        rng.bernoulli(spec.machine_join_prob)) {
+      std::vector<std::size_t> dead;
+      for (std::size_t m = 0; m < n_machines; ++m) {
+        if (!alive[m]) dead.push_back(m);
+      }
+      if (!dead.empty()) {
+        const std::size_t reborn = dead[rng.index(dead.size())];
+        alive[reborn] = true;
+        alive_since[reborn] = now;
+        busy_until[reborn] = now;
+        ++metrics.joins;
+      }
+    }
+
+    // --- gather the epoch's batch --------------------------------------
+    while (next_arrival < n_tasks &&
+           workload.tasks[next_arrival].arrival <= now) {
+      pending.push_back(next_arrival);
+      ++next_arrival;
+    }
+
+    // --- schedule the batch --------------------------------------------
+    if (!pending.empty()) {
+      std::vector<std::size_t> park;
+      for (std::size_t m = 0; m < n_machines; ++m) {
+        if (alive[m]) park.push_back(m);
+      }
+      if (!park.empty()) {
+        std::sort(pending.begin(), pending.end());
+        std::vector<double> ready(park.size());
+        for (std::size_t bm = 0; bm < park.size(); ++bm) {
+          ready[bm] = std::max(0.0, busy_until[park[bm]] - now);
+        }
+        const etc::EtcMatrix batch_etc = make_batch_etc(
+            workload, pending, park, ready, spec.inconsistency, spec.seed);
+        const sched::Schedule schedule = policy(batch_etc);
+        if (schedule.tasks() != pending.size())
+          throw std::runtime_error("simulate: policy returned wrong size");
+
+        for (std::size_t bi = 0; bi < pending.size(); ++bi) {
+          const std::size_t machine = park[schedule.machine_of(bi)];
+          const std::size_t task = pending[bi];
+          const double exec = batch_etc(bi, schedule.machine_of(bi));
+          const double start = std::max(now, busy_until[machine]);
+          const double finish = start + exec;
+          busy_until[machine] = finish;
+          queue[machine].push_back({task, start, finish});
+          task_start[task] = start;
+          task_finish[task] = finish;
+          busy_time += exec;
+          ++metrics.scheduled_tasks;
+        }
+        pending.clear();
+      }
+    }
+    ++metrics.epochs;
+  }
+
+  // --- metrics -----------------------------------------------------------
+  double wait_sum = 0.0, response_sum = 0.0;
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    if (task_finish[t] < 0.0)
+      throw std::runtime_error("simulate: unfinished task after drain");
+    const double wait = task_start[t] - workload.tasks[t].arrival;
+    const double response = task_finish[t] - workload.tasks[t].arrival;
+    wait_sum += wait;
+    response_sum += response;
+    metrics.max_response = std::max(metrics.max_response, response);
+    metrics.completion_time = std::max(metrics.completion_time, task_finish[t]);
+  }
+  metrics.mean_wait = wait_sum / static_cast<double>(n_tasks);
+  metrics.mean_response = response_sum / static_cast<double>(n_tasks);
+
+  double machine_time = 0.0;
+  for (std::size_t m = 0; m < n_machines; ++m) {
+    machine_time += alive_total[m];
+    if (alive[m]) {
+      machine_time += std::max(0.0, metrics.completion_time - alive_since[m]);
+    }
+  }
+  metrics.utilization = machine_time > 0.0 ? busy_time / machine_time : 0.0;
+  return metrics;
+}
+
+}  // namespace pacga::batch

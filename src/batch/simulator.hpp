@@ -1,0 +1,63 @@
+// Discrete-epoch dynamic-grid simulator.
+//
+// Reproduces the operating regime the paper targets (§2.1): tasks arrive
+// continuously; every `epoch_length` units of time the broker gathers the
+// pending batch, derives the ETC matrix with the machines' CURRENT ready
+// times, and asks a scheduling policy for an assignment. Machines may drop
+// (their unfinished, non-preemptive tasks are resubmitted) or join.
+//
+// The policy is any callable from ETC matrix to schedule — the heuristics,
+// the sequential CGA and PA-CGA all plug in directly (see policies.hpp),
+// which is how the library answers "what does the GA buy me in the live
+// system, not just on a frozen benchmark matrix?".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "batch/workload.hpp"
+#include "sched/schedule.hpp"
+
+namespace pacga::batch {
+
+/// A scheduling policy: batch ETC (with ready times) -> assignment.
+using Policy = std::function<sched::Schedule(const etc::EtcMatrix&)>;
+
+/// Simulation parameters.
+struct SimSpec {
+  double epoch_length = 1.0;
+  /// Per-epoch probability that one random alive machine drops.
+  double machine_drop_prob = 0.0;
+  /// Per-epoch probability that one dropped machine rejoins.
+  double machine_join_prob = 0.0;
+  /// ETC noise/consistency knob forwarded to make_batch_etc.
+  double inconsistency = 0.5;
+  std::uint64_t seed = 1;
+  /// Safety valve: abort after this many epochs (0 = no limit). Guards
+  /// against policies that never drain the queue when machines keep
+  /// dropping.
+  std::size_t max_epochs = 100000;
+};
+
+/// Aggregate outcome of one simulation.
+struct SimMetrics {
+  double completion_time = 0.0;  ///< when the last task finished
+  double mean_wait = 0.0;        ///< mean (start - arrival)
+  double mean_response = 0.0;    ///< mean (finish - arrival)
+  double max_response = 0.0;
+  double utilization = 0.0;      ///< busy time / (alive machine-time)
+  std::size_t epochs = 0;
+  std::size_t scheduled_tasks = 0;    ///< assignments made (incl. re-runs)
+  std::size_t resubmissions = 0;      ///< tasks re-queued by machine drops
+  std::size_t drops = 0;              ///< machines lost
+  std::size_t joins = 0;              ///< machines (re)gained
+};
+
+/// Runs the scenario to completion (all tasks finished) and returns the
+/// metrics. Throws std::runtime_error if every machine drops with work
+/// still pending and none rejoins within max_epochs.
+SimMetrics simulate(const Workload& workload, const SimSpec& spec,
+                    const Policy& policy);
+
+}  // namespace pacga::batch

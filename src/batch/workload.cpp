@@ -1,0 +1,67 @@
+#include "batch/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace pacga::batch {
+
+Workload generate_workload(const WorkloadSpec& spec) {
+  if (spec.tasks == 0 || spec.machines == 0)
+    throw std::invalid_argument("generate_workload: empty spec");
+  if (spec.arrival_rate <= 0.0)
+    throw std::invalid_argument("generate_workload: non-positive rate");
+  if (spec.workload_lo <= 0.0 || spec.workload_hi < spec.workload_lo ||
+      spec.mips_lo <= 0.0 || spec.mips_hi < spec.mips_lo)
+    throw std::invalid_argument("generate_workload: bad ranges");
+  if (spec.inconsistency < 0.0)
+    throw std::invalid_argument("generate_workload: negative inconsistency");
+
+  support::Xoshiro256 rng(spec.seed);
+  Workload w;
+  w.tasks.reserve(spec.tasks);
+  double t = 0.0;
+  for (std::size_t i = 0; i < spec.tasks; ++i) {
+    // Exponential inter-arrival gap.
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    t += -std::log(u) / spec.arrival_rate;
+    w.tasks.push_back({t, rng.uniform(spec.workload_lo, spec.workload_hi)});
+  }
+  w.machines.reserve(spec.machines);
+  for (std::size_t m = 0; m < spec.machines; ++m) {
+    w.machines.push_back({rng.uniform(spec.mips_lo, spec.mips_hi)});
+  }
+  return w;
+}
+
+etc::EtcMatrix make_batch_etc(const Workload& workload,
+                              std::span<const std::size_t> task_ids,
+                              std::span<const std::size_t> machine_ids,
+                              std::span<const double> ready,
+                              double inconsistency, std::uint64_t seed) {
+  if (task_ids.empty() || machine_ids.empty())
+    throw std::invalid_argument("make_batch_etc: empty batch or park");
+  if (ready.size() != machine_ids.size())
+    throw std::invalid_argument("make_batch_etc: ready size mismatch");
+
+  std::vector<double> data(task_ids.size() * machine_ids.size());
+  for (std::size_t bi = 0; bi < task_ids.size(); ++bi) {
+    const Task& task = workload.tasks.at(task_ids[bi]);
+    for (std::size_t bm = 0; bm < machine_ids.size(); ++bm) {
+      const Machine& mac = workload.machines.at(machine_ids[bm]);
+      // Deterministic per-(task, machine) noise: the execution profile of
+      // a task must not change when it is rescheduled after a drop.
+      support::SplitMix64 hash(seed ^ (task_ids[bi] * 0x9e3779b97f4a7c15ULL) ^
+                               (machine_ids[bm] * 0xc2b2ae3d27d4eb4fULL));
+      const double unit =
+          static_cast<double>(hash.next() >> 11) * 0x1.0p-53;  // [0,1)
+      const double noise = 1.0 + inconsistency * unit;
+      data[bi * machine_ids.size() + bm] = task.workload / mac.mips * noise;
+    }
+  }
+  return etc::EtcMatrix(task_ids.size(), machine_ids.size(), std::move(data),
+                        {ready.begin(), ready.end()});
+}
+
+}  // namespace pacga::batch

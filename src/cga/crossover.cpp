@@ -1,0 +1,65 @@
+#include "cga/crossover.hpp"
+
+#include <cassert>
+
+namespace pacga::cga {
+
+const char* to_string(CrossoverKind k) noexcept {
+  switch (k) {
+    case CrossoverKind::kOnePoint: return "opx";
+    case CrossoverKind::kTwoPoint: return "tpx";
+    case CrossoverKind::kUniform: return "ux";
+  }
+  return "?";
+}
+
+sched::Schedule one_point_crossover(const sched::Schedule& a,
+                                    const sched::Schedule& b,
+                                    support::Xoshiro256& rng) {
+  assert(a.tasks() == b.tasks());
+  const std::size_t n = a.tasks();
+  sched::Schedule child = a;
+  if (n < 2) return child;
+  // Cut in [1, n-1] so both parents contribute at least one gene.
+  const std::size_t cut = 1 + rng.index(n - 1);
+  child.copy_segment(b, cut, n);
+  return child;
+}
+
+sched::Schedule two_point_crossover(const sched::Schedule& a,
+                                    const sched::Schedule& b,
+                                    support::Xoshiro256& rng) {
+  assert(a.tasks() == b.tasks());
+  const std::size_t n = a.tasks();
+  sched::Schedule child = a;
+  if (n < 2) return child;
+  std::size_t lo = rng.index(n);
+  std::size_t hi = rng.index(n);
+  if (lo > hi) std::swap(lo, hi);
+  if (lo == hi) hi = lo + 1;  // degenerate draw: still exchange one gene
+  child.copy_segment(b, lo, hi);
+  return child;
+}
+
+sched::Schedule uniform_crossover(const sched::Schedule& a,
+                                  const sched::Schedule& b,
+                                  support::Xoshiro256& rng) {
+  assert(a.tasks() == b.tasks());
+  sched::Schedule child = a;
+  for (std::size_t t = 0; t < a.tasks(); ++t) {
+    if (rng.bernoulli(0.5)) child.move_task(t, b.machine_of(t));
+  }
+  return child;
+}
+
+sched::Schedule crossover(CrossoverKind kind, const sched::Schedule& a,
+                          const sched::Schedule& b, support::Xoshiro256& rng) {
+  switch (kind) {
+    case CrossoverKind::kOnePoint: return one_point_crossover(a, b, rng);
+    case CrossoverKind::kTwoPoint: return two_point_crossover(a, b, rng);
+    case CrossoverKind::kUniform: return uniform_crossover(a, b, rng);
+  }
+  return one_point_crossover(a, b, rng);
+}
+
+}  // namespace pacga::cga

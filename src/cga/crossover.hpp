@@ -1,0 +1,42 @@
+// Recombination operators on assignment strings (paper §4.1: one-point
+// "opx" and two-point "tpx"; uniform added for completeness).
+//
+// All operators keep the offspring's completion-time cache up to date
+// incrementally via Schedule::copy_segment / move_task — no full
+// re-evaluation (paper §3.3).
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace pacga::cga {
+
+enum class CrossoverKind {
+  kOnePoint,  ///< opx — prefix from parent a, suffix from parent b
+  kTwoPoint,  ///< tpx — middle segment from parent b
+  kUniform,   ///< each gene from a or b with probability 1/2
+};
+
+const char* to_string(CrossoverKind k) noexcept;
+
+/// One-point crossover: cut in [1, tasks-1]; offspring = a[0:cut) + b[cut:).
+sched::Schedule one_point_crossover(const sched::Schedule& a,
+                                    const sched::Schedule& b,
+                                    support::Xoshiro256& rng);
+
+/// Two-point crossover: offspring = a with a random segment [lo, hi)
+/// replaced by b's genes. lo < hi, both interior.
+sched::Schedule two_point_crossover(const sched::Schedule& a,
+                                    const sched::Schedule& b,
+                                    support::Xoshiro256& rng);
+
+/// Uniform crossover: each gene drawn from a or b with equal probability.
+sched::Schedule uniform_crossover(const sched::Schedule& a,
+                                  const sched::Schedule& b,
+                                  support::Xoshiro256& rng);
+
+/// Enum dispatch used by the engines.
+sched::Schedule crossover(CrossoverKind kind, const sched::Schedule& a,
+                          const sched::Schedule& b, support::Xoshiro256& rng);
+
+}  // namespace pacga::cga

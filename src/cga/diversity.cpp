@@ -1,0 +1,106 @@
+#include "cga/diversity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace pacga::cga {
+
+namespace {
+
+/// Entropy and fitness terms shared by the exact and sampled variants.
+void fill_entropy_and_fitness(const Population& pop, DiversityStats& d) {
+  const std::size_t n = pop.size();
+  if (n == 0) return;
+  const auto& first = pop.at(0).schedule;
+  const std::size_t tasks = first.tasks();
+  const std::size_t machines = first.machines();
+
+  // Per-locus machine histogram -> Shannon entropy, averaged over loci.
+  std::vector<std::size_t> histogram(machines);
+  double entropy_sum = 0.0;
+  const double log_machines = std::log2(static_cast<double>(machines));
+  for (std::size_t t = 0; t < tasks; ++t) {
+    std::fill(histogram.begin(), histogram.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++histogram[pop.at(i).schedule.machine_of(t)];
+    }
+    double h = 0.0;
+    for (std::size_t count : histogram) {
+      if (count == 0) continue;
+      const double p = static_cast<double>(count) / static_cast<double>(n);
+      h -= p * std::log2(p);
+    }
+    entropy_sum += log_machines > 0.0 ? h / log_machines : 0.0;
+  }
+  d.gene_entropy = entropy_sum / static_cast<double>(tasks);
+
+  support::RunningStats fit;
+  for (std::size_t i = 0; i < n; ++i) fit.add(pop.at(i).fitness);
+  d.fitness_stddev = fit.stddev();
+  d.fitness_range = fit.max() - fit.min();
+}
+
+}  // namespace
+
+DiversityStats population_diversity(const Population& pop) {
+  DiversityStats d;
+  const std::size_t n = pop.size();
+  if (n == 0) return d;
+  fill_entropy_and_fitness(pop, d);
+
+  const std::size_t tasks = pop.at(0).schedule.tasks();
+  if (n > 1 && tasks > 0) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        total += static_cast<double>(
+            pop.at(i).schedule.hamming_distance(pop.at(j).schedule));
+      }
+    }
+    const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+    d.mean_pairwise_hamming = total / pairs / static_cast<double>(tasks);
+  }
+  return d;
+}
+
+DiversityStats population_diversity_sampled(const Population& pop,
+                                            std::size_t pairs,
+                                            support::Xoshiro256& rng) {
+  DiversityStats d;
+  const std::size_t n = pop.size();
+  if (n == 0) return d;
+  fill_entropy_and_fitness(pop, d);
+
+  const std::size_t tasks = pop.at(0).schedule.tasks();
+  if (n > 1 && tasks > 0 && pairs > 0) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < pairs; ++k) {
+      const std::size_t i = rng.index(n);
+      std::size_t j = rng.index(n - 1);
+      if (j >= i) ++j;
+      total += static_cast<double>(
+          pop.at(i).schedule.hamming_distance(pop.at(j).schedule));
+    }
+    d.mean_pairwise_hamming =
+        total / static_cast<double>(pairs) / static_cast<double>(tasks);
+  }
+  return d;
+}
+
+double proportion_at_best(const Population& pop, double tol) {
+  const std::size_t n = pop.size();
+  if (n == 0) return 0.0;
+  double best = pop.at(0).fitness;
+  for (std::size_t i = 1; i < n; ++i) best = std::min(best, pop.at(i).fitness);
+  std::size_t hits = 0;
+  const double bound = best + tol * std::max(1.0, std::abs(best));
+  for (std::size_t i = 0; i < n; ++i) {
+    hits += (pop.at(i).fitness <= bound);
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace pacga::cga

@@ -1,0 +1,50 @@
+// Population diversity metrics.
+//
+// The whole premise of cellular GAs (paper §1, §3.1) is that restricted
+// mating keeps diversity longer and delays takeover by the best genotype.
+// These metrics make that claim measurable: genotypic diversity (pairwise
+// Hamming distance, per-locus entropy), phenotypic diversity (fitness
+// spread), and the takeover fraction used by the classic selection-
+// pressure experiments (bench_takeover).
+#pragma once
+
+#include <cstddef>
+
+#include "cga/population.hpp"
+#include "support/rng.hpp"
+
+namespace pacga::cga {
+
+/// Snapshot of population diversity. All genotypic values are normalized
+/// to [0, 1]; 0 = fully converged.
+struct DiversityStats {
+  /// Mean pairwise Hamming distance between assignment strings, divided
+  /// by the string length.
+  double mean_pairwise_hamming = 0.0;
+  /// Mean per-locus Shannon entropy of the machine distribution, divided
+  /// by log2(#machines).
+  double gene_entropy = 0.0;
+  /// Sample standard deviation of the fitness values.
+  double fitness_stddev = 0.0;
+  /// (max - min) fitness.
+  double fitness_range = 0.0;
+};
+
+/// Exact metrics. O(n^2 * tasks) for the pairwise term (a 256 x 512
+/// population costs ~17M byte comparisons — fine for sampling once per
+/// generation, not per breeding step). Must not run concurrently with
+/// writers.
+DiversityStats population_diversity(const Population& pop);
+
+/// Pairwise Hamming estimated from `pairs` random pairs instead of all
+/// n*(n-1)/2 — for tight-loop monitoring. Entropy/fitness terms are exact.
+DiversityStats population_diversity_sampled(const Population& pop,
+                                            std::size_t pairs,
+                                            support::Xoshiro256& rng);
+
+/// Fraction of cells whose fitness is within `tol` (relative) of the
+/// population best — the "takeover" quantity of selection-pressure
+/// studies: 1.0 means the best genotype's fitness has conquered the grid.
+double proportion_at_best(const Population& pop, double tol = 1e-9);
+
+}  // namespace pacga::cga

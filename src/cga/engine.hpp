@@ -1,0 +1,41 @@
+// Sequential cellular GA engine — the canonical algorithm of paper §3.1.
+// Supports both update policies (asynchronous = paper Algorithm 1;
+// synchronous = auxiliary-population variant) and every sweep policy.
+// PA-CGA with one thread is exactly this engine with kLineSweep/async.
+#pragma once
+
+#include "cga/config.hpp"
+#include "cga/population.hpp"
+#include "etc/etc_matrix.hpp"
+
+namespace pacga::cga {
+
+/// Runs the sequential CGA on `etc` per `config`. Deterministic: same seed,
+/// same result. `config.threads` is ignored here.
+Result run_sequential(const etc::EtcMatrix& etc, const Config& config);
+
+namespace detail {
+
+/// Builds the visiting order for one generation. For kUniformChoice the
+/// returned order is a fresh uniform sample WITH replacement (paper's
+/// "uniform choice" policy); all other policies are permutations.
+std::vector<std::size_t> make_sweep_order(SweepPolicy policy, std::size_t n,
+                                          support::Xoshiro256& rng);
+
+/// One breeding step on cell `index` (paper Algorithm 3 lines 3-8, minus
+/// replacement): neighborhood -> selection -> recombination -> mutation ->
+/// local search -> evaluation. Reads the population unsynchronized — the
+/// parallel engine has its own locked variant.
+Individual breed(const Population& pop, std::size_t index,
+                 const Config& config, support::Xoshiro256& rng,
+                 std::vector<std::size_t>& neigh_scratch,
+                 std::vector<double>& fit_scratch);
+
+/// Applies `policy`: returns true when `offspring` should replace a cell
+/// whose current fitness is `incumbent`.
+bool should_replace(ReplacementPolicy policy, double offspring,
+                    double incumbent) noexcept;
+
+}  // namespace detail
+
+}  // namespace pacga::cga

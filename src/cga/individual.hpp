@@ -1,0 +1,26 @@
+// One cell of the cellular population: a schedule plus its cached fitness.
+#pragma once
+
+#include "sched/fitness.hpp"
+#include "sched/schedule.hpp"
+
+namespace pacga::cga {
+
+/// Value type: individuals are copied when parents are selected (the copy
+/// is what makes the parallel engine's read-locking window small) and
+/// written back on replacement.
+struct Individual {
+  sched::Schedule schedule;
+  sched::Fitness fitness = 0.0;
+
+  Individual(sched::Schedule s, sched::Fitness f)
+      : schedule(std::move(s)), fitness(f) {}
+
+  /// Builds and evaluates in one step.
+  static Individual evaluated(sched::Schedule s, sched::Objective objective) {
+    const sched::Fitness f = sched::evaluate(s, objective);
+    return Individual(std::move(s), f);
+  }
+};
+
+}  // namespace pacga::cga

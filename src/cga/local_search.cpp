@@ -1,0 +1,190 @@
+#include "cga/local_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "cga/mutation.hpp"
+
+namespace pacga::cga {
+
+const char* to_string(LocalSearchKind k) noexcept {
+  switch (k) {
+    case LocalSearchKind::kH2LL: return "h2ll";
+    case LocalSearchKind::kH2LLSteepest: return "h2ll-steepest";
+    case LocalSearchKind::kTabuHop: return "tabu-hop";
+    case LocalSearchKind::kNone: return "none";
+  }
+  return "?";
+}
+
+void apply_local_search(LocalSearchKind kind, sched::Schedule& s,
+                        const H2LLParams& h2ll_params,
+                        const TabuHopParams& tabu_params,
+                        support::Xoshiro256& rng) {
+  switch (kind) {
+    case LocalSearchKind::kH2LL:
+      h2ll(s, h2ll_params, rng);
+      return;
+    case LocalSearchKind::kH2LLSteepest:
+      h2ll_steepest(s, h2ll_params);
+      return;
+    case LocalSearchKind::kTabuHop:
+      local_tabu_hop(s, tabu_params, rng);
+      return;
+    case LocalSearchKind::kNone:
+      return;
+  }
+}
+
+void h2ll(sched::Schedule& s, const H2LLParams& params,
+          support::Xoshiro256& rng) {
+  const std::size_t machines = s.machines();
+  if (machines < 2 || s.tasks() == 0) return;
+  const std::size_t n_candidates =
+      params.candidates == 0
+          ? machines / 2
+          : std::min(params.candidates, machines - 1);
+
+  // Machine indices sorted ascending by completion time; reused across
+  // iterations (thread-local to stay allocation-free on the hot path).
+  thread_local std::vector<std::size_t> order;
+  order.resize(machines);
+
+  for (std::size_t it = 0; it < params.iterations; ++it) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return s.completion(a) < s.completion(b);
+    });
+    const std::size_t most_loaded = order.back();
+    const std::size_t task = random_task_on_machine(
+        s, static_cast<sched::MachineId>(most_loaded), rng);
+    if (task == s.tasks()) continue;  // machine holds only ready-time load
+
+    // Paper Alg. 4: best_score starts at the makespan; a candidate is
+    // accepted only if it strictly undercuts it.
+    double best_score = s.completion(most_loaded);
+    std::size_t best_mac = machines;  // sentinel: no move
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      const std::size_t mac = order[c];
+      if (mac == most_loaded) continue;
+      const double new_score = s.completion(mac) + s.etc()(task, mac);
+      if (new_score < best_score) {
+        best_score = new_score;
+        best_mac = mac;
+      }
+    }
+    if (best_mac != machines) {
+      s.move_task(task, static_cast<sched::MachineId>(best_mac));
+    }
+  }
+}
+
+void h2ll_steepest(sched::Schedule& s, const H2LLParams& params) {
+  const std::size_t machines = s.machines();
+  if (machines < 2 || s.tasks() == 0) return;
+  const std::size_t n_candidates =
+      params.candidates == 0 ? machines / 2
+                             : std::min(params.candidates, machines - 1);
+
+  thread_local std::vector<std::size_t> order;
+  order.resize(machines);
+
+  for (std::size_t it = 0; it < params.iterations; ++it) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return s.completion(a) < s.completion(b);
+    });
+    const std::size_t most_loaded = order.back();
+    // Highest completion among machines other than the loaded one (and,
+    // when the move target IS that machine, the next one down): the part
+    // of the resulting makespan no single move can change.
+    const std::size_t second = order[machines - 2];
+    const double third_ct =
+        machines >= 3 ? s.completion(order[machines - 3]) : 0.0;
+
+    // True steepest descent on the makespan: evaluate the RESULTING
+    // makespan of every (task on loaded machine, candidate) move and take
+    // the minimum. This is what "steepest" must mean for the operator's
+    // objective — minimizing the landing completion alone can prefer
+    // moving a tiny task that barely relieves the loaded machine.
+    const double current_ms = s.completion(most_loaded);
+    double best_ms = current_ms;
+    std::size_t best_task = s.tasks();
+    std::size_t best_mac = machines;
+    for (std::size_t t = 0; t < s.tasks(); ++t) {
+      if (s.machine_of(t) != most_loaded) continue;
+      const double src_after = current_ms - s.etc()(t, most_loaded);
+      for (std::size_t c = 0; c < n_candidates; ++c) {
+        const std::size_t mac = order[c];
+        if (mac == most_loaded) continue;
+        const double dst_after = s.completion(mac) + s.etc()(t, mac);
+        const double rest = mac == second ? third_ct : s.completion(second);
+        const double new_ms =
+            std::max({src_after, dst_after, rest});
+        if (new_ms < best_ms) {
+          best_ms = new_ms;
+          best_task = t;
+          best_mac = mac;
+        }
+      }
+    }
+    if (best_task == s.tasks()) return;  // local optimum: converged
+    s.move_task(best_task, static_cast<sched::MachineId>(best_mac));
+  }
+}
+
+void local_tabu_hop(sched::Schedule& s, const TabuHopParams& params,
+                    support::Xoshiro256& rng) {
+  const std::size_t machines = s.machines();
+  const std::size_t tasks = s.tasks();
+  if (machines < 2 || tasks == 0) return;
+
+  // Expiry iteration per task; iteration counter starts at tenure so the
+  // initial zeros are all expired.
+  std::vector<std::size_t> tabu_until(tasks, 0);
+  sched::Schedule best = s;
+  double best_makespan = best.makespan();
+
+  for (std::size_t it = 1; it <= params.iterations; ++it) {
+    const auto loaded = static_cast<sched::MachineId>(s.argmax_machine());
+    // Best move of any non-tabu task currently on the makespan machine:
+    // minimize the resulting pair (new target completion) — classic
+    // steepest-descent step, accepted even if worsening (tabu search).
+    std::size_t move_task_id = tasks;
+    std::size_t move_target = machines;
+    double move_score = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < tasks; ++t) {
+      if (s.machine_of(t) != loaded) continue;
+      if (tabu_until[t] > it) continue;
+      for (std::size_t m = 0; m < machines; ++m) {
+        if (m == loaded) continue;
+        const double score = s.completion(m) + s.etc()(t, m);
+        if (score < move_score) {
+          move_score = score;
+          move_task_id = t;
+          move_target = m;
+        }
+      }
+    }
+    if (move_task_id == tasks) {
+      // Everything on the loaded machine is tabu: diversify with a random
+      // kick so the search does not stall.
+      const std::size_t t = rng.index(tasks);
+      s.move_task(t, static_cast<sched::MachineId>(rng.index(machines)));
+      tabu_until[t] = it + params.tenure;
+    } else {
+      s.move_task(move_task_id, static_cast<sched::MachineId>(move_target));
+      tabu_until[move_task_id] = it + params.tenure;
+    }
+    const double ms = s.makespan();
+    if (ms < best_makespan) {
+      best_makespan = ms;
+      best = s;
+    }
+  }
+  if (best_makespan < s.makespan()) s = best;
+}
+
+}  // namespace pacga::cga

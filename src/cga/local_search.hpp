@@ -1,0 +1,70 @@
+// Local search operators.
+//
+//  * H2LL ("Highest To Least Loaded") — the paper's new operator
+//    (Algorithm 4): move a random task off the most loaded machine to the
+//    candidate among the least-loaded half minimizing its new completion
+//    time, never above the current makespan. Monotone: makespan never
+//    increases (tested as an invariant).
+//  * Local Tabu Hop — a compact tabu search over task moves, standing in
+//    for the LTH operator of the cMA+LTH baseline (Xhafa, Alba,
+//    Dorronsoro, Duran 2008).
+#pragma once
+
+#include <cstddef>
+
+#include "sched/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace pacga::cga {
+
+/// Which local-search operator the engines apply to offspring.
+enum class LocalSearchKind {
+  kH2LL,          ///< the paper's operator (random task off the loaded machine)
+  kH2LLSteepest,  ///< ablation: best (task, target) move per pass
+  kTabuHop,       ///< the cMA+LTH baseline's operator
+  kNone,          ///< no local search (Figure 4's "0 iteration" arm)
+};
+
+const char* to_string(LocalSearchKind k) noexcept;
+
+/// H2LL parameterization (paper Table 1: iter = 5 or 10; candidates =
+/// machines/2 per Algorithm 4, override-able per the "N is a parameter"
+/// remark).
+struct H2LLParams {
+  std::size_t iterations = 5;
+  /// Number of least-loaded candidate machines; 0 means machines/2.
+  std::size_t candidates = 0;
+};
+
+/// Applies H2LL in place. Each pass is O(machines log machines + tasks).
+void h2ll(sched::Schedule& s, const H2LLParams& params,
+          support::Xoshiro256& rng);
+
+/// Steepest variant of H2LL (ablation of the paper's "randomly chosen"
+/// task): each pass considers EVERY task on the most loaded machine and
+/// applies the single move with the lowest resulting completion time.
+/// Stronger per pass but O(tasks * candidates) instead of O(tasks), and
+/// deterministic given the schedule — less stochastic exploration.
+void h2ll_steepest(sched::Schedule& s, const H2LLParams& params);
+
+/// Tabu-search parameterization for the cMA+LTH baseline.
+struct TabuHopParams {
+  std::size_t iterations = 10;
+  std::size_t tenure = 8;  ///< moves a task stays tabu after being moved
+};
+
+/// Local Tabu Hop: per iteration, the best (possibly worsening) move of a
+/// non-tabu task off the most loaded machine is applied and the task made
+/// tabu; the best schedule seen is restored at the end. Never returns a
+/// schedule worse than the input.
+void local_tabu_hop(sched::Schedule& s, const TabuHopParams& params,
+                    support::Xoshiro256& rng);
+
+/// Enum dispatch used by the engines. `h2ll_params.iterations` drives the
+/// H2LL variants; `tabu_params` drives kTabuHop; kNone is a no-op.
+void apply_local_search(LocalSearchKind kind, sched::Schedule& s,
+                        const H2LLParams& h2ll_params,
+                        const TabuHopParams& tabu_params,
+                        support::Xoshiro256& rng);
+
+}  // namespace pacga::cga

@@ -1,0 +1,248 @@
+#include "cga/multiobjective.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cga/crossover.hpp"
+#include "cga/local_search.hpp"
+#include "cga/mutation.hpp"
+#include "cga/neighborhood.hpp"
+#include "heuristics/minmin.hpp"
+#include "support/timer.hpp"
+
+namespace pacga::cga {
+
+bool dominates(const MoPoint& a, const MoPoint& b) noexcept {
+  const bool no_worse =
+      a.makespan <= b.makespan && a.flowtime <= b.flowtime;
+  const bool better =
+      a.makespan < b.makespan || a.flowtime < b.flowtime;
+  return no_worse && better;
+}
+
+MoIndividual MoIndividual::evaluated(sched::Schedule s) {
+  MoPoint p{s.makespan(), s.flowtime()};
+  return MoIndividual{std::move(s), p};
+}
+
+ParetoArchive::ParetoArchive(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("ParetoArchive: zero capacity");
+  members_.reserve(capacity_ + 1);
+}
+
+std::vector<double> ParetoArchive::crowding_distances() const {
+  const std::size_t n = members_.size();
+  std::vector<double> dist(n, 0.0);
+  if (n <= 2) {
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<double>::infinity());
+    return dist;
+  }
+  // For each objective: sort indices, boundary gets infinity, interior
+  // accumulates normalized neighbor gaps.
+  auto accumulate = [&](auto key) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return key(members_[a].objectives) < key(members_[b].objectives);
+    });
+    const double lo = key(members_[order.front()].objectives);
+    const double hi = key(members_[order.back()].objectives);
+    const double range = hi - lo;
+    dist[order.front()] = std::numeric_limits<double>::infinity();
+    dist[order.back()] = std::numeric_limits<double>::infinity();
+    if (range <= 0.0) return;
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      dist[order[k]] += (key(members_[order[k + 1]].objectives) -
+                         key(members_[order[k - 1]].objectives)) /
+                        range;
+    }
+  };
+  accumulate([](const MoPoint& p) { return p.makespan; });
+  accumulate([](const MoPoint& p) { return p.flowtime; });
+  return dist;
+}
+
+bool ParetoArchive::insert(MoIndividual ind) {
+  for (const auto& m : members_) {
+    if (dominates(m.objectives, ind.objectives)) return false;
+    // Duplicates in objective space add nothing to the front.
+    if (m.objectives.makespan == ind.objectives.makespan &&
+        m.objectives.flowtime == ind.objectives.flowtime) {
+      return false;
+    }
+  }
+  std::erase_if(members_, [&](const MoIndividual& m) {
+    return dominates(ind.objectives, m.objectives);
+  });
+  members_.push_back(std::move(ind));
+  if (members_.size() > capacity_) {
+    const auto dist = crowding_distances();
+    const std::size_t victim = static_cast<std::size_t>(
+        std::min_element(dist.begin(), dist.end()) - dist.begin());
+    members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  return true;
+}
+
+double hypervolume2d(const std::vector<MoPoint>& front, MoPoint reference) {
+  // Keep only points strictly dominating the reference, sorted by
+  // makespan ascending; sweep accumulates rectangles.
+  std::vector<MoPoint> pts;
+  for (const auto& p : front) {
+    if (p.makespan < reference.makespan && p.flowtime < reference.flowtime) {
+      pts.push_back(p);
+    }
+  }
+  std::sort(pts.begin(), pts.end(), [](const MoPoint& a, const MoPoint& b) {
+    return a.makespan < b.makespan;
+  });
+  double hv = 0.0;
+  double prev_flowtime = reference.flowtime;
+  for (const auto& p : pts) {
+    if (p.flowtime >= prev_flowtime) continue;  // dominated in the sweep
+    hv += (reference.makespan - p.makespan) * (prev_flowtime - p.flowtime);
+    prev_flowtime = p.flowtime;
+  }
+  return hv;
+}
+
+void MoConfig::validate() const {
+  if (width == 0 || height == 0)
+    throw std::invalid_argument("MoConfig: empty grid");
+  auto probability = [](double p, const char* name) {
+    if (!(p >= 0.0 && p <= 1.0))
+      throw std::invalid_argument(std::string("MoConfig: ") + name +
+                                  " not in [0,1]");
+  };
+  probability(p_comb, "p_comb");
+  probability(p_mut, "p_mut");
+  probability(p_ls, "p_ls");
+  if (archive_capacity == 0)
+    throw std::invalid_argument("MoConfig: zero archive capacity");
+}
+
+double MoResult::hypervolume(MoPoint reference) const {
+  std::vector<MoPoint> pts;
+  pts.reserve(front.size());
+  for (const auto& m : front) pts.push_back(m.objectives);
+  return hypervolume2d(pts, reference);
+}
+
+namespace {
+
+/// Binary tournament on dominance; crowding is approximated by uniform
+/// tie-breaking (inside a 5-cell neighborhood full crowding adds little).
+std::size_t mo_tournament(const std::vector<MoIndividual>& pop,
+                          const std::vector<std::size_t>& neigh,
+                          support::Xoshiro256& rng) {
+  const std::size_t a = neigh[rng.index(neigh.size())];
+  const std::size_t b = neigh[rng.index(neigh.size())];
+  if (dominates(pop[a].objectives, pop[b].objectives)) return a;
+  if (dominates(pop[b].objectives, pop[a].objectives)) return b;
+  return rng.bernoulli(0.5) ? a : b;
+}
+
+}  // namespace
+
+MoResult run_mocell(const etc::EtcMatrix& etc, const MoConfig& config) {
+  config.validate();
+  support::Xoshiro256 rng(config.seed);
+  const Grid grid(config.width, config.height);
+  const std::size_t n = grid.size();
+
+  std::vector<MoIndividual> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop.push_back(MoIndividual::evaluated(sched::Schedule::random(etc, rng)));
+  }
+  if (config.seed_min_min) {
+    pop[0] = MoIndividual::evaluated(heur::min_min(etc));
+  }
+
+  ParetoArchive archive(config.archive_capacity);
+  for (const auto& ind : pop) archive.insert(ind);
+
+  support::WallTimer timer;
+  const support::Deadline deadline(config.termination.wall_seconds);
+  std::uint64_t evaluations = 0;
+  std::uint64_t generations = 0;
+
+  std::vector<std::size_t> neigh_scratch;
+  std::vector<MoIndividual> staged;
+  staged.reserve(n);
+
+  bool stop = false;
+  while (!stop) {
+    staged.clear();
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      neighborhood_of(grid, idx, config.neighborhood, neigh_scratch);
+      const std::size_t pa = mo_tournament(pop, neigh_scratch, rng);
+      std::size_t pb = mo_tournament(pop, neigh_scratch, rng);
+      for (int tries = 0; pb == pa && tries < 4; ++tries) {
+        pb = mo_tournament(pop, neigh_scratch, rng);
+      }
+
+      sched::Schedule offspring =
+          rng.bernoulli(config.p_comb)
+              ? crossover(config.crossover, pop[pa].schedule,
+                          pop[pb].schedule, rng)
+              : pop[pa].schedule;
+      if (rng.bernoulli(config.p_mut)) {
+        mutate(config.mutation, offspring, rng);
+      }
+      if (config.local_search.iterations > 0 && rng.bernoulli(config.p_ls)) {
+        h2ll(offspring, config.local_search, rng);
+      }
+      staged.push_back(MoIndividual::evaluated(std::move(offspring)));
+      ++evaluations;
+      if (evaluations >= config.termination.max_evaluations) {
+        stop = true;
+        break;
+      }
+    }
+
+    // Synchronous dominance-based replacement + archive insertion.
+    for (std::size_t k = 0; k < staged.size(); ++k) {
+      MoIndividual& child = staged[k];
+      archive.insert(child);
+      MoIndividual& incumbent = pop[k];
+      if (dominates(child.objectives, incumbent.objectives)) {
+        incumbent = std::move(child);
+      } else if (!dominates(incumbent.objectives, child.objectives) &&
+                 rng.bernoulli(0.5)) {
+        // Mutually non-dominated: accept half the time to keep drifting
+        // along the front (MOCell uses crowding here; the coin is the
+        // cheap unbiased stand-in).
+        incumbent = std::move(child);
+      }
+    }
+
+    // Archive feedback: refresh random cells with archive members.
+    const auto& front = archive.members();
+    if (!front.empty()) {
+      for (std::size_t f = 0; f < config.feedback; ++f) {
+        pop[rng.index(n)] = front[rng.index(front.size())];
+      }
+    }
+
+    ++generations;
+    if (deadline.expired()) stop = true;
+    if (generations >= config.termination.max_generations) stop = true;
+  }
+
+  MoResult result;
+  result.front = archive.members();
+  std::sort(result.front.begin(), result.front.end(),
+            [](const MoIndividual& a, const MoIndividual& b) {
+              return a.objectives.makespan < b.objectives.makespan;
+            });
+  result.evaluations = evaluations;
+  result.generations = generations;
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace pacga::cga

@@ -1,0 +1,42 @@
+// Cellular neighborhoods. The paper uses linear-5 (Von Neumann) to keep
+// cross-block memory contention low; the other classic shapes are provided
+// for ablations and the framework's generality.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cga/grid.hpp"
+
+namespace pacga::cga {
+
+/// Classic CGA neighborhood shapes (Alba & Dorronsoro 2008 naming).
+enum class NeighborhoodShape {
+  kLinear5,   ///< Von Neumann: self + N/S/E/W (the paper's choice)
+  kCompact9,  ///< Moore: self + 8 surrounding cells
+  kLinear9,   ///< self + 2 cells in each axis direction
+  kCompact13, ///< Compact9 plus the 4 cells at Manhattan distance 2 on axes
+};
+
+/// (dx, dy) displacement.
+struct Offset {
+  std::ptrdiff_t dx;
+  std::ptrdiff_t dy;
+};
+
+/// The displacement set of a shape, self (0,0) first.
+std::span<const Offset> offsets(NeighborhoodShape shape) noexcept;
+
+/// Number of cells in the shape (including self).
+std::size_t shape_size(NeighborhoodShape shape) noexcept;
+
+const char* to_string(NeighborhoodShape shape) noexcept;
+
+/// Resolves the linear indices of `center`'s neighborhood on `grid`,
+/// self first, into `out` (cleared first). No allocation when `out` has
+/// capacity — the engines reuse one buffer per thread.
+void neighborhood_of(const Grid& grid, std::size_t center,
+                     NeighborhoodShape shape, std::vector<std::size_t>& out);
+
+}  // namespace pacga::cga

@@ -1,0 +1,36 @@
+#include "cga/population.hpp"
+
+#include "heuristics/minmin.hpp"
+
+namespace pacga::cga {
+
+Population::Population(const etc::EtcMatrix& etc, Grid grid,
+                       support::Xoshiro256& rng, bool seed_min_min,
+                       sched::Objective objective)
+    : grid_(grid) {
+  cells_.reserve(grid_.size());
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    cells_.push_back(
+        Individual::evaluated(sched::Schedule::random(etc, rng), objective));
+  }
+  if (seed_min_min && !cells_.empty()) {
+    cells_[0] = Individual::evaluated(heur::min_min(etc), objective);
+  }
+  locks_ = std::make_unique<support::Padded<std::shared_mutex>[]>(grid_.size());
+}
+
+std::size_t Population::best_index() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cells_.size(); ++i) {
+    if (cells_[i].fitness < cells_[best].fitness) best = i;
+  }
+  return best;
+}
+
+double Population::mean_fitness() const noexcept {
+  double sum = 0.0;
+  for (const auto& c : cells_) sum += c.fitness;
+  return cells_.empty() ? 0.0 : sum / static_cast<double>(cells_.size());
+}
+
+}  // namespace pacga::cga

@@ -1,0 +1,58 @@
+// The structured population: a toroidal grid of individuals plus one
+// read-write lock per cell (paper §3.2 — POSIX rwlock; here
+// std::shared_mutex). The sequential engine simply never takes the locks.
+//
+// Locks live in their own cache-line-padded array, separate from the
+// individuals, so lock traffic does not invalidate schedule data lines.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "cga/grid.hpp"
+#include "cga/individual.hpp"
+#include "etc/etc_matrix.hpp"
+#include "support/rng.hpp"
+#include "support/threading.hpp"
+
+namespace pacga::cga {
+
+class Population {
+ public:
+  /// Random initialization; when `seed_min_min` is set, cell 0 holds the
+  /// Min-min schedule (paper Table 1: "Min-min (1 ind)").
+  Population(const etc::EtcMatrix& etc, Grid grid, support::Xoshiro256& rng,
+             bool seed_min_min, sched::Objective objective);
+
+  // Not copyable (per-cell locks are identity); movable so populations can
+  // be swapped wholesale (checkpoint restore, engine handoff). Moving
+  // while any lock is held is undefined — move only between runs.
+  Population(const Population&) = delete;
+  Population& operator=(const Population&) = delete;
+  Population(Population&&) noexcept = default;
+  Population& operator=(Population&&) noexcept = default;
+
+  const Grid& grid() const noexcept { return grid_; }
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  Individual& at(std::size_t i) noexcept { return cells_[i]; }
+  const Individual& at(std::size_t i) const noexcept { return cells_[i]; }
+
+  /// Per-cell read-write lock (only the parallel engine takes these).
+  std::shared_mutex& lock(std::size_t i) noexcept { return locks_[i].value; }
+
+  /// Index of the best (lowest-fitness) individual. Unsynchronized scan —
+  /// call only when no writer is active (end of run, or from tests).
+  std::size_t best_index() const noexcept;
+
+  /// Mean fitness across all cells. Unsynchronized scan.
+  double mean_fitness() const noexcept;
+
+ private:
+  Grid grid_;
+  std::vector<Individual> cells_;
+  std::unique_ptr<support::Padded<std::shared_mutex>[]> locks_;
+};
+
+}  // namespace pacga::cga

@@ -1,0 +1,80 @@
+#include "cga/population_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacga::cga {
+
+namespace {
+constexpr const char* kMagic = "pacga-pop";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_population(std::ostream& out, const Population& pop) {
+  const auto& grid = pop.grid();
+  const std::size_t tasks = pop.size() > 0 ? pop.at(0).schedule.tasks() : 0;
+  out << kMagic << ' ' << kVersion << ' ' << grid.width() << ' '
+      << grid.height() << ' ' << tasks << '\n';
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const auto assignment = pop.at(i).schedule.assignment();
+    for (std::size_t t = 0; t < assignment.size(); ++t) {
+      if (t > 0) out << ' ';
+      out << assignment[t];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_population: stream failure");
+}
+
+void save_population_file(const std::string& path, const Population& pop) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("save_population_file: cannot open " + path);
+  save_population(out, pop);
+}
+
+void load_population(std::istream& in, Population& pop,
+                     sched::Objective objective) {
+  std::string magic;
+  int version = 0;
+  std::size_t width = 0, height = 0, tasks = 0;
+  if (!(in >> magic >> version >> width >> height >> tasks))
+    throw std::runtime_error("load_population: malformed header");
+  if (magic != kMagic)
+    throw std::runtime_error("load_population: bad magic '" + magic + "'");
+  if (version != kVersion)
+    throw std::runtime_error("load_population: unsupported version");
+  if (width != pop.grid().width() || height != pop.grid().height())
+    throw std::runtime_error("load_population: grid shape mismatch");
+  const auto& etc = pop.at(0).schedule.etc();
+  if (tasks != etc.tasks())
+    throw std::runtime_error("load_population: task count mismatch");
+
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    std::vector<sched::MachineId> assignment(tasks);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      unsigned value = 0;
+      if (!(in >> value)) {
+        std::ostringstream msg;
+        msg << "load_population: truncated at cell " << i << " gene " << t;
+        throw std::runtime_error(msg.str());
+      }
+      if (value >= etc.machines())
+        throw std::runtime_error("load_population: machine id out of range");
+      assignment[t] = static_cast<sched::MachineId>(value);
+    }
+    pop.at(i) = Individual::evaluated(
+        sched::Schedule(etc, std::move(assignment)), objective);
+  }
+}
+
+void load_population_file(const std::string& path, Population& pop,
+                          sched::Objective objective) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("load_population_file: cannot open " + path);
+  load_population(in, pop, objective);
+}
+
+}  // namespace pacga::cga

@@ -1,0 +1,30 @@
+// Population checkpointing.
+//
+// Paper-scale campaigns run 90 s x 100 runs x 12 instances; checkpoints
+// let a long run survive preemption and let researchers archive or
+// hand-inspect populations (e.g. to diff diversity between configs). The
+// format is a plain text header plus one line of machine ids per cell.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cga/population.hpp"
+
+namespace pacga::cga {
+
+/// Writes `pop` (grid shape + all assignment strings) to `out`.
+/// Fitness is not stored; it is recomputed on load.
+void save_population(std::ostream& out, const Population& pop);
+void save_population_file(const std::string& path, const Population& pop);
+
+/// Overwrites the cells of `pop` with a checkpoint. The checkpoint's grid
+/// shape and task count must match `pop`'s (std::runtime_error otherwise);
+/// fitness is re-evaluated under `objective` against `pop`'s own ETC
+/// matrix.
+void load_population(std::istream& in, Population& pop,
+                     sched::Objective objective);
+void load_population_file(const std::string& path, Population& pop,
+                          sched::Objective objective);
+
+}  // namespace pacga::cga

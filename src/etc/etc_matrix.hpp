@@ -1,0 +1,91 @@
+// Expected Time to Compute (ETC) matrix — the instance model of Braun et
+// al. for independent task scheduling on heterogeneous machines.
+//
+// The paper stores the TRANSPOSED (machine-major) matrix: scanning the ETCs
+// of successive tasks on one machine walks consecutive memory, so H2LL's
+// candidate scan and the incremental completion-time updates hit cache
+// lines instead of striding (reported 5-10 % end-to-end gain, reproduced by
+// bench_micro's layout ablation). We keep BOTH layouts: machine-major is
+// the hot one; task-major exists for the ablation and for row-oriented
+// consumers (heuristics like Min-min scan per-task rows).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pacga::etc {
+
+/// Dense tasks x machines matrix of expected execution times, plus machine
+/// ready times. Immutable after construction — every algorithm shares one
+/// instance by const reference across threads.
+class EtcMatrix {
+ public:
+  /// Builds from task-major data: `task_major[t * machines + m]` is the
+  /// expected time of task t on machine m. `ready` may be empty (all zeros)
+  /// or have one entry per machine.
+  EtcMatrix(std::size_t tasks, std::size_t machines,
+            std::vector<double> task_major, std::vector<double> ready = {});
+
+  std::size_t tasks() const noexcept { return tasks_; }
+  std::size_t machines() const noexcept { return machines_; }
+
+  /// ETC of task t on machine m (machine-major storage, the hot layout).
+  double operator()(std::size_t t, std::size_t m) const noexcept {
+    return by_machine_[m * tasks_ + t];
+  }
+
+  /// Contiguous ETCs of all tasks on machine m (machine-major row).
+  std::span<const double> on_machine(std::size_t m) const noexcept {
+    return {by_machine_.data() + m * tasks_, tasks_};
+  }
+
+  /// Contiguous ETCs of task t on all machines (task-major row).
+  std::span<const double> of_task(std::size_t t) const noexcept {
+    return {by_task_.data() + t * machines_, machines_};
+  }
+
+  /// Task-major element access — identical values to operator(), different
+  /// memory stream. Exists for the layout ablation benchmark.
+  double task_major_at(std::size_t t, std::size_t m) const noexcept {
+    return by_task_[t * machines_ + m];
+  }
+
+  /// Ready time of machine m (when it finishes previously committed work).
+  double ready(std::size_t m) const noexcept { return ready_[m]; }
+  std::span<const double> ready_times() const noexcept { return ready_; }
+
+  /// True if machine `a` dominates (is at least as fast as) machine `b` on
+  /// every task.
+  bool machine_dominates(std::size_t a, std::size_t b) const noexcept;
+
+  /// True when machines can be totally ordered by domination — Braun's
+  /// "consistent" property.
+  bool is_consistent() const noexcept;
+
+  /// True when some pair of machines is incomparable (each faster on some
+  /// task) — Braun's "inconsistent" property.
+  bool is_inconsistent() const noexcept { return !is_consistent(); }
+
+  /// Smallest / largest ETC entry (the paper reports these as the Blazewicz
+  /// p_j bounds per instance).
+  double min_etc() const noexcept { return min_etc_; }
+  double max_etc() const noexcept { return max_etc_; }
+
+  /// Coefficient of variation of row/column means — crude heterogeneity
+  /// summaries used by instance_explorer and tests.
+  double task_heterogeneity() const;
+  double machine_heterogeneity() const;
+
+ private:
+  std::size_t tasks_;
+  std::size_t machines_;
+  std::vector<double> by_task_;     // t * machines_ + m
+  std::vector<double> by_machine_;  // m * tasks_ + t
+  std::vector<double> ready_;
+  double min_etc_;
+  double max_etc_;
+};
+
+}  // namespace pacga::etc

@@ -1,0 +1,51 @@
+#include "etc/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacga::etc {
+
+void write_braun(std::ostream& out, const EtcMatrix& m) {
+  out << m.tasks() << ' ' << m.machines() << '\n';
+  out.precision(17);
+  for (std::size_t t = 0; t < m.tasks(); ++t) {
+    for (std::size_t mm = 0; mm < m.machines(); ++mm) {
+      out << m(t, mm) << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("write_braun: stream failure");
+}
+
+void write_braun_file(const std::string& path, const EtcMatrix& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_braun_file: cannot open " + path);
+  write_braun(out, m);
+}
+
+EtcMatrix read_braun(std::istream& in) {
+  std::size_t tasks = 0, machines = 0;
+  if (!(in >> tasks >> machines))
+    throw std::runtime_error("read_braun: missing header");
+  return read_braun(in, tasks, machines);
+}
+
+EtcMatrix read_braun(std::istream& in, std::size_t tasks, std::size_t machines) {
+  std::vector<double> data(tasks * machines);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!(in >> data[i])) {
+      std::ostringstream msg;
+      msg << "read_braun: expected " << data.size() << " values, got " << i;
+      throw std::runtime_error(msg.str());
+    }
+  }
+  return EtcMatrix(tasks, machines, std::move(data));
+}
+
+EtcMatrix read_braun_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_braun_file: cannot open " + path);
+  return read_braun(in);
+}
+
+}  // namespace pacga::etc

@@ -1,0 +1,54 @@
+#include "etc/repository.hpp"
+
+#include <stdexcept>
+
+#include "etc/braun.hpp"
+#include "etc/io.hpp"
+#include "etc/suite.hpp"
+
+namespace pacga::etc {
+
+InstanceRepository::InstanceRepository(std::filesystem::path root)
+    : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path InstanceRepository::path_of(
+    const std::string& name) const {
+  return root_ / (name + ".etc");
+}
+
+bool InstanceRepository::cached(const std::string& name) const {
+  return std::filesystem::exists(path_of(name));
+}
+
+EtcMatrix InstanceRepository::load(const std::string& name) {
+  const auto path = path_of(name);
+  if (std::filesystem::exists(path)) {
+    return read_braun_file(path.string());
+  }
+  EtcMatrix m = generate_by_name(name);
+  write_braun_file(path.string(), m);
+  return m;
+}
+
+std::vector<std::filesystem::path> InstanceRepository::materialize_suite() {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& inst : braun_suite()) {
+    if (!cached(inst.name)) {
+      write_braun_file(path_of(inst.name).string(), generate(inst.spec));
+    }
+    paths.push_back(path_of(inst.name));
+  }
+  return paths;
+}
+
+void InstanceRepository::clear() {
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (entry.path().extension() == ".etc") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+}
+
+}  // namespace pacga::etc

@@ -1,0 +1,46 @@
+// Disk-backed instance repository.
+//
+// Long campaigns (the --full paper protocol) want instances generated once
+// and shared across processes/runs; researchers also want the exact
+// matrices archived next to their results. The repository materializes
+// named instances under a directory in the Braun text format and serves
+// them back, generating on first request.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "etc/etc_matrix.hpp"
+
+namespace pacga::etc {
+
+class InstanceRepository {
+ public:
+  /// Uses `root` as the cache directory (created if missing).
+  explicit InstanceRepository(std::filesystem::path root);
+
+  /// Returns the instance by suite name, loading from disk when present,
+  /// generating and persisting otherwise. Throws on unknown names.
+  EtcMatrix load(const std::string& name);
+
+  /// True if `name` is already materialized on disk.
+  bool cached(const std::string& name) const;
+
+  /// Materializes the whole 12-instance Braun suite; returns the file
+  /// paths (existing files are kept, not regenerated).
+  std::vector<std::filesystem::path> materialize_suite();
+
+  /// Removes every cached instance file managed by this repository.
+  void clear();
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Path where `name` is (or would be) stored.
+  std::filesystem::path path_of(const std::string& name) const;
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace pacga::etc

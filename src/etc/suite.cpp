@@ -1,0 +1,35 @@
+#include "etc/suite.hpp"
+
+#include <stdexcept>
+
+namespace pacga::etc {
+
+std::vector<SuiteInstance> braun_suite() {
+  static const char* kNames[] = {
+      "u_c_hihi.0", "u_c_hilo.0", "u_c_lohi.0", "u_c_lolo.0",
+      "u_s_hihi.0", "u_s_hilo.0", "u_s_lohi.0", "u_s_lolo.0",
+      "u_i_hihi.0", "u_i_hilo.0", "u_i_lohi.0", "u_i_lolo.0",
+  };
+  std::vector<SuiteInstance> suite;
+  suite.reserve(12);
+  for (const char* name : kNames) {
+    auto spec = parse_instance_name(name);
+    if (!spec) throw std::logic_error("braun_suite: bad builtin name");
+    suite.push_back({name, *spec});
+  }
+  return suite;
+}
+
+std::vector<std::string> braun_suite_names() {
+  std::vector<std::string> names;
+  for (const auto& s : braun_suite()) names.push_back(s.name);
+  return names;
+}
+
+EtcMatrix generate_by_name(const std::string& name) {
+  auto spec = parse_instance_name(name);
+  if (!spec) throw std::invalid_argument("unknown instance name: " + name);
+  return generate(*spec);
+}
+
+}  // namespace pacga::etc

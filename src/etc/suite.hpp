@@ -1,0 +1,31 @@
+// The 12-instance Braun benchmark suite used throughout the paper's
+// evaluation: u_{c,s,i}_{hi,lo}{hi,lo}.0 at 512 tasks x 16 machines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "etc/braun.hpp"
+#include "etc/etc_matrix.hpp"
+
+namespace pacga::etc {
+
+/// One named benchmark instance.
+struct SuiteInstance {
+  std::string name;  ///< e.g. "u_c_hihi.0"
+  GenSpec spec;
+};
+
+/// Returns the 12 canonical instance specs in the paper's reporting order:
+/// consistent, semi-consistent, inconsistent; within each, hihi, hilo,
+/// lohi, lolo.
+std::vector<SuiteInstance> braun_suite();
+
+/// Paper order of the four heterogeneity combinations.
+std::vector<std::string> braun_suite_names();
+
+/// Generates one instance by name; throws std::invalid_argument on unknown
+/// names.
+EtcMatrix generate_by_name(const std::string& name);
+
+}  // namespace pacga::etc

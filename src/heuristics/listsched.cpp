@@ -1,0 +1,64 @@
+#include "heuristics/listsched.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace pacga::heur {
+
+sched::Schedule mct(const etc::EtcMatrix& etc) {
+  const std::size_t machines = etc.machines();
+  std::vector<double> ct(machines);
+  for (std::size_t m = 0; m < machines; ++m) ct[m] = etc.ready(m);
+  std::vector<sched::MachineId> assignment(etc.tasks(), 0);
+  for (std::size_t t = 0; t < etc.tasks(); ++t) {
+    const auto row = etc.of_task(t);
+    std::size_t best_m = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t m = 0; m < machines; ++m) {
+      const double c = ct[m] + row[m];
+      if (c < best) {
+        best = c;
+        best_m = m;
+      }
+    }
+    assignment[t] = static_cast<sched::MachineId>(best_m);
+    ct[best_m] = best;
+  }
+  return sched::Schedule(etc, std::move(assignment));
+}
+
+sched::Schedule met(const etc::EtcMatrix& etc) {
+  std::vector<sched::MachineId> assignment(etc.tasks(), 0);
+  for (std::size_t t = 0; t < etc.tasks(); ++t) {
+    const auto row = etc.of_task(t);
+    std::size_t best_m = 0;
+    for (std::size_t m = 1; m < etc.machines(); ++m) {
+      if (row[m] < row[best_m]) best_m = m;
+    }
+    assignment[t] = static_cast<sched::MachineId>(best_m);
+  }
+  return sched::Schedule(etc, std::move(assignment));
+}
+
+sched::Schedule olb(const etc::EtcMatrix& etc) {
+  const std::size_t machines = etc.machines();
+  std::vector<double> ct(machines);
+  for (std::size_t m = 0; m < machines; ++m) ct[m] = etc.ready(m);
+  std::vector<sched::MachineId> assignment(etc.tasks(), 0);
+  for (std::size_t t = 0; t < etc.tasks(); ++t) {
+    std::size_t best_m = 0;
+    for (std::size_t m = 1; m < machines; ++m) {
+      if (ct[m] < ct[best_m]) best_m = m;
+    }
+    assignment[t] = static_cast<sched::MachineId>(best_m);
+    ct[best_m] += etc(t, best_m);
+  }
+  return sched::Schedule(etc, std::move(assignment));
+}
+
+sched::Schedule random_schedule(const etc::EtcMatrix& etc,
+                                support::Xoshiro256& rng) {
+  return sched::Schedule::random(etc, rng);
+}
+
+}  // namespace pacga::heur

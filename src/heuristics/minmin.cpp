@@ -1,0 +1,68 @@
+#include "heuristics/minmin.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace pacga::heur {
+
+namespace {
+
+/// Shared skeleton of Min-min / Max-min: each round, compute for every
+/// unassigned task its best (machine, completion time); then commit the
+/// task chosen by `pick_max` (false = Min-min, true = Max-min).
+sched::Schedule min_max_min(const etc::EtcMatrix& etc, bool pick_max) {
+  const std::size_t tasks = etc.tasks();
+  const std::size_t machines = etc.machines();
+  std::vector<double> ct(machines);
+  for (std::size_t m = 0; m < machines; ++m) ct[m] = etc.ready(m);
+  std::vector<sched::MachineId> assignment(tasks, 0);
+  std::vector<bool> done(tasks, false);
+
+  for (std::size_t round = 0; round < tasks; ++round) {
+    std::size_t chosen_task = tasks;
+    std::size_t chosen_machine = 0;
+    double chosen_ct = pick_max ? -1.0 : std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < tasks; ++t) {
+      if (done[t]) continue;
+      // Best machine for task t under current loads.
+      std::size_t best_m = 0;
+      double best_ct = std::numeric_limits<double>::infinity();
+      const auto row = etc.of_task(t);
+      for (std::size_t m = 0; m < machines; ++m) {
+        const double c = ct[m] + row[m];
+        if (c < best_ct) {
+          best_ct = c;
+          best_m = m;
+        }
+      }
+      const bool take = pick_max ? best_ct > chosen_ct : best_ct < chosen_ct;
+      if (take || chosen_task == tasks) {
+        chosen_task = t;
+        chosen_machine = best_m;
+        chosen_ct = best_ct;
+      }
+    }
+    done[chosen_task] = true;
+    assignment[chosen_task] = static_cast<sched::MachineId>(chosen_machine);
+    ct[chosen_machine] = chosen_ct;
+  }
+  return sched::Schedule(etc, std::move(assignment));
+}
+
+}  // namespace
+
+sched::Schedule min_min(const etc::EtcMatrix& etc) {
+  return min_max_min(etc, /*pick_max=*/false);
+}
+
+sched::Schedule max_min(const etc::EtcMatrix& etc) {
+  return min_max_min(etc, /*pick_max=*/true);
+}
+
+sched::Schedule duplex(const etc::EtcMatrix& etc) {
+  sched::Schedule a = min_min(etc);
+  sched::Schedule b = max_min(etc);
+  return a.makespan() <= b.makespan() ? a : b;
+}
+
+}  // namespace pacga::heur

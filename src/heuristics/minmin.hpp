@@ -1,0 +1,26 @@
+// Min-min and Max-min (Ibarra & Kim 1977; Braun et al. 2001).
+//
+// Min-min seeds one individual of the PA-CGA population (paper Table 1) and
+// is the strongest of the simple constructive heuristics on consistent
+// instances; Max-min is its pessimistic dual.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace pacga::heur {
+
+/// Min-min: repeatedly pick the (task, machine) pair whose completion time
+/// is globally minimal among unassigned tasks and assign it.
+/// O(tasks^2 * machines).
+sched::Schedule min_min(const etc::EtcMatrix& etc);
+
+/// Max-min: pick the task whose best completion time is LARGEST, assign it
+/// to its best machine. Tends to balance long tasks first.
+sched::Schedule max_min(const etc::EtcMatrix& etc);
+
+/// Duplex (Braun et al. 2001): run both Min-min and Max-min and keep the
+/// schedule with the lower makespan — cheap insurance against the classes
+/// where one of the duals degenerates.
+sched::Schedule duplex(const etc::EtcMatrix& etc);
+
+}  // namespace pacga::heur

@@ -1,0 +1,53 @@
+#include "heuristics/sufferage.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace pacga::heur {
+
+sched::Schedule sufferage(const etc::EtcMatrix& etc) {
+  const std::size_t tasks = etc.tasks();
+  const std::size_t machines = etc.machines();
+  std::vector<double> ct(machines);
+  for (std::size_t m = 0; m < machines; ++m) ct[m] = etc.ready(m);
+  std::vector<sched::MachineId> assignment(tasks, 0);
+  std::vector<bool> done(tasks, false);
+
+  for (std::size_t round = 0; round < tasks; ++round) {
+    std::size_t chosen_task = tasks;
+    std::size_t chosen_machine = 0;
+    double chosen_ct = 0.0;
+    double chosen_sufferage = -1.0;
+    for (std::size_t t = 0; t < tasks; ++t) {
+      if (done[t]) continue;
+      double best = std::numeric_limits<double>::infinity();
+      double second = std::numeric_limits<double>::infinity();
+      std::size_t best_m = 0;
+      const auto row = etc.of_task(t);
+      for (std::size_t m = 0; m < machines; ++m) {
+        const double c = ct[m] + row[m];
+        if (c < best) {
+          second = best;
+          best = c;
+          best_m = m;
+        } else if (c < second) {
+          second = c;
+        }
+      }
+      // With one machine, sufferage degenerates to 0 for every task.
+      const double suff = machines > 1 ? second - best : 0.0;
+      if (suff > chosen_sufferage || chosen_task == tasks) {
+        chosen_task = t;
+        chosen_machine = best_m;
+        chosen_ct = best;
+        chosen_sufferage = suff;
+      }
+    }
+    done[chosen_task] = true;
+    assignment[chosen_task] = static_cast<sched::MachineId>(chosen_machine);
+    ct[chosen_machine] = chosen_ct;
+  }
+  return sched::Schedule(etc, std::move(assignment));
+}
+
+}  // namespace pacga::heur

@@ -1,0 +1,15 @@
+// Sufferage heuristic (Maheswaran et al.; evaluated in Braun et al. 2001):
+// prioritize the task that would "suffer" most if denied its best machine.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace pacga::heur {
+
+/// Each round: for every unassigned task compute the completion times of
+/// its best and second-best machines; commit the task with the largest
+/// sufferage (second_best - best) to its best machine.
+/// O(tasks^2 * machines).
+sched::Schedule sufferage(const etc::EtcMatrix& etc);
+
+}  // namespace pacga::heur

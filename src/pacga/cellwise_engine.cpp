@@ -1,0 +1,126 @@
+#include "pacga/cellwise_engine.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "cga/engine.hpp"
+#include "cga/population.hpp"
+#include "support/threading.hpp"
+#include "support/timer.hpp"
+
+namespace pacga::par {
+
+namespace {
+
+/// Deterministic stream for one (cell, generation) pair: which worker
+/// executes the cell must not matter.
+support::Xoshiro256 cell_stream(std::uint64_t seed, std::size_t cell,
+                                std::uint64_t generation) {
+  support::SplitMix64 mix(seed ^ (cell * 0x9e3779b97f4a7c15ULL) ^
+                          (generation * 0xc2b2ae3d27d4eb4fULL));
+  return support::Xoshiro256(mix.next());
+}
+
+}  // namespace
+
+ParallelResult run_cellwise(const etc::EtcMatrix& etc,
+                            const cga::Config& config) {
+  config.validate();
+  const std::size_t n_threads = config.threads;
+
+  support::Xoshiro256 init_rng(config.seed);
+  cga::Grid grid(config.width, config.height);
+  cga::Population pop(etc, grid, init_rng, config.seed_min_min,
+                      config.objective);
+  const std::size_t n = pop.size();
+
+  cga::Individual best = pop.at(pop.best_index());
+  std::vector<std::optional<cga::Individual>> staged(n);
+  std::vector<support::Padded<ThreadStats>> stats(n_threads);
+  std::vector<cga::TracePoint> trace;
+
+  std::atomic<std::size_t> next_cell{0};
+  std::atomic<bool> stop{false};
+  std::uint64_t generation = 0;  // written by worker 0 between barriers
+  support::Barrier barrier(n_threads);
+  const support::WallTimer timer;
+  const support::Deadline deadline(config.termination.wall_seconds);
+
+  auto worker = [&](std::size_t tid) {
+    if (config.pin_threads) pin_current_thread(tid);
+    ThreadStats& st = stats[tid].value;
+    std::vector<std::size_t> neigh_scratch;
+    std::vector<double> fit_scratch;
+
+    while (true) {
+      // --- breed phase: dynamic work queue over all cells. The population
+      // is read-only here (commits happen between barriers), so no locks.
+      const std::uint64_t gen = generation;  // stable between barriers
+      for (std::size_t cell = next_cell.fetch_add(1,
+                                                  std::memory_order_relaxed);
+           cell < n;
+           cell = next_cell.fetch_add(1, std::memory_order_relaxed)) {
+        support::Xoshiro256 rng = cell_stream(config.seed, cell, gen);
+        staged[cell] = cga::detail::breed(pop, cell, config, rng,
+                                          neigh_scratch, fit_scratch);
+        ++st.evaluations;
+      }
+      barrier.arrive_and_wait();  // all offspring staged
+
+      if (tid == 0) {
+        // --- commit phase: serial, one pass (256 compares/moves).
+        for (std::size_t cell = 0; cell < n; ++cell) {
+          cga::Individual& child = *staged[cell];
+          if (child.fitness < best.fitness) best = child;
+          if (cga::detail::should_replace(config.replacement, child.fitness,
+                                          pop.at(cell).fitness)) {
+            pop.at(cell) = std::move(child);
+          }
+          staged[cell].reset();
+        }
+        ++generation;
+        ++st.generations;
+        if (config.collect_trace) {
+          double sum = 0.0;
+          double gen_best = pop.at(0).fitness;
+          for (std::size_t i = 0; i < n; ++i) {
+            sum += pop.at(i).fitness;
+            gen_best = std::min(gen_best, pop.at(i).fitness);
+          }
+          trace.push_back({generation, timer.elapsed_seconds(), gen_best,
+                           sum / static_cast<double>(n)});
+        }
+        const bool done =
+            deadline.expired() ||
+            generation >= config.termination.max_generations ||
+            generation * n >= config.termination.max_evaluations;
+        stop.store(done, std::memory_order_release);
+        next_cell.store(0, std::memory_order_release);
+      }
+      barrier.arrive_and_wait();  // commit + decision visible
+      if (stop.load(std::memory_order_acquire)) break;
+    }
+  };
+
+  {
+    support::ScopedThreads threads(n_threads, worker);
+  }  // join
+
+  ParallelResult out{cga::Result{std::move(best.schedule)}, {}};
+  out.result.best_fitness = best.fitness;
+  out.result.elapsed_seconds = timer.elapsed_seconds();
+  out.result.trace = std::move(trace);
+  out.threads.reserve(n_threads);
+  for (auto& s : stats) {
+    out.threads.push_back(s.value);
+    out.result.evaluations += s.value.evaluations;
+  }
+  // Generations are collective in this model; worker 0 kept the count.
+  out.result.generations = stats[0].value.generations;
+  for (auto& t : out.threads) t.generations = out.result.generations;
+  return out;
+}
+
+}  // namespace pacga::par

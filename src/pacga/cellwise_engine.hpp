@@ -1,0 +1,31 @@
+// Cell-parallel synchronous engine — the paper's future-work execution
+// model ("future work will focus on increasing the parallelism... we will
+// target GPU processors"), simulated on CPU.
+//
+// Execution model: ONE LOGICAL THREAD PER INDIVIDUAL in lockstep
+// generations, the way a GPU kernel would evolve the grid. On CPU this is
+// a worker pool that dynamically picks up cells (an atomic work queue),
+// stages every offspring, and commits the whole generation at a barrier.
+//
+// Key property, tested and unlike PA-CGA: results are BIT-IDENTICAL for
+// any worker count, because each (cell, generation) pair gets its own
+// deterministic RNG stream — which worker executes it is irrelevant. This
+// is exactly the reproducibility story GPU implementations need, and the
+// price is synchrony: the engine gives up PA-CGA's asynchronous update.
+#pragma once
+
+#include "cga/config.hpp"
+#include "etc/etc_matrix.hpp"
+#include "pacga/parallel_engine.hpp"
+
+namespace pacga::par {
+
+/// Runs the cell-parallel synchronous CGA. `config.threads` sets the
+/// worker-pool size only (results do not depend on it); `config.update`
+/// and `config.sweep` are ignored (the model is inherently synchronous and
+/// order-free). ThreadStats::generations is the shared generation count;
+/// evaluations are attributed to the workers that performed them.
+ParallelResult run_cellwise(const etc::EtcMatrix& etc,
+                            const cga::Config& config);
+
+}  // namespace pacga::par

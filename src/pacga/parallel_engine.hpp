@@ -1,0 +1,67 @@
+// PA-CGA — the paper's contribution (§3.2, Algorithms 2 & 3).
+//
+// The population grid is split into contiguous row-major blocks, one per
+// thread. Threads evolve their block asynchronously: no generation barrier,
+// a fixed line sweep inside each block, and immediate (asynchronous)
+// replacement. Neighborhoods cross block boundaries, so every access to an
+// individual that may be shared is guarded by that cell's read-write lock:
+//   * fitness snapshot of each neighbor        — shared (read) lock;
+//   * copy of each selected parent             — shared (read) lock;
+//   * replacement of the thread's own cell     — exclusive (write) lock.
+// Locks are taken one at a time (never nested), so the scheme is trivially
+// deadlock-free. Breeding (crossover, mutation, H2LL, evaluation) runs on
+// private copies outside any lock — exactly the property the paper exploits
+// to scale: more local-search iterations means a larger unsynchronized
+// fraction (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cga/config.hpp"
+#include "etc/etc_matrix.hpp"
+
+namespace pacga::par {
+
+/// Per-thread counters, exposed because the paper's speedup metric is
+/// "total evaluations across threads in a fixed wall budget" (eq. 5).
+struct ThreadStats {
+  std::uint64_t evaluations = 0;
+  std::uint64_t generations = 0;  ///< full sweeps of the thread's block
+  std::uint64_t replacements = 0; ///< offspring that entered the population
+};
+
+/// Result of a PA-CGA run plus per-thread accounting.
+struct ParallelResult {
+  cga::Result result;
+  std::vector<ThreadStats> threads;
+
+  /// Sum of evaluations across threads (the Figure 4 numerator).
+  std::uint64_t total_evaluations() const noexcept;
+};
+
+/// Runs PA-CGA with `config.threads` threads on `etc`.
+///
+/// Termination: wall clock is checked by every thread after each full block
+/// sweep (the paper's coarse-grained approximation); `max_generations`
+/// bounds each thread's own sweep count; `max_evaluations` bounds the
+/// global evaluation total (checked per sweep).
+///
+/// With `config.threads == 1` this is the canonical asynchronous CGA of
+/// §3.1 (same algorithm as cga::run_sequential, modulo lock overhead).
+///
+/// `config.update == kSynchronous` selects the generational variant the
+/// paper contrasts against (§3.1): threads stage their block's offspring,
+/// meet at a barrier, commit the whole generation at once, and take the
+/// termination decision collectively (thread 0 decides, everyone honors
+/// it — a consensus is required or threads would deadlock at the barrier).
+ParallelResult run_parallel(const etc::EtcMatrix& etc,
+                            const cga::Config& config);
+
+/// Pins the calling thread to `core` (Linux). Returns false when pinning
+/// is unsupported or fails; the engine treats that as a soft error. The
+/// paper runs all threads on one 4-core processor — `config.pin_threads`
+/// reproduces that placement so the shared-L2 effects (§4.2) are visible.
+bool pin_current_thread(std::size_t core) noexcept;
+
+}  // namespace pacga::par

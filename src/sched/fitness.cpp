@@ -1,0 +1,27 @@
+#include "sched/fitness.hpp"
+
+namespace pacga::sched {
+
+Fitness evaluate(const Schedule& s, Objective objective, double lambda) {
+  switch (objective) {
+    case Objective::kMakespan:
+      return s.makespan();
+    case Objective::kFlowtime:
+      return s.flowtime();
+    case Objective::kWeightedMakespanFlowtime:
+      return lambda * s.makespan() +
+             (1.0 - lambda) * s.flowtime() / static_cast<double>(s.tasks());
+  }
+  return s.makespan();
+}
+
+const char* to_string(Objective o) noexcept {
+  switch (o) {
+    case Objective::kMakespan: return "makespan";
+    case Objective::kFlowtime: return "flowtime";
+    case Objective::kWeightedMakespanFlowtime: return "weighted";
+  }
+  return "?";
+}
+
+}  // namespace pacga::sched

@@ -1,0 +1,137 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pacga::sched {
+
+Schedule::Schedule(const etc::EtcMatrix& etc, std::vector<MachineId> assignment)
+    : etc_(&etc),
+      assignment_(std::move(assignment)),
+      completion_(etc.machines(), 0.0) {
+  if (assignment_.size() != etc.tasks())
+    throw std::invalid_argument("Schedule: assignment size != tasks");
+  for (MachineId m : assignment_) {
+    if (m >= etc.machines())
+      throw std::invalid_argument("Schedule: machine id out of range");
+  }
+  recompute();
+}
+
+Schedule::Schedule(const etc::EtcMatrix& etc)
+    : Schedule(etc, std::vector<MachineId>(etc.tasks(), MachineId{0})) {}
+
+Schedule Schedule::random(const etc::EtcMatrix& etc, support::Xoshiro256& rng) {
+  std::vector<MachineId> assignment(etc.tasks());
+  for (auto& a : assignment) {
+    a = static_cast<MachineId>(rng.index(etc.machines()));
+  }
+  return Schedule(etc, std::move(assignment));
+}
+
+void Schedule::move_task(std::size_t t, MachineId m) noexcept {
+  const MachineId old = assignment_[t];
+  if (old == m) return;
+  completion_[old] -= (*etc_)(t, old);
+  completion_[m] += (*etc_)(t, m);
+  assignment_[t] = m;
+}
+
+void Schedule::swap_tasks(std::size_t a, std::size_t b) noexcept {
+  const MachineId ma = assignment_[a];
+  const MachineId mb = assignment_[b];
+  if (ma == mb) return;
+  completion_[ma] += (*etc_)(b, ma) - (*etc_)(a, ma);
+  completion_[mb] += (*etc_)(a, mb) - (*etc_)(b, mb);
+  assignment_[a] = mb;
+  assignment_[b] = ma;
+}
+
+void Schedule::copy_segment(const Schedule& source, std::size_t begin,
+                            std::size_t end) noexcept {
+  assert(source.assignment_.size() == assignment_.size());
+  for (std::size_t t = begin; t < end; ++t) {
+    move_task(t, source.assignment_[t]);
+  }
+}
+
+double Schedule::makespan() const noexcept {
+  double best = 0.0;
+  for (double c : completion_) best = std::max(best, c);
+  return best;
+}
+
+std::size_t Schedule::argmax_machine() const noexcept {
+  std::size_t arg = 0;
+  for (std::size_t m = 1; m < completion_.size(); ++m) {
+    if (completion_[m] > completion_[arg]) arg = m;
+  }
+  return arg;
+}
+
+std::size_t Schedule::argmin_machine() const noexcept {
+  std::size_t arg = 0;
+  for (std::size_t m = 1; m < completion_.size(); ++m) {
+    if (completion_[m] < completion_[arg]) arg = m;
+  }
+  return arg;
+}
+
+double Schedule::flowtime() const {
+  // Per machine: sort assigned ETCs ascending; finishing times are the
+  // prefix sums starting at the machine's ready time.
+  std::vector<std::vector<double>> per_machine(machines());
+  for (std::size_t t = 0; t < tasks(); ++t) {
+    per_machine[assignment_[t]].push_back((*etc_)(t, assignment_[t]));
+  }
+  double flow = 0.0;
+  for (std::size_t m = 0; m < machines(); ++m) {
+    auto& ts = per_machine[m];
+    std::sort(ts.begin(), ts.end());
+    double finish = etc_->ready(m);
+    for (double e : ts) {
+      finish += e;
+      flow += finish;
+    }
+  }
+  return flow;
+}
+
+std::size_t Schedule::tasks_on(MachineId m) const noexcept {
+  std::size_t n = 0;
+  for (MachineId a : assignment_) n += (a == m);
+  return n;
+}
+
+void Schedule::recompute() noexcept {
+  for (std::size_t m = 0; m < completion_.size(); ++m) {
+    completion_[m] = etc_->ready(m);
+  }
+  for (std::size_t t = 0; t < assignment_.size(); ++t) {
+    completion_[assignment_[t]] += (*etc_)(t, assignment_[t]);
+  }
+}
+
+bool Schedule::validate(double tol) const noexcept {
+  Schedule fresh(*etc_, assignment_);
+  for (std::size_t m = 0; m < completion_.size(); ++m) {
+    const double scale = std::max({std::abs(completion_[m]),
+                                   std::abs(fresh.completion_[m]), 1.0});
+    if (std::abs(completion_[m] - fresh.completion_[m]) > tol * scale)
+      return false;
+  }
+  return true;
+}
+
+std::size_t Schedule::hamming_distance(const Schedule& other) const noexcept {
+  assert(assignment_.size() == other.assignment_.size());
+  std::size_t d = 0;
+  for (std::size_t t = 0; t < assignment_.size(); ++t) {
+    d += (assignment_[t] != other.assignment_[t]);
+  }
+  return d;
+}
+
+}  // namespace pacga::sched

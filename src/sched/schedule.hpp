@@ -1,0 +1,98 @@
+// Solution representation (paper §3.3, Figure 3):
+//   * S  — assignment array, S[t] = machine of task t;
+//   * CT — cached completion time per machine, maintained INCREMENTALLY by
+//          every operator (add/remove one ETC entry), so evaluate() is just
+//          a max-scan over machines instead of an O(tasks) rebuild.
+//
+// The cache is the core performance idea of the representation; tests
+// cross-check it against full recomputation after every operator
+// (Schedule::validate()).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "etc/etc_matrix.hpp"
+#include "support/rng.hpp"
+
+namespace pacga::sched {
+
+using MachineId = std::uint16_t;
+using TaskId = std::uint32_t;
+
+/// A complete assignment of every task to one machine, with cached
+/// per-machine completion times. Copyable (copies are how GA individuals
+/// breed); the referenced ETC matrix must outlive all schedules.
+class Schedule {
+ public:
+  /// Builds from an explicit assignment; computes CT in O(tasks).
+  Schedule(const etc::EtcMatrix& etc, std::vector<MachineId> assignment);
+
+  /// All tasks on machine 0 (useful as a degenerate baseline in tests).
+  explicit Schedule(const etc::EtcMatrix& etc);
+
+  /// Uniformly random assignment.
+  static Schedule random(const etc::EtcMatrix& etc, support::Xoshiro256& rng);
+
+  std::size_t tasks() const noexcept { return assignment_.size(); }
+  std::size_t machines() const noexcept { return completion_.size(); }
+  const etc::EtcMatrix& etc() const noexcept { return *etc_; }
+
+  MachineId machine_of(std::size_t t) const noexcept { return assignment_[t]; }
+  std::span<const MachineId> assignment() const noexcept { return assignment_; }
+
+  /// Completion time of machine m (ready time + assigned ETCs).
+  double completion(std::size_t m) const noexcept { return completion_[m]; }
+  std::span<const double> completions() const noexcept { return completion_; }
+
+  /// Moves task t to machine m; O(1) completion-time update. No-op when t
+  /// is already on m.
+  void move_task(std::size_t t, MachineId m) noexcept;
+
+  /// Swaps the machines of two tasks; O(1) update.
+  void swap_tasks(std::size_t a, std::size_t b) noexcept;
+
+  /// Reassigns the whole task range [begin, end) from `source`'s assignment
+  /// — the incremental form of crossover segment copy. O(end - begin).
+  void copy_segment(const Schedule& source, std::size_t begin, std::size_t end) noexcept;
+
+  /// Makespan: max completion time (paper eq. (3)). O(machines) scan of the
+  /// cache — this IS the paper's evaluate().
+  double makespan() const noexcept;
+
+  /// Index of (one of) the most loaded machine(s).
+  std::size_t argmax_machine() const noexcept;
+
+  /// Index of (one of) the least loaded machine(s).
+  std::size_t argmin_machine() const noexcept;
+
+  /// Flowtime: sum of task finishing times assuming each machine runs its
+  /// tasks shortest-first (the order minimizing flowtime; the convention of
+  /// Xhafa et al.). O(tasks log tasks); not used on the GA hot path.
+  double flowtime() const;
+
+  /// Number of tasks currently assigned to machine m. O(tasks).
+  std::size_t tasks_on(MachineId m) const noexcept;
+
+  /// Recomputes the completion-time cache from scratch. O(tasks).
+  void recompute() noexcept;
+
+  /// True when the cached completion times match a from-scratch
+  /// recomputation within `tol` (relative to magnitude). Test/debug hook.
+  bool validate(double tol = 1e-6) const noexcept;
+
+  bool operator==(const Schedule& other) const noexcept {
+    return assignment_ == other.assignment_;
+  }
+
+  /// Hamming distance between assignments (used by struggle replacement).
+  std::size_t hamming_distance(const Schedule& other) const noexcept;
+
+ private:
+  const etc::EtcMatrix* etc_;
+  std::vector<MachineId> assignment_;
+  std::vector<double> completion_;
+};
+
+}  // namespace pacga::sched

@@ -1,0 +1,42 @@
+// Minimal leveled logger for the harness binaries. Not used on algorithm
+// hot paths (the engines report through typed Stats structs instead).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pacga::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level() noexcept;
+
+/// Emits one line `[LEVEL] message` to stderr (atomic w.r.t. other log
+/// calls through an internal mutex).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace pacga::support

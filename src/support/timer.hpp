@@ -1,0 +1,65 @@
+// Wall-clock timing. The PA-CGA termination criterion is wall time (the
+// paper runs 90 s budgets), so the timer is part of the algorithm contract,
+// not just instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pacga::support {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::int64_t elapsed_ms() const noexcept {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  std::int64_t elapsed_us() const noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Deadline helper: constructed with a budget, answers expired().
+/// The engines poll this between block sweeps (coarse-grained, matching the
+/// paper's "check after evolving the whole block" approximation).
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds)
+      : timer_(), budget_seconds_(budget_seconds) {}
+
+  bool expired() const noexcept {
+    return timer_.elapsed_seconds() >= budget_seconds_;
+  }
+
+  double remaining_seconds() const noexcept {
+    const double r = budget_seconds_ - timer_.elapsed_seconds();
+    return r > 0.0 ? r : 0.0;
+  }
+
+  double budget_seconds() const noexcept { return budget_seconds_; }
+  double elapsed_seconds() const noexcept { return timer_.elapsed_seconds(); }
+
+ private:
+  WallTimer timer_;
+  double budget_seconds_;
+};
+
+}  // namespace pacga::support

@@ -1,0 +1,154 @@
+#include "baselines/cma_lth.hpp"
+#include "baselines/struggle_ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+
+namespace pacga::baseline {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 61) {
+  etc::GenSpec spec;
+  spec.tasks = 128;
+  spec.machines = 16;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+TEST(StruggleGa, Deterministic) {
+  const auto m = instance();
+  StruggleConfig c;
+  c.population = 32;
+  c.termination = cga::Termination::after_generations(5);
+  c.seed = 7;
+  const auto r1 = run_struggle_ga(m, c);
+  const auto r2 = run_struggle_ga(m, c);
+  EXPECT_DOUBLE_EQ(r1.best_fitness, r2.best_fitness);
+  EXPECT_EQ(r1.best.hamming_distance(r2.best), 0u);
+}
+
+TEST(StruggleGa, EvaluationAccounting) {
+  const auto m = instance();
+  StruggleConfig c;
+  c.population = 32;
+  c.termination = cga::Termination::after_generations(5);
+  const auto r = run_struggle_ga(m, c);
+  EXPECT_EQ(r.generations, 5u);
+  EXPECT_EQ(r.evaluations, 5u * 32u);
+}
+
+TEST(StruggleGa, RespectsEvaluationBudget) {
+  const auto m = instance();
+  StruggleConfig c;
+  c.population = 32;
+  c.termination = cga::Termination::after_evaluations(50);
+  const auto r = run_struggle_ga(m, c);
+  EXPECT_EQ(r.evaluations, 50u);
+}
+
+TEST(StruggleGa, ImprovesOverMinMinSeed) {
+  const auto m = instance();
+  StruggleConfig c;
+  c.population = 64;
+  c.termination = cga::Termination::after_generations(40);
+  const auto r = run_struggle_ga(m, c);
+  EXPECT_LE(r.best_fitness, heur::min_min(m).makespan() + 1e-9);
+  EXPECT_TRUE(r.best.validate(1e-9));
+}
+
+TEST(StruggleGa, TraceMonotoneBest) {
+  const auto m = instance();
+  StruggleConfig c;
+  c.population = 32;
+  c.collect_trace = true;
+  c.termination = cga::Termination::after_generations(10);
+  const auto r = run_struggle_ga(m, c);
+  ASSERT_GT(r.trace.size(), 1u);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i].best_fitness, r.trace[i - 1].best_fitness + 1e-9);
+  }
+}
+
+TEST(StruggleGa, ValidatesConfig) {
+  const auto m = instance();
+  StruggleConfig c;
+  c.population = 1;
+  EXPECT_THROW(run_struggle_ga(m, c), std::invalid_argument);
+  c = StruggleConfig{};
+  c.p_comb = 2.0;
+  EXPECT_THROW(run_struggle_ga(m, c), std::invalid_argument);
+}
+
+TEST(CmaLth, Deterministic) {
+  const auto m = instance();
+  CmaLthConfig c;
+  c.width = 6;
+  c.height = 6;
+  c.termination = cga::Termination::after_generations(5);
+  c.tabu.iterations = 3;
+  const auto r1 = run_cma_lth(m, c);
+  const auto r2 = run_cma_lth(m, c);
+  EXPECT_DOUBLE_EQ(r1.best_fitness, r2.best_fitness);
+}
+
+TEST(CmaLth, EvaluationAccounting) {
+  const auto m = instance();
+  CmaLthConfig c;
+  c.width = 6;
+  c.height = 6;
+  c.tabu.iterations = 2;
+  c.termination = cga::Termination::after_generations(4);
+  const auto r = run_cma_lth(m, c);
+  EXPECT_EQ(r.generations, 4u);
+  EXPECT_EQ(r.evaluations, 4u * 36u);
+}
+
+TEST(CmaLth, ImprovesOverMinMinSeed) {
+  const auto m = instance();
+  CmaLthConfig c;
+  c.width = 8;
+  c.height = 8;
+  c.tabu.iterations = 5;
+  c.termination = cga::Termination::after_generations(15);
+  const auto r = run_cma_lth(m, c);
+  EXPECT_LE(r.best_fitness, heur::min_min(m).makespan() + 1e-9);
+  EXPECT_TRUE(r.best.validate(1e-9));
+}
+
+TEST(CmaLth, MemeticBeatsPlainSyncCgaOnAverage) {
+  // The intensification should buy quality per generation vs the same
+  // algorithm without LTH.
+  const auto m = instance(67);
+  support::RunningStats with_ls, without_ls;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    CmaLthConfig c;
+    c.width = 6;
+    c.height = 6;
+    c.seed = seed;
+    c.seed_min_min = false;
+    c.termination = cga::Termination::after_generations(10);
+    c.tabu.iterations = 10;
+    with_ls.add(run_cma_lth(m, c).best_fitness);
+    c.tabu.iterations = 0;
+    without_ls.add(run_cma_lth(m, c).best_fitness);
+  }
+  EXPECT_LT(with_ls.mean(), without_ls.mean());
+}
+
+TEST(CmaLth, ValidatesConfig) {
+  const auto m = instance();
+  CmaLthConfig c;
+  c.width = 0;
+  EXPECT_THROW(run_cma_lth(m, c), std::invalid_argument);
+  c = CmaLthConfig{};
+  c.p_ls = -1.0;
+  EXPECT_THROW(run_cma_lth(m, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pacga::baseline

@@ -1,0 +1,234 @@
+#include "batch/policies.hpp"
+#include "batch/simulator.hpp"
+#include "batch/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pacga::batch {
+namespace {
+
+WorkloadSpec small_spec() {
+  WorkloadSpec spec;
+  spec.tasks = 60;
+  spec.machines = 6;
+  spec.arrival_rate = 5.0;
+  spec.workload_hi = 100.0;
+  spec.mips_lo = 1.0;
+  spec.mips_hi = 4.0;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(Workload, GeneratesSortedArrivals) {
+  const auto w = generate_workload(small_spec());
+  ASSERT_EQ(w.tasks.size(), 60u);
+  ASSERT_EQ(w.machines.size(), 6u);
+  for (std::size_t i = 1; i < w.tasks.size(); ++i) {
+    EXPECT_GE(w.tasks[i].arrival, w.tasks[i - 1].arrival);
+  }
+  for (const auto& t : w.tasks) {
+    EXPECT_GT(t.workload, 0.0);
+    EXPECT_LE(t.workload, 100.0);
+  }
+  for (const auto& m : w.machines) {
+    EXPECT_GE(m.mips, 1.0);
+    EXPECT_LE(m.mips, 4.0);
+  }
+}
+
+TEST(Workload, DeterministicInSeed) {
+  const auto a = generate_workload(small_spec());
+  const auto b = generate_workload(small_spec());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].arrival, b.tasks[i].arrival);
+    EXPECT_DOUBLE_EQ(a.tasks[i].workload, b.tasks[i].workload);
+  }
+}
+
+TEST(Workload, ArrivalRateControlsDensity) {
+  auto slow = small_spec();
+  slow.arrival_rate = 1.0;
+  auto fast = small_spec();
+  fast.arrival_rate = 100.0;
+  EXPECT_GT(generate_workload(slow).tasks.back().arrival,
+            generate_workload(fast).tasks.back().arrival);
+}
+
+TEST(Workload, RejectsBadSpecs) {
+  auto s = small_spec();
+  s.tasks = 0;
+  EXPECT_THROW(generate_workload(s), std::invalid_argument);
+  s = small_spec();
+  s.arrival_rate = 0.0;
+  EXPECT_THROW(generate_workload(s), std::invalid_argument);
+  s = small_spec();
+  s.mips_lo = -1.0;
+  EXPECT_THROW(generate_workload(s), std::invalid_argument);
+}
+
+TEST(BatchEtc, MatchesWorkloadOverMips) {
+  auto spec = small_spec();
+  spec.inconsistency = 0.0;  // exact ratio, no noise
+  const auto w = generate_workload(spec);
+  const std::size_t task_ids[] = {0, 3, 7};
+  const std::size_t machine_ids[] = {1, 4};
+  const double ready[] = {0.0, 2.5};
+  const auto etc = make_batch_etc(w, task_ids, machine_ids, ready, 0.0, 1);
+  ASSERT_EQ(etc.tasks(), 3u);
+  ASSERT_EQ(etc.machines(), 2u);
+  EXPECT_DOUBLE_EQ(etc(0, 0), w.tasks[0].workload / w.machines[1].mips);
+  EXPECT_DOUBLE_EQ(etc(2, 1), w.tasks[7].workload / w.machines[4].mips);
+  EXPECT_DOUBLE_EQ(etc.ready(1), 2.5);
+}
+
+TEST(BatchEtc, NoiseIsStableAcrossResubmission) {
+  const auto w = generate_workload(small_spec());
+  const std::size_t task_ids[] = {5};
+  const std::size_t machine_ids[] = {0, 1, 2};
+  const double ready[] = {0.0, 0.0, 0.0};
+  const auto a = make_batch_etc(w, task_ids, machine_ids, ready, 0.8, 42);
+  const auto b = make_batch_etc(w, task_ids, machine_ids, ready, 0.8, 42);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(a(0, m), b(0, m));
+  }
+}
+
+TEST(BatchEtc, ZeroNoiseGivesConsistentMatrix) {
+  auto spec = small_spec();
+  const auto w = generate_workload(spec);
+  std::vector<std::size_t> task_ids(20);
+  for (std::size_t i = 0; i < 20; ++i) task_ids[i] = i;
+  std::vector<std::size_t> machine_ids(w.machines.size());
+  for (std::size_t m = 0; m < machine_ids.size(); ++m) machine_ids[m] = m;
+  std::vector<double> ready(machine_ids.size(), 0.0);
+  const auto etc = make_batch_etc(w, task_ids, machine_ids, ready, 0.0, 1);
+  EXPECT_TRUE(etc.is_consistent());
+}
+
+TEST(Simulator, CompletesAllTasksWithHeuristicPolicy) {
+  const auto w = generate_workload(small_spec());
+  SimSpec sim;
+  sim.epoch_length = 1.0;
+  const auto metrics = simulate(w, sim, min_min_policy());
+  EXPECT_EQ(metrics.scheduled_tasks, w.tasks.size());
+  EXPECT_EQ(metrics.resubmissions, 0u);
+  EXPECT_GT(metrics.completion_time, 0.0);
+  EXPECT_GE(metrics.mean_response, metrics.mean_wait);
+  EXPECT_GE(metrics.mean_wait, 0.0);
+  EXPECT_GT(metrics.utilization, 0.0);
+  EXPECT_LE(metrics.utilization, 1.0 + 1e-9);
+}
+
+TEST(Simulator, DeterministicWithDeterministicPolicy) {
+  const auto w = generate_workload(small_spec());
+  SimSpec sim;
+  const auto a = simulate(w, sim, mct_policy());
+  const auto b = simulate(w, sim, mct_policy());
+  EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+  EXPECT_DOUBLE_EQ(a.mean_response, b.mean_response);
+  EXPECT_EQ(a.epochs, b.epochs);
+}
+
+TEST(Simulator, MinMinBeatsRandomPolicy) {
+  auto spec = small_spec();
+  spec.tasks = 120;
+  const auto w = generate_workload(spec);
+  SimSpec sim;
+  const auto good = simulate(w, sim, min_min_policy());
+  const auto bad = simulate(w, sim, random_policy(9));
+  EXPECT_LT(good.completion_time, bad.completion_time);
+  EXPECT_LT(good.mean_response, bad.mean_response);
+}
+
+TEST(Simulator, ShorterEpochsReduceWait) {
+  const auto w = generate_workload(small_spec());
+  SimSpec coarse;
+  coarse.epoch_length = 8.0;
+  SimSpec fine;
+  fine.epoch_length = 0.5;
+  const auto slow = simulate(w, coarse, min_min_policy());
+  const auto fast = simulate(w, fine, min_min_policy());
+  EXPECT_LT(fast.mean_wait, slow.mean_wait);
+}
+
+TEST(Simulator, MachineDropsCauseResubmissions) {
+  auto spec = small_spec();
+  spec.tasks = 100;
+  const auto w = generate_workload(spec);
+  SimSpec sim;
+  sim.epoch_length = 0.5;
+  sim.machine_drop_prob = 0.3;
+  sim.machine_join_prob = 0.5;
+  sim.seed = 3;
+  const auto metrics = simulate(w, sim, mct_policy());
+  // All tasks still finish; drops occurred and forced re-scheduling.
+  EXPECT_GT(metrics.drops, 0u);
+  EXPECT_GE(metrics.scheduled_tasks, w.tasks.size());
+  EXPECT_EQ(metrics.scheduled_tasks - w.tasks.size(), metrics.resubmissions);
+}
+
+TEST(Simulator, ChurnNeverLosesTasks) {
+  // Heavy churn stress: every task must still complete exactly once.
+  auto spec = small_spec();
+  spec.tasks = 80;
+  const auto w = generate_workload(spec);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SimSpec sim;
+    sim.epoch_length = 0.5;
+    sim.machine_drop_prob = 0.4;
+    sim.machine_join_prob = 0.6;
+    sim.seed = seed;
+    const auto metrics = simulate(w, sim, mct_policy());
+    EXPECT_GT(metrics.completion_time, 0.0) << "seed " << seed;
+    EXPECT_GE(metrics.scheduled_tasks, w.tasks.size()) << "seed " << seed;
+  }
+}
+
+TEST(Simulator, PaCgaPolicyRunsWithinBudget) {
+  auto spec = small_spec();
+  spec.tasks = 40;
+  const auto w = generate_workload(spec);
+  SimSpec sim;
+  sim.epoch_length = 2.0;
+  cga::Config base;
+  base.threads = 2;
+  const auto metrics = simulate(w, sim, pa_cga_policy(base, 20.0));
+  EXPECT_EQ(metrics.scheduled_tasks, w.tasks.size());
+}
+
+TEST(Simulator, PaCgaPolicyNotWorseThanRandom) {
+  auto spec = small_spec();
+  spec.tasks = 80;
+  const auto w = generate_workload(spec);
+  SimSpec sim;
+  sim.epoch_length = 2.0;
+  cga::Config base;
+  base.threads = 2;
+  const auto ga = simulate(w, sim, pa_cga_policy(base, 30.0));
+  const auto rnd = simulate(w, sim, random_policy(5));
+  EXPECT_LT(ga.completion_time, rnd.completion_time);
+}
+
+TEST(Simulator, RejectsWrongSizePolicy) {
+  const auto w = generate_workload(small_spec());
+  SimSpec sim;
+  // A policy that ignores the batch and schedules a different-size
+  // problem: the simulator must detect the contract violation.
+  Policy broken = [&w](const etc::EtcMatrix&) {
+    etc::EtcMatrix other(1, 1, {1.0});
+    return sched::Schedule(other, {0});
+  };
+  EXPECT_THROW(simulate(w, sim, broken), std::runtime_error);
+}
+
+TEST(Simulator, RejectsBadSpec) {
+  const auto w = generate_workload(small_spec());
+  SimSpec sim;
+  sim.epoch_length = 0.0;
+  EXPECT_THROW(simulate(w, sim, mct_policy()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pacga::batch

@@ -1,0 +1,130 @@
+#include "pacga/cellwise_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+#include "support/stats.hpp"
+
+namespace pacga::par {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 101) {
+  etc::GenSpec spec;
+  spec.tasks = 128;
+  spec.machines = 16;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+cga::Config fast_config(std::size_t threads) {
+  cga::Config c;
+  c.width = 8;
+  c.height = 8;
+  c.threads = threads;
+  c.termination = cga::Termination::after_generations(10);
+  c.local_search.iterations = 2;
+  return c;
+}
+
+TEST(Cellwise, RunsAndValidates) {
+  const auto m = instance();
+  const auto r = run_cellwise(m, fast_config(3));
+  EXPECT_TRUE(r.result.best.validate(1e-9));
+  EXPECT_DOUBLE_EQ(r.result.best.makespan(), r.result.best_fitness);
+  EXPECT_EQ(r.result.generations, 10u);
+  EXPECT_EQ(r.result.evaluations, 10u * 64u);
+}
+
+TEST(Cellwise, ResultIndependentOfWorkerCount) {
+  // THE property of the model: per-(cell, generation) streams make the
+  // outcome identical for any pool size — the GPU reproducibility story.
+  const auto m = instance();
+  const auto r1 = run_cellwise(m, fast_config(1));
+  const auto r2 = run_cellwise(m, fast_config(2));
+  const auto r4 = run_cellwise(m, fast_config(4));
+  EXPECT_DOUBLE_EQ(r1.result.best_fitness, r2.result.best_fitness);
+  EXPECT_DOUBLE_EQ(r1.result.best_fitness, r4.result.best_fitness);
+  EXPECT_EQ(r1.result.best.hamming_distance(r2.result.best), 0u);
+  EXPECT_EQ(r1.result.best.hamming_distance(r4.result.best), 0u);
+}
+
+TEST(Cellwise, EvaluationsSplitAcrossWorkers) {
+  const auto m = instance();
+  const auto r = run_cellwise(m, fast_config(4));
+  std::uint64_t sum = 0;
+  for (const auto& st : r.threads) sum += st.evaluations;
+  EXPECT_EQ(sum, r.result.evaluations);
+  // Dynamic queue: every worker should get some share.
+  for (const auto& st : r.threads) EXPECT_GT(st.evaluations, 0u);
+}
+
+TEST(Cellwise, MinMinSeedQualityGuarantee) {
+  const auto m = instance();
+  const auto r = run_cellwise(m, fast_config(2));
+  EXPECT_LE(r.result.best_fitness, heur::min_min(m).makespan() + 1e-9);
+}
+
+TEST(Cellwise, EvaluationBudgetRespected) {
+  const auto m = instance();
+  auto c = fast_config(3);
+  c.termination = cga::Termination::after_evaluations(200);
+  const auto r = run_cellwise(m, c);
+  // Granularity: one generation (64 evals).
+  EXPECT_GE(r.result.evaluations, 200u);
+  EXPECT_LE(r.result.evaluations, 200u + 64u);
+}
+
+TEST(Cellwise, WallClockTerminatesWithoutDeadlock) {
+  const auto m = instance();
+  auto c = fast_config(4);
+  c.termination = cga::Termination::after_seconds(0.2);
+  const auto r = run_cellwise(m, c);
+  EXPECT_GE(r.result.elapsed_seconds, 0.2);
+  EXPECT_LT(r.result.elapsed_seconds, 10.0);
+}
+
+TEST(Cellwise, TraceMonotoneUnderReplaceIfBetter) {
+  const auto m = instance();
+  auto c = fast_config(2);
+  c.collect_trace = true;
+  c.termination = cga::Termination::after_generations(15);
+  const auto r = run_cellwise(m, c);
+  ASSERT_EQ(r.result.trace.size(), 15u);
+  for (std::size_t i = 1; i < r.result.trace.size(); ++i) {
+    EXPECT_LE(r.result.trace[i].best_fitness,
+              r.result.trace[i - 1].best_fitness + 1e-9);
+    EXPECT_LE(r.result.trace[i].mean_fitness,
+              r.result.trace[i - 1].mean_fitness + 1e-9);
+  }
+}
+
+TEST(Cellwise, ComparableQualityToPaCga) {
+  const auto m = instance(103);
+  auto c = fast_config(3);
+  c.termination = cga::Termination::after_generations(20);
+  const double cw = run_cellwise(m, c).result.best_fitness;
+  const double pa = run_parallel(m, c).result.best_fitness;
+  EXPECT_LT(cw, pa * 1.25);
+  EXPECT_LT(pa, cw * 1.25);
+}
+
+class CellwiseWorkerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CellwiseWorkerSweep, DeterministicFingerprint) {
+  const auto m = instance();
+  auto c = fast_config(GetParam());
+  c.termination = cga::Termination::after_generations(5);
+  const auto r = run_cellwise(m, c);
+  // All worker counts must land on the 1-worker fingerprint.
+  static double fingerprint = -1.0;
+  if (fingerprint < 0.0) fingerprint = r.result.best_fitness;
+  EXPECT_DOUBLE_EQ(r.result.best_fitness, fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, CellwiseWorkerSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace pacga::par

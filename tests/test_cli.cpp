@@ -1,0 +1,135 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace pacga::support {
+namespace {
+
+/// argv helper: keeps string storage alive for the parse call.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Cli, ParsesTypedOptions) {
+  int i = 0;
+  double d = 0.0;
+  std::string s;
+  std::size_t z = 0;
+  Cli cli("test");
+  cli.option("int", &i, "an int")
+      .option("dbl", &d, "a double")
+      .option("str", &s, "a string")
+      .option("sz", &z, "a size");
+  Argv a({"--int", "42", "--dbl", "2.5", "--str", "hello", "--sz", "7"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(i, 42);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(z, 7u);
+}
+
+TEST(Cli, EqualsSyntax) {
+  int i = 0;
+  Cli cli("test");
+  cli.option("n", &i, "n");
+  Argv a({"--n=13"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(i, 13);
+}
+
+TEST(Cli, FlagSetsBool) {
+  bool f = false;
+  Cli cli("test");
+  cli.flag("full", &f, "run full");
+  Argv a({"--full"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_TRUE(f);
+}
+
+TEST(Cli, DefaultsPreservedWhenAbsent) {
+  int i = 99;
+  bool f = false;
+  Cli cli("test");
+  cli.option("n", &i, "n").flag("f", &f, "f");
+  Argv a({});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(i, 99);
+  EXPECT_FALSE(f);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli("test");
+  Argv a({"--nope"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), std::runtime_error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  int i = 0;
+  Cli cli("test");
+  cli.option("n", &i, "n");
+  Argv a({"--n"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), std::runtime_error);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  int i = 0;
+  Cli cli("test");
+  cli.option("n", &i, "n");
+  Argv a({"--n", "12x"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), std::runtime_error);
+}
+
+TEST(Cli, NegativeSizeThrows) {
+  std::size_t z = 0;
+  Cli cli("test");
+  cli.option("z", &z, "z");
+  Argv a({"--z", "-3"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), std::runtime_error);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  bool f = false;
+  Cli cli("test");
+  cli.flag("f", &f, "f");
+  Argv a({"--f=true"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), std::runtime_error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("test");
+  Argv a({"--help"});
+  EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  Cli cli("test");
+  Argv a({"stray"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), std::runtime_error);
+}
+
+TEST(Cli, UsageMentionsOptionsAndDefaults) {
+  int i = 5;
+  Cli cli("my tool");
+  cli.option("count", &i, "how many");
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("my tool"), std::string::npos);
+  EXPECT_NE(u.find("--count"), std::string::npos);
+  EXPECT_NE(u.find("how many"), std::string::npos);
+  EXPECT_NE(u.find("default: 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacga::support

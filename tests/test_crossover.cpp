@@ -1,0 +1,150 @@
+#include "cga/crossover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/braun.hpp"
+
+namespace pacga::cga {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 1) {
+  etc::GenSpec spec;
+  spec.tasks = 64;
+  spec.machines = 8;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+struct Parents {
+  sched::Schedule a;
+  sched::Schedule b;
+};
+
+Parents make_parents(const etc::EtcMatrix& m, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  return {sched::Schedule::random(m, rng), sched::Schedule::random(m, rng)};
+}
+
+/// Every gene of the child comes from one of the two parents.
+void expect_genes_from_parents(const sched::Schedule& child,
+                               const Parents& p) {
+  for (std::size_t t = 0; t < child.tasks(); ++t) {
+    const auto g = child.machine_of(t);
+    EXPECT_TRUE(g == p.a.machine_of(t) || g == p.b.machine_of(t))
+        << "task " << t;
+  }
+}
+
+TEST(OnePoint, PrefixFromAVSuffixFromB) {
+  const auto m = instance();
+  const auto p = make_parents(m, 2);
+  support::Xoshiro256 rng(3);
+  const auto child = one_point_crossover(p.a, p.b, rng);
+  // Find the cut: first index where child matches b but not a.
+  expect_genes_from_parents(child, p);
+  // Verify structure: once the child starts following b (where a and b
+  // differ), it never reverts to a.
+  bool after_cut = false;
+  for (std::size_t t = 0; t < child.tasks(); ++t) {
+    if (p.a.machine_of(t) == p.b.machine_of(t)) continue;
+    const bool from_b = child.machine_of(t) == p.b.machine_of(t);
+    if (after_cut) {
+      EXPECT_TRUE(from_b) << "reverted to parent a after cut at task " << t;
+    } else if (from_b) {
+      after_cut = true;
+    }
+  }
+  EXPECT_TRUE(child.validate());
+}
+
+TEST(TwoPoint, MiddleSegmentFromB) {
+  const auto m = instance();
+  const auto p = make_parents(m, 4);
+  support::Xoshiro256 rng(5);
+  const auto child = two_point_crossover(p.a, p.b, rng);
+  expect_genes_from_parents(child, p);
+  // Structure: b-matching region (where parents differ) is contiguous.
+  std::ptrdiff_t first_b = -1, last_b = -1;
+  for (std::size_t t = 0; t < child.tasks(); ++t) {
+    if (p.a.machine_of(t) == p.b.machine_of(t)) continue;
+    if (child.machine_of(t) == p.b.machine_of(t)) {
+      if (first_b < 0) first_b = static_cast<std::ptrdiff_t>(t);
+      last_b = static_cast<std::ptrdiff_t>(t);
+    }
+  }
+  if (first_b >= 0) {
+    for (std::ptrdiff_t t = first_b; t <= last_b; ++t) {
+      if (p.a.machine_of(t) == p.b.machine_of(t)) continue;
+      EXPECT_EQ(child.machine_of(t), p.b.machine_of(t)) << "hole at " << t;
+    }
+  }
+  EXPECT_TRUE(child.validate());
+}
+
+TEST(Uniform, MixesBothParents) {
+  const auto m = instance();
+  const auto p = make_parents(m, 6);
+  support::Xoshiro256 rng(7);
+  const auto child = uniform_crossover(p.a, p.b, rng);
+  expect_genes_from_parents(child, p);
+  // With 64 differing-ish genes the child should take some from each side.
+  std::size_t from_a = 0, from_b = 0;
+  for (std::size_t t = 0; t < child.tasks(); ++t) {
+    if (p.a.machine_of(t) == p.b.machine_of(t)) continue;
+    if (child.machine_of(t) == p.a.machine_of(t)) ++from_a;
+    else ++from_b;
+  }
+  EXPECT_GT(from_a, 0u);
+  EXPECT_GT(from_b, 0u);
+  EXPECT_TRUE(child.validate());
+}
+
+TEST(Crossover, IdenticalParentsYieldClone) {
+  const auto m = instance();
+  support::Xoshiro256 rng(8);
+  const auto a = sched::Schedule::random(m, rng);
+  for (auto kind : {CrossoverKind::kOnePoint, CrossoverKind::kTwoPoint,
+                    CrossoverKind::kUniform}) {
+    support::Xoshiro256 r2(9);
+    const auto child = crossover(kind, a, a, r2);
+    EXPECT_EQ(child.hamming_distance(a), 0u) << to_string(kind);
+  }
+}
+
+TEST(Crossover, CompletionCacheCoherentAfterEveryKind) {
+  const auto m = instance(11);
+  for (auto kind : {CrossoverKind::kOnePoint, CrossoverKind::kTwoPoint,
+                    CrossoverKind::kUniform}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const auto p = make_parents(m, seed);
+      support::Xoshiro256 rng(seed * 101);
+      const auto child = crossover(kind, p.a, p.b, rng);
+      EXPECT_TRUE(child.validate(1e-9)) << to_string(kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Crossover, DispatchMatchesDirectCalls) {
+  const auto m = instance();
+  const auto p = make_parents(m, 12);
+  support::Xoshiro256 r1(13), r2(13);
+  const auto via_enum = crossover(CrossoverKind::kTwoPoint, p.a, p.b, r1);
+  const auto direct = two_point_crossover(p.a, p.b, r2);
+  EXPECT_EQ(via_enum.hamming_distance(direct), 0u);
+}
+
+TEST(Crossover, TwoTaskEdgeCase) {
+  etc::EtcMatrix m(2, 2, {1, 2, 3, 4});
+  const sched::Schedule a(m, {0, 0});
+  const sched::Schedule b(m, {1, 1});
+  support::Xoshiro256 rng(14);
+  for (auto kind : {CrossoverKind::kOnePoint, CrossoverKind::kTwoPoint,
+                    CrossoverKind::kUniform}) {
+    const auto child = crossover(kind, a, b, rng);
+    EXPECT_TRUE(child.validate()) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace pacga::cga

@@ -1,0 +1,117 @@
+#include "cga/diversity.hpp"
+
+#include "cga/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/braun.hpp"
+
+namespace pacga::cga {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 71) {
+  etc::GenSpec spec;
+  spec.tasks = 64;
+  spec.machines = 8;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+Population random_population(const etc::EtcMatrix& m, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  return Population(m, Grid(6, 6), rng, /*seed_min_min=*/false,
+                    sched::Objective::kMakespan);
+}
+
+TEST(Diversity, RandomPopulationIsDiverse) {
+  const auto m = instance();
+  const auto pop = random_population(m, 1);
+  const auto d = population_diversity(pop);
+  // Random 8-machine assignments: expected pairwise Hamming ~ 7/8.
+  EXPECT_GT(d.mean_pairwise_hamming, 0.8);
+  EXPECT_LE(d.mean_pairwise_hamming, 1.0);
+  // Entropy near maximal.
+  EXPECT_GT(d.gene_entropy, 0.9);
+  EXPECT_LE(d.gene_entropy, 1.0);
+  EXPECT_GT(d.fitness_stddev, 0.0);
+  EXPECT_GT(d.fitness_range, 0.0);
+}
+
+TEST(Diversity, ClonedPopulationIsFullyConverged) {
+  const auto m = instance();
+  support::Xoshiro256 rng(2);
+  Population pop(m, Grid(4, 4), rng, false, sched::Objective::kMakespan);
+  const Individual clone = pop.at(0);
+  for (std::size_t i = 1; i < pop.size(); ++i) pop.at(i) = clone;
+  const auto d = population_diversity(pop);
+  EXPECT_DOUBLE_EQ(d.mean_pairwise_hamming, 0.0);
+  EXPECT_DOUBLE_EQ(d.gene_entropy, 0.0);
+  EXPECT_DOUBLE_EQ(d.fitness_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(d.fitness_range, 0.0);
+  EXPECT_DOUBLE_EQ(proportion_at_best(pop), 1.0);
+}
+
+TEST(Diversity, SampledApproximatesExact) {
+  const auto m = instance();
+  const auto pop = random_population(m, 3);
+  support::Xoshiro256 rng(4);
+  const auto exact = population_diversity(pop);
+  const auto approx = population_diversity_sampled(pop, 4000, rng);
+  EXPECT_NEAR(approx.mean_pairwise_hamming, exact.mean_pairwise_hamming, 0.02);
+  // Non-sampled terms must be identical.
+  EXPECT_DOUBLE_EQ(approx.gene_entropy, exact.gene_entropy);
+  EXPECT_DOUBLE_EQ(approx.fitness_stddev, exact.fitness_stddev);
+}
+
+TEST(Diversity, ProportionAtBestCountsTies) {
+  const auto m = instance();
+  support::Xoshiro256 rng(5);
+  Population pop(m, Grid(4, 4), rng, false, sched::Objective::kMakespan);
+  // Plant the best individual in 4 of 16 cells.
+  std::size_t best = pop.best_index();
+  const Individual champion = pop.at(best);
+  pop.at(1) = champion;
+  pop.at(5) = champion;
+  pop.at(9) = champion;
+  const double p = proportion_at_best(pop);
+  EXPECT_GE(p, 4.0 / 16.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(Diversity, EvolutionReducesDiversity) {
+  // A few generations of the sequential CGA must reduce genotypic
+  // diversity (the takeover dynamic the paper's §3.1 describes).
+  const auto m = instance(73);
+  support::Xoshiro256 rng(6);
+  Population pop(m, Grid(6, 6), rng, false, sched::Objective::kMakespan);
+  const double before = population_diversity(pop).gene_entropy;
+
+  // Hand-rolled generations using the engine's building blocks.
+  Config config;
+  config.width = 6;
+  config.height = 6;
+  config.local_search.iterations = 2;
+  std::vector<std::size_t> neigh;
+  std::vector<double> fit;
+  for (int gen = 0; gen < 15; ++gen) {
+    for (std::size_t idx = 0; idx < pop.size(); ++idx) {
+      auto child = detail::breed(pop, idx, config, rng, neigh, fit);
+      if (child.fitness < pop.at(idx).fitness) pop.at(idx) = std::move(child);
+    }
+  }
+  const double after = population_diversity(pop).gene_entropy;
+  EXPECT_LT(after, before);
+}
+
+TEST(Diversity, SingleMachineInstanceEntropyZero) {
+  etc::EtcMatrix m(8, 1, {1, 2, 3, 4, 5, 6, 7, 8});
+  support::Xoshiro256 rng(7);
+  Population pop(m, Grid(3, 3), rng, false, sched::Objective::kMakespan);
+  const auto d = population_diversity(pop);
+  EXPECT_DOUBLE_EQ(d.gene_entropy, 0.0);          // log2(1) guard
+  EXPECT_DOUBLE_EQ(d.mean_pairwise_hamming, 0.0); // only one assignment
+}
+
+}  // namespace
+}  // namespace pacga::cga

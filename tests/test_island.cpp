@@ -1,0 +1,137 @@
+#include "baselines/island_ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+#include "support/stats.hpp"
+
+namespace pacga::baseline {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 81) {
+  etc::GenSpec spec;
+  spec.tasks = 128;
+  spec.machines = 16;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+IslandConfig fast_config(std::size_t islands = 2) {
+  IslandConfig c;
+  c.islands = islands;
+  c.island_population = 16;
+  c.migration_interval = 3;
+  c.termination = cga::Termination::after_generations(10);
+  return c;
+}
+
+TEST(IslandGa, RunsAndValidates) {
+  const auto m = instance();
+  const auto r = run_island_ga(m, fast_config(3));
+  EXPECT_TRUE(r.best.validate(1e-9));
+  EXPECT_DOUBLE_EQ(r.best.makespan(), r.best_fitness);
+  EXPECT_GT(r.evaluations, 0u);
+  EXPECT_EQ(r.generations, 10u);
+}
+
+TEST(IslandGa, SingleIslandDeterministic) {
+  const auto m = instance();
+  const auto c = fast_config(1);
+  const auto r1 = run_island_ga(m, c);
+  const auto r2 = run_island_ga(m, c);
+  EXPECT_DOUBLE_EQ(r1.best_fitness, r2.best_fitness);
+}
+
+TEST(IslandGa, MinMinSeedGuaranteesQuality) {
+  const auto m = instance();
+  const auto r = run_island_ga(m, fast_config(4));
+  EXPECT_LE(r.best_fitness, heur::min_min(m).makespan() + 1e-9);
+}
+
+TEST(IslandGa, EvaluationAccounting) {
+  const auto m = instance();
+  auto c = fast_config(2);
+  c.termination = cga::Termination::after_generations(5);
+  const auto r = run_island_ga(m, c);
+  // 2 islands x 5 generations x 16 offspring each.
+  EXPECT_EQ(r.evaluations, 2u * 5u * 16u);
+}
+
+TEST(IslandGa, EvaluationBudgetRespected) {
+  const auto m = instance();
+  auto c = fast_config(4);
+  c.termination = cga::Termination::after_evaluations(200);
+  const auto r = run_island_ga(m, c);
+  // Granularity: one island generation (16 evals) per thread.
+  EXPECT_GE(r.evaluations, 200u);
+  EXPECT_LE(r.evaluations, 200u + 4u * 16u);
+}
+
+TEST(IslandGa, ImprovesOverRandom) {
+  const auto m = instance();
+  auto c = fast_config(3);
+  c.seed_min_min = false;
+  c.termination = cga::Termination::after_generations(30);
+  const auto r = run_island_ga(m, c);
+  support::Xoshiro256 rng(1);
+  support::RunningStats random_ms;
+  for (int i = 0; i < 20; ++i)
+    random_ms.add(sched::Schedule::random(m, rng).makespan());
+  EXPECT_LT(r.best_fitness, random_ms.mean());
+}
+
+TEST(IslandGa, MigrationHelpsIsolatedIslands) {
+  // With tiny islands, migration should on average help reach better
+  // fitness than fully isolated evolution within equal budgets.
+  const auto m = instance(83);
+  support::RunningStats with_migration, without_migration;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    IslandConfig c = fast_config(4);
+    c.island_population = 8;
+    c.seed = seed;
+    c.seed_min_min = false;
+    c.termination = cga::Termination::after_generations(25);
+    c.migration_interval = 2;
+    with_migration.add(run_island_ga(m, c).best_fitness);
+    c.migration_interval = 1000000;  // effectively never
+    without_migration.add(run_island_ga(m, c).best_fitness);
+  }
+  EXPECT_LE(with_migration.mean(), without_migration.mean() * 1.02);
+}
+
+TEST(IslandGa, ValidatesConfig) {
+  const auto m = instance();
+  IslandConfig c;
+  c.islands = 0;
+  EXPECT_THROW(run_island_ga(m, c), std::invalid_argument);
+  c = IslandConfig{};
+  c.island_population = 1;
+  EXPECT_THROW(run_island_ga(m, c), std::invalid_argument);
+  c = IslandConfig{};
+  c.migration_interval = 0;
+  EXPECT_THROW(run_island_ga(m, c), std::invalid_argument);
+  c = IslandConfig{};
+  c.p_mut = 3.0;
+  EXPECT_THROW(run_island_ga(m, c), std::invalid_argument);
+}
+
+TEST(IslandGa, LocalSearchVariantImproves) {
+  const auto m = instance(89);
+  support::RunningStats with_ls, without_ls;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    IslandConfig c = fast_config(2);
+    c.seed = seed;
+    c.seed_min_min = false;
+    c.termination = cga::Termination::after_generations(10);
+    c.local_search = cga::H2LLParams{5, 0};
+    with_ls.add(run_island_ga(m, c).best_fitness);
+    c.local_search = cga::H2LLParams{0, 0};
+    without_ls.add(run_island_ga(m, c).best_fitness);
+  }
+  EXPECT_LT(with_ls.mean(), without_ls.mean());
+}
+
+}  // namespace
+}  // namespace pacga::baseline

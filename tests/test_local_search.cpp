@@ -1,0 +1,282 @@
+#include "cga/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+#include "etc/suite.hpp"
+
+namespace pacga::cga {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 31) {
+  etc::GenSpec spec;
+  spec.tasks = 128;
+  spec.machines = 16;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+TEST(H2LL, NeverWorsensMakespan) {
+  const auto m = instance();
+  support::Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const double before = s.makespan();
+    h2ll(s, {5, 0}, rng);
+    EXPECT_LE(s.makespan(), before);
+    EXPECT_TRUE(s.validate());
+  }
+}
+
+TEST(H2LL, UsuallyImprovesRandomSchedules) {
+  const auto m = instance();
+  support::Xoshiro256 rng(2);
+  int improved = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const double before = s.makespan();
+    h2ll(s, {10, 0}, rng);
+    improved += (s.makespan() < before);
+  }
+  // Random schedules are badly unbalanced; H2LL should fix most.
+  EXPECT_GT(improved, 40);
+}
+
+TEST(H2LL, MoreIterationsNeverHurtOnAverage) {
+  const auto m = instance();
+  support::RunningStats few, many;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    support::Xoshiro256 r1(seed), r2(seed);
+    auto s1 = sched::Schedule::random(m, r1);
+    auto s2 = s1;
+    h2ll(s1, {2, 0}, r1);
+    h2ll(s2, {20, 0}, r2);
+    few.add(s1.makespan());
+    many.add(s2.makespan());
+  }
+  EXPECT_LE(many.mean(), few.mean());
+}
+
+TEST(H2LL, ZeroIterationsIsIdentity) {
+  const auto m = instance();
+  support::Xoshiro256 rng(3);
+  auto s = sched::Schedule::random(m, rng);
+  const auto before = s;
+  h2ll(s, {0, 0}, rng);
+  EXPECT_EQ(s.hamming_distance(before), 0u);
+}
+
+TEST(H2LL, MovesOnlyTasksFromMostLoadedMachine) {
+  const auto m = instance();
+  support::Xoshiro256 rng(4);
+  auto s = sched::Schedule::random(m, rng);
+  const auto loaded = s.argmax_machine();
+  const auto before = s;
+  h2ll(s, {1, 0}, rng);
+  // Exactly zero or one gene changed, and if one, it left `loaded`.
+  const auto d = s.hamming_distance(before);
+  ASSERT_LE(d, 1u);
+  if (d == 1) {
+    for (std::size_t t = 0; t < s.tasks(); ++t) {
+      if (s.machine_of(t) != before.machine_of(t)) {
+        EXPECT_EQ(before.machine_of(t), loaded);
+        EXPECT_NE(s.machine_of(t), loaded);
+      }
+    }
+  }
+}
+
+TEST(H2LL, CandidateParameterRestrictsTargets) {
+  const auto m = instance();
+  support::Xoshiro256 rng(5);
+  for (int i = 0; i < 20; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    // candidates = 1: the only candidate is the least loaded machine.
+    const auto least = s.argmin_machine();
+    const auto before = s;
+    h2ll(s, {1, 1}, rng);
+    if (s.hamming_distance(before) == 1) {
+      for (std::size_t t = 0; t < s.tasks(); ++t) {
+        if (s.machine_of(t) != before.machine_of(t)) {
+          EXPECT_EQ(s.machine_of(t), least);
+        }
+      }
+    }
+  }
+}
+
+TEST(H2LL, SingleMachineNoOp) {
+  etc::EtcMatrix m(4, 1, {1, 2, 3, 4});
+  auto s = sched::Schedule(m, {0, 0, 0, 0});
+  support::Xoshiro256 rng(6);
+  h2ll(s, {10, 0}, rng);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(H2LL, NewCompletionStaysBelowOldMakespan) {
+  // The operator only moves when the target completion stays strictly
+  // below the makespan, so the target machine can never become the new
+  // argmax unless it was already.
+  const auto m = instance(77);
+  support::Xoshiro256 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const double before_ms = s.makespan();
+    h2ll(s, {1, 0}, rng);
+    EXPECT_LE(s.makespan(), before_ms);
+  }
+}
+
+TEST(LocalTabuHop, NeverReturnsWorse) {
+  const auto m = instance();
+  support::Xoshiro256 rng(8);
+  for (int i = 0; i < 30; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const double before = s.makespan();
+    local_tabu_hop(s, {10, 4}, rng);
+    EXPECT_LE(s.makespan(), before + 1e-9);
+    EXPECT_TRUE(s.validate());
+  }
+}
+
+TEST(LocalTabuHop, ImprovesRandomSchedules) {
+  const auto m = instance();
+  support::Xoshiro256 rng(9);
+  int improved = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const double before = s.makespan();
+    local_tabu_hop(s, {20, 4}, rng);
+    improved += (s.makespan() < before);
+  }
+  EXPECT_GT(improved, 25);
+}
+
+TEST(LocalTabuHop, ZeroIterationsIdentity) {
+  const auto m = instance();
+  support::Xoshiro256 rng(10);
+  auto s = sched::Schedule::random(m, rng);
+  const auto before = s;
+  local_tabu_hop(s, {0, 4}, rng);
+  EXPECT_EQ(s.hamming_distance(before), 0u);
+}
+
+TEST(H2llSteepest, NeverWorsensAndConverges) {
+  const auto m = instance();
+  support::Xoshiro256 rng(11);
+  for (int i = 0; i < 30; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const double before = s.makespan();
+    h2ll_steepest(s, {10, 0});
+    EXPECT_LE(s.makespan(), before);
+    EXPECT_TRUE(s.validate(1e-9));
+  }
+}
+
+TEST(H2llSteepest, DeterministicGivenSchedule) {
+  const auto m = instance();
+  support::Xoshiro256 rng(12);
+  const auto base = sched::Schedule::random(m, rng);
+  auto s1 = base;
+  auto s2 = base;
+  h2ll_steepest(s1, {5, 0});
+  h2ll_steepest(s2, {5, 0});
+  EXPECT_EQ(s1.hamming_distance(s2), 0u);
+}
+
+TEST(H2llSteepest, AtLeastAsGoodAsRandomizedPerPass) {
+  // Steepest picks the best move among all tasks on the loaded machine;
+  // the randomized version picks a random task. Per single pass from the
+  // same start, steepest is never worse on average.
+  const auto m = instance();
+  support::RunningStats steepest, randomized;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    support::Xoshiro256 rng(seed);
+    const auto base = sched::Schedule::random(m, rng);
+    auto s1 = base;
+    h2ll_steepest(s1, {1, 0});
+    steepest.add(s1.makespan());
+    auto s2 = base;
+    h2ll(s2, {1, 0}, rng);
+    randomized.add(s2.makespan());
+  }
+  EXPECT_LE(steepest.mean(), randomized.mean() + 1e-9);
+}
+
+TEST(H2llSteepest, StopsAtLocalOptimum) {
+  const auto m = instance();
+  support::Xoshiro256 rng(13);
+  auto s = sched::Schedule::random(m, rng);
+  h2ll_steepest(s, {1000, 0});  // converge fully
+  const double converged = s.makespan();
+  h2ll_steepest(s, {50, 0});  // extra passes: no further change
+  EXPECT_DOUBLE_EQ(s.makespan(), converged);
+}
+
+TEST(ApplyLocalSearch, DispatchMatchesDirectCalls) {
+  const auto m = instance();
+  support::Xoshiro256 rng(21);
+  const auto base = sched::Schedule::random(m, rng);
+  const H2LLParams hp{5, 0};
+  const TabuHopParams tp{5, 4};
+
+  support::Xoshiro256 r1(31), r2(31);
+  auto via_enum = base;
+  apply_local_search(LocalSearchKind::kH2LL, via_enum, hp, tp, r1);
+  auto direct = base;
+  h2ll(direct, hp, r2);
+  EXPECT_EQ(via_enum.hamming_distance(direct), 0u);
+
+  auto steep_enum = base;
+  apply_local_search(LocalSearchKind::kH2LLSteepest, steep_enum, hp, tp, r1);
+  auto steep_direct = base;
+  h2ll_steepest(steep_direct, hp);
+  EXPECT_EQ(steep_enum.hamming_distance(steep_direct), 0u);
+
+  support::Xoshiro256 r3(37), r4(37);
+  auto tabu_enum = base;
+  apply_local_search(LocalSearchKind::kTabuHop, tabu_enum, hp, tp, r3);
+  auto tabu_direct = base;
+  local_tabu_hop(tabu_direct, tp, r4);
+  EXPECT_EQ(tabu_enum.hamming_distance(tabu_direct), 0u);
+
+  auto none = base;
+  apply_local_search(LocalSearchKind::kNone, none, hp, tp, r1);
+  EXPECT_EQ(none.hamming_distance(base), 0u);
+}
+
+TEST(ApplyLocalSearch, KindNames) {
+  EXPECT_STREQ(to_string(LocalSearchKind::kH2LL), "h2ll");
+  EXPECT_STREQ(to_string(LocalSearchKind::kH2LLSteepest), "h2ll-steepest");
+  EXPECT_STREQ(to_string(LocalSearchKind::kTabuHop), "tabu-hop");
+  EXPECT_STREQ(to_string(LocalSearchKind::kNone), "none");
+}
+
+/// Property sweep over the Braun suite: H2LL respects its contract on all
+/// twelve instance classes.
+class H2llSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(H2llSuiteTest, MonotoneAndCoherentOnSuite) {
+  const auto m = etc::generate_by_name(GetParam());
+  support::Xoshiro256 rng(support::seed_from_string(GetParam().c_str()));
+  auto s = sched::Schedule::random(m, rng);
+  const double before = s.makespan();
+  h2ll(s, {10, 0}, rng);
+  EXPECT_LE(s.makespan(), before);
+  EXPECT_TRUE(s.validate(1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(BraunSuite, H2llSuiteTest,
+                         ::testing::ValuesIn(etc::braun_suite_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pacga::cga

@@ -1,0 +1,65 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace pacga::support {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, StreamsAcceptMixedTypes) {
+  LogLevelGuard guard;
+  // Drop everything so the test stays silent; the point is that the
+  // streaming interface compiles and does not crash for common types.
+  set_log_level(LogLevel::kError);
+  log_debug() << "int " << 42 << " double " << 2.5 << " text";
+  log_info() << std::string("string") << ' ' << 'c';
+  log_warn() << 0xffu;
+}
+
+TEST(Log, ThresholdSuppressesLowerLevels) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // These must be cheap no-ops (can't capture stderr portably here; this
+  // exercises the early-out path).
+  for (int i = 0; i < 1000; ++i) log_debug() << i;
+}
+
+TEST(Log, ConcurrentLoggingDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);  // suppress output, keep the lock path
+  std::vector<std::thread> threads;
+  std::atomic<int> done{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&done, t] {
+      for (int i = 0; i < 200; ++i) {
+        log_warn() << "thread " << t << " line " << i;
+      }
+      done.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(done.load(), 4);
+}
+
+}  // namespace
+}  // namespace pacga::support

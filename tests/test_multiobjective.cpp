@@ -1,0 +1,231 @@
+#include "cga/multiobjective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+
+namespace pacga::cga {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 131) {
+  etc::GenSpec spec;
+  spec.tasks = 64;
+  spec.machines = 8;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+TEST(Dominance, StrictAndNonStrictCases) {
+  const MoPoint a{1.0, 1.0};
+  const MoPoint b{2.0, 2.0};
+  const MoPoint c{1.0, 2.0};
+  const MoPoint d{2.0, 1.0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_TRUE(dominates(a, c));   // equal in one, better in other
+  EXPECT_FALSE(dominates(c, d));  // incomparable
+  EXPECT_FALSE(dominates(d, c));
+  EXPECT_FALSE(dominates(a, a));  // no self-domination
+}
+
+MoIndividual point(const etc::EtcMatrix& m, double makespan, double flowtime) {
+  // Objectives are attached manually for archive unit tests; the schedule
+  // content is irrelevant there.
+  sched::Schedule s(m);
+  MoIndividual ind{std::move(s), {makespan, flowtime}};
+  return ind;
+}
+
+TEST(ParetoArchive, KeepsOnlyNonDominated) {
+  const auto m = instance();
+  ParetoArchive archive(10);
+  EXPECT_TRUE(archive.insert(point(m, 5, 5)));
+  EXPECT_FALSE(archive.insert(point(m, 6, 6)));  // dominated
+  EXPECT_TRUE(archive.insert(point(m, 4, 6)));   // incomparable
+  EXPECT_TRUE(archive.insert(point(m, 3, 3)));   // dominates both
+  ASSERT_EQ(archive.size(), 1u);
+  EXPECT_DOUBLE_EQ(archive.members()[0].objectives.makespan, 3.0);
+}
+
+TEST(ParetoArchive, RejectsObjectiveDuplicates) {
+  const auto m = instance();
+  ParetoArchive archive(10);
+  EXPECT_TRUE(archive.insert(point(m, 5, 5)));
+  EXPECT_FALSE(archive.insert(point(m, 5, 5)));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(ParetoArchive, MutualNonDominationInvariant) {
+  const auto m = instance();
+  support::Xoshiro256 rng(1);
+  ParetoArchive archive(20);
+  for (int i = 0; i < 300; ++i) {
+    archive.insert(point(m, rng.uniform(0, 100), rng.uniform(0, 100)));
+  }
+  const auto& f = archive.members();
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(f[i].objectives, f[j].objectives))
+          << i << " dominates " << j;
+    }
+  }
+  EXPECT_LE(archive.size(), 20u);
+}
+
+TEST(ParetoArchive, CapacityPruningKeepsBoundaries) {
+  const auto m = instance();
+  ParetoArchive archive(5);
+  // A clean staircase of 9 points; pruning must keep the two extremes.
+  for (int i = 0; i < 9; ++i) {
+    archive.insert(point(m, i, 8 - i));
+  }
+  EXPECT_EQ(archive.size(), 5u);
+  bool has_left = false, has_right = false;
+  for (const auto& mem : archive.members()) {
+    has_left |= (mem.objectives.makespan == 0.0);
+    has_right |= (mem.objectives.makespan == 8.0);
+  }
+  EXPECT_TRUE(has_left);
+  EXPECT_TRUE(has_right);
+}
+
+TEST(ParetoArchive, CrowdingDistancesBoundariesInfinite) {
+  const auto m = instance();
+  ParetoArchive archive(10);
+  for (int i = 0; i < 5; ++i) archive.insert(point(m, i, 4 - i));
+  const auto dist = archive.crowding_distances();
+  int infinite = 0;
+  for (double d : dist) infinite += std::isinf(d);
+  EXPECT_EQ(infinite, 2);
+}
+
+TEST(Hypervolume2d, HandComputed) {
+  // Two points vs reference (10, 10):
+  // (2, 6): (10-2)*(10-6) = 32; then (6, 2): (10-6)*(6-2) = 16. Total 48.
+  const std::vector<MoPoint> front{{2, 6}, {6, 2}};
+  EXPECT_DOUBLE_EQ(hypervolume2d(front, {10, 10}), 48.0);
+}
+
+TEST(Hypervolume2d, IgnoresPointsBeyondReference) {
+  const std::vector<MoPoint> front{{2, 6}, {11, 1}, {1, 12}};
+  EXPECT_DOUBLE_EQ(hypervolume2d(front, {10, 10}),
+                   (10.0 - 2.0) * (10.0 - 6.0));
+}
+
+TEST(Hypervolume2d, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume2d({}, {10, 10}), 0.0);
+}
+
+TEST(Mocell, ProducesNonDominatedFront) {
+  const auto m = instance();
+  MoConfig c;
+  c.width = 6;
+  c.height = 6;
+  c.termination = Termination::after_generations(15);
+  const auto r = run_mocell(m, c);
+  ASSERT_FALSE(r.front.empty());
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_TRUE(r.front[i].schedule.validate(1e-9));
+    EXPECT_DOUBLE_EQ(r.front[i].objectives.makespan,
+                     r.front[i].schedule.makespan());
+    EXPECT_DOUBLE_EQ(r.front[i].objectives.flowtime,
+                     r.front[i].schedule.flowtime());
+    for (std::size_t j = 0; j < r.front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(r.front[i].objectives, r.front[j].objectives));
+    }
+  }
+  // Sorted by makespan ascending (and therefore flowtime descending).
+  for (std::size_t i = 1; i < r.front.size(); ++i) {
+    EXPECT_GE(r.front[i].objectives.makespan,
+              r.front[i - 1].objectives.makespan);
+  }
+}
+
+TEST(Mocell, Deterministic) {
+  const auto m = instance();
+  MoConfig c;
+  c.width = 5;
+  c.height = 5;
+  c.termination = Termination::after_generations(8);
+  const auto r1 = run_mocell(m, c);
+  const auto r2 = run_mocell(m, c);
+  ASSERT_EQ(r1.front.size(), r2.front.size());
+  for (std::size_t i = 0; i < r1.front.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.front[i].objectives.makespan,
+                     r2.front[i].objectives.makespan);
+  }
+}
+
+TEST(Mocell, FrontCoversMinMinTradeoff) {
+  // The archive should contain a point at least as good in makespan as
+  // Min-min OR trade it off with visibly better flowtime.
+  const auto m = instance();
+  MoConfig c;
+  c.termination = Termination::after_generations(20);
+  const auto r = run_mocell(m, c);
+  const auto mm = heur::min_min(m);
+  bool makespan_covered = false;
+  for (const auto& p : r.front) {
+    if (p.objectives.makespan <= mm.makespan() + 1e-9) {
+      makespan_covered = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(makespan_covered);  // Min-min seeds the population
+}
+
+TEST(Mocell, HypervolumeGrowsWithBudget) {
+  const auto m = instance(137);
+  MoConfig c;
+  c.width = 6;
+  c.height = 6;
+  c.seed_min_min = false;
+  c.seed = 3;
+  c.termination = Termination::after_generations(3);
+  const auto small = run_mocell(m, c);
+  c.termination = Termination::after_generations(30);
+  const auto large = run_mocell(m, c);
+  // A generous reference dominated by everything observed.
+  support::Xoshiro256 rng(5);
+  const auto bad = sched::Schedule::random(m, rng);
+  const MoPoint ref{bad.makespan() * 3.0, bad.flowtime() * 3.0};
+  EXPECT_GE(large.hypervolume(ref), small.hypervolume(ref) * 0.999);
+}
+
+TEST(Mocell, EvaluationAccountingAndBudget) {
+  const auto m = instance();
+  MoConfig c;
+  c.width = 5;
+  c.height = 5;
+  c.termination = Termination::after_generations(6);
+  const auto r = run_mocell(m, c);
+  EXPECT_EQ(r.generations, 6u);
+  EXPECT_EQ(r.evaluations, 6u * 25u);
+
+  c.termination = Termination::after_evaluations(60);
+  const auto r2 = run_mocell(m, c);
+  EXPECT_EQ(r2.evaluations, 60u);
+}
+
+TEST(Mocell, ValidatesConfig) {
+  const auto m = instance();
+  MoConfig c;
+  c.width = 0;
+  EXPECT_THROW(run_mocell(m, c), std::invalid_argument);
+  c = MoConfig{};
+  c.archive_capacity = 0;
+  EXPECT_THROW(run_mocell(m, c), std::invalid_argument);
+  c = MoConfig{};
+  c.p_ls = 2.0;
+  EXPECT_THROW(run_mocell(m, c), std::invalid_argument);
+  EXPECT_THROW(ParetoArchive(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pacga::cga

@@ -1,0 +1,120 @@
+#include "cga/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "etc/braun.hpp"
+
+namespace pacga::cga {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 21) {
+  etc::GenSpec spec;
+  spec.tasks = 64;
+  spec.machines = 8;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+TEST(MoveMutation, ChangesAtMostOneGene) {
+  const auto m = instance();
+  support::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const auto before = s;
+    mutate(MutationKind::kMove, s, rng);
+    EXPECT_LE(s.hamming_distance(before), 1u);
+    EXPECT_TRUE(s.validate());
+  }
+}
+
+TEST(SwapMutation, ChangesZeroOrTwoGenes) {
+  const auto m = instance();
+  support::Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const auto before = s;
+    mutate(MutationKind::kSwap, s, rng);
+    const auto d = s.hamming_distance(before);
+    EXPECT_TRUE(d == 0 || d == 2) << d;
+    EXPECT_TRUE(s.validate());
+  }
+}
+
+TEST(RebalanceMutation, MovesFromMostLoaded) {
+  const auto m = instance();
+  support::Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    auto s = sched::Schedule::random(m, rng);
+    const auto loaded = static_cast<sched::MachineId>(s.argmax_machine());
+    const auto tasks_before = s.tasks_on(loaded);
+    const auto before = s;
+    mutate(MutationKind::kRebalance, s, rng);
+    // Either nothing moved (target == source) or one task left the most
+    // loaded machine.
+    if (s.hamming_distance(before) == 1) {
+      EXPECT_EQ(s.tasks_on(loaded), tasks_before - 1);
+    }
+    EXPECT_TRUE(s.validate());
+  }
+}
+
+TEST(RandomTaskOnMachine, UniformOverMachineTasks) {
+  const auto m = instance();
+  // Assignment with tasks 0..15 on machine 2.
+  std::vector<sched::MachineId> assign(64, 0);
+  for (std::size_t t = 0; t < 16; ++t) assign[t] = 2;
+  const sched::Schedule s(m, assign);
+  support::Xoshiro256 rng(4);
+  std::map<std::size_t, int> counts;
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = random_task_on_machine(s, 2, rng);
+    ASSERT_LT(t, 16u);
+    ++counts[t];
+  }
+  for (const auto& [task, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 1.0 / 16, 0.01) << task;
+  }
+}
+
+TEST(RandomTaskOnMachine, EmptyMachineReturnsSentinel) {
+  const auto m = instance();
+  const sched::Schedule s(m);  // everything on machine 0
+  support::Xoshiro256 rng(5);
+  EXPECT_EQ(random_task_on_machine(s, 3, rng), s.tasks());
+}
+
+TEST(RandomTaskOnMachine, SingleTask) {
+  const auto m = instance();
+  std::vector<sched::MachineId> assign(64, 0);
+  assign[37] = 5;
+  const sched::Schedule s(m, assign);
+  support::Xoshiro256 rng(6);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(random_task_on_machine(s, 5, rng), 37u);
+  }
+}
+
+TEST(Mutation, EmptyScheduleTolerated) {
+  // Single-task, single-machine degenerate cases must not crash.
+  etc::EtcMatrix m(1, 1, {1.0});
+  auto s = sched::Schedule(m, {0});
+  support::Xoshiro256 rng(7);
+  for (auto kind : {MutationKind::kMove, MutationKind::kSwap,
+                    MutationKind::kRebalance}) {
+    mutate(kind, s, rng);
+    EXPECT_TRUE(s.validate()) << to_string(kind);
+  }
+}
+
+TEST(MutationNames, Distinct) {
+  EXPECT_STREQ(to_string(MutationKind::kMove), "move");
+  EXPECT_STREQ(to_string(MutationKind::kSwap), "swap");
+  EXPECT_STREQ(to_string(MutationKind::kRebalance), "rebalance");
+}
+
+}  // namespace
+}  // namespace pacga::cga

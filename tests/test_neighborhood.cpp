@@ -1,0 +1,115 @@
+#include "cga/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pacga::cga {
+namespace {
+
+TEST(Neighborhood, ShapeSizes) {
+  EXPECT_EQ(shape_size(NeighborhoodShape::kLinear5), 5u);
+  EXPECT_EQ(shape_size(NeighborhoodShape::kCompact9), 9u);
+  EXPECT_EQ(shape_size(NeighborhoodShape::kLinear9), 9u);
+  EXPECT_EQ(shape_size(NeighborhoodShape::kCompact13), 13u);
+}
+
+TEST(Neighborhood, SelfIsFirst) {
+  for (auto shape :
+       {NeighborhoodShape::kLinear5, NeighborhoodShape::kCompact9,
+        NeighborhoodShape::kLinear9, NeighborhoodShape::kCompact13}) {
+    const auto offs = offsets(shape);
+    EXPECT_EQ(offs[0].dx, 0);
+    EXPECT_EQ(offs[0].dy, 0);
+  }
+}
+
+TEST(Neighborhood, L5IsVonNeumann) {
+  const Grid g(16, 16);
+  std::vector<std::size_t> out;
+  neighborhood_of(g, g.index_of({5, 5}), NeighborhoodShape::kLinear5, out);
+  const std::set<std::size_t> got(out.begin(), out.end());
+  const std::set<std::size_t> want{
+      g.index_of({5, 5}), g.index_of({6, 5}), g.index_of({4, 5}),
+      g.index_of({5, 6}), g.index_of({5, 4})};
+  EXPECT_EQ(got, want);
+}
+
+TEST(Neighborhood, WrapsAtEdges) {
+  const Grid g(4, 4);
+  std::vector<std::size_t> out;
+  neighborhood_of(g, g.index_of({0, 0}), NeighborhoodShape::kLinear5, out);
+  const std::set<std::size_t> got(out.begin(), out.end());
+  const std::set<std::size_t> want{
+      g.index_of({0, 0}), g.index_of({1, 0}), g.index_of({3, 0}),
+      g.index_of({0, 1}), g.index_of({0, 3})};
+  EXPECT_EQ(got, want);
+}
+
+TEST(Neighborhood, AllCellsWithinManhattanRadius) {
+  const Grid g(16, 16);
+  std::vector<std::size_t> out;
+  const std::size_t center = g.index_of({7, 9});
+  struct ShapeRadius {
+    NeighborhoodShape shape;
+    std::size_t radius;
+  };
+  for (auto [shape, radius] :
+       {ShapeRadius{NeighborhoodShape::kLinear5, 1},
+        ShapeRadius{NeighborhoodShape::kCompact9, 2},
+        ShapeRadius{NeighborhoodShape::kLinear9, 2},
+        ShapeRadius{NeighborhoodShape::kCompact13, 2}}) {
+    neighborhood_of(g, center, shape, out);
+    for (std::size_t cell : out) {
+      EXPECT_LE(g.manhattan(g.cell_of(center), g.cell_of(cell)), radius)
+          << to_string(shape);
+    }
+  }
+}
+
+TEST(Neighborhood, NoDuplicatesOnLargeGrid) {
+  const Grid g(16, 16);
+  std::vector<std::size_t> out;
+  for (auto shape :
+       {NeighborhoodShape::kLinear5, NeighborhoodShape::kCompact9,
+        NeighborhoodShape::kLinear9, NeighborhoodShape::kCompact13}) {
+    neighborhood_of(g, 37, shape, out);
+    std::set<std::size_t> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), out.size()) << to_string(shape);
+  }
+}
+
+TEST(Neighborhood, DuplicatesCollapseOnTinyGrid) {
+  // On a 2x2 torus, L5's four displacements alias each other.
+  const Grid g(2, 2);
+  std::vector<std::size_t> out;
+  neighborhood_of(g, 0, NeighborhoodShape::kLinear5, out);
+  EXPECT_EQ(out.size(), 5u);  // positions kept, values alias
+  for (std::size_t cell : out) EXPECT_LT(cell, 4u);
+}
+
+TEST(Neighborhood, ScratchBufferReused) {
+  const Grid g(8, 8);
+  std::vector<std::size_t> out;
+  neighborhood_of(g, 0, NeighborhoodShape::kCompact13, out);
+  EXPECT_EQ(out.size(), 13u);
+  neighborhood_of(g, 1, NeighborhoodShape::kLinear5, out);
+  EXPECT_EQ(out.size(), 5u);  // cleared, not appended
+}
+
+TEST(Neighborhood, SymmetryOnTorus) {
+  // If b is in neigh(a), then a is in neigh(b) (all shapes symmetric).
+  const Grid g(16, 16);
+  std::vector<std::size_t> na, nb;
+  for (auto shape : {NeighborhoodShape::kLinear5, NeighborhoodShape::kCompact9}) {
+    neighborhood_of(g, 20, shape, na);
+    for (std::size_t b : na) {
+      neighborhood_of(g, b, shape, nb);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), std::size_t{20}), nb.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pacga::cga

@@ -1,0 +1,267 @@
+#include "pacga/parallel_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+#include "cga/engine.hpp"
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+
+namespace pacga::par {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 51) {
+  etc::GenSpec spec;
+  spec.tasks = 128;
+  spec.machines = 16;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+cga::Config fast_config(std::size_t threads) {
+  cga::Config c;
+  c.width = 8;
+  c.height = 8;
+  c.threads = threads;
+  c.termination = cga::Termination::after_generations(10);
+  c.local_search.iterations = 2;
+  return c;
+}
+
+TEST(ParallelEngine, SingleThreadMatchesContract) {
+  const auto m = instance();
+  const auto r = run_parallel(m, fast_config(1));
+  ASSERT_EQ(r.threads.size(), 1u);
+  EXPECT_EQ(r.threads[0].generations, 10u);
+  EXPECT_EQ(r.total_evaluations(), 10u * 64u);
+  EXPECT_EQ(r.result.evaluations, r.total_evaluations());
+  EXPECT_TRUE(r.result.best.validate(1e-9));
+}
+
+TEST(ParallelEngine, RunsWithOneToFourThreads) {
+  const auto m = instance();
+  for (std::size_t t = 1; t <= 4; ++t) {
+    const auto r = run_parallel(m, fast_config(t));
+    ASSERT_EQ(r.threads.size(), t);
+    for (const auto& st : r.threads) {
+      EXPECT_GE(st.generations, 10u);
+      EXPECT_GT(st.evaluations, 0u);
+    }
+    EXPECT_TRUE(r.result.best.validate(1e-9));
+    EXPECT_DOUBLE_EQ(r.result.best.makespan(), r.result.best_fitness);
+  }
+}
+
+TEST(ParallelEngine, EvaluationAccountingConsistent) {
+  const auto m = instance();
+  const auto r = run_parallel(m, fast_config(4));
+  std::uint64_t sum = 0;
+  for (const auto& st : r.threads) sum += st.evaluations;
+  EXPECT_EQ(sum, r.result.evaluations);
+}
+
+TEST(ParallelEngine, GenerationsBoundPerThread) {
+  const auto m = instance();
+  auto c = fast_config(3);
+  c.termination = cga::Termination::after_generations(7);
+  const auto r = run_parallel(m, c);
+  for (const auto& st : r.threads) {
+    // Blocks of 64/3 individuals: 22+21+21. Each thread does exactly 7
+    // sweeps of its own block.
+    EXPECT_EQ(st.generations, 7u);
+  }
+  EXPECT_EQ(r.result.generations, 7u);
+}
+
+TEST(ParallelEngine, EvaluationBudgetStopsAllThreads) {
+  const auto m = instance();
+  auto c = fast_config(4);
+  c.termination = cga::Termination::after_evaluations(200);
+  const auto r = run_parallel(m, c);
+  // Granularity is one block sweep per thread (16 cells each), so overshoot
+  // is at most threads * block_size.
+  EXPECT_GE(r.total_evaluations(), 200u);
+  EXPECT_LE(r.total_evaluations(), 200u + 4 * 16);
+}
+
+TEST(ParallelEngine, WallClockTerminates) {
+  const auto m = instance();
+  auto c = fast_config(4);
+  c.termination = cga::Termination::after_seconds(0.2);
+  const auto r = run_parallel(m, c);
+  EXPECT_GE(r.result.elapsed_seconds, 0.2);
+  EXPECT_LT(r.result.elapsed_seconds, 5.0);
+}
+
+TEST(ParallelEngine, MinMinSeedGuaranteesQuality) {
+  const auto m = instance();
+  const auto r = run_parallel(m, fast_config(3));
+  EXPECT_LE(r.result.best_fitness, heur::min_min(m).makespan() + 1e-9);
+}
+
+TEST(ParallelEngine, ImprovesOverInitialPopulation) {
+  const auto m = instance();
+  auto c = fast_config(3);
+  c.seed_min_min = false;
+  c.termination = cga::Termination::after_generations(30);
+  const auto r = run_parallel(m, c);
+  // Compare against mean random makespan: must be clearly better.
+  support::Xoshiro256 rng(9);
+  support::RunningStats random_ms;
+  for (int i = 0; i < 20; ++i)
+    random_ms.add(sched::Schedule::random(m, rng).makespan());
+  EXPECT_LT(r.result.best_fitness, random_ms.mean());
+}
+
+TEST(ParallelEngine, TraceCollectedWhenEnabled) {
+  const auto m = instance();
+  auto c = fast_config(3);
+  c.collect_trace = true;
+  const auto r = run_parallel(m, c);
+  ASSERT_FALSE(r.result.trace.empty());
+  // Thread 0 samples once per its own generation.
+  EXPECT_EQ(r.result.trace.size(), r.threads[0].generations);
+  for (std::size_t i = 1; i < r.result.trace.size(); ++i) {
+    EXPECT_LE(r.result.trace[i].best_fitness,
+              r.result.trace[i - 1].best_fitness + 1e-9);
+  }
+}
+
+TEST(ParallelEngine, ReplacementsNeverExceedEvaluations) {
+  const auto m = instance();
+  const auto r = run_parallel(m, fast_config(4));
+  for (const auto& st : r.threads) {
+    EXPECT_LE(st.replacements, st.evaluations);
+  }
+}
+
+TEST(ParallelEngine, SameSeedSingleThreadIsDeterministic) {
+  const auto m = instance();
+  const auto c = fast_config(1);
+  const auto r1 = run_parallel(m, c);
+  const auto r2 = run_parallel(m, c);
+  EXPECT_DOUBLE_EQ(r1.result.best_fitness, r2.result.best_fitness);
+  EXPECT_EQ(r1.result.best.hamming_distance(r2.result.best), 0u);
+}
+
+TEST(ParallelEngine, BestFitnessNotWorseThanSequentialByMuch) {
+  // Sanity: the parallel algorithm is the same search, not a broken one.
+  // With equal generation budgets, multi-thread best should land in the
+  // same quality ballpark as the single-thread best.
+  const auto m = instance(53);
+  auto c = fast_config(1);
+  c.termination = cga::Termination::after_generations(20);
+  const double single = run_parallel(m, c).result.best_fitness;
+  c.threads = 4;
+  const double quad = run_parallel(m, c).result.best_fitness;
+  EXPECT_LT(quad, single * 1.25);
+  EXPECT_LT(single, quad * 1.25);
+}
+
+/// Stress the locking: many threads, tiny blocks, long run; under TSan or
+/// ASan this is the test that catches races.
+TEST(ParallelEngine, LockStress) {
+  const auto m = instance(59);
+  cga::Config c;
+  c.width = 4;
+  c.height = 4;  // 16 cells
+  c.threads = 8; // 2-cell blocks: every neighborhood crosses blocks
+  c.local_search.iterations = 1;
+  c.termination = cga::Termination::after_generations(50);
+  const auto r = run_parallel(m, c);
+  EXPECT_TRUE(r.result.best.validate(1e-9));
+  for (const auto& st : r.threads) EXPECT_GE(st.generations, 50u);
+}
+
+class ThreadCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadCountTest, BlockPartitionMatchesThreadCount) {
+  const auto m = instance();
+  const auto r = run_parallel(m, fast_config(GetParam()));
+  EXPECT_EQ(r.threads.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToEight, ThreadCountTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(ParallelSyncMode, RunsToGenerationBudget) {
+  const auto m = instance();
+  auto c = fast_config(3);
+  c.update = cga::UpdatePolicy::kSynchronous;
+  c.termination = cga::Termination::after_generations(8);
+  const auto r = run_parallel(m, c);
+  // Barrier-coupled: every thread does exactly the same generation count.
+  for (const auto& st : r.threads) EXPECT_EQ(st.generations, 8u);
+  EXPECT_TRUE(r.result.best.validate(1e-9));
+}
+
+TEST(ParallelSyncMode, WallClockTerminatesWithoutDeadlock) {
+  const auto m = instance();
+  auto c = fast_config(4);
+  c.update = cga::UpdatePolicy::kSynchronous;
+  c.termination = cga::Termination::after_seconds(0.2);
+  const auto r = run_parallel(m, c);
+  EXPECT_GE(r.result.elapsed_seconds, 0.2);
+  EXPECT_LT(r.result.elapsed_seconds, 10.0);
+  // All threads agree on the generation count (collective decision).
+  for (const auto& st : r.threads) {
+    EXPECT_EQ(st.generations, r.threads[0].generations);
+  }
+}
+
+TEST(ParallelSyncMode, EvaluationBudgetStopsCollectively) {
+  const auto m = instance();
+  auto c = fast_config(4);
+  c.update = cga::UpdatePolicy::kSynchronous;
+  c.termination = cga::Termination::after_evaluations(200);
+  const auto r = run_parallel(m, c);
+  EXPECT_GE(r.total_evaluations(), 200u);
+  // Overshoot at most one full population generation.
+  EXPECT_LE(r.total_evaluations(), 200u + c.population_size());
+}
+
+TEST(ParallelSyncMode, TraceAndQualityComparableToAsync) {
+  const auto m = instance(61);
+  auto c = fast_config(2);
+  c.collect_trace = true;
+  c.termination = cga::Termination::after_generations(15);
+  c.update = cga::UpdatePolicy::kSynchronous;
+  const auto sync = run_parallel(m, c);
+  c.update = cga::UpdatePolicy::kAsynchronous;
+  const auto async = run_parallel(m, c);
+  ASSERT_FALSE(sync.result.trace.empty());
+  ASSERT_FALSE(async.result.trace.empty());
+  // Same search, same budget: final quality within a loose factor.
+  EXPECT_LT(sync.result.best_fitness, async.result.best_fitness * 1.25);
+  EXPECT_LT(async.result.best_fitness, sync.result.best_fitness * 1.25);
+}
+
+TEST(ParallelSyncMode, LockStressWithBarriers) {
+  const auto m = instance(67);
+  cga::Config c;
+  c.width = 4;
+  c.height = 4;
+  c.threads = 8;
+  c.update = cga::UpdatePolicy::kSynchronous;
+  c.local_search.iterations = 1;
+  c.termination = cga::Termination::after_generations(40);
+  const auto r = run_parallel(m, c);
+  EXPECT_TRUE(r.result.best.validate(1e-9));
+  for (const auto& st : r.threads) EXPECT_EQ(st.generations, 40u);
+}
+
+TEST(ThreadPinning, PinCurrentThreadReturnsVerdict) {
+  // On Linux pinning to core 0 should succeed; elsewhere it reports false.
+  // Either way it must not crash and the engine must accept the flag.
+  (void)pin_current_thread(0);
+  const auto m = instance();
+  auto c = fast_config(2);
+  c.pin_threads = true;
+  const auto r = run_parallel(m, c);
+  EXPECT_TRUE(r.result.best.validate(1e-9));
+}
+
+}  // namespace
+}  // namespace pacga::par

@@ -1,0 +1,120 @@
+#include "cga/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+
+namespace pacga::cga {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 91) {
+  etc::GenSpec spec;
+  spec.tasks = 64;
+  spec.machines = 8;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+TEST(Population, SizeMatchesGrid) {
+  const auto m = instance();
+  support::Xoshiro256 rng(1);
+  Population pop(m, Grid(8, 4), rng, false, sched::Objective::kMakespan);
+  EXPECT_EQ(pop.size(), 32u);
+  EXPECT_EQ(pop.grid().width(), 8u);
+  EXPECT_EQ(pop.grid().height(), 4u);
+}
+
+TEST(Population, FitnessMatchesSchedules) {
+  const auto m = instance();
+  support::Xoshiro256 rng(2);
+  Population pop(m, Grid(4, 4), rng, false, sched::Objective::kMakespan);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pop.at(i).fitness, pop.at(i).schedule.makespan());
+    EXPECT_TRUE(pop.at(i).schedule.validate(1e-9));
+  }
+}
+
+TEST(Population, MinMinSeedPlacedAtCellZero) {
+  const auto m = instance();
+  support::Xoshiro256 rng(3);
+  Population pop(m, Grid(6, 6), rng, true, sched::Objective::kMakespan);
+  const double minmin_ms = heur::min_min(m).makespan();
+  EXPECT_DOUBLE_EQ(pop.at(0).fitness, minmin_ms);
+  // The seed is (essentially always) the best initial individual.
+  EXPECT_EQ(pop.best_index(), 0u);
+}
+
+TEST(Population, NoSeedMeansAllRandom) {
+  const auto m = instance();
+  support::Xoshiro256 rng(4);
+  Population pop(m, Grid(6, 6), rng, false, sched::Objective::kMakespan);
+  const double minmin_ms = heur::min_min(m).makespan();
+  // A random 64-task assignment matching Min-min exactly is implausible.
+  EXPECT_NE(pop.at(0).fitness, minmin_ms);
+}
+
+TEST(Population, BestIndexAndMeanFitness) {
+  const auto m = instance();
+  support::Xoshiro256 rng(5);
+  Population pop(m, Grid(4, 4), rng, false, sched::Objective::kMakespan);
+  const std::size_t best = pop.best_index();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    EXPECT_LE(pop.at(best).fitness, pop.at(i).fitness);
+    sum += pop.at(i).fitness;
+  }
+  EXPECT_NEAR(pop.mean_fitness(), sum / 16.0, 1e-9);
+}
+
+TEST(Population, ObjectiveControlsFitness) {
+  const auto m = instance();
+  support::Xoshiro256 rng(6);
+  Population flow(m, Grid(3, 3), rng, false, sched::Objective::kFlowtime);
+  for (std::size_t i = 0; i < flow.size(); ++i) {
+    EXPECT_DOUBLE_EQ(flow.at(i).fitness, flow.at(i).schedule.flowtime());
+  }
+}
+
+TEST(Population, DeterministicGivenRngState) {
+  const auto m = instance();
+  support::Xoshiro256 a(7), b(7);
+  Population p1(m, Grid(4, 4), a, true, sched::Objective::kMakespan);
+  Population p2(m, Grid(4, 4), b, true, sched::Objective::kMakespan);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1.at(i).schedule.hamming_distance(p2.at(i).schedule), 0u);
+  }
+}
+
+TEST(Population, LocksAreIndependentAndShareable) {
+  const auto m = instance();
+  support::Xoshiro256 rng(8);
+  Population pop(m, Grid(4, 4), rng, false, sched::Objective::kMakespan);
+  // Two concurrent shared locks on the same cell; exclusive on another.
+  std::shared_lock r1(pop.lock(3));
+  std::shared_lock r2(pop.lock(3));  // must not block
+  std::unique_lock w(pop.lock(4));   // different cell: must not block
+  EXPECT_TRUE(r1.owns_lock());
+  EXPECT_TRUE(r2.owns_lock());
+  EXPECT_TRUE(w.owns_lock());
+}
+
+TEST(Population, WriterExcludesReader) {
+  const auto m = instance();
+  support::Xoshiro256 rng(9);
+  Population pop(m, Grid(4, 4), rng, false, sched::Objective::kMakespan);
+  std::unique_lock writer(pop.lock(0));
+  std::thread reader([&] {
+    std::shared_lock lock(pop.lock(0), std::defer_lock);
+    EXPECT_FALSE(lock.try_lock());  // writer holds it
+  });
+  reader.join();
+}
+
+}  // namespace
+}  // namespace pacga::cga

@@ -1,0 +1,115 @@
+#include "cga/population_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "etc/braun.hpp"
+
+namespace pacga::cga {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 111) {
+  etc::GenSpec spec;
+  spec.tasks = 32;
+  spec.machines = 8;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+Population make_population(const etc::EtcMatrix& m, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  return Population(m, Grid(4, 4), rng, true, sched::Objective::kMakespan);
+}
+
+TEST(PopulationIo, RoundTripPreservesAssignmentsAndFitness) {
+  const auto m = instance();
+  auto original = make_population(m, 1);
+  std::stringstream buf;
+  save_population(buf, original);
+
+  auto restored = make_population(m, 999);  // different content
+  load_population(buf, restored, sched::Objective::kMakespan);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original.at(i).schedule.hamming_distance(
+                  restored.at(i).schedule),
+              0u)
+        << "cell " << i;
+    EXPECT_DOUBLE_EQ(original.at(i).fitness, restored.at(i).fitness);
+  }
+}
+
+TEST(PopulationIo, FitnessRecomputedUnderRequestedObjective) {
+  const auto m = instance();
+  auto pop = make_population(m, 2);
+  std::stringstream buf;
+  save_population(buf, pop);
+  auto restored = make_population(m, 3);
+  load_population(buf, restored, sched::Objective::kFlowtime);
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.at(i).fitness,
+                     restored.at(i).schedule.flowtime());
+  }
+}
+
+TEST(PopulationIo, RejectsShapeMismatch) {
+  const auto m = instance();
+  auto pop = make_population(m, 4);
+  std::stringstream buf;
+  save_population(buf, pop);
+
+  support::Xoshiro256 rng(5);
+  Population other(m, Grid(2, 8), rng, false, sched::Objective::kMakespan);
+  EXPECT_THROW(load_population(buf, other, sched::Objective::kMakespan),
+               std::runtime_error);
+}
+
+TEST(PopulationIo, RejectsMalformedInput) {
+  const auto m = instance();
+  auto pop = make_population(m, 6);
+
+  std::stringstream bad_magic("not-a-pop 1 4 4 32\n");
+  EXPECT_THROW(load_population(bad_magic, pop, sched::Objective::kMakespan),
+               std::runtime_error);
+
+  std::stringstream bad_version("pacga-pop 99 4 4 32\n");
+  EXPECT_THROW(load_population(bad_version, pop, sched::Objective::kMakespan),
+               std::runtime_error);
+
+  std::stringstream truncated("pacga-pop 1 4 4 32\n0 1 2\n");
+  EXPECT_THROW(load_population(truncated, pop, sched::Objective::kMakespan),
+               std::runtime_error);
+
+  std::stringstream empty;
+  EXPECT_THROW(load_population(empty, pop, sched::Objective::kMakespan),
+               std::runtime_error);
+}
+
+TEST(PopulationIo, RejectsOutOfRangeMachineIds) {
+  const auto m = instance();
+  auto pop = make_population(m, 7);
+  std::stringstream buf;
+  buf << "pacga-pop 1 4 4 32\n";
+  for (int cell = 0; cell < 16; ++cell) {
+    for (int t = 0; t < 32; ++t) buf << " 200";  // only 8 machines exist
+    buf << '\n';
+  }
+  EXPECT_THROW(load_population(buf, pop, sched::Objective::kMakespan),
+               std::runtime_error);
+}
+
+TEST(PopulationIo, FileRoundTrip) {
+  const auto m = instance();
+  auto pop = make_population(m, 8);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pacga_pop_test.txt").string();
+  save_population_file(path, pop);
+  auto restored = make_population(m, 9);
+  load_population_file(path, restored, sched::Objective::kMakespan);
+  EXPECT_EQ(pop.at(5).schedule.hamming_distance(restored.at(5).schedule), 0u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace pacga::cga

@@ -1,0 +1,78 @@
+#include "etc/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "etc/suite.hpp"
+
+namespace pacga::etc {
+namespace {
+
+class RepositoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("pacga_repo_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(RepositoryTest, CreatesRootDirectory) {
+  InstanceRepository repo(root_);
+  EXPECT_TRUE(std::filesystem::exists(root_));
+}
+
+TEST_F(RepositoryTest, GeneratesOnFirstLoadCachesAfter) {
+  InstanceRepository repo(root_);
+  EXPECT_FALSE(repo.cached("u_c_lolo.0"));
+  const auto m1 = repo.load("u_c_lolo.0");
+  EXPECT_TRUE(repo.cached("u_c_lolo.0"));
+  const auto m2 = repo.load("u_c_lolo.0");  // now from disk
+  ASSERT_EQ(m1.tasks(), m2.tasks());
+  for (std::size_t t = 0; t < m1.tasks(); ++t) {
+    for (std::size_t mm = 0; mm < m1.machines(); ++mm) {
+      EXPECT_DOUBLE_EQ(m1(t, mm), m2(t, mm));
+    }
+  }
+}
+
+TEST_F(RepositoryTest, CachedMatchesDirectGeneration) {
+  InstanceRepository repo(root_);
+  const auto from_repo = repo.load("u_i_hilo.0");
+  const auto direct = generate_by_name("u_i_hilo.0");
+  EXPECT_DOUBLE_EQ(from_repo(100, 7), direct(100, 7));
+  EXPECT_DOUBLE_EQ(from_repo.min_etc(), direct.min_etc());
+}
+
+TEST_F(RepositoryTest, UnknownNameThrows) {
+  InstanceRepository repo(root_);
+  EXPECT_THROW(repo.load("not_a_name"), std::invalid_argument);
+}
+
+TEST_F(RepositoryTest, MaterializeSuiteCreatesTwelveFiles) {
+  InstanceRepository repo(root_);
+  const auto paths = repo.materialize_suite();
+  ASSERT_EQ(paths.size(), 12u);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(std::filesystem::exists(p)) << p;
+  }
+  // Second call is a no-op on existing files (same mtimes acceptable; just
+  // verify it does not throw and returns the same paths).
+  const auto again = repo.materialize_suite();
+  EXPECT_EQ(again, paths);
+}
+
+TEST_F(RepositoryTest, ClearRemovesEtcFiles) {
+  InstanceRepository repo(root_);
+  repo.load("u_s_lolo.0");
+  ASSERT_TRUE(repo.cached("u_s_lolo.0"));
+  repo.clear();
+  EXPECT_FALSE(repo.cached("u_s_lolo.0"));
+}
+
+}  // namespace
+}  // namespace pacga::etc

@@ -1,0 +1,130 @@
+#include "baselines/sa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+#include "support/stats.hpp"
+
+namespace pacga::baseline {
+namespace {
+
+etc::EtcMatrix instance(std::uint64_t seed = 121) {
+  etc::GenSpec spec;
+  spec.tasks = 128;
+  spec.machines = 16;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+SaConfig fast_config() {
+  SaConfig c;
+  c.iters_per_temp = 64;
+  c.termination = cga::Termination::after_generations(20);
+  return c;
+}
+
+TEST(SimulatedAnnealing, Deterministic) {
+  const auto m = instance();
+  const auto c = fast_config();
+  const auto r1 = run_simulated_annealing(m, c);
+  const auto r2 = run_simulated_annealing(m, c);
+  EXPECT_DOUBLE_EQ(r1.best_fitness, r2.best_fitness);
+  EXPECT_EQ(r1.best.hamming_distance(r2.best), 0u);
+}
+
+TEST(SimulatedAnnealing, BestNeverWorseThanSeed) {
+  const auto m = instance();
+  const auto r = run_simulated_annealing(m, fast_config());
+  EXPECT_LE(r.best_fitness, heur::min_min(m).makespan() + 1e-9);
+  EXPECT_TRUE(r.best.validate(1e-9));
+  EXPECT_DOUBLE_EQ(r.best.makespan(), r.best_fitness);
+}
+
+TEST(SimulatedAnnealing, ImprovesRandomStart) {
+  const auto m = instance();
+  auto c = fast_config();
+  c.seed_min_min = false;
+  c.termination = cga::Termination::after_generations(60);
+  const auto r = run_simulated_annealing(m, c);
+  support::Xoshiro256 rng(c.seed);
+  const double start = sched::Schedule::random(m, rng).makespan();
+  EXPECT_LT(r.best_fitness, start);
+}
+
+TEST(SimulatedAnnealing, SwapNeighborWorks) {
+  const auto m = instance();
+  auto c = fast_config();
+  c.neighbor = cga::MutationKind::kSwap;
+  const auto r = run_simulated_annealing(m, c);
+  EXPECT_TRUE(r.best.validate(1e-9));
+}
+
+TEST(SimulatedAnnealing, GenerationAndEvaluationAccounting) {
+  const auto m = instance();
+  auto c = fast_config();
+  c.termination = cga::Termination::after_generations(10);
+  const auto r = run_simulated_annealing(m, c);
+  EXPECT_EQ(r.generations, 10u);
+  // Null moves (same-machine proposals) are skipped without evaluation,
+  // so evaluations <= generations * iters_per_temp.
+  EXPECT_LE(r.evaluations, 10u * c.iters_per_temp);
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST(SimulatedAnnealing, EvaluationBudgetRespected) {
+  const auto m = instance();
+  auto c = fast_config();
+  c.termination = cga::Termination::after_evaluations(100);
+  const auto r = run_simulated_annealing(m, c);
+  EXPECT_EQ(r.evaluations, 100u);
+}
+
+TEST(SimulatedAnnealing, TemperatureFloorTerminates) {
+  const auto m = instance();
+  auto c = fast_config();
+  c.cooling = 0.5;
+  c.min_temp_ratio = 1e-3;  // ~10 halvings
+  c.termination = cga::Termination{};  // no other bound
+  c.termination.wall_seconds = 30.0;   // safety only
+  const auto r = run_simulated_annealing(m, c);
+  EXPECT_LE(r.generations, 12u);
+}
+
+TEST(SimulatedAnnealing, TraceTracksBestMonotonically) {
+  const auto m = instance();
+  auto c = fast_config();
+  c.collect_trace = true;
+  const auto r = run_simulated_annealing(m, c);
+  ASSERT_GT(r.trace.size(), 1u);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i].best_fitness, r.trace[i - 1].best_fitness + 1e-9);
+  }
+}
+
+TEST(SimulatedAnnealing, ValidatesConfig) {
+  const auto m = instance();
+  SaConfig c;
+  c.cooling = 1.5;
+  EXPECT_THROW(run_simulated_annealing(m, c), std::invalid_argument);
+  c = SaConfig{};
+  c.iters_per_temp = 0;
+  EXPECT_THROW(run_simulated_annealing(m, c), std::invalid_argument);
+  c = SaConfig{};
+  c.neighbor = cga::MutationKind::kRebalance;
+  EXPECT_THROW(run_simulated_annealing(m, c), std::invalid_argument);
+  c = SaConfig{};
+  c.initial_temp_factor = 0.0;
+  EXPECT_THROW(run_simulated_annealing(m, c), std::invalid_argument);
+}
+
+TEST(Duplex, NeverWorseThanEitherDual) {
+  const auto m = instance();
+  const double d = heur::duplex(m).makespan();
+  EXPECT_LE(d, heur::min_min(m).makespan() + 1e-9);
+  EXPECT_LE(d, heur::max_min(m).makespan() + 1e-9);
+}
+
+}  // namespace
+}  // namespace pacga::baseline

@@ -1,0 +1,200 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/braun.hpp"
+
+namespace pacga::sched {
+namespace {
+
+etc::EtcMatrix tiny() {
+  // 4 tasks x 2 machines.
+  return etc::EtcMatrix(4, 2,
+                        {1.0, 10.0,   // task 0
+                         2.0, 20.0,   // task 1
+                         3.0, 30.0,   // task 2
+                         4.0, 40.0}); // task 3
+}
+
+etc::EtcMatrix braun_small(std::uint64_t seed = 3) {
+  etc::GenSpec spec;
+  spec.tasks = 64;
+  spec.machines = 8;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return etc::generate(spec);
+}
+
+TEST(Schedule, CompletionTimesFromAssignment) {
+  const auto m = tiny();
+  Schedule s(m, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(s.completion(0), 3.0);   // 1 + 2
+  EXPECT_DOUBLE_EQ(s.completion(1), 70.0);  // 30 + 40
+  EXPECT_DOUBLE_EQ(s.makespan(), 70.0);
+}
+
+TEST(Schedule, DefaultPutsAllOnMachineZero) {
+  const auto m = tiny();
+  Schedule s(m);
+  EXPECT_DOUBLE_EQ(s.completion(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.completion(1), 0.0);
+  EXPECT_EQ(s.tasks_on(0), 4u);
+}
+
+TEST(Schedule, ReadyTimesIncluded) {
+  etc::EtcMatrix m(2, 2, {1, 2, 3, 4}, {100.0, 200.0});
+  Schedule s(m, {0, 1});
+  EXPECT_DOUBLE_EQ(s.completion(0), 101.0);
+  EXPECT_DOUBLE_EQ(s.completion(1), 204.0);
+}
+
+TEST(Schedule, RejectsBadAssignment) {
+  const auto m = tiny();
+  EXPECT_THROW(Schedule(m, {0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Schedule(m, {0, 0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Schedule, MoveTaskUpdatesIncrementally) {
+  const auto m = tiny();
+  Schedule s(m, {0, 0, 1, 1});
+  s.move_task(0, 1);  // task 0: machine 0 -> 1
+  EXPECT_EQ(s.machine_of(0), 1);
+  EXPECT_DOUBLE_EQ(s.completion(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.completion(1), 80.0);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(Schedule, MoveToSameMachineIsNoOp) {
+  const auto m = tiny();
+  Schedule s(m, {0, 0, 1, 1});
+  const double c0 = s.completion(0);
+  s.move_task(0, 0);
+  EXPECT_DOUBLE_EQ(s.completion(0), c0);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(Schedule, SwapUpdatesIncrementally) {
+  const auto m = tiny();
+  Schedule s(m, {0, 1, 0, 1});
+  s.swap_tasks(0, 1);  // task0 -> m1, task1 -> m0
+  EXPECT_EQ(s.machine_of(0), 1);
+  EXPECT_EQ(s.machine_of(1), 0);
+  EXPECT_TRUE(s.validate());
+  // Swap of same-machine tasks is a no-op.
+  Schedule u(m, {0, 0, 1, 1});
+  u.swap_tasks(0, 1);
+  EXPECT_EQ(u.machine_of(0), 0);
+  EXPECT_TRUE(u.validate());
+}
+
+TEST(Schedule, CopySegmentMatchesSource) {
+  const auto m = braun_small();
+  support::Xoshiro256 rng(1);
+  Schedule a = Schedule::random(m, rng);
+  const Schedule b = Schedule::random(m, rng);
+  a.copy_segment(b, 10, 40);
+  for (std::size_t t = 10; t < 40; ++t) {
+    EXPECT_EQ(a.machine_of(t), b.machine_of(t));
+  }
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(Schedule, ArgmaxArgminConsistentWithCompletions) {
+  const auto m = braun_small();
+  support::Xoshiro256 rng(2);
+  const Schedule s = Schedule::random(m, rng);
+  const std::size_t mx = s.argmax_machine();
+  const std::size_t mn = s.argmin_machine();
+  for (std::size_t k = 0; k < s.machines(); ++k) {
+    EXPECT_LE(s.completion(k), s.completion(mx));
+    EXPECT_GE(s.completion(k), s.completion(mn));
+  }
+}
+
+TEST(Schedule, MakespanEqualsMaxCompletion) {
+  const auto m = braun_small();
+  support::Xoshiro256 rng(3);
+  const Schedule s = Schedule::random(m, rng);
+  double mx = 0;
+  for (std::size_t k = 0; k < s.machines(); ++k)
+    mx = std::max(mx, s.completion(k));
+  EXPECT_DOUBLE_EQ(s.makespan(), mx);
+}
+
+TEST(Schedule, FlowtimeShortestFirstLowerBoundsMakespanTimesTasks) {
+  const auto m = braun_small();
+  support::Xoshiro256 rng(4);
+  const Schedule s = Schedule::random(m, rng);
+  const double flow = s.flowtime();
+  // Each task finishes no later than the machine completion time, so
+  // flowtime <= tasks * makespan; and flowtime >= makespan (the last task
+  // on the makespan machine finishes at its completion time).
+  EXPECT_LE(flow, static_cast<double>(s.tasks()) * s.makespan() + 1e-9);
+  EXPECT_GE(flow, s.makespan() - 1e-9);
+}
+
+TEST(Schedule, FlowtimeHandCheck) {
+  const auto m = tiny();
+  Schedule s(m, {0, 0, 0, 1});
+  // Machine 0 ETCs: 1, 2, 3 shortest-first => finishes 1, 3, 6 -> 10.
+  // Machine 1 ETC: 40 -> 40. Total 50.
+  EXPECT_DOUBLE_EQ(s.flowtime(), 50.0);
+}
+
+TEST(Schedule, HammingDistance) {
+  const auto m = tiny();
+  const Schedule a(m, {0, 0, 1, 1});
+  const Schedule b(m, {0, 1, 0, 1});
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Schedule, ValidateDetectsCorruption) {
+  const auto m = braun_small();
+  support::Xoshiro256 rng(5);
+  Schedule s = Schedule::random(m, rng);
+  EXPECT_TRUE(s.validate());
+}
+
+/// Property: after any random sequence of incremental operations, the
+/// cached completion times equal a from-scratch recomputation exactly
+/// (modulo floating-point drift).
+class IncrementalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IncrementalPropertyTest, CacheStaysCoherent) {
+  const auto m = braun_small(GetParam());
+  support::Xoshiro256 rng(GetParam() * 31 + 1);
+  Schedule s = Schedule::random(m, rng);
+  const Schedule other = Schedule::random(m, rng);
+  for (int op = 0; op < 2000; ++op) {
+    switch (rng.index(3)) {
+      case 0:
+        s.move_task(rng.index(s.tasks()),
+                    static_cast<MachineId>(rng.index(s.machines())));
+        break;
+      case 1: {
+        const std::size_t a = rng.index(s.tasks());
+        const std::size_t b = rng.index(s.tasks());
+        if (a != b) s.swap_tasks(a, b);
+        break;
+      }
+      case 2: {
+        std::size_t lo = rng.index(s.tasks());
+        std::size_t hi = rng.index(s.tasks());
+        if (lo > hi) std::swap(lo, hi);
+        s.copy_segment(other, lo, hi);
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(s.validate(1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace pacga::sched

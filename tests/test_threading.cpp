@@ -1,0 +1,89 @@
+#include "support/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace pacga::support {
+namespace {
+
+TEST(Padded, OccupiesWholeCacheLines) {
+  EXPECT_EQ(alignof(Padded<int>), kCacheLineSize);
+  EXPECT_EQ(sizeof(Padded<int>) % kCacheLineSize, 0u);
+  Padded<int> p;
+  *p = 5;
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(PaddedArray, AdjacentElementsOnDistinctLines) {
+  std::vector<Padded<std::uint64_t>> v(4);
+  const auto a = reinterpret_cast<std::uintptr_t>(&v[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&v[1].value);
+  EXPECT_GE(b - a, kCacheLineSize);
+}
+
+TEST(ScopedThreads, RunsAllWorkers) {
+  std::vector<Padded<int>> hits(8);
+  {
+    ScopedThreads threads(8, [&](std::size_t i) { *hits[i] = 1; });
+  }
+  for (auto& h : hits) EXPECT_EQ(*h, 1);
+}
+
+TEST(ScopedThreads, JoinIsIdempotent) {
+  ScopedThreads threads(2, [](std::size_t) {});
+  threads.join();
+  threads.join();  // second join must be a no-op
+}
+
+TEST(ScopedThreads, WorkerIndexIsUnique) {
+  std::atomic<std::uint64_t> mask{0};
+  {
+    ScopedThreads threads(10, [&](std::size_t i) {
+      mask.fetch_or(1ULL << i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(mask.load(), (1ULL << 10) - 1);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr std::size_t kParties = 4;
+  constexpr int kPhases = 50;
+  Barrier barrier(kParties);
+  std::atomic<int> phase_count{0};
+  std::atomic<bool> violation{false};
+  {
+    ScopedThreads threads(kParties, [&](std::size_t) {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_count.fetch_add(1, std::memory_order_relaxed);
+        barrier.arrive_and_wait();
+        // After the barrier, all parties of phase p have incremented.
+        if (phase_count.load(std::memory_order_relaxed) <
+            static_cast<int>(kParties) * (p + 1)) {
+          violation.store(true, std::memory_order_relaxed);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_count.load(), static_cast<int>(kParties) * kPhases);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Barrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
+}
+
+TEST(ClampThreads, RespectsHardwareAndFloor) {
+  EXPECT_EQ(clamp_threads(0), 1u);
+  EXPECT_GE(clamp_threads(1), 1u);
+  const std::size_t big = clamp_threads(100000);
+  EXPECT_LE(big, 100000u);
+  EXPECT_GE(big, 1u);
+}
+
+}  // namespace
+}  // namespace pacga::support

@@ -1,0 +1,80 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace pacga::support {
+namespace {
+
+TEST(Wilcoxon, IdenticalPairsGiveNoEvidence) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const auto r = wilcoxon_signed_rank(a, a);
+  EXPECT_EQ(r.n_effective, 0u);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Wilcoxon, ConsistentShiftIsSignificant) {
+  Xoshiro256 rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.uniform(0, 10);
+    a.push_back(base);
+    b.push_back(base + rng.uniform(0.5, 1.5));  // b always larger
+  }
+  const auto r = wilcoxon_signed_rank(a, b);
+  EXPECT_EQ(r.n_effective, 30u);
+  EXPECT_LT(r.p_value, 1e-4);
+  EXPECT_LT(r.z, 0.0);  // a < b => W+ small => negative z
+}
+
+TEST(Wilcoxon, SymmetricNoiseNotSignificant) {
+  Xoshiro256 rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) {
+    const double base = rng.uniform(0, 10);
+    a.push_back(base + rng.uniform(-1, 1));
+    b.push_back(base + rng.uniform(-1, 1));
+  }
+  const auto r = wilcoxon_signed_rank(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Wilcoxon, DirectionSymmetry) {
+  Xoshiro256 rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 25; ++i) {
+    a.push_back(rng.uniform(0, 1));
+    b.push_back(rng.uniform(0.2, 1.2));
+  }
+  const auto ab = wilcoxon_signed_rank(a, b);
+  const auto ba = wilcoxon_signed_rank(b, a);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-9);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-9);
+  EXPECT_DOUBLE_EQ(ab.w, ba.w);  // min(W+, W-) is direction-free
+}
+
+TEST(Wilcoxon, DropsZeroDifferences) {
+  const std::vector<double> a{1, 2, 3, 4, 5, 6};
+  const std::vector<double> b{1, 2, 3, 5, 6, 7};  // 3 ties, 3 shifts
+  const auto r = wilcoxon_signed_rank(a, b);
+  EXPECT_EQ(r.n_effective, 3u);
+}
+
+TEST(Wilcoxon, RejectsBadInput) {
+  EXPECT_THROW(wilcoxon_signed_rank({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(wilcoxon_signed_rank({}, {}), std::invalid_argument);
+}
+
+TEST(Wilcoxon, HandComputedSmallCase) {
+  // Differences: +1, +2, -3  => |d| ranks: 1, 2, 3.
+  // W+ = 1 + 2 = 3; W- = 3; W = 3.
+  const std::vector<double> a{11, 12, 10};
+  const std::vector<double> b{10, 10, 13};
+  const auto r = wilcoxon_signed_rank(a, b);
+  EXPECT_DOUBLE_EQ(r.w, 3.0);
+  EXPECT_EQ(r.n_effective, 3u);
+}
+
+}  // namespace
+}  // namespace pacga::support
