@@ -10,9 +10,11 @@
 //   * the operators on the paper's 512x16 instance shape.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <mutex>
 #include <shared_mutex>
 
+#include "cga/breeder.hpp"
 #include "cga/crossover.hpp"
 #include "cga/engine.hpp"
 #include "cga/local_search.hpp"
@@ -20,7 +22,10 @@
 #include "etc/suite.hpp"
 #include "heuristics/minmin.hpp"
 #include "heuristics/sufferage.hpp"
+#include "pacga/cellwise_engine.hpp"
+#include "pacga/parallel_engine.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -177,8 +182,9 @@ BENCHMARK(BM_SharedMutexWriteAcquire);
 
 void BM_BreedStep(benchmark::State& state) {
   // One full sequential breeding step (selection -> tpx -> move -> H2LL(10)
-  // -> evaluate) on the paper's population shape. The paper reports a whole
-  // 256-cell generation under 6 ms; one step should be ~25 us there.
+  // -> evaluate) on the paper's population shape, via the LEGACY allocating
+  // path (fresh offspring per call). The paper reports a whole 256-cell
+  // generation under 6 ms; one step should be ~25 us there.
   const auto& m = paper_instance();
   support::Xoshiro256 rng(8);
   cga::Config config;
@@ -195,6 +201,47 @@ void BM_BreedStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BreedStep);
+
+void BM_BreederStep(benchmark::State& state) {
+  // The same breeding step through the zero-allocation Breeder core (the
+  // engines' actual hot path after the refactor). The delta vs BM_BreedStep
+  // is the malloc traffic the refactor removed.
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(8);
+  cga::Config config;
+  config.termination = cga::Termination::after_generations(1);
+  cga::Grid grid(config.width, config.height);
+  cga::Population pop(m, grid, rng, true, config.objective);
+  cga::Breeder breeder(m, config);
+  cga::Individual out(sched::Schedule(m), 0.0);
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    breeder.breed_into(pop, idx, rng, out);
+    benchmark::DoNotOptimize(out.fitness);
+    idx = (idx + 1) % pop.size();
+  }
+}
+BENCHMARK(BM_BreederStep);
+
+void BM_BreederStepLocked(benchmark::State& state) {
+  // Zero-allocation step under the PA-CGA locking discipline (uncontended
+  // locks): the per-step price of the paper's parallel engine.
+  const auto& m = paper_instance();
+  support::Xoshiro256 rng(8);
+  cga::Config config;
+  config.termination = cga::Termination::after_generations(1);
+  cga::Grid grid(config.width, config.height);
+  cga::Population pop(m, grid, rng, true, config.objective);
+  cga::Breeder breeder(m, config);
+  cga::Individual out(sched::Schedule(m), 0.0);
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    breeder.breed_locked_into(pop, idx, rng, out);
+    benchmark::DoNotOptimize(out.fitness);
+    idx = (idx + 1) % pop.size();
+  }
+}
+BENCHMARK(BM_BreederStepLocked);
 
 void BM_MinMin(benchmark::State& state) {
   // The population seed heuristic on the full 512x16 shape.
@@ -213,6 +260,99 @@ void BM_Sufferage(benchmark::State& state) {
 }
 BENCHMARK(BM_Sufferage);
 
+// --- engine throughput -> BENCH_engines.json ------------------------------
+// Machine-readable per-engine evaluations/sec under a fixed wall budget,
+// plus the pre-refactor sequential loop (legacy detail::breed, allocating
+// per step) as the before/after baseline. Written after the
+// google-benchmark run by the custom main below.
+
+/// The sequential loop as written before the Breeder refactor: fresh
+/// offspring allocation on every step. Returns evaluations performed.
+std::uint64_t legacy_sequential_evals(const etc::EtcMatrix& m,
+                                      cga::Config config) {
+  support::Xoshiro256 rng(config.seed);
+  cga::Grid grid(config.width, config.height);
+  cga::Population pop(m, grid, rng, config.seed_min_min, config.objective);
+  std::vector<std::size_t> neigh;
+  std::vector<double> fit;
+  const support::Deadline deadline(config.termination.wall_seconds);
+  std::uint64_t evaluations = 0;
+  while (!deadline.expired()) {
+    for (std::size_t idx = 0; idx < pop.size(); ++idx) {
+      auto child = cga::detail::breed(pop, idx, config, rng, neigh, fit);
+      ++evaluations;
+      if (child.fitness < pop.at(idx).fitness) {
+        pop.at(idx) = std::move(child);
+      }
+    }
+  }
+  return evaluations;
+}
+
+void write_engines_json(const char* path) {
+  const auto& m = paper_instance();
+  const double budget_s = 0.25;
+  cga::Config config;
+  config.termination = cga::Termination::after_seconds(budget_s);
+
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"instance\": \"u_i_hihi.0\",\n");
+  std::fprintf(out, "  \"wall_budget_seconds\": %.3f,\n", budget_s);
+  std::fprintf(out, "  \"engines\": [\n");
+
+  auto emit = [&](const char* name, std::uint64_t evals, double elapsed,
+                  bool last) {
+    std::fprintf(out,
+                 "    {\"engine\": \"%s\", \"evaluations\": %llu, "
+                 "\"elapsed_seconds\": %.4f, \"evals_per_sec\": %.1f}%s\n",
+                 name, static_cast<unsigned long long>(evals), elapsed,
+                 static_cast<double>(evals) / elapsed, last ? "" : ",");
+  };
+
+  {
+    support::WallTimer t;
+    const std::uint64_t evals = legacy_sequential_evals(m, config);
+    emit("sequential_legacy_prealloc_refactor_baseline", evals,
+         t.elapsed_seconds(), false);
+  }
+  {
+    const auto r = cga::run_sequential(m, config);
+    emit("sequential", r.evaluations, r.elapsed_seconds, false);
+  }
+  {
+    const auto r = par::run_cellwise(m, config);
+    emit("cellwise", r.result.evaluations, r.result.elapsed_seconds, false);
+  }
+  {
+    cga::Config async = config;
+    async.update = cga::UpdatePolicy::kAsynchronous;
+    const auto r = par::run_parallel(m, async);
+    emit("parallel_async", r.result.evaluations, r.result.elapsed_seconds,
+         false);
+  }
+  {
+    cga::Config sync = config;
+    sync.update = cga::UpdatePolicy::kSynchronous;
+    const auto r = par::run_parallel(m, sync);
+    emit("parallel_sync", r.result.evaluations, r.result.elapsed_seconds,
+         true);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_engines_json("BENCH_engines.json");
+  return 0;
+}

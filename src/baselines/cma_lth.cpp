@@ -1,12 +1,8 @@
 #include "baselines/cma_lth.hpp"
 
 #include <stdexcept>
-#include <vector>
 
 #include "cga/engine.hpp"
-#include "cga/local_search.hpp"
-#include "cga/population.hpp"
-#include "support/timer.hpp"
 
 namespace pacga::baseline {
 
@@ -26,87 +22,39 @@ void CmaLthConfig::validate() const {
 cga::Result run_cma_lth(const etc::EtcMatrix& etc,
                         const CmaLthConfig& config) {
   config.validate();
-  support::Xoshiro256 rng(config.seed);
-  cga::Grid grid(config.width, config.height);
-  cga::Population pop(etc, grid, rng, config.seed_min_min, config.objective);
-  const std::size_t n = pop.size();
-
-  cga::Individual best = pop.at(pop.best_index());
-  support::WallTimer timer;
-  const support::Deadline deadline(config.termination.wall_seconds);
-
-  std::vector<std::size_t> neigh_scratch;
-  std::vector<double> fit_scratch;
-  std::vector<cga::Individual> staged;
-  staged.reserve(n);
-
-  std::uint64_t evaluations = 0;
-  std::uint64_t generations = 0;
-  std::vector<cga::TracePoint> trace;
-
-  auto record_trace = [&] {
-    if (!config.collect_trace) return;
-    trace.push_back({generations, timer.elapsed_seconds(),
-                     pop.at(pop.best_index()).fitness, pop.mean_fitness()});
-  };
-  record_trace();
-
-  bool stop = false;
-  while (!stop) {
-    staged.clear();
-    for (std::size_t idx = 0; idx < n; ++idx) {
-      cga::neighborhood_of(grid, idx, config.neighborhood, neigh_scratch);
-      fit_scratch.clear();
-      for (std::size_t cell : neigh_scratch)
-        fit_scratch.push_back(pop.at(cell).fitness);
-      const auto [pa_pos, pb_pos] =
-          cga::select_parents(config.selection, fit_scratch, rng);
-      const cga::Individual& pa = pop.at(neigh_scratch[pa_pos]);
-      const cga::Individual& pb = pop.at(neigh_scratch[pb_pos]);
-
-      sched::Schedule offspring =
-          rng.bernoulli(config.p_comb)
-              ? cga::crossover(config.crossover, pa.schedule, pb.schedule,
-                               rng)
-              : pa.schedule;
-      if (rng.bernoulli(config.p_mut)) {
-        cga::mutate(config.mutation, offspring, rng);
-      }
-      // Memetic intensification: Local Tabu Hop on the offspring.
-      if (config.tabu.iterations > 0 && rng.bernoulli(config.p_ls)) {
-        cga::local_tabu_hop(offspring, config.tabu, rng);
-      }
-      cga::Individual child =
-          cga::Individual::evaluated(std::move(offspring), config.objective);
-      ++evaluations;
-      if (child.fitness < best.fitness) best = child;
-      staged.push_back(std::move(child));
-      if (evaluations >= config.termination.max_evaluations) {
-        stop = true;
-        break;
-      }
-    }
-
-    // Synchronous generational commit (replace if better).
-    for (std::size_t k = 0; k < staged.size(); ++k) {
-      if (staged[k].fitness < pop.at(k).fitness) {
-        pop.at(k) = std::move(staged[k]);
-      }
-    }
-
-    ++generations;
-    record_trace();
-    if (deadline.expired()) stop = true;
-    if (generations >= config.termination.max_generations) stop = true;
-  }
-
-  cga::Result result{std::move(best.schedule)};
-  result.best_fitness = best.fitness;
-  result.evaluations = evaluations;
-  result.generations = generations;
-  result.elapsed_seconds = timer.elapsed_seconds();
-  result.trace = std::move(trace);
-  return result;
+  // cMA+LTH is the synchronous cellular engine with Local Tabu Hop as the
+  // memetic step: same sweep, selection snapshot, variation draw order,
+  // staged generational commit, best tracking, and termination as the
+  // shared core — so it IS the shared core, parameterized. (Historically
+  // this file hand-rolled the whole loop.)
+  cga::Config mapped;
+  mapped.width = config.width;
+  mapped.height = config.height;
+  mapped.neighborhood = config.neighborhood;
+  mapped.selection = config.selection;
+  mapped.crossover = config.crossover;
+  mapped.p_comb = config.p_comb;
+  mapped.mutation = config.mutation;
+  mapped.p_mut = config.p_mut;
+  mapped.p_ls = config.p_ls;
+  mapped.ls_kind = cga::LocalSearchKind::kTabuHop;
+  // The engine gates local search on local_search.iterations; mirror the
+  // tabu iteration count there so tabu{0, ...} disables the memetic step.
+  mapped.local_search.iterations = config.tabu.iterations;
+  mapped.tabu = config.tabu;
+  mapped.replacement = cga::ReplacementPolicy::kReplaceIfBetter;
+  mapped.update = cga::UpdatePolicy::kSynchronous;
+  mapped.sweep = cga::SweepPolicy::kLineSweep;
+  mapped.seed_min_min = config.seed_min_min;
+  mapped.objective = config.objective;
+  mapped.lambda = config.lambda;
+  mapped.termination = config.termination;
+  mapped.seed = config.seed;
+  mapped.collect_trace = config.collect_trace;
+  // The sequential engine ignores threads, but its validate() still checks
+  // them against the grid; 1 keeps tiny grids valid.
+  mapped.threads = 1;
+  return cga::run_sequential(etc, mapped);
 }
 
 }  // namespace pacga::baseline

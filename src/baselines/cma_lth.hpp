@@ -27,6 +27,7 @@ struct CmaLthConfig {
   cga::TabuHopParams tabu{10, 8};
   bool seed_min_min = true;
   sched::Objective objective = sched::Objective::kMakespan;
+  double lambda = 0.75;  ///< weighted-objective makespan weight
   cga::Termination termination = cga::Termination::after_generations(100);
   std::uint64_t seed = 1;
   bool collect_trace = false;

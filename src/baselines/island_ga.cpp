@@ -10,6 +10,7 @@
 #include "cga/crossover.hpp"
 #include "cga/individual.hpp"
 #include "cga/local_search.hpp"
+#include "cga/loop.hpp"
 #include "cga/mutation.hpp"
 #include "cga/selection.hpp"
 #include "heuristics/minmin.hpp"
@@ -54,8 +55,7 @@ cga::Result run_island_ga(const etc::EtcMatrix& etc,
   std::vector<std::optional<cga::Individual>> island_best(n_islands);
 
   std::atomic<std::uint64_t> global_evaluations{0};
-  const support::WallTimer timer;
-  const support::Deadline deadline(config.termination.wall_seconds);
+  const cga::TerminationController termination(config.termination);
 
   auto worker = [&](std::size_t tid) {
     support::Xoshiro256& rng = rngs[tid + 1];
@@ -63,11 +63,12 @@ cga::Result run_island_ga(const etc::EtcMatrix& etc,
     pop.reserve(config.island_population);
     for (std::size_t i = 0; i < config.island_population; ++i) {
       pop.push_back(cga::Individual::evaluated(
-          sched::Schedule::random(etc, rng), config.objective));
+          sched::Schedule::random(etc, rng), config.objective,
+          config.lambda));
     }
     if (config.seed_min_min && tid == 0) {
-      pop[0] =
-          cga::Individual::evaluated(heur::min_min(etc), config.objective);
+      pop[0] = cga::Individual::evaluated(heur::min_min(etc),
+                                          config.objective, config.lambda);
     }
 
     auto best_of = [&]() -> std::size_t {
@@ -85,7 +86,7 @@ cga::Result run_island_ga(const etc::EtcMatrix& etc,
       return w;
     };
 
-    cga::Individual best = pop[best_of()];
+    cga::BestTracker best(pop[best_of()]);
     std::vector<double> fitness_view(pop.size());
     std::uint64_t local_evals = 0;
     std::uint64_t generation = 0;
@@ -110,9 +111,9 @@ cga::Result run_island_ga(const etc::EtcMatrix& etc,
           cga::h2ll(offspring, config.local_search, rng);
         }
         cga::Individual child = cga::Individual::evaluated(
-            std::move(offspring), config.objective);
+            std::move(offspring), config.objective, config.lambda);
         ++local_evals;
-        if (child.fitness < best.fitness) best = child;
+        best.observe(child);
         const std::size_t w = worst_of();
         if (child.fitness < pop[w].fitness) pop[w] = std::move(child);
       }
@@ -139,30 +140,37 @@ cga::Result run_island_ga(const etc::EtcMatrix& etc,
         }
       }
 
+      // The paper's per-sweep termination granularity, via the shared
+      // controller: one verdict covering deadline, generation budget, and
+      // the global evaluation total.
       const std::uint64_t evals_now =
           global_evaluations.fetch_add(pop.size(),
                                        std::memory_order_relaxed) +
           pop.size();
-      if (deadline.expired()) break;
-      if (generation >= config.termination.max_generations) break;
-      if (evals_now >= config.termination.max_evaluations) break;
+      if (termination.sweep_done(generation, evals_now)) break;
     }
     evals[tid].value = local_evals;
     gens[tid].value = generation;
-    island_best[tid] = std::move(best);
+    island_best[tid] = best.take();
   };
 
   {
     support::ScopedThreads threads(n_islands, worker);
   }  // join
 
-  std::optional<cga::Individual> best;
+  std::optional<cga::BestTracker> best;
   for (auto& ib : island_best) {
-    if (ib && (!best || ib->fitness < best->fitness)) best = std::move(*ib);
+    if (!ib) continue;
+    if (!best) {
+      best.emplace(*ib);
+    } else {
+      best->observe(*ib);
+    }
   }
-  cga::Result result{std::move(best->schedule)};
-  result.best_fitness = best->fitness;
-  result.elapsed_seconds = timer.elapsed_seconds();
+  cga::Individual winner = best->take();
+  cga::Result result{std::move(winner.schedule)};
+  result.best_fitness = winner.fitness;
+  result.elapsed_seconds = termination.elapsed_seconds();
   for (std::size_t i = 0; i < n_islands; ++i) {
     result.evaluations += evals[i].value;
     result.generations = std::max(result.generations, gens[i].value);

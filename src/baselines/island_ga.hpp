@@ -29,6 +29,7 @@ struct IslandConfig {
   std::size_t migration_interval = 10;
   bool seed_min_min = true;  ///< island 0 gets the Min-min individual
   sched::Objective objective = sched::Objective::kMakespan;
+  double lambda = 0.75;  ///< weighted-objective makespan weight
   cga::Termination termination = cga::Termination::after_generations(100);
   std::uint64_t seed = 1;
 

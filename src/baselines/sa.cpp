@@ -32,7 +32,8 @@ cga::Result run_simulated_annealing(const etc::EtcMatrix& etc,
   sched::Schedule current =
       config.seed_min_min ? heur::min_min(etc)
                           : sched::Schedule::random(etc, rng);
-  double current_fit = sched::evaluate(current, config.objective);
+  double current_fit =
+      sched::evaluate(current, config.objective, config.lambda);
   sched::Schedule best = current;
   double best_fit = current_fit;
 
@@ -78,7 +79,7 @@ cga::Result run_simulated_annealing(const etc::EtcMatrix& etc,
       }
 
       const double proposal_fit =
-          sched::evaluate(current, config.objective);
+          sched::evaluate(current, config.objective, config.lambda);
       ++evaluations;
       const double delta = proposal_fit - current_fit;
       const bool accept =

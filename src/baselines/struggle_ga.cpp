@@ -6,6 +6,7 @@
 
 #include "cga/crossover.hpp"
 #include "cga/individual.hpp"
+#include "cga/loop.hpp"
 #include "cga/mutation.hpp"
 #include "cga/selection.hpp"
 #include "heuristics/minmin.hpp"
@@ -29,38 +30,29 @@ cga::Result run_struggle_ga(const etc::EtcMatrix& etc,
   pop.reserve(config.population);
   for (std::size_t i = 0; i < config.population; ++i) {
     pop.push_back(cga::Individual::evaluated(
-        sched::Schedule::random(etc, rng), config.objective));
+        sched::Schedule::random(etc, rng), config.objective, config.lambda));
   }
   if (config.seed_min_min) {
-    pop[0] =
-        cga::Individual::evaluated(heur::min_min(etc), config.objective);
+    pop[0] = cga::Individual::evaluated(heur::min_min(etc), config.objective,
+                                        config.lambda);
   }
 
   std::size_t best_idx = 0;
   for (std::size_t i = 1; i < pop.size(); ++i) {
     if (pop[i].fitness < pop[best_idx].fitness) best_idx = i;
   }
-  cga::Individual best = pop[best_idx];
 
-  support::WallTimer timer;
-  const support::Deadline deadline(config.termination.wall_seconds);
+  // Shared loop core: best tracking, termination, and tracing are the same
+  // components the cellular engines use; only the struggle replacement
+  // below is this baseline's own.
+  const cga::TerminationController termination(config.termination);
+  cga::BestTracker best(pop[best_idx]);
+  cga::TraceRecorder trace(config.collect_trace);
+
   std::uint64_t evaluations = 0;
   std::uint64_t generations = 0;
-  std::vector<cga::TracePoint> trace;
   std::vector<double> fitness_view(pop.size());
-
-  auto record_trace = [&] {
-    if (!config.collect_trace) return;
-    double sum = 0.0;
-    double b = pop[0].fitness;
-    for (const auto& ind : pop) {
-      sum += ind.fitness;
-      b = std::min(b, ind.fitness);
-    }
-    trace.push_back({generations, timer.elapsed_seconds(), b,
-                     sum / static_cast<double>(pop.size())});
-  };
-  record_trace();
+  trace.sample(generations, termination.elapsed_seconds(), pop);
 
   bool stop = false;
   while (!stop) {
@@ -79,10 +71,10 @@ cga::Result run_struggle_ga(const etc::EtcMatrix& etc,
       if (rng.bernoulli(config.p_mut)) {
         cga::mutate(config.mutation, offspring, rng);
       }
-      cga::Individual child =
-          cga::Individual::evaluated(std::move(offspring), config.objective);
+      cga::Individual child = cga::Individual::evaluated(
+          std::move(offspring), config.objective, config.lambda);
       ++evaluations;
-      if (child.fitness < best.fitness) best = child;
+      best.observe(child);
 
       // Struggle replacement: the offspring competes with the individual
       // most similar to it, not with the worst one.
@@ -100,23 +92,23 @@ cga::Result run_struggle_ga(const etc::EtcMatrix& etc,
         pop[most_similar] = std::move(child);
       }
 
-      if (evaluations >= config.termination.max_evaluations) {
+      if (termination.evaluations_exhausted(evaluations)) {
         stop = true;
         break;
       }
     }
     ++generations;
-    record_trace();
-    if (deadline.expired()) stop = true;
-    if (generations >= config.termination.max_generations) stop = true;
+    trace.sample(generations, termination.elapsed_seconds(), pop);
+    if (termination.sweep_done(generations, evaluations)) stop = true;
   }
 
-  cga::Result result{std::move(best.schedule)};
-  result.best_fitness = best.fitness;
+  cga::Individual winner = best.take();
+  cga::Result result{std::move(winner.schedule)};
+  result.best_fitness = winner.fitness;
   result.evaluations = evaluations;
   result.generations = generations;
-  result.elapsed_seconds = timer.elapsed_seconds();
-  result.trace = std::move(trace);
+  result.elapsed_seconds = termination.elapsed_seconds();
+  result.trace = trace.take();
   return result;
 }
 

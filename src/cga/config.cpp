@@ -42,6 +42,7 @@ void Config::validate() const {
   probability(p_comb, "p_comb");
   probability(p_mut, "p_mut");
   probability(p_ls, "p_ls");
+  probability(lambda, "lambda");
   if (threads == 0) throw std::invalid_argument("Config: threads == 0");
   if (threads > population_size())
     throw std::invalid_argument("Config: more threads than individuals");

@@ -88,6 +88,9 @@ struct Config {
   SweepPolicy sweep = SweepPolicy::kLineSweep;
   bool seed_min_min = true;  ///< one Min-min individual in the initial pop
   sched::Objective objective = sched::Objective::kMakespan;
+  /// Weight of makespan in kWeightedMakespanFlowtime (ignored otherwise);
+  /// 0.75 is the common choice in the cMA literature.
+  double lambda = 0.75;
   Termination termination = Termination::after_generations(100);
   std::uint64_t seed = 1;
   std::size_t threads = 3;  ///< used by the parallel engine only

@@ -13,16 +13,55 @@ const char* to_string(CrossoverKind k) noexcept {
   return "?";
 }
 
+namespace {
+
+// The in-place kernels assume `child` already equals parent a.
+
+void one_point_into(sched::Schedule& child, const sched::Schedule& b,
+                    support::Xoshiro256& rng) {
+  const std::size_t n = child.tasks();
+  if (n < 2) return;
+  // Cut in [1, n-1] so both parents contribute at least one gene.
+  const std::size_t cut = 1 + rng.index(n - 1);
+  child.copy_segment(b, cut, n);
+}
+
+void two_point_into(sched::Schedule& child, const sched::Schedule& b,
+                    support::Xoshiro256& rng) {
+  const std::size_t n = child.tasks();
+  if (n < 2) return;
+  std::size_t lo = rng.index(n);
+  std::size_t hi = rng.index(n);
+  if (lo > hi) std::swap(lo, hi);
+  if (lo == hi) hi = lo + 1;  // degenerate draw: still exchange one gene
+  child.copy_segment(b, lo, hi);
+}
+
+void uniform_into(sched::Schedule& child, const sched::Schedule& b,
+                  support::Xoshiro256& rng) {
+  for (std::size_t t = 0; t < child.tasks(); ++t) {
+    if (rng.bernoulli(0.5)) child.move_task(t, b.machine_of(t));
+  }
+}
+
+}  // namespace
+
+void crossover_into(CrossoverKind kind, sched::Schedule& child,
+                    const sched::Schedule& b, support::Xoshiro256& rng) {
+  assert(child.tasks() == b.tasks());
+  switch (kind) {
+    case CrossoverKind::kOnePoint: return one_point_into(child, b, rng);
+    case CrossoverKind::kTwoPoint: return two_point_into(child, b, rng);
+    case CrossoverKind::kUniform: return uniform_into(child, b, rng);
+  }
+}
+
 sched::Schedule one_point_crossover(const sched::Schedule& a,
                                     const sched::Schedule& b,
                                     support::Xoshiro256& rng) {
   assert(a.tasks() == b.tasks());
-  const std::size_t n = a.tasks();
   sched::Schedule child = a;
-  if (n < 2) return child;
-  // Cut in [1, n-1] so both parents contribute at least one gene.
-  const std::size_t cut = 1 + rng.index(n - 1);
-  child.copy_segment(b, cut, n);
+  one_point_into(child, b, rng);
   return child;
 }
 
@@ -30,14 +69,8 @@ sched::Schedule two_point_crossover(const sched::Schedule& a,
                                     const sched::Schedule& b,
                                     support::Xoshiro256& rng) {
   assert(a.tasks() == b.tasks());
-  const std::size_t n = a.tasks();
   sched::Schedule child = a;
-  if (n < 2) return child;
-  std::size_t lo = rng.index(n);
-  std::size_t hi = rng.index(n);
-  if (lo > hi) std::swap(lo, hi);
-  if (lo == hi) hi = lo + 1;  // degenerate draw: still exchange one gene
-  child.copy_segment(b, lo, hi);
+  two_point_into(child, b, rng);
   return child;
 }
 
@@ -46,20 +79,15 @@ sched::Schedule uniform_crossover(const sched::Schedule& a,
                                   support::Xoshiro256& rng) {
   assert(a.tasks() == b.tasks());
   sched::Schedule child = a;
-  for (std::size_t t = 0; t < a.tasks(); ++t) {
-    if (rng.bernoulli(0.5)) child.move_task(t, b.machine_of(t));
-  }
+  uniform_into(child, b, rng);
   return child;
 }
 
 sched::Schedule crossover(CrossoverKind kind, const sched::Schedule& a,
                           const sched::Schedule& b, support::Xoshiro256& rng) {
-  switch (kind) {
-    case CrossoverKind::kOnePoint: return one_point_crossover(a, b, rng);
-    case CrossoverKind::kTwoPoint: return two_point_crossover(a, b, rng);
-    case CrossoverKind::kUniform: return uniform_crossover(a, b, rng);
-  }
-  return one_point_crossover(a, b, rng);
+  sched::Schedule child = a;
+  crossover_into(kind, child, b, rng);
+  return child;
 }
 
 }  // namespace pacga::cga

@@ -39,4 +39,12 @@ sched::Schedule uniform_crossover(const sched::Schedule& a,
 sched::Schedule crossover(CrossoverKind kind, const sched::Schedule& a,
                           const sched::Schedule& b, support::Xoshiro256& rng);
 
+/// In-place form for preallocated offspring buffers (the Breeder hot
+/// path): `child` must already hold a copy of parent `a` (assign_from);
+/// the call applies `b`'s contribution with incremental cache updates and
+/// no allocation. RNG draw order is identical to the by-value operators,
+/// so both forms produce the same offspring from the same stream.
+void crossover_into(CrossoverKind kind, sched::Schedule& child,
+                    const sched::Schedule& b, support::Xoshiro256& rng);
+
 }  // namespace pacga::cga

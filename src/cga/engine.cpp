@@ -1,8 +1,8 @@
 #include "cga/engine.hpp"
 
-#include <numeric>
-
-#include "support/timer.hpp"
+#include "cga/breeder.hpp"
+#include "cga/neighborhood.hpp"
+#include "cga/selection.hpp"
 
 namespace pacga::cga {
 
@@ -10,23 +10,8 @@ namespace detail {
 
 std::vector<std::size_t> make_sweep_order(SweepPolicy policy, std::size_t n,
                                           support::Xoshiro256& rng) {
-  std::vector<std::size_t> order(n);
-  switch (policy) {
-    case SweepPolicy::kLineSweep:
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      break;
-    case SweepPolicy::kReverseSweep:
-      for (std::size_t i = 0; i < n; ++i) order[i] = n - 1 - i;
-      break;
-    case SweepPolicy::kFixedShuffle:
-    case SweepPolicy::kNewShuffle:
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      rng.shuffle(order);
-      break;
-    case SweepPolicy::kUniformChoice:
-      for (auto& i : order) i = rng.index(n);
-      break;
-  }
+  std::vector<std::size_t> order;
+  fill_sweep_order(policy, n, order, rng);
   return order;
 }
 
@@ -41,23 +26,10 @@ Individual breed(const Population& pop, std::size_t index,
   }
   const auto [pa_pos, pb_pos] =
       select_parents(config.selection, fit_scratch, rng);
-  const Individual& pa = pop.at(neigh_scratch[pa_pos]);
-  const Individual& pb = pop.at(neigh_scratch[pb_pos]);
-
-  sched::Schedule offspring =
-      rng.bernoulli(config.p_comb)
-          ? crossover(config.crossover, pa.schedule, pb.schedule, rng)
-          : pa.schedule;  // no recombination: clone the first parent
-
-  if (rng.bernoulli(config.p_mut)) {
-    mutate(config.mutation, offspring, rng);
-  }
-  if (config.ls_kind != LocalSearchKind::kNone &&
-      config.local_search.iterations > 0 && rng.bernoulli(config.p_ls)) {
-    apply_local_search(config.ls_kind, offspring, config.local_search,
-                       config.tabu, rng);
-  }
-  return Individual::evaluated(std::move(offspring), config.objective);
+  Individual child(pop.at(neigh_scratch[pa_pos]).schedule, 0.0);
+  vary_and_evaluate(child, pop.at(neigh_scratch[pb_pos]).schedule, config,
+                    rng);
+  return child;
 }
 
 bool should_replace(ReplacementPolicy policy, double offspring,
@@ -73,90 +45,88 @@ bool should_replace(ReplacementPolicy policy, double offspring,
 
 }  // namespace detail
 
-Result run_sequential(const etc::EtcMatrix& etc, const Config& config) {
+Result run_sequential(const etc::EtcMatrix& etc, const Config& config,
+                      const GenerationObserver& observer) {
   config.validate();
   support::Xoshiro256 rng(config.seed);
   Grid grid(config.width, config.height);
-  Population pop(etc, grid, rng, config.seed_min_min, config.objective);
+  Population pop(etc, grid, rng, config.seed_min_min, config.objective,
+                 config.lambda);
   const std::size_t n = pop.size();
+  const bool synchronous = config.update == UpdatePolicy::kSynchronous;
 
-  Individual best = pop.at(pop.best_index());
-  support::WallTimer timer;
-  const support::Deadline deadline(config.termination.wall_seconds);
+  // The shared core. Everything below is preallocated once; the breeding
+  // loop itself performs no heap allocation.
+  TerminationController termination(config.termination);
+  BestTracker best(pop.at(pop.best_index()));
+  TraceRecorder trace(config.collect_trace);
+  Breeder breeder(etc, config);
+  SweepOrderCache order(config.sweep, n, rng);
 
-  std::vector<std::size_t> neigh_scratch;
-  std::vector<double> fit_scratch;
-  std::vector<std::size_t> order =
-      detail::make_sweep_order(config.sweep, n, rng);
-  // Staged offspring for the synchronous mode; cell i's offspring lives at
-  // staged[i] (or nullopt when no offspring was produced this generation,
-  // which cannot happen here since every cell breeds every generation).
+  // Offspring buffers: one scratch for the asynchronous mode; one slot per
+  // cell for the synchronous auxiliary population (staged[k] belongs to
+  // order[k] of the current sweep).
+  Individual scratch(sched::Schedule(etc), 0.0);
   std::vector<Individual> staged;
+  if (synchronous) {
+    staged.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      staged.emplace_back(sched::Schedule(etc), 0.0);
+    }
+  }
+  std::size_t staged_count = 0;
 
   std::uint64_t evaluations = 0;
   std::uint64_t generations = 0;
-  std::vector<TracePoint> trace;
-  bool stop = false;
+  trace.sample(generations, termination.elapsed_seconds(), pop);
 
-  auto record_trace = [&] {
-    if (!config.collect_trace) return;
-    trace.push_back({generations, timer.elapsed_seconds(),
-                     pop.at(pop.best_index()).fitness, pop.mean_fitness()});
-  };
-  record_trace();
-
-  while (!stop) {
-    if (config.sweep == SweepPolicy::kNewShuffle ||
-        config.sweep == SweepPolicy::kUniformChoice) {
-      order = detail::make_sweep_order(config.sweep, n, rng);
-    }
-    if (config.update == UpdatePolicy::kSynchronous) staged.clear();
-
-    for (std::size_t idx : order) {
-      Individual offspring =
-          detail::breed(pop, idx, config, rng, neigh_scratch, fit_scratch);
-      ++evaluations;
-      if (offspring.fitness < best.fitness) best = offspring;
-      if (config.update == UpdatePolicy::kAsynchronous) {
-        if (detail::should_replace(config.replacement, offspring.fitness,
-                                   pop.at(idx).fitness)) {
-          pop.at(idx) = std::move(offspring);
+  run_sweep_loop(
+      order, rng,
+      [&](std::size_t idx) {  // one breeding step
+        Individual& out = synchronous ? staged[staged_count] : scratch;
+        breeder.breed_into(pop, idx, rng, out);
+        ++evaluations;
+        best.observe(out);
+        if (synchronous) {
+          ++staged_count;
+        } else if (detail::should_replace(config.replacement, out.fitness,
+                                          pop.at(idx).fitness)) {
+          Breeder::replace(pop.at(idx), out);
         }
-      } else {
-        staged.push_back(std::move(offspring));
-      }
-      if (evaluations >= config.termination.max_evaluations) {
-        stop = true;
-        break;
-      }
-    }
-
-    if (config.update == UpdatePolicy::kSynchronous) {
-      // Generational commit: every staged offspring competes with the cell
-      // it was bred for (staged[k] belongs to order[k]).
-      for (std::size_t k = 0; k < staged.size(); ++k) {
-        const std::size_t idx = order[k];
-        if (detail::should_replace(config.replacement, staged[k].fitness,
-                                   pop.at(idx).fitness)) {
-          pop.at(idx) = std::move(staged[k]);
+        return termination.evaluations_exhausted(evaluations);
+      },
+      [&] {  // end of sweep
+        if (synchronous) {
+          // Generational commit: every staged offspring competes with the
+          // cell it was bred for.
+          const auto& o = order.order();
+          for (std::size_t k = 0; k < staged_count; ++k) {
+            if (detail::should_replace(config.replacement, staged[k].fitness,
+                                       pop.at(o[k]).fitness)) {
+              Breeder::replace(pop.at(o[k]), staged[k]);
+            }
+          }
+          staged_count = 0;
         }
-      }
-    }
+        ++generations;
+        trace.sample(generations, termination.elapsed_seconds(), pop);
+        if (observer) {
+          observer({generations, evaluations, termination.elapsed_seconds(),
+                    best.fitness(), pop});
+        }
+        // Wall-clock and generation budgets once per generation — the
+        // paper's coarse-grained approximation (Algorithm 3 checks after
+        // the block sweep).
+        return termination.sweep_done(generations, evaluations);
+      });
 
-    ++generations;
-    record_trace();
-    // Wall-clock check once per generation — the paper's coarse-grained
-    // approximation (Algorithm 3 checks after the block sweep).
-    if (deadline.expired()) stop = true;
-    if (generations >= config.termination.max_generations) stop = true;
-  }
-
-  Result result{std::move(best.schedule)};
-  result.best_fitness = best.fitness;
+  Individual winner = best.take();
+  Result result{std::move(winner.schedule)};
+  result.best_fitness = winner.fitness;
   result.evaluations = evaluations;
   result.generations = generations;
-  result.elapsed_seconds = timer.elapsed_seconds();
-  result.trace = std::move(trace);
+  result.elapsed_seconds = termination.elapsed_seconds();
+  result.trace = trace.take();
   return result;
 }
 

@@ -2,30 +2,42 @@
 // Supports both update policies (asynchronous = paper Algorithm 1;
 // synchronous = auxiliary-population variant) and every sweep policy.
 // PA-CGA with one thread is exactly this engine with kLineSweep/async.
+//
+// The loop body is assembled from the shared core (cga/loop.hpp +
+// cga/breeder.hpp): the same components drive the parallel engines, so a
+// steady-state breeding step allocates nothing and every engine exposes
+// the same per-generation observer hook.
 #pragma once
 
 #include "cga/config.hpp"
+#include "cga/loop.hpp"
 #include "cga/population.hpp"
 #include "etc/etc_matrix.hpp"
 
 namespace pacga::cga {
 
 /// Runs the sequential CGA on `etc` per `config`. Deterministic: same seed,
-/// same result. `config.threads` is ignored here.
-Result run_sequential(const etc::EtcMatrix& etc, const Config& config);
+/// same result. `config.threads` is ignored here. `observer` (optional) is
+/// called after every committed generation from a quiescent point —
+/// checkpointing and streaming stats hook in there.
+Result run_sequential(const etc::EtcMatrix& etc, const Config& config,
+                      const GenerationObserver& observer = {});
 
 namespace detail {
 
 /// Builds the visiting order for one generation. For kUniformChoice the
 /// returned order is a fresh uniform sample WITH replacement (paper's
 /// "uniform choice" policy); all other policies are permutations.
+/// (Compatibility wrapper over cga::fill_sweep_order; the engines use
+/// SweepOrderCache and never reallocate.)
 std::vector<std::size_t> make_sweep_order(SweepPolicy policy, std::size_t n,
                                           support::Xoshiro256& rng);
 
 /// One breeding step on cell `index` (paper Algorithm 3 lines 3-8, minus
 /// replacement): neighborhood -> selection -> recombination -> mutation ->
-/// local search -> evaluation. Reads the population unsynchronized — the
-/// parallel engine has its own locked variant.
+/// local search -> evaluation. Reads the population unsynchronized.
+/// (Compatibility wrapper: allocates a fresh offspring per call. The
+/// engines use cga::Breeder, which reuses buffers and allocates nothing.)
 Individual breed(const Population& pop, std::size_t index,
                  const Config& config, support::Xoshiro256& rng,
                  std::vector<std::size_t>& neigh_scratch,

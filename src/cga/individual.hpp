@@ -16,9 +16,11 @@ struct Individual {
   Individual(sched::Schedule s, sched::Fitness f)
       : schedule(std::move(s)), fitness(f) {}
 
-  /// Builds and evaluates in one step.
-  static Individual evaluated(sched::Schedule s, sched::Objective objective) {
-    const sched::Fitness f = sched::evaluate(s, objective);
+  /// Builds and evaluates in one step. `lambda` weights the combined
+  /// makespan/flowtime objective only (Config::lambda plumbs through here).
+  static Individual evaluated(sched::Schedule s, sched::Objective objective,
+                              double lambda = 0.75) {
+    const sched::Fitness f = sched::evaluate(s, objective, lambda);
     return Individual(std::move(s), f);
   }
 };

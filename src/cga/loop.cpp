@@ -1,0 +1,92 @@
+#include "cga/loop.hpp"
+
+#include <numeric>
+#include <shared_mutex>
+
+namespace pacga::cga {
+
+void fill_sweep_order(SweepPolicy policy, std::size_t n,
+                      std::vector<std::size_t>& order,
+                      support::Xoshiro256& rng) {
+  order.resize(n);
+  switch (policy) {
+    case SweepPolicy::kLineSweep:
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      break;
+    case SweepPolicy::kReverseSweep:
+      for (std::size_t i = 0; i < n; ++i) order[i] = n - 1 - i;
+      break;
+    case SweepPolicy::kFixedShuffle:
+    case SweepPolicy::kNewShuffle:
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      rng.shuffle(order);
+      break;
+    case SweepPolicy::kUniformChoice:
+      for (auto& i : order) i = rng.index(n);
+      break;
+  }
+}
+
+SweepOrderCache::SweepOrderCache(SweepPolicy policy, std::size_t n,
+                                 support::Xoshiro256& rng)
+    : policy_(policy) {
+  fill_sweep_order(policy_, n, order_, rng);
+}
+
+const std::vector<std::size_t>& SweepOrderCache::next_sweep(
+    support::Xoshiro256& rng) {
+  // The historical loops regenerated these two policies at the TOP of every
+  // generation (discarding the construction-time order's content but not
+  // its RNG draws); keeping that shape preserves every pinned trajectory.
+  if (policy_ == SweepPolicy::kNewShuffle ||
+      policy_ == SweepPolicy::kUniformChoice) {
+    fill_sweep_order(policy_, order_.size(), order_, rng);
+  }
+  return order_;
+}
+
+void TraceRecorder::sample(std::uint64_t generation, double elapsed_seconds,
+                           const Population& pop) {
+  if (!enabled_) return;
+  double sum = 0.0;
+  double best = pop.at(0).fitness;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const double f = pop.at(i).fitness;
+    sum += f;
+    if (f < best) best = f;
+  }
+  trace_.push_back({generation, elapsed_seconds, best,
+                    sum / static_cast<double>(pop.size())});
+}
+
+void TraceRecorder::sample(std::uint64_t generation, double elapsed_seconds,
+                           const std::vector<Individual>& pop) {
+  if (!enabled_) return;
+  double sum = 0.0;
+  double best = pop.at(0).fitness;
+  for (const Individual& ind : pop) {
+    sum += ind.fitness;
+    if (ind.fitness < best) best = ind.fitness;
+  }
+  trace_.push_back({generation, elapsed_seconds, best,
+                    sum / static_cast<double>(pop.size())});
+}
+
+void TraceRecorder::sample_locked(std::uint64_t generation,
+                                  double elapsed_seconds, Population& pop) {
+  if (!enabled_) return;
+  double sum = 0.0;
+  double best = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    std::shared_lock lock(pop.lock(i));
+    const double f = pop.at(i).fitness;
+    sum += f;
+    if (first || f < best) best = f;
+    first = false;
+  }
+  trace_.push_back({generation, elapsed_seconds, best,
+                    sum / static_cast<double>(pop.size())});
+}
+
+}  // namespace pacga::cga

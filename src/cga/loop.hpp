@@ -1,0 +1,200 @@
+// The shared engine-loop core. Every evolution loop in the library
+// (cga::run_sequential, par::run_cellwise, par::run_parallel sync+async,
+// and the GA baselines) is assembled from these pieces instead of
+// re-implementing sweep ordering, best tracking, termination, and tracing:
+//
+//   * SweepOrderCache       — the visiting order, regenerated in place
+//                             (no per-generation allocation);
+//   * TerminationController — wall clock + generation + evaluation budgets
+//                             behind one verdict, checked at the paper's
+//                             per-block-sweep granularity;
+//   * BestTracker           — best-ever individual, updated into
+//                             preallocated storage (no alloc on improve);
+//   * TraceRecorder         — the Figure 6 per-generation samples;
+//   * GenerationObserver    — user hook after every committed generation
+//                             (checkpointing, streaming stats, early UI).
+//
+// The run_sweep_loop driver owns the loop skeleton; engines supply two
+// lambdas (per-cell step, end-of-sweep commit) that close over their own
+// synchronization discipline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cga/config.hpp"
+#include "cga/population.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace pacga::cga {
+
+/// Cached cell-visiting order for one block (or the whole population).
+/// Construction draws from `rng` exactly like the historical
+/// make_sweep_order call, and next_sweep() refreshes the order IN PLACE for
+/// the policies that need a fresh one per generation — the buffer is never
+/// reallocated.
+class SweepOrderCache {
+ public:
+  SweepOrderCache(SweepPolicy policy, std::size_t n, support::Xoshiro256& rng);
+
+  /// Order for the upcoming sweep (regenerates for kNewShuffle /
+  /// kUniformChoice; stable reference otherwise).
+  const std::vector<std::size_t>& next_sweep(support::Xoshiro256& rng);
+
+  const std::vector<std::size_t>& order() const noexcept { return order_; }
+
+ private:
+  void fill(support::Xoshiro256& rng);
+
+  SweepPolicy policy_;
+  std::vector<std::size_t> order_;
+};
+
+/// In-place form of the historical detail::make_sweep_order: overwrites
+/// `order` (resized to `n`) with the visiting order of one sweep.
+void fill_sweep_order(SweepPolicy policy, std::size_t n,
+                      std::vector<std::size_t>& order,
+                      support::Xoshiro256& rng);
+
+/// One place that answers "is this run over?". Owns the wall-clock deadline,
+/// so constructing the controller starts the run's clock. All checks are
+/// const — a single controller is safely shared by every worker thread.
+class TerminationController {
+ public:
+  explicit TerminationController(const Termination& limits)
+      : limits_(limits), deadline_(limits.wall_seconds) {}
+
+  /// Fine-grained check used where the historical loops stopped mid-sweep.
+  bool evaluations_exhausted(std::uint64_t evaluations) const noexcept {
+    return evaluations >= limits_.max_evaluations;
+  }
+
+  /// The paper's per-block-sweep verdict: wall clock OR generation budget
+  /// OR (global) evaluation budget.
+  bool sweep_done(std::uint64_t generations,
+                  std::uint64_t evaluations) const noexcept {
+    return deadline_.expired() || generations >= limits_.max_generations ||
+           evaluations >= limits_.max_evaluations;
+  }
+
+  double elapsed_seconds() const noexcept {
+    return deadline_.elapsed_seconds();
+  }
+  const Termination& limits() const noexcept { return limits_; }
+
+ private:
+  Termination limits_;
+  support::Deadline deadline_;
+};
+
+/// Best-ever individual of a run (or of one worker). observe() copies an
+/// improving candidate into preallocated storage, so tracking is free of
+/// heap traffic on the steady-state path.
+class BestTracker {
+ public:
+  explicit BestTracker(const Individual& seed) : best_(seed) {}
+
+  void observe(const Individual& candidate) {
+    if (candidate.fitness < best_.fitness) {
+      best_.schedule.assign_from(candidate.schedule);
+      best_.fitness = candidate.fitness;
+    }
+  }
+
+  /// Unsynchronized scan — call only when no writer is active.
+  void observe_population(const Population& pop) {
+    for (std::size_t i = 0; i < pop.size(); ++i) observe(pop.at(i));
+  }
+
+  const Individual& best() const noexcept { return best_; }
+  double fitness() const noexcept { return best_.fitness; }
+
+  /// Moves the best individual out (end of run).
+  Individual take() { return std::move(best_); }
+
+ private:
+  Individual best_;
+};
+
+/// Per-generation TracePoint collection (Figure 6 raw data). Disabled
+/// recorders are free: every call is a branch on one bool.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Whole-population sample, unsynchronized (sequential engines).
+  void sample(std::uint64_t generation, double elapsed_seconds,
+              const Population& pop);
+
+  /// Same, over a flat population (panmictic baselines).
+  void sample(std::uint64_t generation, double elapsed_seconds,
+              const std::vector<Individual>& pop);
+
+  /// Whole-population sample under per-cell read locks (parallel engines;
+  /// the lock discipline matches the historical sample_trace).
+  void sample_locked(std::uint64_t generation, double elapsed_seconds,
+                     Population& pop);
+
+  void push(const TracePoint& p) {
+    if (enabled_) trace_.push_back(p);
+  }
+
+  std::vector<TracePoint> take() { return std::move(trace_); }
+
+ private:
+  bool enabled_;
+  std::vector<TracePoint> trace_;
+};
+
+/// Snapshot handed to the per-generation observer. The population reference
+/// is live: in the asynchronous parallel engine other threads keep evolving
+/// it, so observers there must take the per-cell locks themselves (the
+/// sequential, cellwise, and synchronous engines call the observer from a
+/// quiescent point).
+struct GenerationEvent {
+  std::uint64_t generation = 0;     ///< committed sweeps of the caller
+  std::uint64_t evaluations = 0;    ///< engine-wide evaluations so far
+  double elapsed_seconds = 0.0;
+  /// Best-ever fitness KNOWN TO THE REPORTING WORKER. Engine-wide in the
+  /// sequential and cellwise engines; in run_parallel the reporter is
+  /// thread 0, so another thread's better find surfaces here only after
+  /// it enters the population and thread 0 observes it.
+  double best_fitness = 0.0;
+  const Population& population;
+};
+
+/// Called after every committed generation/block sweep. Keep it cheap: the
+/// engines invoke it on the hot path (sequential) or from worker 0
+/// (parallel engines).
+using GenerationObserver = std::function<void(const GenerationEvent&)>;
+
+/// The loop skeleton every engine shares: refresh the sweep order, visit
+/// each cell through `step`, then run `end_of_sweep` — repeatedly, until
+/// either asks to stop.
+///
+///   step(cell_position) -> bool  true = stop mid-sweep (budget hit); the
+///                                partial sweep still gets its end_of_sweep.
+///   end_of_sweep() -> bool       runs the engine's commit / barrier /
+///                                trace / termination logic; returns the
+///                                termination verdict for this sweep.
+template <typename Step, typename EndOfSweep>
+void run_sweep_loop(SweepOrderCache& order, support::Xoshiro256& order_rng,
+                    Step&& step, EndOfSweep&& end_of_sweep) {
+  bool stopping = false;
+  while (!stopping) {
+    const std::vector<std::size_t>& o = order.next_sweep(order_rng);
+    for (std::size_t pos : o) {
+      if (step(pos)) {
+        stopping = true;
+        break;
+      }
+    }
+    stopping = end_of_sweep() || stopping;
+  }
+}
+
+}  // namespace pacga::cga

@@ -6,15 +6,15 @@ namespace pacga::cga {
 
 Population::Population(const etc::EtcMatrix& etc, Grid grid,
                        support::Xoshiro256& rng, bool seed_min_min,
-                       sched::Objective objective)
+                       sched::Objective objective, double lambda)
     : grid_(grid) {
   cells_.reserve(grid_.size());
   for (std::size_t i = 0; i < grid_.size(); ++i) {
-    cells_.push_back(
-        Individual::evaluated(sched::Schedule::random(etc, rng), objective));
+    cells_.push_back(Individual::evaluated(sched::Schedule::random(etc, rng),
+                                           objective, lambda));
   }
   if (seed_min_min && !cells_.empty()) {
-    cells_[0] = Individual::evaluated(heur::min_min(etc), objective);
+    cells_[0] = Individual::evaluated(heur::min_min(etc), objective, lambda);
   }
   locks_ = std::make_unique<support::Padded<std::shared_mutex>[]>(grid_.size());
 }

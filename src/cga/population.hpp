@@ -21,9 +21,11 @@ namespace pacga::cga {
 class Population {
  public:
   /// Random initialization; when `seed_min_min` is set, cell 0 holds the
-  /// Min-min schedule (paper Table 1: "Min-min (1 ind)").
+  /// Min-min schedule (paper Table 1: "Min-min (1 ind)"). `lambda` weights
+  /// the combined objective (Config::lambda).
   Population(const etc::EtcMatrix& etc, Grid grid, support::Xoshiro256& rng,
-             bool seed_min_min, sched::Objective objective);
+             bool seed_min_min, sched::Objective objective,
+             double lambda = 0.75);
 
   // Not copyable (per-cell locks are identity); movable so populations can
   // be swapped wholesale (checkpoint restore, engine handoff). Moving

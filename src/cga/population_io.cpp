@@ -35,7 +35,7 @@ void save_population_file(const std::string& path, const Population& pop) {
 }
 
 void load_population(std::istream& in, Population& pop,
-                     sched::Objective objective) {
+                     sched::Objective objective, double lambda) {
   std::string magic;
   int version = 0;
   std::size_t width = 0, height = 0, tasks = 0;
@@ -65,16 +65,16 @@ void load_population(std::istream& in, Population& pop,
       assignment[t] = static_cast<sched::MachineId>(value);
     }
     pop.at(i) = Individual::evaluated(
-        sched::Schedule(etc, std::move(assignment)), objective);
+        sched::Schedule(etc, std::move(assignment)), objective, lambda);
   }
 }
 
 void load_population_file(const std::string& path, Population& pop,
-                          sched::Objective objective) {
+                          sched::Objective objective, double lambda) {
   std::ifstream in(path);
   if (!in)
     throw std::runtime_error("load_population_file: cannot open " + path);
-  load_population(in, pop, objective);
+  load_population(in, pop, objective, lambda);
 }
 
 }  // namespace pacga::cga

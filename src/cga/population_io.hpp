@@ -23,8 +23,8 @@ void save_population_file(const std::string& path, const Population& pop);
 /// fitness is re-evaluated under `objective` against `pop`'s own ETC
 /// matrix.
 void load_population(std::istream& in, Population& pop,
-                     sched::Objective objective);
+                     sched::Objective objective, double lambda = 0.75);
 void load_population_file(const std::string& path, Population& pop,
-                          sched::Objective objective);
+                          sched::Objective objective, double lambda = 0.75);
 
 }  // namespace pacga::cga

@@ -16,9 +16,11 @@
 #include "batch/policies.hpp"
 #include "batch/simulator.hpp"
 #include "batch/workload.hpp"
+#include "cga/breeder.hpp"
 #include "cga/config.hpp"
 #include "cga/diversity.hpp"
 #include "cga/engine.hpp"
+#include "cga/loop.hpp"
 #include "cga/multiobjective.hpp"
 #include "cga/population_io.hpp"
 #include "etc/braun.hpp"

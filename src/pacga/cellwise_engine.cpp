@@ -2,10 +2,11 @@
 
 #include <atomic>
 #include <algorithm>
-#include <optional>
 #include <vector>
 
+#include "cga/breeder.hpp"
 #include "cga/engine.hpp"
+#include "cga/loop.hpp"
 #include "cga/population.hpp"
 #include "support/threading.hpp"
 #include "support/timer.hpp"
@@ -26,78 +27,77 @@ support::Xoshiro256 cell_stream(std::uint64_t seed, std::size_t cell,
 }  // namespace
 
 ParallelResult run_cellwise(const etc::EtcMatrix& etc,
-                            const cga::Config& config) {
+                            const cga::Config& config,
+                            const cga::GenerationObserver& observer) {
   config.validate();
   const std::size_t n_threads = config.threads;
 
   support::Xoshiro256 init_rng(config.seed);
   cga::Grid grid(config.width, config.height);
   cga::Population pop(etc, grid, init_rng, config.seed_min_min,
-                      config.objective);
+                      config.objective, config.lambda);
   const std::size_t n = pop.size();
 
-  cga::Individual best = pop.at(pop.best_index());
-  std::vector<std::optional<cga::Individual>> staged(n);
-  std::vector<support::Padded<ThreadStats>> stats(n_threads);
-  std::vector<cga::TracePoint> trace;
+  // Shared core components. The auxiliary population is preallocated once;
+  // workers breed straight into their cells' slots, so the steady-state
+  // breeding step allocates nothing.
+  cga::TerminationController termination(config.termination);
+  cga::BestTracker best(pop.at(pop.best_index()));
+  cga::TraceRecorder trace(config.collect_trace);
+  std::vector<cga::Individual> staged;
+  staged.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    staged.emplace_back(sched::Schedule(etc), 0.0);
+  }
 
-  std::atomic<std::size_t> next_cell{0};
+  std::vector<support::Padded<ThreadStats>> stats(n_threads);
   std::atomic<bool> stop{false};
   std::uint64_t generation = 0;  // written by worker 0 between barriers
   support::Barrier barrier(n_threads);
-  const support::WallTimer timer;
-  const support::Deadline deadline(config.termination.wall_seconds);
 
   auto worker = [&](std::size_t tid) {
     if (config.pin_threads) pin_current_thread(tid);
     ThreadStats& st = stats[tid].value;
-    std::vector<std::size_t> neigh_scratch;
-    std::vector<double> fit_scratch;
+    cga::Breeder breeder(etc, config);
 
     while (true) {
-      // --- breed phase: dynamic work queue over all cells. The population
+      // --- breed phase: strided static split of the cells (cell tid,
+      // tid+T, ...). Deterministic attribution, no queue contention, and
+      // results are still independent of the worker count because each
+      // (cell, generation) pair carries its own RNG stream. The population
       // is read-only here (commits happen between barriers), so no locks.
       const std::uint64_t gen = generation;  // stable between barriers
-      for (std::size_t cell = next_cell.fetch_add(1,
-                                                  std::memory_order_relaxed);
-           cell < n;
-           cell = next_cell.fetch_add(1, std::memory_order_relaxed)) {
+      for (std::size_t cell = tid; cell < n; cell += n_threads) {
         support::Xoshiro256 rng = cell_stream(config.seed, cell, gen);
-        staged[cell] = cga::detail::breed(pop, cell, config, rng,
-                                          neigh_scratch, fit_scratch);
+        breeder.breed_into(pop, cell, rng, staged[cell]);
         ++st.evaluations;
       }
       barrier.arrive_and_wait();  // all offspring staged
 
       if (tid == 0) {
-        // --- commit phase: serial, one pass (256 compares/moves).
+        // --- commit phase: serial, one pass over the grid.
         for (std::size_t cell = 0; cell < n; ++cell) {
-          cga::Individual& child = *staged[cell];
-          if (child.fitness < best.fitness) best = child;
+          const cga::Individual& child = staged[cell];
+          best.observe(child);
           if (cga::detail::should_replace(config.replacement, child.fitness,
                                           pop.at(cell).fitness)) {
-            pop.at(cell) = std::move(child);
+            cga::Breeder::replace(pop.at(cell), child);
           }
-          staged[cell].reset();
         }
         ++generation;
         ++st.generations;
-        if (config.collect_trace) {
-          double sum = 0.0;
-          double gen_best = pop.at(0).fitness;
-          for (std::size_t i = 0; i < n; ++i) {
-            sum += pop.at(i).fitness;
-            gen_best = std::min(gen_best, pop.at(i).fitness);
-          }
-          trace.push_back({generation, timer.elapsed_seconds(), gen_best,
-                           sum / static_cast<double>(n)});
+        trace.sample(generation, termination.elapsed_seconds(), pop);
+        // One counter for `max_evaluations` across all engines: the real
+        // summed per-thread totals, not the generation * n proxy. The
+        // barrier makes every worker's count from this generation visible.
+        std::uint64_t total_evaluations = 0;
+        for (const auto& s : stats) total_evaluations += s.value.evaluations;
+        if (observer) {
+          observer({generation, total_evaluations,
+                    termination.elapsed_seconds(), best.fitness(), pop});
         }
-        const bool done =
-            deadline.expired() ||
-            generation >= config.termination.max_generations ||
-            generation * n >= config.termination.max_evaluations;
-        stop.store(done, std::memory_order_release);
-        next_cell.store(0, std::memory_order_release);
+        stop.store(termination.sweep_done(generation, total_evaluations),
+                   std::memory_order_release);
       }
       barrier.arrive_and_wait();  // commit + decision visible
       if (stop.load(std::memory_order_acquire)) break;
@@ -108,10 +108,11 @@ ParallelResult run_cellwise(const etc::EtcMatrix& etc,
     support::ScopedThreads threads(n_threads, worker);
   }  // join
 
-  ParallelResult out{cga::Result{std::move(best.schedule)}, {}};
-  out.result.best_fitness = best.fitness;
-  out.result.elapsed_seconds = timer.elapsed_seconds();
-  out.result.trace = std::move(trace);
+  cga::Individual winner = best.take();
+  ParallelResult out{cga::Result{std::move(winner.schedule)}, {}};
+  out.result.best_fitness = winner.fitness;
+  out.result.elapsed_seconds = termination.elapsed_seconds();
+  out.result.trace = trace.take();
   out.threads.reserve(n_threads);
   for (auto& s : stats) {
     out.threads.push_back(s.value);

@@ -4,8 +4,9 @@
 //
 // Execution model: ONE LOGICAL THREAD PER INDIVIDUAL in lockstep
 // generations, the way a GPU kernel would evolve the grid. On CPU this is
-// a worker pool that dynamically picks up cells (an atomic work queue),
-// stages every offspring, and commits the whole generation at a barrier.
+// a worker pool over a strided static split of the cells (worker t breeds
+// cells t, t+T, t+2T, ...), staging every offspring in a preallocated
+// auxiliary population and committing the whole generation at a barrier.
 //
 // Key property, tested and unlike PA-CGA: results are BIT-IDENTICAL for
 // any worker count, because each (cell, generation) pair gets its own
@@ -15,6 +16,7 @@
 #pragma once
 
 #include "cga/config.hpp"
+#include "cga/loop.hpp"
 #include "etc/etc_matrix.hpp"
 #include "pacga/parallel_engine.hpp"
 
@@ -25,7 +27,10 @@ namespace pacga::par {
 /// and `config.sweep` are ignored (the model is inherently synchronous and
 /// order-free). ThreadStats::generations is the shared generation count;
 /// evaluations are attributed to the workers that performed them.
+/// `observer` runs on worker 0 between generation barriers (population
+/// quiescent).
 ParallelResult run_cellwise(const etc::EtcMatrix& etc,
-                            const cga::Config& config);
+                            const cga::Config& config,
+                            const cga::GenerationObserver& observer = {});
 
 }  // namespace pacga::par

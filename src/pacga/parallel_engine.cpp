@@ -11,7 +11,9 @@
 #include <sched.h>
 #endif
 
+#include "cga/breeder.hpp"
 #include "cga/engine.hpp"
+#include "cga/loop.hpp"
 #include "cga/population.hpp"
 #include "support/threading.hpp"
 #include "support/timer.hpp"
@@ -38,13 +40,6 @@ bool pin_current_thread(std::size_t core) noexcept {
 
 namespace {
 
-/// Copies one cell under its read lock (the lock window is exactly the
-/// Individual copy — schedule vectors plus fitness).
-cga::Individual locked_copy(cga::Population& pop, std::size_t cell) {
-  std::shared_lock lock(pop.lock(cell));
-  return pop.at(cell);
-}
-
 /// Everything a worker needs; shared state is either immutable, atomic, or
 /// touched only by thread 0 between barriers.
 struct Shared {
@@ -55,200 +50,158 @@ struct Shared {
   std::vector<support::Xoshiro256>& rngs;
   std::vector<support::Padded<ThreadStats>>& stats;
   std::vector<std::optional<cga::Individual>>& thread_best;
-  std::vector<cga::TracePoint>& trace;
+  const cga::Individual& initial_best;
+  cga::TraceRecorder& trace;  ///< thread 0 only
   std::atomic<std::uint64_t>& global_evaluations;
-  const support::WallTimer& timer;
-  const support::Deadline& deadline;
+  const cga::TerminationController& termination;
+  const cga::GenerationObserver& observer;  ///< thread 0 only
   // Synchronous mode only:
   support::Barrier* barrier = nullptr;
   std::atomic<bool>* stop_flag = nullptr;
 };
 
-/// One breeding step for cell `idx` under the PA-CGA locking discipline.
-cga::Individual breed_locked(Shared& sh, std::size_t idx,
-                             support::Xoshiro256& rng,
-                             std::vector<std::size_t>& neigh_scratch,
-                             std::vector<double>& fit_scratch) {
-  const cga::Config& config = sh.config;
-  // --- selection: snapshot neighbor fitnesses under read locks.
-  cga::neighborhood_of(sh.pop.grid(), idx, config.neighborhood, neigh_scratch);
-  fit_scratch.clear();
-  for (std::size_t cell : neigh_scratch) {
-    std::shared_lock lock(sh.pop.lock(cell));
-    fit_scratch.push_back(sh.pop.at(cell).fitness);
-  }
-  const auto [pa_pos, pb_pos] =
-      cga::select_parents(config.selection, fit_scratch, rng);
-
-  // --- copy parents (one lock at a time; never nested).
-  const cga::Individual pa = locked_copy(sh.pop, neigh_scratch[pa_pos]);
-  const cga::Individual pb = locked_copy(sh.pop, neigh_scratch[pb_pos]);
-
-  // --- breed on private copies, outside all locks.
-  sched::Schedule offspring =
-      rng.bernoulli(config.p_comb)
-          ? cga::crossover(config.crossover, pa.schedule, pb.schedule, rng)
-          : pa.schedule;
-  if (rng.bernoulli(config.p_mut)) {
-    cga::mutate(config.mutation, offspring, rng);
-  }
-  if (config.ls_kind != cga::LocalSearchKind::kNone &&
-      config.local_search.iterations > 0 && rng.bernoulli(config.p_ls)) {
-    cga::apply_local_search(config.ls_kind, offspring, config.local_search,
-                            config.tabu, rng);
-  }
-  return cga::Individual::evaluated(std::move(offspring), config.objective);
-}
-
-/// Whole-population trace sample under read locks (thread 0 only).
-void sample_trace(Shared& sh, std::uint64_t generation) {
-  double sum = 0.0;
-  double best = 0.0;
-  bool first = true;
-  for (std::size_t i = 0; i < sh.pop.size(); ++i) {
-    std::shared_lock lock(sh.pop.lock(i));
-    const double f = sh.pop.at(i).fitness;
-    sum += f;
-    if (first || f < best) best = f;
-    first = false;
-  }
-  sh.trace.push_back({generation, sh.timer.elapsed_seconds(), best,
-                      sum / static_cast<double>(sh.pop.size())});
-}
-
-/// Asynchronous worker — the paper's Algorithm 3: immediate replacement,
-/// per-thread progress, termination checked per block sweep.
+/// Asynchronous worker — the paper's Algorithm 3: immediate replacement
+/// under the cell's write lock, per-thread progress, termination checked
+/// once per block sweep. All loop bookkeeping comes from the shared core;
+/// the Breeder makes the steady-state step allocation-free.
 void worker_async(Shared& sh, std::size_t tid) {
   const cga::Config& config = sh.config;
   support::Xoshiro256& rng = sh.rngs[tid + 1];
   const cga::Block block = sh.blocks[tid];
   ThreadStats& st = sh.stats[tid].value;
-  std::vector<std::size_t> neigh_scratch;
-  std::vector<double> fit_scratch;
-  std::optional<cga::Individual> local_best;
+  cga::Breeder breeder(sh.etc, config);
+  cga::BestTracker best(sh.initial_best);
 
   support::Xoshiro256 order_rng(config.seed ^ (0xb10c0000 + tid));
-  std::vector<std::size_t> order =
-      cga::detail::make_sweep_order(config.sweep, block.size(), order_rng);
+  cga::SweepOrderCache order(config.sweep, block.size(), order_rng);
 
-  while (true) {
-    if (config.sweep == cga::SweepPolicy::kNewShuffle ||
-        config.sweep == cga::SweepPolicy::kUniformChoice) {
-      order = cga::detail::make_sweep_order(config.sweep, block.size(),
-                                            order_rng);
-    }
-    for (std::size_t pos : order) {
-      const std::size_t idx = block.begin + pos;
-      cga::Individual child =
-          breed_locked(sh, idx, rng, neigh_scratch, fit_scratch);
-      ++st.evaluations;
-      if (!local_best || child.fitness < local_best->fitness) {
-        local_best = child;
-      }
-      // --- asynchronous replacement under the cell's write lock.
-      {
-        std::unique_lock lock(sh.pop.lock(idx));
-        if (cga::detail::should_replace(config.replacement, child.fitness,
-                                        sh.pop.at(idx).fitness)) {
-          sh.pop.at(idx) = std::move(child);
-          ++st.replacements;
+  cga::run_sweep_loop(
+      order, order_rng,
+      [&](std::size_t pos) {  // one breeding step
+        const std::size_t idx = block.begin + pos;
+        const cga::Individual& child = breeder.breed_locked(sh.pop, idx, rng);
+        ++st.evaluations;
+        best.observe(child);
+        // --- asynchronous replacement under the cell's write lock.
+        {
+          std::unique_lock lock(sh.pop.lock(idx));
+          if (cga::detail::should_replace(config.replacement, child.fitness,
+                                          sh.pop.at(idx).fitness)) {
+            cga::Breeder::replace(sh.pop.at(idx), child);
+            ++st.replacements;
+          }
         }
-      }
-    }
-    ++st.generations;
-    if (tid == 0 && config.collect_trace) sample_trace(sh, st.generations);
-
-    // Termination checks once per block sweep (paper's granularity).
-    const std::uint64_t evals_now =
-        sh.global_evaluations.fetch_add(block.size(),
-                                        std::memory_order_relaxed) +
-        block.size();
-    if (sh.deadline.expired()) break;
-    if (st.generations >= config.termination.max_generations) break;
-    if (evals_now >= config.termination.max_evaluations) break;
-  }
-  sh.thread_best[tid] = std::move(local_best);
+        return false;  // budgets are checked per block sweep (paper)
+      },
+      [&] {  // end of block sweep
+        ++st.generations;
+        if (tid == 0) {
+          sh.trace.sample_locked(st.generations,
+                                 sh.termination.elapsed_seconds(), sh.pop);
+        }
+        const std::uint64_t evals_now =
+            sh.global_evaluations.fetch_add(block.size(),
+                                            std::memory_order_relaxed) +
+            block.size();
+        if (tid == 0 && sh.observer) {
+          // Live population: the observer must lock cells it reads.
+          sh.observer({st.generations, evals_now,
+                       sh.termination.elapsed_seconds(), best.fitness(),
+                       sh.pop});
+        }
+        return sh.termination.sweep_done(st.generations, evals_now);
+      });
+  sh.thread_best[tid] = best.take();
 }
 
-/// Synchronous worker — generational variant: stage the block's offspring,
-/// barrier, commit, barrier, collective termination decision by thread 0.
+/// Synchronous worker — generational variant: stage the block's offspring
+/// in a preallocated auxiliary block, barrier, commit, barrier, collective
+/// termination decision by thread 0.
 void worker_sync(Shared& sh, std::size_t tid) {
   const cga::Config& config = sh.config;
   support::Xoshiro256& rng = sh.rngs[tid + 1];
   const cga::Block block = sh.blocks[tid];
   ThreadStats& st = sh.stats[tid].value;
-  std::vector<std::size_t> neigh_scratch;
-  std::vector<double> fit_scratch;
-  std::optional<cga::Individual> local_best;
+  cga::Breeder breeder(sh.etc, config);
+  cga::BestTracker best(sh.initial_best);
 
   support::Xoshiro256 order_rng(config.seed ^ (0xb10c0000 + tid));
-  std::vector<std::size_t> order =
-      cga::detail::make_sweep_order(config.sweep, block.size(), order_rng);
+  cga::SweepOrderCache order(config.sweep, block.size(), order_rng);
   std::vector<cga::Individual> staged;
   staged.reserve(block.size());
-
-  while (true) {
-    if (config.sweep == cga::SweepPolicy::kNewShuffle ||
-        config.sweep == cga::SweepPolicy::kUniformChoice) {
-      order = cga::detail::make_sweep_order(config.sweep, block.size(),
-                                            order_rng);
-    }
-    staged.clear();
-    for (std::size_t pos : order) {
-      const std::size_t idx = block.begin + pos;
-      staged.push_back(breed_locked(sh, idx, rng, neigh_scratch, fit_scratch));
-      ++st.evaluations;
-      if (!local_best || staged.back().fitness < local_best->fitness) {
-        local_best = staged.back();
-      }
-    }
-    sh.barrier->arrive_and_wait();  // everyone finished breeding
-
-    // Commit this thread's own block; only this thread writes these cells,
-    // but readers elsewhere are quiet (all threads are committing), so the
-    // write locks are cheap and uncontended.
-    for (std::size_t k = 0; k < staged.size(); ++k) {
-      const std::size_t idx = block.begin + order[k];
-      std::unique_lock lock(sh.pop.lock(idx));
-      if (cga::detail::should_replace(config.replacement, staged[k].fitness,
-                                      sh.pop.at(idx).fitness)) {
-        sh.pop.at(idx) = std::move(staged[k]);
-        ++st.replacements;
-      }
-    }
-    ++st.generations;
-    sh.global_evaluations.fetch_add(block.size(), std::memory_order_relaxed);
-    sh.barrier->arrive_and_wait();  // commits visible everywhere
-
-    if (tid == 0) {
-      if (config.collect_trace) sample_trace(sh, st.generations);
-      // Collective decision: a single verdict for the whole generation, or
-      // the threads would disagree near the deadline and deadlock at the
-      // next barrier.
-      const bool stop =
-          sh.deadline.expired() ||
-          st.generations >= config.termination.max_generations ||
-          sh.global_evaluations.load(std::memory_order_relaxed) >=
-              config.termination.max_evaluations;
-      sh.stop_flag->store(stop, std::memory_order_release);
-    }
-    sh.barrier->arrive_and_wait();  // decision published
-    if (sh.stop_flag->load(std::memory_order_acquire)) break;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    staged.emplace_back(sched::Schedule(sh.etc), 0.0);
   }
-  sh.thread_best[tid] = std::move(local_best);
+  std::size_t staged_count = 0;
+
+  cga::run_sweep_loop(
+      order, order_rng,
+      [&](std::size_t pos) {  // stage one offspring
+        const std::size_t idx = block.begin + pos;
+        cga::Individual& slot = staged[staged_count++];
+        breeder.breed_locked_into(sh.pop, idx, rng, slot);
+        ++st.evaluations;
+        best.observe(slot);
+        return false;
+      },
+      [&] {  // generational commit + collective verdict
+        sh.barrier->arrive_and_wait();  // everyone finished breeding
+
+        // Commit this thread's own block; only this thread writes these
+        // cells, but readers elsewhere are quiet (all threads are
+        // committing), so the write locks are cheap and uncontended.
+        const auto& o = order.order();
+        for (std::size_t k = 0; k < staged_count; ++k) {
+          const std::size_t idx = block.begin + o[k];
+          std::unique_lock lock(sh.pop.lock(idx));
+          if (cga::detail::should_replace(config.replacement,
+                                          staged[k].fitness,
+                                          sh.pop.at(idx).fitness)) {
+            cga::Breeder::replace(sh.pop.at(idx), staged[k]);
+            ++st.replacements;
+          }
+        }
+        staged_count = 0;
+        ++st.generations;
+        sh.global_evaluations.fetch_add(block.size(),
+                                        std::memory_order_relaxed);
+        sh.barrier->arrive_and_wait();  // commits visible everywhere
+
+        if (tid == 0) {
+          sh.trace.sample_locked(st.generations,
+                                 sh.termination.elapsed_seconds(), sh.pop);
+          const std::uint64_t evals_now =
+              sh.global_evaluations.load(std::memory_order_relaxed);
+          if (sh.observer) {
+            sh.observer({st.generations, evals_now,
+                         sh.termination.elapsed_seconds(), best.fitness(),
+                         sh.pop});
+          }
+          // Collective decision: a single verdict for the whole
+          // generation, or the threads would disagree near the deadline
+          // and deadlock at the next barrier.
+          sh.stop_flag->store(
+              sh.termination.sweep_done(st.generations, evals_now),
+              std::memory_order_release);
+        }
+        sh.barrier->arrive_and_wait();  // decision published
+        return sh.stop_flag->load(std::memory_order_acquire);
+      });
+  sh.thread_best[tid] = best.take();
 }
 
 }  // namespace
 
 ParallelResult run_parallel(const etc::EtcMatrix& etc,
-                            const cga::Config& config) {
+                            const cga::Config& config,
+                            const cga::GenerationObserver& observer) {
   config.validate();
   const std::size_t n_threads = config.threads;
 
   support::Xoshiro256 init_rng(config.seed);
   cga::Grid grid(config.width, config.height);
   cga::Population pop(etc, grid, init_rng, config.seed_min_min,
-                      config.objective);
+                      config.objective, config.lambda);
   const auto blocks = cga::partition_blocks(pop.size(), n_threads);
   // Thread streams are decorrelated from the init stream by construction
   // (SplitMix64 expansion of the same master seed).
@@ -260,19 +213,18 @@ ParallelResult run_parallel(const etc::EtcMatrix& etc,
   // the join, so workers never publish through shared memory.
   std::vector<support::Padded<ThreadStats>> stats(n_threads);
   std::vector<std::optional<cga::Individual>> thread_best(n_threads);
-  std::vector<cga::TracePoint> trace;
 
+  cga::TerminationController termination(config.termination);
+  cga::TraceRecorder trace(config.collect_trace);
   std::atomic<std::uint64_t> global_evaluations{0};
   std::atomic<bool> stop_flag{false};
   support::Barrier barrier(n_threads);
-  const support::WallTimer timer;
-  const support::Deadline deadline(config.termination.wall_seconds);
 
-  Shared shared{etc,         config,      pop,
-                blocks,      rngs,        stats,
-                thread_best, trace,       global_evaluations,
-                timer,       deadline,    &barrier,
-                &stop_flag};
+  Shared shared{etc,          config,   pop,
+                blocks,       rngs,     stats,
+                thread_best,  initial_best, trace,
+                global_evaluations,     termination,
+                observer,     &barrier, &stop_flag};
 
   {
     support::ScopedThreads threads(n_threads, [&](std::size_t tid) {
@@ -286,17 +238,17 @@ ParallelResult run_parallel(const etc::EtcMatrix& etc,
   }  // join
 
   // All workers joined: unsynchronized scans are safe again.
-  cga::Individual best = initial_best;
-  const std::size_t pop_best = pop.best_index();
-  if (pop.at(pop_best).fitness < best.fitness) best = pop.at(pop_best);
+  cga::BestTracker best(initial_best);
+  best.observe_population(pop);
   for (auto& tb : thread_best) {
-    if (tb && tb->fitness < best.fitness) best = std::move(*tb);
+    if (tb) best.observe(*tb);
   }
 
-  ParallelResult out{cga::Result{std::move(best.schedule)}, {}};
-  out.result.best_fitness = best.fitness;
-  out.result.elapsed_seconds = timer.elapsed_seconds();
-  out.result.trace = std::move(trace);
+  cga::Individual winner = best.take();
+  ParallelResult out{cga::Result{std::move(winner.schedule)}, {}};
+  out.result.best_fitness = winner.fitness;
+  out.result.elapsed_seconds = termination.elapsed_seconds();
+  out.result.trace = trace.take();
   out.threads.reserve(n_threads);
   for (auto& s : stats) {
     out.threads.push_back(s.value);

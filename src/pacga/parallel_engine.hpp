@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cga/config.hpp"
+#include "cga/loop.hpp"
 #include "etc/etc_matrix.hpp"
 
 namespace pacga::par {
@@ -55,8 +56,13 @@ struct ParallelResult {
 /// meet at a barrier, commit the whole generation at once, and take the
 /// termination decision collectively (thread 0 decides, everyone honors
 /// it — a consensus is required or threads would deadlock at the barrier).
+/// `observer` (optional) runs on thread 0 after each of ITS block sweeps.
+/// In the asynchronous mode the population is live — observers must take
+/// the per-cell locks for anything they read from it; in the synchronous
+/// mode it runs between barriers (quiescent).
 ParallelResult run_parallel(const etc::EtcMatrix& etc,
-                            const cga::Config& config);
+                            const cga::Config& config,
+                            const cga::GenerationObserver& observer = {});
 
 /// Pins the calling thread to `core` (Linux). Returns false when pinning
 /// is unsupported or fails; the engine treats that as a soft error. The

@@ -31,6 +31,12 @@ Schedule Schedule::random(const etc::EtcMatrix& etc, support::Xoshiro256& rng) {
   return Schedule(etc, std::move(assignment));
 }
 
+void Schedule::assign_from(const Schedule& src) {
+  etc_ = src.etc_;
+  assignment_ = src.assignment_;
+  completion_ = src.completion_;
+}
+
 void Schedule::move_task(std::size_t t, MachineId m) noexcept {
   const MachineId old = assignment_[t];
   if (old == m) return;

@@ -35,6 +35,14 @@ class Schedule {
   /// Uniformly random assignment.
   static Schedule random(const etc::EtcMatrix& etc, support::Xoshiro256& rng);
 
+  /// Becomes a copy of `src` without releasing storage: both vectors are
+  /// overwritten in place, so when this schedule already has the capacity
+  /// (same instance shape — the steady state of every engine) the call
+  /// performs zero heap allocations. The completion-time cache is taken
+  /// from `src` wholesale, which is exactly the incremental discipline:
+  /// the cache travels with the assignment instead of being rebuilt.
+  void assign_from(const Schedule& src);
+
   std::size_t tasks() const noexcept { return assignment_.size(); }
   std::size_t machines() const noexcept { return completion_.size(); }
   const etc::EtcMatrix& etc() const noexcept { return *etc_; }

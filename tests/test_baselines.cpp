@@ -140,6 +140,19 @@ TEST(CmaLth, MemeticBeatsPlainSyncCgaOnAverage) {
   EXPECT_LT(with_ls.mean(), without_ls.mean());
 }
 
+TEST(CmaLth, RunsOnTinyGrid) {
+  // Grids smaller than cga::Config's default thread count must stay valid:
+  // the adapter over the sequential core pins threads to 1.
+  const auto m = instance();
+  CmaLthConfig c;
+  c.width = 2;
+  c.height = 1;
+  c.termination = cga::Termination::after_generations(2);
+  const auto r = run_cma_lth(m, c);
+  EXPECT_EQ(r.generations, 2u);
+  EXPECT_TRUE(r.best.validate(1e-9));
+}
+
 TEST(CmaLth, ValidatesConfig) {
   const auto m = instance();
   CmaLthConfig c;
