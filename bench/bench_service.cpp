@@ -1,0 +1,219 @@
+// bench_service — closed-loop throughput/latency benchmark of the
+// scheduler service, the serving-tier counterpart of the paper-artifact
+// benches.
+//
+// N client threads each submit-and-wait in a loop (closed loop: a client's
+// next job leaves only when its previous one returned), drawing round-robin
+// from a pool of distinct small instances — the sweep-campaign regime the
+// solution cache targets. Two arms run by default: cache enabled (repeats
+// are hits) and cache disabled (every job is a real solve), so the JSON
+// shows both the cache win and the raw solver throughput.
+//
+// Emits BENCH_service.json with jobs/sec, client-observed p50/p99 latency,
+// deadline-miss rate, and cache hit rate per arm. Defaults are smoke-scale
+// (>= 1000 jobs, a few seconds); --full scales the stream up.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "etc/braun.hpp"
+#include "service/service.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/threading.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace pacga;
+
+struct Options {
+  std::size_t jobs = 2000;       ///< total jobs per arm
+  std::size_t clients = 4;       ///< closed-loop client threads
+  std::size_t workers = 3;       ///< solver workers
+  std::size_t queue_capacity = 256;
+  std::size_t tasks = 32;        ///< small-instance shape
+  std::size_t machines = 8;
+  std::size_t unique = 64;       ///< distinct instances in the pool
+  double deadline_ms = 20.0;
+  std::uint64_t seed = 1;
+  std::string policy = "auto";
+  bool full = false;
+};
+
+struct ArmResult {
+  std::string name;
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double deadline_miss_rate = 0.0;
+  double cache_hit_rate = 0.0;
+  double mean_queue_wait_ms = 0.0;
+  double mean_solve_ms = 0.0;
+  double mean_makespan = 0.0;
+};
+
+/// Distinct small instances, generated once and shared by every job.
+std::vector<std::shared_ptr<const etc::EtcMatrix>> make_pool(
+    const Options& opts) {
+  std::vector<std::shared_ptr<const etc::EtcMatrix>> pool;
+  pool.reserve(opts.unique);
+  for (std::size_t i = 0; i < opts.unique; ++i) {
+    etc::GenSpec spec;
+    spec.tasks = opts.tasks;
+    spec.machines = opts.machines;
+    spec.consistency = etc::Consistency::kInconsistent;
+    spec.seed = opts.seed + i;
+    pool.push_back(std::make_shared<const etc::EtcMatrix>(etc::generate(spec)));
+  }
+  return pool;
+}
+
+ArmResult run_arm(const Options& opts, bool use_cache, const char* name) {
+  service::ServiceOptions service_options;
+  service_options.workers = support::clamp_threads(opts.workers);
+  service_options.queue_capacity = opts.queue_capacity;
+  service_options.cache_capacity = use_cache ? 4096 : 0;
+  service::SchedulerService svc(service_options);
+
+  const auto pool = make_pool(opts);
+  const service::SolvePolicy policy = service::parse_policy(opts.policy);
+
+  std::vector<std::vector<double>> latencies(opts.clients);
+  std::vector<support::RunningStats> makespans(opts.clients);
+  support::WallTimer wall;
+  {
+    support::ScopedThreads clients(opts.clients, [&](std::size_t c) {
+      std::vector<double>& lat = latencies[c];
+      lat.reserve(opts.jobs / opts.clients + 1);
+      for (std::size_t j = c; j < opts.jobs; j += opts.clients) {
+        service::JobSpec spec;
+        spec.etc = pool[j % pool.size()];
+        spec.seed = opts.seed + j;
+        spec.deadline_ms = opts.deadline_ms;
+        spec.policy = policy;
+        spec.use_cache = use_cache;
+        support::WallTimer t;
+        const service::JobId id = svc.submit(std::move(spec));
+        const service::JobResult r = svc.wait(id);
+        lat.push_back(t.elapsed_seconds() * 1e3);
+        makespans[c].add(r.makespan);
+      }
+    });
+  }
+  svc.drain();
+  const double wall_s = wall.elapsed_seconds();
+  const auto snap = svc.metrics();
+  svc.shutdown();
+
+  std::vector<double> all;
+  all.reserve(opts.jobs);
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  support::RunningStats lat_stats, mk;
+  for (double x : all) lat_stats.add(x);
+  for (const auto& m : makespans) mk.merge(m);
+
+  ArmResult a;
+  a.name = name;
+  a.jobs = all.size();
+  a.wall_seconds = wall_s;
+  a.jobs_per_second = wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  a.p50_ms = support::quantile(all, 0.50);
+  a.p99_ms = support::quantile(all, 0.99);
+  a.mean_ms = lat_stats.mean();
+  a.deadline_miss_rate = snap.deadline_miss_rate();
+  a.cache_hit_rate = snap.cache_hit_rate();
+  a.mean_queue_wait_ms = snap.queue_wait_seconds.mean() * 1e3;
+  a.mean_solve_ms = snap.solve_seconds.mean() * 1e3;
+  a.mean_makespan = mk.mean();
+  return a;
+}
+
+void print_arm(const ArmResult& a) {
+  std::printf(
+      "%-10s %6zu jobs in %6.2f s -> %8.1f jobs/s | p50 %7.2f ms  p99 %7.2f "
+      "ms | miss %5.1f %% | cache %5.1f %%\n",
+      a.name.c_str(), a.jobs, a.wall_seconds, a.jobs_per_second, a.p50_ms,
+      a.p99_ms, 100.0 * a.deadline_miss_rate, 100.0 * a.cache_hit_rate);
+}
+
+void write_json(const char* path, const Options& opts,
+                const std::vector<ArmResult>& arms) {
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"config\": {\"jobs\": %zu, \"clients\": %zu, \"workers\": "
+               "%zu, \"tasks\": %zu, \"machines\": %zu, \"unique_instances\": "
+               "%zu, \"deadline_ms\": %.3f, \"policy\": \"%s\"},\n",
+               opts.jobs, opts.clients, opts.workers, opts.tasks, opts.machines,
+               opts.unique, opts.deadline_ms, opts.policy.c_str());
+  std::fprintf(out, "  \"arms\": [\n");
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& a = arms[i];
+    std::fprintf(
+        out,
+        "    {\"arm\": \"%s\", \"jobs\": %zu, \"wall_seconds\": %.4f, "
+        "\"jobs_per_sec\": %.2f, \"latency_p50_ms\": %.4f, "
+        "\"latency_p99_ms\": %.4f, \"latency_mean_ms\": %.4f, "
+        "\"deadline_miss_rate\": %.6f, \"cache_hit_rate\": %.6f, "
+        "\"mean_queue_wait_ms\": %.4f, \"mean_solve_ms\": %.4f, "
+        "\"mean_makespan\": %.4f}%s\n",
+        a.name.c_str(), a.jobs, a.wall_seconds, a.jobs_per_second, a.p50_ms,
+        a.p99_ms, a.mean_ms, a.deadline_miss_rate, a.cache_hit_rate,
+        a.mean_queue_wait_ms, a.mean_solve_ms, a.mean_makespan,
+        i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  support::Cli cli(
+      "bench_service — closed-loop throughput/latency bench of the "
+      "scheduler service (smoke-scale by default; --full for a long run)");
+  cli.option("jobs", &opts.jobs, "jobs per arm")
+      .option("clients", &opts.clients, "closed-loop client threads")
+      .option("workers", &opts.workers, "solver workers")
+      .option("queue", &opts.queue_capacity, "queue capacity")
+      .option("tasks", &opts.tasks, "instance tasks")
+      .option("machines", &opts.machines, "instance machines")
+      .option("unique", &opts.unique, "distinct instances in the pool")
+      .option("deadline-ms", &opts.deadline_ms, "per-job deadline")
+      .option("seed", &opts.seed, "master seed")
+      .option("policy", &opts.policy,
+              {"auto", "minmin", "sufferage", "cga", "pacga"},
+              "solve policy for every job")
+      .flag("full", &opts.full, "10x jobs, paper-style campaign");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (opts.full) opts.jobs *= 10;
+  if (opts.clients == 0 || opts.jobs == 0) {
+    std::fprintf(stderr, "need clients >= 1 and jobs >= 1\n");
+    return 2;
+  }
+
+  std::vector<ArmResult> arms;
+  arms.push_back(run_arm(opts, /*use_cache=*/true, "cached"));
+  print_arm(arms.back());
+  arms.push_back(run_arm(opts, /*use_cache=*/false, "uncached"));
+  print_arm(arms.back());
+  write_json("BENCH_service.json", opts, arms);
+  return 0;
+}

@@ -1,0 +1,213 @@
+// scheduler_service — the solve service as a scriptable daemon.
+//
+// Speaks a newline-delimited request protocol on stdin/stdout, so it can
+// be driven from a shell pipe, a CI script, or a socket wrapper (socat).
+// One request per line, one response line per request:
+//
+//   INSTANCE <priority> <deadline_ms> <seed> <name>
+//       Submit a Braun-suite instance by name (e.g. u_c_hihi.0).
+//       -> JOB <id>
+//   WORKLOAD <priority> <deadline_ms> <seed> <tasks> <machines> <wseed>
+//       Submit a generated workload (batch::WorkloadSpec defaults with
+//       the given shape/seed) as one full batch.
+//       -> JOB <id>
+//   SUBMIT <priority> <deadline_ms> <seed> <tasks> <machines> <v...>
+//       Submit an inline ETC matrix (tasks*machines task-major values).
+//       -> JOB <id>
+//   WAIT <id>
+//       Block until the job finishes.
+//       -> RESULT id=<id> status=<s> makespan=<m> policy=<p> cache_hit=<0|1>
+//                 deadline_missed=<0|1> generations=<g> evaluations=<e>
+//                 wait_ms=<w> solve_ms=<s>
+//   CANCEL <id>   -> CANCELLED <id> <1|0>
+//   STATS         -> STATS completed=... jobs_per_sec=... (key=value line)
+//   DRAIN         -> DRAINED
+//   QUIT (or EOF) -> graceful shutdown, exit 0
+//
+// Errors never kill the daemon: a malformed request gets "ERR <reason>".
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "batch/workload.hpp"
+#include "etc/suite.hpp"
+#include "service/service.hpp"
+#include "support/cli.hpp"
+#include "support/threading.hpp"
+
+namespace {
+
+using namespace pacga;
+
+struct DaemonOptions {
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 256;
+  std::size_t cache_capacity = 1024;
+  std::string policy = "auto";
+  double default_deadline_ms = 100.0;
+};
+
+service::JobSpec base_spec(const DaemonOptions& opts, int priority,
+                           double deadline_ms, std::uint64_t seed) {
+  service::JobSpec spec;
+  spec.priority = priority;
+  spec.deadline_ms = deadline_ms > 0.0 ? deadline_ms : opts.default_deadline_ms;
+  spec.seed = seed;
+  spec.policy = service::parse_policy(opts.policy);
+  return spec;
+}
+
+std::string result_line(const service::JobResult& r) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "RESULT id=" << r.id << " status=" << service::to_string(r.status)
+      << " makespan=" << r.makespan
+      << " policy=" << service::to_string(r.policy_used)
+      << " cache_hit=" << (r.cache_hit ? 1 : 0)
+      << " deadline_missed=" << (r.deadline_missed ? 1 : 0)
+      << " generations=" << r.generations
+      << " evaluations=" << r.evaluations
+      << " wait_ms=" << r.queue_wait_seconds * 1e3
+      << " solve_ms=" << r.solve_seconds * 1e3;
+  return out.str();
+}
+
+std::string stats_line(const service::ServiceMetrics::Snapshot& s) {
+  std::ostringstream out;
+  out << "STATS submitted=" << s.submitted << " completed=" << s.completed
+      << " cancelled=" << s.cancelled << " failed=" << s.failed
+      << " rejected=" << s.rejected
+      << " cache_hits=" << s.cache_hits
+      << " deadline_misses=" << s.deadline_misses
+      << " jobs_per_sec=" << s.jobs_per_second()
+      << " deadline_miss_rate=" << s.deadline_miss_rate()
+      << " cache_hit_rate=" << s.cache_hit_rate()
+      << " mean_wait_ms=" << s.queue_wait_seconds.mean() * 1e3
+      << " mean_solve_ms=" << s.solve_seconds.mean() * 1e3;
+  return out.str();
+}
+
+/// Named instances memoized across requests: a sweep campaign repeating
+/// 'INSTANCE ... u_c_hihi.0' must hit the solution cache in O(tasks), not
+/// regenerate and rehash the full matrix per request.
+using InstancePool =
+    std::unordered_map<std::string, std::shared_ptr<const etc::EtcMatrix>>;
+
+/// Handles one request line; returns the response (empty = quit).
+std::string handle(service::SchedulerService& svc, const DaemonOptions& opts,
+                   InstancePool& instances, const std::string& line,
+                   bool& quit) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd)) return "";  // blank line: no response
+  try {
+    if (cmd == "QUIT") {
+      quit = true;
+      return "BYE";
+    }
+    if (cmd == "STATS") return stats_line(svc.metrics());
+    if (cmd == "DRAIN") {
+      svc.drain();
+      return "DRAINED";
+    }
+    if (cmd == "WAIT") {
+      service::JobId id = 0;
+      if (!(in >> id)) return "ERR WAIT expects a job id";
+      return result_line(svc.wait(id));
+    }
+    if (cmd == "CANCEL") {
+      service::JobId id = 0;
+      if (!(in >> id)) return "ERR CANCEL expects a job id";
+      const bool ok = svc.cancel(id);
+      std::ostringstream out;
+      out << "CANCELLED " << id << ' ' << (ok ? 1 : 0);
+      return out.str();
+    }
+    if (cmd == "INSTANCE" || cmd == "WORKLOAD" || cmd == "SUBMIT") {
+      int priority = 0;
+      double deadline_ms = 0.0;
+      std::uint64_t seed = 1;
+      if (!(in >> priority >> deadline_ms >> seed))
+        return "ERR " + cmd + " expects <priority> <deadline_ms> <seed> ...";
+      service::JobSpec spec = base_spec(opts, priority, deadline_ms, seed);
+      if (cmd == "INSTANCE") {
+        std::string name;
+        if (!(in >> name)) return "ERR INSTANCE expects an instance name";
+        auto it = instances.find(name);
+        if (it == instances.end()) {
+          it = instances
+                   .emplace(name, std::make_shared<const etc::EtcMatrix>(
+                                      etc::generate_by_name(name)))
+                   .first;
+        }
+        spec.etc = it->second;
+      } else if (cmd == "WORKLOAD") {
+        batch::WorkloadSpec w;
+        if (!(in >> w.tasks >> w.machines >> w.seed))
+          return "ERR WORKLOAD expects <tasks> <machines> <wseed>";
+        spec.etc = std::make_shared<const etc::EtcMatrix>(
+            batch::make_workload_etc(w));
+      } else {
+        std::size_t tasks = 0, machines = 0;
+        if (!(in >> tasks >> machines))
+          return "ERR SUBMIT expects <tasks> <machines> <values...>";
+        std::vector<double> data(tasks * machines);
+        for (auto& v : data) {
+          if (!(in >> v)) return "ERR SUBMIT: too few ETC values";
+        }
+        spec.etc = std::make_shared<const etc::EtcMatrix>(tasks, machines,
+                                                          std::move(data));
+      }
+      const service::JobId id = svc.submit(std::move(spec));
+      std::ostringstream out;
+      out << "JOB " << id;
+      return out.str();
+    }
+    return "ERR unknown command " + cmd;
+  } catch (const std::exception& e) {
+    return std::string("ERR ") + e.what();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonOptions opts;
+  support::Cli cli(
+      "scheduler_service — multi-tenant solve service daemon "
+      "(newline-delimited protocol on stdin/stdout)");
+  cli.option("workers", &opts.workers, "solver worker threads")
+      .option("queue-capacity", &opts.queue_capacity, "bounded job queue size")
+      .option("cache-capacity", &opts.cache_capacity,
+              "solution cache entries (0 disables)")
+      .option("policy", &opts.policy,
+              {"auto", "minmin", "sufferage", "cga", "pacga"},
+              "solve policy applied to every job")
+      .option("default-deadline-ms", &opts.default_deadline_ms,
+              "deadline used when a request passes 0");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  service::ServiceOptions options;
+  options.workers = pacga::support::clamp_threads(opts.workers);
+  options.queue_capacity = opts.queue_capacity;
+  options.cache_capacity = opts.cache_capacity;
+  service::SchedulerService svc(options);
+
+  std::string line;
+  bool quit = false;
+  InstancePool instances;
+  while (!quit && std::getline(std::cin, line)) {
+    const std::string response = handle(svc, opts, instances, line, quit);
+    if (!response.empty()) std::cout << response << std::endl;  // flush: piped
+  }
+  svc.shutdown();
+  return 0;
+}

@@ -2,21 +2,43 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "support/rng.hpp"
 
 namespace pacga::batch {
 
+void validate(const WorkloadSpec& spec) {
+  // Each degenerate parameter gets its own message: a spec assembled from
+  // user input (the service daemon, sweep scripts) must fail with a clear
+  // diagnosis instead of silently producing inf/NaN arrival times or
+  // division-by-zero ETC entries downstream.
+  if (spec.tasks == 0)
+    throw std::invalid_argument("WorkloadSpec: tasks must be > 0");
+  if (spec.machines == 0)
+    throw std::invalid_argument("WorkloadSpec: machines must be > 0");
+  if (!(spec.arrival_rate > 0.0) || !std::isfinite(spec.arrival_rate))
+    throw std::invalid_argument(
+        "WorkloadSpec: arrival_rate must be positive and finite (got " +
+        std::to_string(spec.arrival_rate) + ")");
+  if (!(spec.workload_lo > 0.0) || !std::isfinite(spec.workload_lo))
+    throw std::invalid_argument("WorkloadSpec: workload_lo must be positive");
+  if (!(spec.workload_hi >= spec.workload_lo) ||
+      !std::isfinite(spec.workload_hi))
+    throw std::invalid_argument(
+        "WorkloadSpec: workload_hi must be finite and >= workload_lo");
+  if (!(spec.mips_lo > 0.0) || !std::isfinite(spec.mips_lo))
+    throw std::invalid_argument("WorkloadSpec: mips_lo must be positive");
+  if (!(spec.mips_hi >= spec.mips_lo) || !std::isfinite(spec.mips_hi))
+    throw std::invalid_argument(
+        "WorkloadSpec: mips_hi must be finite and >= mips_lo");
+  if (!(spec.inconsistency >= 0.0) || !std::isfinite(spec.inconsistency))
+    throw std::invalid_argument(
+        "WorkloadSpec: inconsistency must be >= 0 and finite");
+}
+
 Workload generate_workload(const WorkloadSpec& spec) {
-  if (spec.tasks == 0 || spec.machines == 0)
-    throw std::invalid_argument("generate_workload: empty spec");
-  if (spec.arrival_rate <= 0.0)
-    throw std::invalid_argument("generate_workload: non-positive rate");
-  if (spec.workload_lo <= 0.0 || spec.workload_hi < spec.workload_lo ||
-      spec.mips_lo <= 0.0 || spec.mips_hi < spec.mips_lo)
-    throw std::invalid_argument("generate_workload: bad ranges");
-  if (spec.inconsistency < 0.0)
-    throw std::invalid_argument("generate_workload: negative inconsistency");
+  validate(spec);
 
   support::Xoshiro256 rng(spec.seed);
   Workload w;
@@ -62,6 +84,17 @@ etc::EtcMatrix make_batch_etc(const Workload& workload,
   }
   return etc::EtcMatrix(task_ids.size(), machine_ids.size(), std::move(data),
                         {ready.begin(), ready.end()});
+}
+
+etc::EtcMatrix make_workload_etc(const WorkloadSpec& spec) {
+  const Workload w = generate_workload(spec);
+  std::vector<std::size_t> task_ids(w.tasks.size());
+  for (std::size_t i = 0; i < task_ids.size(); ++i) task_ids[i] = i;
+  std::vector<std::size_t> machine_ids(w.machines.size());
+  for (std::size_t m = 0; m < machine_ids.size(); ++m) machine_ids[m] = m;
+  const std::vector<double> ready(machine_ids.size(), 0.0);
+  return make_batch_etc(w, task_ids, machine_ids, ready, spec.inconsistency,
+                        spec.seed);
 }
 
 }  // namespace pacga::batch

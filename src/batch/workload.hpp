@@ -57,8 +57,21 @@ struct Workload {
   std::vector<Machine> machines;
 };
 
-/// Generates a workload per `spec`. Deterministic in the seed.
+/// Throws std::invalid_argument naming the offending parameter when `spec`
+/// is degenerate (zero tasks/machines, non-positive or non-finite rate,
+/// inverted workload/mips ranges, negative inconsistency) — the guard that
+/// keeps inf/NaN arrival times out of the simulator and the service.
+void validate(const WorkloadSpec& spec);
+
+/// Generates a workload per `spec`. Deterministic in the seed. Validates
+/// `spec` first.
 Workload generate_workload(const WorkloadSpec& spec);
+
+/// Builds the ETC matrix of the ENTIRE workload as one batch on idle
+/// machines (zero ready times) — the adapter that turns a workload
+/// reference into a solvable instance for the scheduler service's
+/// workload-spec jobs. Deterministic in spec.seed.
+etc::EtcMatrix make_workload_etc(const WorkloadSpec& spec);
 
 /// Builds the ETC matrix for one batch of tasks on a machine park with
 /// the given ready times (one per machine). The noise is a deterministic

@@ -46,7 +46,8 @@ bool should_replace(ReplacementPolicy policy, double offspring,
 }  // namespace detail
 
 Result run_sequential(const etc::EtcMatrix& etc, const Config& config,
-                      const GenerationObserver& observer) {
+                      const GenerationObserver& observer,
+                      const std::atomic<bool>* cancel) {
   config.validate();
   support::Xoshiro256 rng(config.seed);
   Grid grid(config.width, config.height);
@@ -58,6 +59,7 @@ Result run_sequential(const etc::EtcMatrix& etc, const Config& config,
   // The shared core. Everything below is preallocated once; the breeding
   // loop itself performs no heap allocation.
   TerminationController termination(config.termination);
+  termination.bind_stop_flag(cancel);
   BestTracker best(pop.at(pop.best_index()));
   TraceRecorder trace(config.collect_trace);
   Breeder breeder(etc, config);

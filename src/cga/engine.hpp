@@ -19,9 +19,13 @@ namespace pacga::cga {
 /// Runs the sequential CGA on `etc` per `config`. Deterministic: same seed,
 /// same result. `config.threads` is ignored here. `observer` (optional) is
 /// called after every committed generation from a quiescent point —
-/// checkpointing and streaming stats hook in there.
+/// checkpointing and streaming stats hook in there. `cancel` (optional) is
+/// an external stop flag polled once per generation; raising it ends the
+/// run early with the best-so-far result (the service's job-cancellation
+/// path).
 Result run_sequential(const etc::EtcMatrix& etc, const Config& config,
-                      const GenerationObserver& observer = {});
+                      const GenerationObserver& observer = {},
+                      const std::atomic<bool>* cancel = nullptr);
 
 namespace detail {
 

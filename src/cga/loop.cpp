@@ -33,6 +33,10 @@ SweepOrderCache::SweepOrderCache(SweepPolicy policy, std::size_t n,
   fill_sweep_order(policy_, n, order_, rng);
 }
 
+void SweepOrderCache::fill(support::Xoshiro256& rng) {
+  fill_sweep_order(policy_, order_.size(), order_, rng);
+}
+
 const std::vector<std::size_t>& SweepOrderCache::next_sweep(
     support::Xoshiro256& rng) {
   // The historical loops regenerated these two policies at the TOP of every

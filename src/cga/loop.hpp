@@ -19,6 +19,7 @@
 // synchronization discipline.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -43,6 +44,12 @@ class SweepOrderCache {
   /// kUniformChoice; stable reference otherwise).
   const std::vector<std::size_t>& next_sweep(support::Xoshiro256& rng);
 
+  /// Re-arms the cache for a NEW run over the same population size:
+  /// regenerates the initial order in place from `rng`, drawing exactly as
+  /// construction does. Warm-solver arenas call this once per job instead
+  /// of reconstructing the cache (the buffer is never reallocated).
+  void reset(support::Xoshiro256& rng) { fill(rng); }
+
   const std::vector<std::size_t>& order() const noexcept { return order_; }
 
  private:
@@ -66,17 +73,28 @@ class TerminationController {
   explicit TerminationController(const Termination& limits)
       : limits_(limits), deadline_(limits.wall_seconds) {}
 
+  /// Installs an external stop flag (job cancellation, service shutdown).
+  /// The flag is polled at the same per-block-sweep granularity as the
+  /// budgets, so a raised flag ends the run within one generation. The
+  /// flag must outlive the controller; pass nullptr to detach.
+  void bind_stop_flag(const std::atomic<bool>* stop) noexcept { stop_ = stop; }
+
+  /// True when a bound stop flag has been raised.
+  bool externally_stopped() const noexcept {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
+
   /// Fine-grained check used where the historical loops stopped mid-sweep.
   bool evaluations_exhausted(std::uint64_t evaluations) const noexcept {
     return evaluations >= limits_.max_evaluations;
   }
 
   /// The paper's per-block-sweep verdict: wall clock OR generation budget
-  /// OR (global) evaluation budget.
+  /// OR (global) evaluation budget OR an external stop request.
   bool sweep_done(std::uint64_t generations,
                   std::uint64_t evaluations) const noexcept {
     return deadline_.expired() || generations >= limits_.max_generations ||
-           evaluations >= limits_.max_evaluations;
+           evaluations >= limits_.max_evaluations || externally_stopped();
   }
 
   double elapsed_seconds() const noexcept {
@@ -87,6 +105,7 @@ class TerminationController {
  private:
   Termination limits_;
   support::Deadline deadline_;
+  const std::atomic<bool>* stop_ = nullptr;
 };
 
 /// Best-ever individual of a run (or of one worker). observe() copies an
@@ -95,6 +114,14 @@ class TerminationController {
 class BestTracker {
  public:
   explicit BestTracker(const Individual& seed) : best_(seed) {}
+
+  /// Re-arms the tracker for a new run, copying `seed` into the EXISTING
+  /// storage — alloc-free when the shapes match. The warm-solver arenas
+  /// keep one tracker alive across jobs instead of reconstructing it.
+  void reset(const Individual& seed) {
+    best_.schedule.assign_from(seed.schedule);
+    best_.fitness = seed.fitness;
+  }
 
   void observe(const Individual& candidate) {
     if (candidate.fitness < best_.fitness) {

@@ -1,5 +1,7 @@
 #include "cga/population.hpp"
 
+#include <stdexcept>
+
 #include "heuristics/minmin.hpp"
 
 namespace pacga::cga {
@@ -17,6 +19,24 @@ Population::Population(const etc::EtcMatrix& etc, Grid grid,
     cells_[0] = Individual::evaluated(heur::min_min(etc), objective, lambda);
   }
   locks_ = std::make_unique<support::Padded<std::shared_mutex>[]>(grid_.size());
+}
+
+void Population::reseed(const etc::EtcMatrix& etc, support::Xoshiro256& rng,
+                        bool seed_min_min, sched::Objective objective,
+                        double lambda) {
+  if (cells_.empty()) return;
+  if (etc.tasks() != cells_.front().schedule.tasks() ||
+      etc.machines() != cells_.front().schedule.machines())
+    throw std::invalid_argument("Population::reseed: shape mismatch");
+  for (auto& cell : cells_) {
+    cell.schedule.randomize_from(etc, rng);
+    cell.fitness = sched::evaluate(cell.schedule, objective, lambda);
+  }
+  if (seed_min_min) {
+    const sched::Schedule seeded = heur::min_min(etc);
+    cells_[0].schedule.adopt(etc, seeded.assignment());
+    cells_[0].fitness = sched::evaluate(cells_[0].schedule, objective, lambda);
+  }
 }
 
 std::size_t Population::best_index() const noexcept {

@@ -35,6 +35,18 @@ class Population {
   Population(Population&&) noexcept = default;
   Population& operator=(Population&&) noexcept = default;
 
+  /// In-place re-initialization for a NEW instance of the same tasks x
+  /// machines shape: every cell is rebound to `etc` and randomized into
+  /// its existing storage (no per-cell reallocation); cell 0 optionally
+  /// gets the Min-min seed. The per-cell locks are untouched. This is the
+  /// warm-start path of the scheduler service — apart from the optional
+  /// Min-min construction (which allocates internally), a reseed of a
+  /// same-shape population performs zero heap allocations. Throws
+  /// std::invalid_argument when `etc`'s shape differs from the shape the
+  /// population was built for.
+  void reseed(const etc::EtcMatrix& etc, support::Xoshiro256& rng,
+              bool seed_min_min, sched::Objective objective, double lambda);
+
   const Grid& grid() const noexcept { return grid_; }
   std::size_t size() const noexcept { return cells_.size(); }
 

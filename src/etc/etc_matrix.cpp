@@ -1,11 +1,16 @@
 #include "etc/etc_matrix.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "support/rng.hpp"
+
 namespace pacga::etc {
+
+using support::hash_mix;
 
 EtcMatrix::EtcMatrix(std::size_t tasks, std::size_t machines,
                      std::vector<double> task_major, std::vector<double> ready)
@@ -15,6 +20,12 @@ EtcMatrix::EtcMatrix(std::size_t tasks, std::size_t machines,
       ready_(std::move(ready)) {
   if (tasks_ == 0 || machines_ == 0)
     throw std::invalid_argument("EtcMatrix: empty dimensions");
+  // Overflow guard BEFORE the size comparison: a wrapped tasks*machines
+  // product would pass the check and send the transpose loop out of
+  // bounds. Dimensions arrive from untrusted input (the service daemon's
+  // SUBMIT command), so this is a contract, not paranoia.
+  if (tasks_ > std::numeric_limits<std::size_t>::max() / machines_)
+    throw std::invalid_argument("EtcMatrix: dimensions overflow size_t");
   if (by_task_.size() != tasks_ * machines_)
     throw std::invalid_argument("EtcMatrix: data size mismatch");
   if (ready_.empty()) {
@@ -36,6 +47,11 @@ EtcMatrix::EtcMatrix(std::size_t tasks, std::size_t machines,
       by_machine_[m * tasks_ + t] = by_task_[t * machines_ + m];
     }
   }
+  fingerprint_ = hash_mix(hash_mix(0x5045c6a7a1ce0001ULL, tasks_), machines_);
+  for (double v : by_task_)
+    fingerprint_ = hash_mix(fingerprint_, std::bit_cast<std::uint64_t>(v));
+  for (double r : ready_)
+    fingerprint_ = hash_mix(fingerprint_, std::bit_cast<std::uint64_t>(r));
 }
 
 bool EtcMatrix::machine_dominates(std::size_t a, std::size_t b) const noexcept {

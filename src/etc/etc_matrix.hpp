@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -73,6 +74,13 @@ class EtcMatrix {
   double min_etc() const noexcept { return min_etc_; }
   double max_etc() const noexcept { return max_etc_; }
 
+  /// Stable 64-bit content hash over (tasks, machines, every ETC entry,
+  /// every ready time), computed once at construction. Two matrices with
+  /// the same fingerprint hold bit-identical content for any practical
+  /// purpose; the service's solution cache keys on it and the instance
+  /// repository uses it as an integrity check against cached files.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
   /// Coefficient of variation of row/column means — crude heterogeneity
   /// summaries used by instance_explorer and tests.
   double task_heterogeneity() const;
@@ -86,6 +94,7 @@ class EtcMatrix {
   std::vector<double> ready_;
   double min_etc_;
   double max_etc_;
+  std::uint64_t fingerprint_;
 };
 
 }  // namespace pacga::etc

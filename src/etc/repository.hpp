@@ -8,6 +8,7 @@
 #pragma once
 
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,11 @@ class InstanceRepository {
   explicit InstanceRepository(std::filesystem::path root);
 
   /// Returns the instance by suite name, loading from disk when present,
-  /// generating and persisting otherwise. Throws on unknown names.
+  /// generating and persisting otherwise. Throws on unknown names (unless
+  /// a file for the name already exists, which is served as-is). Files
+  /// loaded from disk are checked against the regenerated instance via
+  /// EtcMatrix::fingerprint(); a mismatch logs a warning and serves the
+  /// file anyway (it is what the user archived).
   EtcMatrix load(const std::string& name);
 
   /// True if `name` is already materialized on disk.
@@ -41,6 +46,10 @@ class InstanceRepository {
 
  private:
   std::filesystem::path root_;
+  /// Names whose on-disk file was already fingerprint-checked against the
+  /// generator (once per repository instance — regeneration is exactly the
+  /// cost the cache exists to skip).
+  std::set<std::string> verified_;
 };
 
 }  // namespace pacga::etc

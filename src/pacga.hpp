@@ -34,6 +34,7 @@
 #include "pacga/parallel_engine.hpp"
 #include "sched/fitness.hpp"
 #include "sched/schedule.hpp"
+#include "service/service.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/log.hpp"

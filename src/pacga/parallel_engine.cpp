@@ -194,7 +194,8 @@ void worker_sync(Shared& sh, std::size_t tid) {
 
 ParallelResult run_parallel(const etc::EtcMatrix& etc,
                             const cga::Config& config,
-                            const cga::GenerationObserver& observer) {
+                            const cga::GenerationObserver& observer,
+                            const std::atomic<bool>* cancel) {
   config.validate();
   const std::size_t n_threads = config.threads;
 
@@ -215,6 +216,7 @@ ParallelResult run_parallel(const etc::EtcMatrix& etc,
   std::vector<std::optional<cga::Individual>> thread_best(n_threads);
 
   cga::TerminationController termination(config.termination);
+  termination.bind_stop_flag(cancel);
   cga::TraceRecorder trace(config.collect_trace);
   std::atomic<std::uint64_t> global_evaluations{0};
   std::atomic<bool> stop_flag{false};

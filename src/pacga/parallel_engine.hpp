@@ -60,9 +60,13 @@ struct ParallelResult {
 /// In the asynchronous mode the population is live — observers must take
 /// the per-cell locks for anything they read from it; in the synchronous
 /// mode it runs between barriers (quiescent).
+/// `cancel` (optional) is an external stop flag every thread polls at its
+/// per-block-sweep termination check; raising it ends the run within one
+/// block sweep per thread (the service's job-cancellation path).
 ParallelResult run_parallel(const etc::EtcMatrix& etc,
                             const cga::Config& config,
-                            const cga::GenerationObserver& observer = {});
+                            const cga::GenerationObserver& observer = {},
+                            const std::atomic<bool>* cancel = nullptr);
 
 /// Pins the calling thread to `core` (Linux). Returns false when pinning
 /// is unsupported or fails; the engine treats that as a soft error. The

@@ -37,6 +37,31 @@ void Schedule::assign_from(const Schedule& src) {
   completion_ = src.completion_;
 }
 
+void Schedule::randomize_from(const etc::EtcMatrix& etc,
+                              support::Xoshiro256& rng) {
+  if (etc.tasks() != assignment_.size() || etc.machines() != completion_.size())
+    throw std::invalid_argument("Schedule::randomize_from: shape mismatch");
+  etc_ = &etc;
+  for (auto& a : assignment_) {
+    a = static_cast<MachineId>(rng.index(etc.machines()));
+  }
+  recompute();
+}
+
+void Schedule::adopt(const etc::EtcMatrix& etc,
+                     std::span<const MachineId> assignment) {
+  if (etc.tasks() != assignment_.size() || etc.machines() != completion_.size() ||
+      assignment.size() != assignment_.size())
+    throw std::invalid_argument("Schedule::adopt: shape mismatch");
+  for (MachineId m : assignment) {
+    if (m >= etc.machines())
+      throw std::invalid_argument("Schedule::adopt: machine id out of range");
+  }
+  etc_ = &etc;
+  std::copy(assignment.begin(), assignment.end(), assignment_.begin());
+  recompute();
+}
+
 void Schedule::move_task(std::size_t t, MachineId m) noexcept {
   const MachineId old = assignment_[t];
   if (old == m) return;

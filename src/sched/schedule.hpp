@@ -43,6 +43,20 @@ class Schedule {
   /// the cache travels with the assignment instead of being rebuilt.
   void assign_from(const Schedule& src);
 
+  /// Rebinds to `etc` (which must have this schedule's tasks x machines
+  /// shape) and overwrites the assignment with a fresh uniformly random
+  /// one, in place — zero heap allocations. This is how the service's warm
+  /// solver arenas recycle population storage across jobs of the same
+  /// shape. Throws std::invalid_argument on a shape mismatch.
+  void randomize_from(const etc::EtcMatrix& etc, support::Xoshiro256& rng);
+
+  /// Rebinds to `etc` (same shape required) and adopts `assignment`
+  /// verbatim, recomputing the completion-time cache — in place, zero
+  /// allocations. Used to replay cached solutions and seed schedules into
+  /// recycled storage. Throws std::invalid_argument on shape or machine-id
+  /// range violations.
+  void adopt(const etc::EtcMatrix& etc, std::span<const MachineId> assignment);
+
   std::size_t tasks() const noexcept { return assignment_.size(); }
   std::size_t machines() const noexcept { return completion_.size(); }
   const etc::EtcMatrix& etc() const noexcept { return *etc_; }

@@ -1,0 +1,73 @@
+#include "service/cache.hpp"
+
+namespace pacga::service {
+
+SolutionCache::SolutionCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) index_.reserve(capacity_);
+}
+
+bool SolutionCache::lookup(std::uint64_t key, Entry& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+  out.assignment.assign(it->second->second.assignment.begin(),
+                        it->second->second.assignment.end());
+  out.fitness = it->second->second.fitness;
+  out.policy = it->second->second.policy;
+  ++hits_;
+  return true;
+}
+
+void SolutionCache::insert(std::uint64_t key,
+                           std::span<const sched::MachineId> assignment,
+                           double fitness, SolvePolicy policy) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (fitness < it->second->second.fitness) {
+      it->second->second.assignment.assign(assignment.begin(),
+                                           assignment.end());
+      it->second->second.fitness = fitness;
+      it->second->second.policy = policy;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, Entry{{assignment.begin(), assignment.end()},
+                                fitness, policy});
+  index_[key] = lru_.begin();
+}
+
+void SolutionCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::size_t SolutionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t SolutionCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t SolutionCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace pacga::service

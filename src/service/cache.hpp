@@ -1,0 +1,70 @@
+// LRU solution cache keyed by ETC content fingerprint.
+//
+// The service's answer to repeated instances — sweep campaigns submit the
+// same matrix dozens of times, a broker retries a failed batch verbatim —
+// is to not re-solve them: a hit replays the stored assignment in O(tasks)
+// instead of burning a solve budget. Keys are EtcMatrix::fingerprint()
+// values with the objective mixed in by the caller (service.cpp), so two
+// tenants optimizing different objectives on the same matrix never share
+// an entry. insert() keeps the better of old and new fitness, so anytime
+// results only ever improve a cached answer.
+//
+// One mutex around a list+hashmap LRU: lookups copy the assignment out
+// under the lock (tasks * 2 bytes — a memcpy, not a solve), which keeps
+// entries immutable-by-copy and the locking trivially correct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "service/job.hpp"
+
+namespace pacga::service {
+
+class SolutionCache {
+ public:
+  /// A capacity of 0 disables the cache (lookups miss, inserts drop).
+  explicit SolutionCache(std::size_t capacity);
+
+  struct Entry {
+    std::vector<sched::MachineId> assignment;
+    double fitness = 0.0;
+    /// The solver that produced this solution (result provenance: a hit
+    /// reports the producing policy, not the requester's).
+    SolvePolicy policy = SolvePolicy::kAuto;
+  };
+
+  /// On hit copies the entry into `out`, bumps recency, and returns true.
+  bool lookup(std::uint64_t key, Entry& out);
+
+  /// Stores (or refreshes) `key`. An existing entry is only overwritten
+  /// when `fitness` improves on it; either way the entry becomes
+  /// most-recently-used. Evicts the least-recently-used entry when full.
+  void insert(std::uint64_t key, std::span<const sched::MachineId> assignment,
+              double fitness, SolvePolicy policy);
+
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, Entry>>;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pacga::service

@@ -1,0 +1,38 @@
+#include "service/job.hpp"
+
+#include <stdexcept>
+
+namespace pacga::service {
+
+const char* to_string(SolvePolicy p) noexcept {
+  switch (p) {
+    case SolvePolicy::kAuto: return "auto";
+    case SolvePolicy::kMinMin: return "minmin";
+    case SolvePolicy::kSufferage: return "sufferage";
+    case SolvePolicy::kCga: return "cga";
+    case SolvePolicy::kPaCga: return "pacga";
+  }
+  return "?";
+}
+
+SolvePolicy parse_policy(const std::string& s) {
+  if (s == "auto") return SolvePolicy::kAuto;
+  if (s == "minmin") return SolvePolicy::kMinMin;
+  if (s == "sufferage") return SolvePolicy::kSufferage;
+  if (s == "cga") return SolvePolicy::kCga;
+  if (s == "pacga") return SolvePolicy::kPaCga;
+  throw std::invalid_argument("unknown solve policy: " + s);
+}
+
+const char* to_string(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::kPending: return "pending";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace pacga::service

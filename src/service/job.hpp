@@ -1,0 +1,130 @@
+// Job model of the scheduler service (see service.hpp for the facade).
+//
+// A JobSpec is everything a tenant supplies: the instance (an ETC matrix,
+// typically built once and shared via shared_ptr across retries/campaign
+// jobs), a priority, a per-job seed, and a wall-clock deadline measured
+// from submission. A JobResult is everything the service returns: the
+// assignment, its fitness, and the bookkeeping a broker needs (queue wait,
+// solve time, cache/deadline/policy provenance).
+//
+// JobState is the internal shared handle threaded through queue, pool, and
+// facade: one allocation per job, reference-counted, with the result
+// protected by its own mutex/cv so waiters never contend with the service
+// registry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "etc/etc_matrix.hpp"
+#include "sched/schedule.hpp"
+
+namespace pacga::service {
+
+using JobId = std::uint64_t;
+
+/// Which solver answers a job. kAuto escalates by budget and size:
+/// Min-min/Sufferage for tiny-or-urgent jobs, the warm sequential CGA for
+/// real budgets, PA-CGA for large instances with generous budgets.
+enum class SolvePolicy {
+  kAuto,
+  kMinMin,     ///< Min-min constructive heuristic only
+  kSufferage,  ///< Sufferage constructive heuristic only
+  kCga,        ///< warm sequential cellular GA (arena-backed)
+  kPaCga,      ///< parallel PA-CGA engine (cold start, own threads)
+};
+
+const char* to_string(SolvePolicy p) noexcept;
+
+/// Parses the daemon/bench spelling ("auto", "minmin", "sufferage", "cga",
+/// "pacga"); throws std::invalid_argument on anything else.
+SolvePolicy parse_policy(const std::string& s);
+
+enum class JobStatus {
+  kPending,    ///< queued, not yet picked up
+  kRunning,    ///< a worker is solving it
+  kDone,       ///< solved (possibly past its deadline — see deadline_missed)
+  kCancelled,  ///< cancelled before or while running
+  kFailed,     ///< the solver threw; the job has no result (see worker log)
+};
+
+const char* to_string(JobStatus s) noexcept;
+
+/// One solve request.
+struct JobSpec {
+  /// The instance. Shared so sweep campaigns can submit the same matrix
+  /// many times without copies; must be non-null and outlives the job.
+  std::shared_ptr<const etc::EtcMatrix> etc;
+  /// Higher priority pops first among queued jobs (FIFO within a level).
+  int priority = 0;
+  /// Per-job RNG seed: same JobSpec (with a generation budget) => same
+  /// schedule, regardless of which worker serves it.
+  std::uint64_t seed = 1;
+  /// Wall-clock deadline in milliseconds from submission. The solver gets
+  /// whatever remains after queueing and stops within one generation of it
+  /// (anytime behavior); must be positive and finite.
+  double deadline_ms = 100.0;
+  SolvePolicy policy = SolvePolicy::kAuto;
+  /// Cap on CGA generations (0 = none). Set it to make results timing-
+  /// independent — the determinism the service tests rely on.
+  std::uint64_t max_generations = 0;
+  /// Look up / store this instance in the solution cache. Disable for
+  /// jobs that want a fresh stochastic solve per seed.
+  bool use_cache = true;
+};
+
+/// One solve answer.
+struct JobResult {
+  JobId id = 0;
+  JobStatus status = JobStatus::kPending;
+  std::vector<sched::MachineId> assignment;  ///< empty when cancelled unrun
+  double makespan = 0.0;  ///< fitness under the service objective
+  SolvePolicy policy_used = SolvePolicy::kAuto;
+  bool cache_hit = false;
+  bool deadline_missed = false;  ///< finished after the wall-clock deadline
+  std::uint64_t generations = 0;
+  std::uint64_t evaluations = 0;
+  double queue_wait_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// Internal shared job handle (queue entry + waiter rendezvous).
+struct JobState {
+  JobSpec spec;
+  std::chrono::steady_clock::time_point submitted{};
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// Raised by cancel(); polled by the solver once per generation.
+  std::atomic<bool> cancel{false};
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool finished = false;  ///< guarded by mutex
+  JobResult result;       ///< stable once finished is true
+
+  /// Publishes the result and wakes every waiter. Call exactly once.
+  void finish() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      finished = true;
+    }
+    cv.notify_all();
+  }
+
+  /// Blocks until finish(); returns a copy of the result.
+  JobResult await() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return finished; });
+    return result;
+  }
+};
+
+using JobTicket = std::shared_ptr<JobState>;
+
+}  // namespace pacga::service

@@ -1,0 +1,35 @@
+#include "service/metrics.hpp"
+
+namespace pacga::service {
+
+void ServiceMetrics::on_complete(double queue_wait_seconds,
+                                 double solve_seconds, bool cache_hit,
+                                 bool deadline_missed) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (deadline_missed)
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_wait_.add(queue_wait_seconds);
+  solve_.add(solve_seconds);
+}
+
+ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
+  Snapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.queue_wait_seconds = queue_wait_;
+    s.solve_seconds = solve_;
+  }
+  s.elapsed_seconds = clock_.elapsed_seconds();
+  return s;
+}
+
+}  // namespace pacga::service

@@ -1,0 +1,83 @@
+// Lock-cheap running metrics of the scheduler service.
+//
+// Counters are relaxed atomics (one uncontended RMW per event); the two
+// latency accumulators (queue wait, solve time) are Welford RunningStats
+// behind one mutex taken for a handful of arithmetic ops per completion.
+// snapshot() is safe to call at any time while serving — it reads the
+// counters and copies the accumulators, never blocking the workers for
+// longer than one completion does.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include <mutex>
+
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace pacga::service {
+
+class ServiceMetrics {
+ public:
+  /// Consistent-enough copy of all metrics at one instant.
+  struct Snapshot {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  ///< finished with a result (kDone)
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;     ///< solver threw (kFailed)
+    std::uint64_t rejected = 0;   ///< try_submit refused: queue full
+    std::uint64_t cache_hits = 0;
+    std::uint64_t deadline_misses = 0;
+    support::RunningStats queue_wait_seconds;
+    support::RunningStats solve_seconds;
+    double elapsed_seconds = 0.0;  ///< since service start
+
+    double jobs_per_second() const noexcept {
+      return elapsed_seconds > 0.0
+                 ? static_cast<double>(completed) / elapsed_seconds
+                 : 0.0;
+    }
+    double deadline_miss_rate() const noexcept {
+      return completed > 0
+                 ? static_cast<double>(deadline_misses) /
+                       static_cast<double>(completed)
+                 : 0.0;
+    }
+    double cache_hit_rate() const noexcept {
+      return completed > 0 ? static_cast<double>(cache_hits) /
+                                 static_cast<double>(completed)
+                           : 0.0;
+    }
+  };
+
+  void on_submit() noexcept {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_reject() noexcept {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_cancel() noexcept {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_fail() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_complete(double queue_wait_seconds, double solve_seconds,
+                   bool cache_hit, bool deadline_missed);
+
+  Snapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+  mutable std::mutex mutex_;  ///< guards the two accumulators only
+  support::RunningStats queue_wait_;
+  support::RunningStats solve_;
+  support::WallTimer clock_;  ///< started at service construction
+};
+
+}  // namespace pacga::service

@@ -1,0 +1,95 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pacga::service {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("JobQueue: capacity must be >= 1");
+  heap_.reserve(capacity);
+}
+
+void JobQueue::push_locked(JobTicket&& job) {
+  Entry e;
+  e.priority = job->spec.priority;
+  e.seq = next_seq_++;
+  e.job = std::move(job);
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), heap_before);
+}
+
+bool JobQueue::try_submit(JobTicket job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || heap_.size() >= capacity_) return false;
+    push_locked(std::move(job));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool JobQueue::submit(JobTicket job) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || heap_.size() < capacity_; });
+    if (closed_) return false;
+    push_locked(std::move(job));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+JobTicket JobQueue::pop() {
+  JobTicket job;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+    if (heap_.empty()) return nullptr;  // closed and drained
+    std::pop_heap(heap_.begin(), heap_.end(), heap_before);
+    job = std::move(heap_.back().job);
+    heap_.pop_back();
+  }
+  not_full_.notify_one();
+  return job;
+}
+
+bool JobQueue::remove(const JobState* job) {
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        std::find_if(heap_.begin(), heap_.end(),
+                     [job](const Entry& e) { return e.job.get() == job; });
+    if (it != heap_.end()) {
+      heap_.erase(it);
+      std::make_heap(heap_.begin(), heap_.end(), heap_before);
+      removed = true;
+    }
+  }
+  if (removed) not_full_.notify_one();
+  return removed;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+}  // namespace pacga::service

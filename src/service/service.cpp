@@ -1,0 +1,185 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pacga::service {
+
+namespace {
+
+void validate_spec(const JobSpec& spec) {
+  if (!spec.etc) throw std::invalid_argument("JobSpec: etc must be non-null");
+  if (!(spec.deadline_ms > 0.0) || !std::isfinite(spec.deadline_ms))
+    throw std::invalid_argument(
+        "JobSpec: deadline_ms must be positive and finite");
+}
+
+}  // namespace
+
+SchedulerService::SchedulerService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      queue_(options_.queue_capacity) {
+  SolverPoolOptions pool_options;
+  pool_options.workers = options_.workers;
+  pool_options.solver = options_.solver;
+  pool_.emplace(queue_, cache_, metrics_, std::move(pool_options),
+                [this](const JobState& job) { on_terminal(job); });
+}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+JobTicket SchedulerService::make_ticket(JobSpec&& spec) {
+  validate_spec(spec);
+  if (shut_down_.load())
+    throw std::runtime_error("SchedulerService: shut down");
+  auto ticket = std::make_shared<JobState>();
+  ticket->spec = std::move(spec);
+  ticket->submitted = std::chrono::steady_clock::now();
+  // Cap at ~1000 days: duration_cast of a larger double to the clock's
+  // integral nanosecond rep would overflow (UB) and wrap an effectively
+  // infinite deadline into one already in the past.
+  const double capped_ms = std::min(ticket->spec.deadline_ms, 8.64e10);
+  ticket->deadline =
+      ticket->submitted +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(capped_ms));
+  ticket->result.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_.emplace(ticket->result.id, ticket);
+  }
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+void SchedulerService::reject_unregistered(const JobTicket& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_.erase(ticket->result.id);
+  }
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drained_.notify_all();
+  }
+}
+
+JobId SchedulerService::submit(JobSpec spec) {
+  JobTicket ticket = make_ticket(std::move(spec));
+  const JobId id = ticket->result.id;
+  JobTicket keep = ticket;  // queue takes one reference, we keep one
+  if (!queue_.submit(std::move(ticket))) {
+    // Shutdown raced the admission.
+    reject_unregistered(keep);
+    throw std::runtime_error("SchedulerService: shut down during submit");
+  }
+  metrics_.on_submit();
+  return id;
+}
+
+std::optional<JobId> SchedulerService::try_submit(JobSpec spec) {
+  JobTicket ticket = make_ticket(std::move(spec));
+  const JobId id = ticket->result.id;
+  JobTicket keep = ticket;  // queue takes one reference, we keep one
+  if (!queue_.try_submit(std::move(ticket))) {
+    reject_unregistered(keep);
+    // Distinguish shutdown from congestion: a load-shedder treats nullopt
+    // as "back off and retry", which must not loop against a dead service
+    // (and must not inflate the rejected metric).
+    if (queue_.closed())
+      throw std::runtime_error("SchedulerService: shut down during submit");
+    metrics_.on_reject();
+    return std::nullopt;
+  }
+  metrics_.on_submit();
+  return id;
+}
+
+JobResult SchedulerService::wait(JobId id) {
+  JobTicket ticket;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = registry_.find(id);
+    if (it == registry_.end())
+      throw std::invalid_argument("SchedulerService::wait: unknown job id");
+    ticket = it->second;
+  }
+  JobResult result = ticket->await();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_.erase(id);
+  }
+  return result;
+}
+
+bool SchedulerService::cancel(JobId id) {
+  JobTicket ticket;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = registry_.find(id);
+    if (it == registry_.end()) return false;
+    ticket = it->second;
+  }
+  ticket->cancel.store(true, std::memory_order_relaxed);
+  if (queue_.remove(ticket.get())) {
+    // Never ran: finish it here, on the canceller's thread.
+    ticket->result.status = JobStatus::kCancelled;
+    metrics_.on_cancel();
+    ticket->finish();
+    on_terminal(*ticket);
+    return true;
+  }
+  // Either running (the flag stops it within a generation) or already
+  // finished (the flag is moot).
+  {
+    std::lock_guard<std::mutex> lock(ticket->mutex);
+    return !ticket->finished;
+  }
+}
+
+void SchedulerService::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void SchedulerService::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);  // serialize joiners
+  if (!shut_down_.exchange(true)) {
+    queue_.close();  // admission off; workers drain the remainder
+  }
+  if (pool_) pool_->join();
+}
+
+void SchedulerService::on_terminal(const JobState& job) {
+  {
+    // Bound the registry: results linger for late wait() calls, but only
+    // the most recent kRetainedResults terminal jobs; a fire-and-forget
+    // tenant must not grow the service without limit.
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    retired_.push_back(job.result.id);
+    while (retired_.size() > kRetainedResults) {
+      registry_.erase(retired_.front());  // no-op when already waited
+      retired_.pop_front();
+    }
+  }
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drained_.notify_all();
+  }
+}
+
+JobSpec make_workload_job(const batch::WorkloadSpec& workload, int priority,
+                          double deadline_ms, std::uint64_t seed) {
+  JobSpec spec;
+  spec.etc =
+      std::make_shared<const etc::EtcMatrix>(batch::make_workload_etc(workload));
+  spec.priority = priority;
+  spec.deadline_ms = deadline_ms;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace pacga::service

@@ -1,0 +1,123 @@
+// SchedulerService — the multi-tenant solve service facade.
+//
+// The paper's operating regime (§2.1) is a broker that continuously
+// receives task batches and must answer within a scheduling window. This
+// facade is that broker's solver tier as an in-process service:
+//
+//   submit/try_submit -> JobQueue (bounded, priority, backpressure)
+//                     -> SolverPool (N workers, warm per-shape arenas,
+//                        deadline-driven anytime CGA, policy escalation)
+//                     -> SolutionCache (LRU on ETC fingerprint)
+//   wait/cancel/drain  and  metrics() snapshots while serving.
+//
+// Lifecycle: construct -> serve -> shutdown() (or destruction). Shutdown
+// is graceful: admission closes, already-queued jobs are drained by the
+// workers, then threads join. cancel() covers both a queued job (removed
+// before it runs) and a running one (stop flag, honored within one
+// generation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "batch/workload.hpp"
+#include "service/cache.hpp"
+#include "service/job.hpp"
+#include "service/metrics.hpp"
+#include "service/queue.hpp"
+#include "service/solver_pool.hpp"
+
+namespace pacga::service {
+
+struct ServiceOptions {
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 256;
+  /// LRU entries; 0 disables the solution cache entirely.
+  std::size_t cache_capacity = 1024;
+  /// Solver base configuration (grid, operators, objective, Min-min
+  /// seeding). Termination and seed are per-job; collect_trace is forced
+  /// off.
+  cga::Config solver;
+};
+
+class SchedulerService {
+ public:
+  explicit SchedulerService(ServiceOptions options = {});
+
+  /// Graceful shutdown (see shutdown()).
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Admits a job, blocking while the queue is full (closed-loop
+  /// backpressure). Returns the job id. Throws std::invalid_argument on a
+  /// malformed spec and std::runtime_error once shut down.
+  JobId submit(JobSpec spec);
+
+  /// Fail-fast admission: nullopt when the queue is full (the reject is
+  /// counted in metrics). Throws like submit() on bad specs/shutdown.
+  std::optional<JobId> try_submit(JobSpec spec);
+
+  /// Blocks until the job reaches a terminal state and returns its result.
+  /// Each id can be waited on once (the handle is released); a second wait
+  /// throws std::invalid_argument. Fire-and-forget tenants do not leak:
+  /// finished-but-unwaited results are retained only for the most recent
+  /// kRetainedResults terminal jobs, then released (a late wait() on an
+  /// evicted id reports it unknown).
+  JobResult wait(JobId id);
+
+  /// How many finished-but-unwaited results are kept before the oldest is
+  /// released.
+  static constexpr std::size_t kRetainedResults = 1024;
+
+  /// Requests cancellation. A queued job is removed and finished as
+  /// kCancelled immediately; a running job stops within one generation.
+  /// Returns false when the job is unknown or already finished.
+  bool cancel(JobId id);
+
+  /// Blocks until every submitted job has reached a terminal state.
+  void drain();
+
+  /// Stops admission, lets the workers drain the queue, joins them.
+  /// Idempotent.
+  void shutdown();
+
+  ServiceMetrics::Snapshot metrics() const { return metrics_.snapshot(); }
+  const SolutionCache& cache() const noexcept { return cache_; }
+  const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  JobTicket make_ticket(JobSpec&& spec);
+  void reject_unregistered(const JobTicket& ticket);
+  void on_terminal(const JobState& job);
+
+  ServiceOptions options_;
+  ServiceMetrics metrics_;
+  SolutionCache cache_;
+  JobQueue queue_;
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<JobId, JobTicket> registry_;
+  std::deque<JobId> retired_;  ///< terminal order; bounds unwaited results
+  std::atomic<JobId> next_id_{1};
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  std::atomic<bool> shut_down_{false};
+  std::mutex shutdown_mutex_;
+
+  std::optional<SolverPool> pool_;  ///< last member: joins before the rest dies
+};
+
+/// Workload-reference job: generates `workload`'s full-batch ETC (see
+/// batch::make_workload_etc) and wraps it as a JobSpec. The service treats
+/// it like any other job; the matrix is owned by the returned spec.
+JobSpec make_workload_job(const batch::WorkloadSpec& workload,
+                          int priority = 0, double deadline_ms = 100.0,
+                          std::uint64_t seed = 1);
+
+}  // namespace pacga::service

@@ -1,0 +1,338 @@
+#include "service/solver_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "heuristics/minmin.hpp"
+#include "heuristics/sufferage.hpp"
+#include "pacga/parallel_engine.hpp"
+#include "sched/fitness.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace pacga::service {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+void fill_result_from(JobResult& out, const cga::Individual& best) {
+  const auto a = best.schedule.assignment();
+  out.assignment.assign(a.begin(), a.end());
+  out.makespan = best.fitness;
+}
+
+}  // namespace
+
+WarmSolver::WarmSolver(cga::Config base) : base_(std::move(base)) {
+  base_.collect_trace = false;  // tracing would allocate per generation
+  base_.validate();
+  arena_config_ = base_;
+}
+
+SolvePolicy WarmSolver::decide(const JobSpec& spec, const etc::EtcMatrix& etc,
+                               double budget_seconds) const noexcept {
+  if (spec.policy != SolvePolicy::kAuto) return spec.policy;
+  if (budget_seconds < kHeuristicBudgetSeconds ||
+      etc.tasks() <= kHeuristicMaxTasks) {
+    return SolvePolicy::kMinMin;  // resolved to the better of the two below
+  }
+  if (budget_seconds >= kParallelBudgetSeconds &&
+      etc.tasks() >= kParallelMinTasks && base_.threads > 1) {
+    return SolvePolicy::kPaCga;
+  }
+  return SolvePolicy::kCga;
+}
+
+void WarmSolver::ensure_shape(const etc::EtcMatrix& etc) {
+  if (population_ && tasks_ == etc.tasks() && machines_ == etc.machines())
+    return;
+  tasks_ = etc.tasks();
+  machines_ = etc.machines();
+
+  // Shrink the grid for small instances (same rationale as the batch
+  // pa_cga_policy: a 16x16 population on a 3-task batch is pure overhead).
+  // min-of-max, not std::clamp: a base grid below 16 cells would violate
+  // clamp's lo <= hi precondition. Jobs big enough to want the whole
+  // population keep the base grid EXACTLY (square or not); only genuinely
+  // small instances get the square shrunk arena.
+  arena_config_ = base_;
+  const std::size_t base_pop = base_.population_size();
+  const std::size_t target_pop =
+      std::min(base_pop, std::max<std::size_t>(16, 4 * etc.tasks()));
+  if (target_pop < base_pop) {
+    std::size_t side = 4;
+    while ((side + 1) * (side + 1) <= target_pop) ++side;
+    arena_config_.width = side;
+    arena_config_.height = side;
+  }
+
+  // Cold build of the arena for this shape. The RNG state used here is
+  // irrelevant: solve() reseeds both the generator and the population
+  // before any of this state is read, so warm and cold paths produce
+  // identical trajectories for the same (etc, spec).
+  cga::Grid grid(arena_config_.width, arena_config_.height);
+  population_.emplace(etc, grid, rng_, /*seed_min_min=*/false,
+                      arena_config_.objective, arena_config_.lambda);
+  breeder_.emplace(etc, arena_config_);
+  order_.emplace(arena_config_.sweep, population_->size(), rng_);
+  scratch_.emplace(sched::Schedule(etc), 0.0);
+  tracker_.emplace(population_->at(0));
+}
+
+void WarmSolver::solve_heuristic(const etc::EtcMatrix& etc, SolvePolicy policy,
+                                 JobResult& out) {
+  const auto score = [&](const sched::Schedule& s) {
+    return sched::evaluate(s, base_.objective, base_.lambda);
+  };
+  if (policy == SolvePolicy::kSufferage) {
+    const sched::Schedule s = heur::sufferage(etc);
+    const auto a = s.assignment();
+    out.assignment.assign(a.begin(), a.end());
+    out.makespan = score(s);
+    out.policy_used = SolvePolicy::kSufferage;
+    return;
+  }
+  // kMinMin explicit, or the kAuto tiny-or-urgent escalation: Min-min with
+  // a Sufferage second opinion costs microseconds at this scale and wins
+  // on the inconsistent classes.
+  const sched::Schedule mm = heur::min_min(etc);
+  const double mm_fit = score(mm);
+  if (policy == SolvePolicy::kMinMin) {
+    const auto a = mm.assignment();
+    out.assignment.assign(a.begin(), a.end());
+    out.makespan = mm_fit;
+    out.policy_used = SolvePolicy::kMinMin;
+    return;
+  }
+  const sched::Schedule sf = heur::sufferage(etc);
+  const double sf_fit = score(sf);
+  const sched::Schedule& winner = sf_fit < mm_fit ? sf : mm;
+  const auto a = winner.assignment();
+  out.assignment.assign(a.begin(), a.end());
+  out.makespan = std::min(mm_fit, sf_fit);
+  out.policy_used =
+      sf_fit < mm_fit ? SolvePolicy::kSufferage : SolvePolicy::kMinMin;
+}
+
+void WarmSolver::solve_cga(const etc::EtcMatrix& etc, const JobSpec& spec,
+                           double budget_seconds,
+                           const std::atomic<bool>* cancel, JobResult& out,
+                           const cga::GenerationObserver& observer) {
+  ensure_shape(etc);
+  cga::Population& pop = *population_;
+
+  // Per-job determinism: generator, population, and sweep order are all a
+  // pure function of (etc, spec.seed) from here on.
+  rng_.reseed(spec.seed);
+  pop.reseed(etc, rng_, base_.seed_min_min, arena_config_.objective,
+             arena_config_.lambda);
+  order_->reset(rng_);
+  tracker_->reset(pop.at(pop.best_index()));
+
+  cga::Termination limits;  // defaults: never — the service is deadline-driven
+  limits.wall_seconds = budget_seconds;
+  if (spec.max_generations > 0) limits.max_generations = spec.max_generations;
+  cga::TerminationController termination(limits);
+  termination.bind_stop_flag(cancel);
+
+  std::uint64_t evaluations = 0;
+  std::uint64_t generations = 0;
+  cga::run_sweep_loop(
+      *order_, rng_,
+      [&](std::size_t idx) {  // one breeding step (asynchronous replacement)
+        breeder_->breed_into(pop, idx, rng_, *scratch_);
+        ++evaluations;
+        tracker_->observe(*scratch_);
+        if (cga::detail::should_replace(arena_config_.replacement,
+                                        scratch_->fitness,
+                                        pop.at(idx).fitness)) {
+          cga::Breeder::replace(pop.at(idx), *scratch_);
+        }
+        return false;
+      },
+      [&] {  // end of sweep: the anytime checkpoint
+        ++generations;
+        if (observer) {
+          observer({generations, evaluations, termination.elapsed_seconds(),
+                    tracker_->fitness(), pop});
+        }
+        return termination.sweep_done(generations, evaluations);
+      });
+
+  fill_result_from(out, tracker_->best());
+  out.generations = generations;
+  out.evaluations = evaluations;
+  out.policy_used = SolvePolicy::kCga;
+}
+
+void WarmSolver::solve_parallel(const etc::EtcMatrix& etc, const JobSpec& spec,
+                                double budget_seconds,
+                                const std::atomic<bool>* cancel,
+                                JobResult& out) {
+  cga::Config config = base_;
+  config.seed = spec.seed;
+  // Floor the budget: an explicit-kPaCga job popped past its deadline
+  // arrives with 0, which Config::validate rejects.
+  config.termination = cga::Termination::after_seconds(
+      std::max(budget_seconds, kHeuristicBudgetSeconds));
+  if (spec.max_generations > 0)
+    config.termination.max_generations = spec.max_generations;
+  const par::ParallelResult r = par::run_parallel(etc, config, {}, cancel);
+  const auto a = r.result.best.assignment();
+  out.assignment.assign(a.begin(), a.end());
+  out.makespan = r.result.best_fitness;
+  out.generations = r.result.generations;
+  out.evaluations = r.result.evaluations;
+  out.policy_used = SolvePolicy::kPaCga;
+}
+
+void WarmSolver::solve(const etc::EtcMatrix& etc, const JobSpec& spec,
+                       double budget_seconds, const std::atomic<bool>* cancel,
+                       JobResult& out, const cga::GenerationObserver& observer) {
+  out.cache_hit = false;
+  out.generations = 0;
+  out.evaluations = 0;
+  switch (decide(spec, etc, budget_seconds)) {
+    case SolvePolicy::kAuto:  // unreachable: decide() never returns kAuto
+    case SolvePolicy::kMinMin:
+    case SolvePolicy::kSufferage:
+      // spec.policy distinguishes the explicit heuristics from the kAuto
+      // escalation (which runs both and keeps the winner).
+      solve_heuristic(etc, spec.policy, out);
+      break;
+    case SolvePolicy::kCga:
+      solve_cga(etc, spec, budget_seconds, cancel, out, observer);
+      break;
+    case SolvePolicy::kPaCga:
+      solve_parallel(etc, spec, budget_seconds, cancel, out);
+      break;
+  }
+}
+
+// --- SolverPool ------------------------------------------------------------
+
+SolverPool::SolverPool(JobQueue& queue, SolutionCache& cache,
+                       ServiceMetrics& metrics, SolverPoolOptions options,
+                       CompletionHook on_terminal)
+    : queue_(queue),
+      cache_(cache),
+      metrics_(metrics),
+      options_(std::move(options)),
+      on_terminal_(std::move(on_terminal)) {
+  if (options_.workers == 0)
+    throw std::invalid_argument("SolverPool: workers must be >= 1");
+  options_.solver.validate();
+  threads_.emplace(options_.workers, [this](std::size_t) {
+    WarmSolver solver(options_.solver);
+    while (JobTicket job = queue_.pop()) {
+      serve(*job, solver);
+    }
+  });
+}
+
+void SolverPool::join() {
+  if (threads_) threads_->join();
+}
+
+std::uint64_t SolverPool::cache_key(const etc::EtcMatrix& etc,
+                                    const cga::Config& solver,
+                                    SolvePolicy policy) noexcept {
+  std::uint64_t h = support::hash_mix(
+      etc.fingerprint(), static_cast<std::uint64_t>(solver.objective) + 1);
+  if (solver.objective == sched::Objective::kWeightedMakespanFlowtime) {
+    h = support::hash_mix(h, static_cast<std::uint64_t>(solver.lambda * 1e9));
+  }
+  return support::hash_mix(h, static_cast<std::uint64_t>(policy) + 1);
+}
+
+void SolverPool::serve(JobState& job, WarmSolver& solver) {
+  const auto picked_up = std::chrono::steady_clock::now();
+  JobResult& out = job.result;
+  out.queue_wait_seconds = seconds_between(job.submitted, picked_up);
+
+  if (job.cancel.load(std::memory_order_relaxed)) {
+    out.status = JobStatus::kCancelled;
+    metrics_.on_cancel();
+    job.finish();
+    if (on_terminal_) on_terminal_(job);
+    return;
+  }
+
+  out.status = JobStatus::kRunning;
+  const etc::EtcMatrix& etc = *job.spec.etc;
+  const std::uint64_t key = cache_key(etc, options_.solver, job.spec.policy);
+  support::WallTimer solve_timer;
+
+  SolutionCache::Entry cached;
+  if (job.spec.use_cache && cache_.lookup(key, cached)) {
+    out.assignment = std::move(cached.assignment);
+    out.makespan = cached.fitness;
+    out.cache_hit = true;
+    out.generations = 0;
+    out.evaluations = 0;
+    out.policy_used = cached.policy;  // provenance: what PRODUCED the answer
+    out.status = JobStatus::kDone;
+  } else {
+    // The solver gets whatever wall budget remains after queueing, minus
+    // ~10% headroom: the anytime loop stops within one generation AFTER
+    // its budget, so aiming at the raw deadline would miss it by
+    // construction. A job popped past its deadline still gets a
+    // floor-of-zero budget, which kAuto escalates to the heuristics
+    // (serve late rather than never).
+    const double remaining = std::max(
+        0.0, seconds_between(picked_up, job.deadline));
+    try {
+      solver.solve(etc, job.spec, remaining * kDeadlineHeadroom, &job.cancel,
+                   out);
+      out.status = job.cancel.load(std::memory_order_relaxed)
+                       ? JobStatus::kCancelled
+                       : JobStatus::kDone;
+    } catch (const std::exception& e) {
+      // A throwing solver must fail ONE job, not escape the worker thread
+      // (std::terminate would kill the service and strand every waiter).
+      support::log_warn() << "SolverPool: job " << out.id
+                          << " failed: " << e.what();
+      out.status = JobStatus::kFailed;
+    }
+    if (out.status == JobStatus::kDone && job.spec.use_cache &&
+        !out.assignment.empty()) {
+      // Don't let a budget-starved kAuto escalation poison the cache: its
+      // heuristic answer would be served to every later budget-rich kAuto
+      // job on this matrix, which would then never trigger the
+      // keep-better refresh. Tiny instances escalate by SIZE, so their
+      // heuristic answers are the steady state and cache fine.
+      const bool budget_starved_heuristic =
+          job.spec.policy == SolvePolicy::kAuto &&
+          (out.policy_used == SolvePolicy::kMinMin ||
+           out.policy_used == SolvePolicy::kSufferage) &&
+          etc.tasks() > kHeuristicMaxTasks;
+      if (!budget_starved_heuristic) {
+        cache_.insert(key, out.assignment, out.makespan, out.policy_used);
+      }
+    }
+  }
+  out.solve_seconds = solve_timer.elapsed_seconds();
+  out.deadline_missed = std::chrono::steady_clock::now() > job.deadline;
+
+  switch (out.status) {
+    case JobStatus::kCancelled:
+      metrics_.on_cancel();
+      break;
+    case JobStatus::kFailed:
+      metrics_.on_fail();
+      break;
+    default:
+      metrics_.on_complete(out.queue_wait_seconds, out.solve_seconds,
+                           out.cache_hit, out.deadline_missed);
+      break;
+  }
+  job.finish();
+  if (on_terminal_) on_terminal_(job);
+}
+
+}  // namespace pacga::service

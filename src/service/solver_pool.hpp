@@ -1,0 +1,150 @@
+// Warm solver workers: persistent per-thread solver state reused across
+// jobs, plus the pool that feeds them from the job queue.
+//
+// The economics of serving: on a small instance the CGA's useful work per
+// job is milliseconds, so per-job setup (population construction, breeder
+// scratch, sweep order — a dozen vector allocations each sized
+// tasks*machines) would dominate. A WarmSolver therefore owns ALL of that
+// state as an arena keyed on the instance shape: jobs of the same
+// (tasks x machines) shape re-initialize the existing buffers in place
+// (Population::reseed, Schedule::randomize_from, SweepOrderCache::reset,
+// BestTracker::reset), so the steady-state serving path performs ZERO heap
+// allocations for kCga jobs without Min-min seeding — the breeding path
+// itself is allocation-free with seeding too (test_service pins both).
+//
+// Policy escalation (kAuto): tiny-or-urgent jobs get Min-min+Sufferage
+// (microseconds, near-optimal at that scale); real budgets get the warm
+// sequential CGA (anytime, deadline-driven via TerminationController);
+// big instances with generous budgets get the PA-CGA parallel engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "cga/breeder.hpp"
+#include "cga/config.hpp"
+#include "cga/engine.hpp"
+#include "cga/loop.hpp"
+#include "cga/population.hpp"
+#include "service/cache.hpp"
+#include "service/job.hpp"
+#include "service/metrics.hpp"
+#include "service/queue.hpp"
+#include "support/rng.hpp"
+#include "support/threading.hpp"
+
+namespace pacga::service {
+
+/// kAuto escalation thresholds.
+inline constexpr double kHeuristicBudgetSeconds = 0.002;  ///< below: heuristics
+inline constexpr std::size_t kHeuristicMaxTasks = 12;     ///< at most: heuristics
+inline constexpr double kParallelBudgetSeconds = 0.25;    ///< at least: PA-CGA...
+inline constexpr std::size_t kParallelMinTasks = 256;     ///< ...on big instances
+
+/// Fraction of the remaining wall budget handed to the solver; the rest is
+/// headroom for the anytime loop's one-generation overshoot plus result
+/// bookkeeping, so on-time pickups normally finish INSIDE the deadline.
+inline constexpr double kDeadlineHeadroom = 0.9;
+
+/// One worker's persistent solver. NOT thread-safe — exactly one worker
+/// (or test) drives it. Between jobs the arena's schedules keep a pointer
+/// to the PREVIOUS job's ETC matrix; nothing dereferences it until the
+/// next solve rebinds every cell, but the arena must only be used through
+/// solve().
+class WarmSolver {
+ public:
+  /// `base` supplies grid shape, operators, objective, and Min-min
+  /// seeding; per-job termination and seeds override it. The grid is
+  /// shrunk automatically for small instances (population <= ~4x tasks,
+  /// never below 4x4), one arena shape at a time.
+  explicit WarmSolver(cga::Config base);
+
+  /// Solves one job into `out` (assignment, makespan=fitness, policy_used,
+  /// generations, evaluations). `budget_seconds` is the remaining wall
+  /// budget; the CGA stops within one generation of it (anytime) and polls
+  /// `cancel` (optional) at the same granularity. `observer` (optional)
+  /// fires after every committed generation. Per-job seeding makes the
+  /// result a pure function of (etc, spec) given a generation cap.
+  void solve(const etc::EtcMatrix& etc, const JobSpec& spec,
+             double budget_seconds, const std::atomic<bool>* cancel,
+             JobResult& out, const cga::GenerationObserver& observer = {});
+
+  /// The escalation decision, exposed for tests and the daemon's STATS.
+  SolvePolicy decide(const JobSpec& spec, const etc::EtcMatrix& etc,
+                     double budget_seconds) const noexcept;
+
+  const cga::Config& base() const noexcept { return base_; }
+
+ private:
+  void ensure_shape(const etc::EtcMatrix& etc);
+  void solve_heuristic(const etc::EtcMatrix& etc, SolvePolicy policy,
+                       JobResult& out);
+  void solve_cga(const etc::EtcMatrix& etc, const JobSpec& spec,
+                 double budget_seconds, const std::atomic<bool>* cancel,
+                 JobResult& out, const cga::GenerationObserver& observer);
+  void solve_parallel(const etc::EtcMatrix& etc, const JobSpec& spec,
+                      double budget_seconds, const std::atomic<bool>* cancel,
+                      JobResult& out);
+
+  cga::Config base_;
+  cga::Config arena_config_;  ///< base_ with the grid shrunk for the shape
+  std::size_t tasks_ = 0;
+  std::size_t machines_ = 0;
+  support::Xoshiro256 rng_{1};
+  std::optional<cga::Population> population_;
+  std::optional<cga::Breeder> breeder_;
+  std::optional<cga::SweepOrderCache> order_;
+  std::optional<cga::Individual> scratch_;     ///< offspring buffer
+  std::optional<cga::BestTracker> tracker_;
+};
+
+/// Options of the worker pool (and, via ServiceOptions, the service).
+struct SolverPoolOptions {
+  std::size_t workers = 2;
+  /// Solver base configuration: grid, operators, objective, Min-min
+  /// seeding. Termination and seed are per-job.
+  cga::Config solver;
+};
+
+/// N worker threads, each owning one WarmSolver, consuming one JobQueue.
+/// Jobs are finished (result published, waiters woken) by the worker that
+/// served them; `on_terminal` (optional) runs after each finish — the
+/// service uses it for outstanding-job accounting.
+class SolverPool {
+ public:
+  using CompletionHook = std::function<void(const JobState&)>;
+
+  SolverPool(JobQueue& queue, SolutionCache& cache, ServiceMetrics& metrics,
+             SolverPoolOptions options, CompletionHook on_terminal = {});
+
+  /// Joins the workers. The queue must have been closed first or this
+  /// blocks forever (ScopedThreads joins in its destructor too).
+  ~SolverPool() = default;
+  void join();
+
+  /// Solution-cache key: the ETC fingerprint with the objective (and
+  /// lambda, when it matters) and the REQUESTED solve policy mixed in.
+  /// Different objectives on the same matrix never share an entry, and an
+  /// explicit kCga request is never answered with a cached heuristic
+  /// solution from a kMinMin tenant (kAuto keys separately too — the
+  /// price of not knowing its escalation before the budget is known).
+  static std::uint64_t cache_key(const etc::EtcMatrix& etc,
+                                 const cga::Config& solver,
+                                 SolvePolicy policy) noexcept;
+
+  std::size_t workers() const noexcept { return options_.workers; }
+
+ private:
+  void serve(JobState& job, WarmSolver& solver);
+
+  JobQueue& queue_;
+  SolutionCache& cache_;
+  ServiceMetrics& metrics_;
+  SolverPoolOptions options_;
+  CompletionHook on_terminal_;
+  std::optional<support::ScopedThreads> threads_;  ///< last member: joins first
+};
+
+}  // namespace pacga::service

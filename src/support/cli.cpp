@@ -134,6 +134,32 @@ Cli& Cli::option(const std::string& name, std::string* target,
   return *this;
 }
 
+Cli& Cli::option(const std::string& name, std::string* target,
+                 std::vector<std::string> allowed, const std::string& help) {
+  std::string choices;
+  for (const auto& c : allowed) {
+    if (!choices.empty()) choices += "|";
+    choices += c;
+  }
+  Opt o;
+  o.help = help + " [" + choices + "]";
+  o.default_repr = *target;
+  o.apply = [name, target, allowed = std::move(allowed),
+             choices](const std::string& v) {
+    for (const auto& c : allowed) {
+      if (v == c) {
+        *target = v;
+        return;
+      }
+    }
+    throw std::runtime_error("invalid choice for --" + name + ": '" + v +
+                             "' (expected one of " + choices + ")");
+  };
+  order_.push_back(name);
+  opts_[name] = std::move(o);
+  return *this;
+}
+
 bool Cli::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

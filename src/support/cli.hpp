@@ -31,6 +31,12 @@ class Cli {
   Cli& option(const std::string& name, double* target, const std::string& help);
   Cli& option(const std::string& name, std::string* target,
               const std::string& help);
+  /// String option restricted to a fixed set of choices (e.g. the service
+  /// daemon's --policy auto|minmin|sufferage|cga). A value outside
+  /// `allowed` raises a usage error listing the valid choices; `*target`'s
+  /// initial value is the default and should be one of them.
+  Cli& option(const std::string& name, std::string* target,
+              std::vector<std::string> allowed, const std::string& help);
 
   /// Parses argv. Returns false if --help was requested (help already
   /// printed) — callers should exit 0. Throws std::runtime_error on

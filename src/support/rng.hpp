@@ -161,4 +161,14 @@ std::vector<Xoshiro256> make_streams(std::uint64_t master_seed, std::size_t n);
 /// Used to give each benchmark instance a deterministic generation seed.
 std::uint64_t seed_from_string(const char* s) noexcept;
 
+/// SplitMix64-style avalanche step folding one word into a running hash.
+/// Deliberately not std::hash (implementation-defined): users — the ETC
+/// content fingerprint and the service's cache keys derived from it —
+/// need values that are stable across platforms and standard libraries.
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 27);
+}
+
 }  // namespace pacga::support

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace pacga::support {
@@ -37,6 +38,14 @@ void RunningStats::merge(const RunningStats& other) noexcept {
 
 double RunningStats::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::min() const noexcept {
+  return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double RunningStats::max() const noexcept {
+  return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
 }
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }

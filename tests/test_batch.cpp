@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
 
 namespace pacga::batch {
 namespace {
@@ -19,6 +22,67 @@ WorkloadSpec small_spec() {
   spec.mips_hi = 4.0;
   spec.seed = 11;
   return spec;
+}
+
+TEST(Workload, RejectsDegenerateSpecsWithNamedErrors) {
+  const auto message_of = [](WorkloadSpec spec) -> std::string {
+    try {
+      generate_workload(spec);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  WorkloadSpec spec = small_spec();
+
+  spec.machines = 0;
+  EXPECT_NE(message_of(spec).find("machines"), std::string::npos);
+  spec = small_spec();
+  spec.tasks = 0;
+  EXPECT_NE(message_of(spec).find("tasks"), std::string::npos);
+  spec = small_spec();
+  spec.arrival_rate = 0.0;
+  EXPECT_NE(message_of(spec).find("arrival_rate"), std::string::npos);
+  spec.arrival_rate = -2.5;
+  EXPECT_NE(message_of(spec).find("arrival_rate"), std::string::npos);
+  spec.arrival_rate = std::numeric_limits<double>::infinity();
+  EXPECT_NE(message_of(spec).find("arrival_rate"), std::string::npos);
+  spec = small_spec();
+  spec.workload_hi = spec.workload_lo - 1.0;  // inverted range
+  EXPECT_NE(message_of(spec).find("workload_hi"), std::string::npos);
+  spec = small_spec();
+  spec.workload_lo = 0.0;
+  EXPECT_NE(message_of(spec).find("workload_lo"), std::string::npos);
+  spec = small_spec();
+  spec.mips_hi = spec.mips_lo / 2.0;
+  EXPECT_NE(message_of(spec).find("mips_hi"), std::string::npos);
+  spec = small_spec();
+  spec.inconsistency = -0.1;
+  EXPECT_NE(message_of(spec).find("inconsistency"), std::string::npos);
+  spec.inconsistency = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(message_of(spec).find("inconsistency"), std::string::npos);
+}
+
+TEST(Workload, ValidSpecsProduceFiniteArrivals) {
+  const auto w = generate_workload(small_spec());
+  for (const auto& t : w.tasks) {
+    EXPECT_TRUE(std::isfinite(t.arrival));
+    EXPECT_GT(t.workload, 0.0);
+  }
+}
+
+TEST(Workload, FullBatchEtcAdapter) {
+  WorkloadSpec spec = small_spec();
+  const auto m = make_workload_etc(spec);
+  EXPECT_EQ(m.tasks(), spec.tasks);
+  EXPECT_EQ(m.machines(), spec.machines);
+  for (std::size_t mm = 0; mm < m.machines(); ++mm) {
+    EXPECT_EQ(m.ready(mm), 0.0);  // idle park
+  }
+  // Deterministic in the seed.
+  EXPECT_EQ(m.fingerprint(), make_workload_etc(spec).fingerprint());
+  spec.seed += 1;
+  EXPECT_NE(m.fingerprint(), make_workload_etc(spec).fingerprint());
 }
 
 TEST(Workload, GeneratesSortedArrivals) {

@@ -120,6 +120,57 @@ TEST(Cli, PositionalArgumentRejected) {
   EXPECT_THROW(cli.parse(a.argc(), a.argv()), std::runtime_error);
 }
 
+TEST(Cli, ChoiceOptionAcceptsListedValue) {
+  std::string policy = "auto";
+  Cli cli("test");
+  cli.option("policy", &policy, {"auto", "minmin", "cga"}, "solve policy");
+  Argv a({"--policy", "cga"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(policy, "cga");
+}
+
+TEST(Cli, ChoiceOptionEqualsSyntax) {
+  std::string policy = "auto";
+  Cli cli("test");
+  cli.option("policy", &policy, {"auto", "minmin"}, "solve policy");
+  Argv a({"--policy=minmin"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(policy, "minmin");
+}
+
+TEST(Cli, ChoiceOptionRejectsUnknownValue) {
+  std::string policy = "auto";
+  Cli cli("test");
+  cli.option("policy", &policy, {"auto", "minmin"}, "solve policy");
+  Argv a({"--policy", "genetic"});
+  try {
+    cli.parse(a.argc(), a.argv());
+    FAIL() << "expected a usage error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("genetic"), std::string::npos);
+    EXPECT_NE(msg.find("auto|minmin"), std::string::npos);
+  }
+  EXPECT_EQ(policy, "auto");  // target untouched on error
+}
+
+TEST(Cli, ChoiceOptionIsCaseSensitive) {
+  std::string policy = "auto";
+  Cli cli("test");
+  cli.option("policy", &policy, {"auto"}, "solve policy");
+  Argv a({"--policy", "AUTO"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), std::runtime_error);
+}
+
+TEST(Cli, ChoiceOptionUsageListsChoices) {
+  std::string policy = "auto";
+  Cli cli("test");
+  cli.option("policy", &policy, {"auto", "minmin", "cga"}, "solve policy");
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("auto|minmin|cga"), std::string::npos);
+  EXPECT_NE(u.find("default: auto"), std::string::npos);
+}
+
 TEST(Cli, UsageMentionsOptionsAndDefaults) {
   int i = 5;
   Cli cli("my tool");

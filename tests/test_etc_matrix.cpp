@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace pacga::etc {
@@ -98,6 +99,35 @@ TEST(EtcMatrix, HeterogeneityOrdering) {
   EtcMatrix hetero(3, 2, {1, 1.1, 100, 110, 10000, 11000});
   EtcMatrix homo(3, 2, {1, 1.1, 1.01, 1.1, 0.99, 1.05});
   EXPECT_GT(hetero.task_heterogeneity(), homo.task_heterogeneity());
+}
+
+TEST(EtcMatrix, RejectsOverflowingDimensions) {
+  // tasks * machines wraps to 5 here; without the overflow guard the size
+  // check would accept this 5-element data vector and the transpose loop
+  // would write out of bounds.
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 3 + 2;
+  EXPECT_THROW(EtcMatrix(huge, 3, {1.0, 1.0, 1.0, 1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(EtcMatrix, FingerprintIsContentStable) {
+  EtcMatrix a(2, 2, {1, 2, 3, 4});
+  EtcMatrix b(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(EtcMatrix, FingerprintSeesValuesShapeAndReadyTimes) {
+  EtcMatrix base(2, 2, {1, 2, 3, 4});
+  EXPECT_NE(base.fingerprint(), EtcMatrix(2, 2, {1, 2, 3, 5}).fingerprint());
+  // Same flat data, transposed shape.
+  EXPECT_NE(base.fingerprint(), EtcMatrix(4, 1, {1, 2, 3, 4}).fingerprint());
+  EXPECT_NE(base.fingerprint(), EtcMatrix(1, 4, {1, 2, 3, 4}).fingerprint());
+  // Ready times are part of the instance (an explicit all-zero vector is
+  // the same instance as the implicit default).
+  EXPECT_EQ(base.fingerprint(),
+            EtcMatrix(2, 2, {1, 2, 3, 4}, {0.0, 0.0}).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            EtcMatrix(2, 2, {1, 2, 3, 4}, {1.0, 0.0}).fingerprint());
 }
 
 }  // namespace

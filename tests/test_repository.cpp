@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 #include "etc/suite.hpp"
 
@@ -64,6 +67,41 @@ TEST_F(RepositoryTest, MaterializeSuiteCreatesTwelveFiles) {
   // verify it does not throw and returns the same paths).
   const auto again = repo.materialize_suite();
   EXPECT_EQ(again, paths);
+}
+
+TEST_F(RepositoryTest, RoundTripPreservesFingerprint) {
+  // The Braun writer emits 17 significant digits, so generate -> write ->
+  // read must reproduce the exact bits — the property the load-time
+  // integrity check relies on.
+  InstanceRepository repo(root_);
+  const auto first = repo.load("u_c_lohi.0");   // generates + persists
+  const auto second = repo.load("u_c_lohi.0");  // reads the file back
+  EXPECT_EQ(first.fingerprint(), second.fingerprint());
+  EXPECT_EQ(first.fingerprint(), generate_by_name("u_c_lohi.0").fingerprint());
+}
+
+TEST_F(RepositoryTest, TamperedFileStillServedButDiffers) {
+  // load() warns (log output) on a fingerprint mismatch and serves the
+  // archived file; the observable contract is that the tampered content
+  // comes back and its fingerprint no longer matches the generator's.
+  InstanceRepository repo(root_);
+  repo.load("u_c_hilo.0");
+  const auto path = repo.path_of("u_c_hilo.0");
+  // Corrupt one value: prepend a replacement first data line.
+  {
+    std::ifstream in(path);
+    std::string header, first_value;
+    std::getline(in, header);
+    std::getline(in, first_value);
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path);
+    out << header << "\n" << "123456.0" << "\n" << rest;
+  }
+  const auto tampered = repo.load("u_c_hilo.0");
+  EXPECT_NE(tampered.fingerprint(),
+            generate_by_name("u_c_hilo.0").fingerprint());
+  EXPECT_DOUBLE_EQ(tampered(0, 0), 123456.0);
 }
 
 TEST_F(RepositoryTest, ClearRemovesEtcFiles) {

@@ -1,0 +1,665 @@
+// Scheduler-service subsystem tests:
+//
+//  * JobQueue: priority + FIFO ordering, backpressure (try_submit fails
+//    fast when full), remove-for-cancel, close-and-drain semantics;
+//  * SolutionCache: LRU eviction, better-fitness refresh, hit/miss counts;
+//  * SchedulerService: concurrent submit/wait from many threads, cancel
+//    before and while running, deadline-bounded anytime results, cache
+//    hits returning the identical schedule, per-job seed determinism,
+//    drain/shutdown, metrics accounting;
+//  * WarmSolver: policy escalation and the zero-allocation guarantee —
+//    a worker serving repeated same-shape jobs touches the heap neither
+//    on the breeding path nor anywhere else in a kCga solve after
+//    warm-up (operator-new counter, the test_breeder technique).
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
+#include "sched/fitness.hpp"
+#include "service/solver_pool.hpp"
+#include "support/timer.hpp"
+
+// --- global allocation counter (see test_breeder.cpp) ----------------------
+
+// GCC flags std::free on new[]-ed pointers at inlined call sites, but the
+// replacement operator new below IS malloc-backed — the pairing is correct.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pacga::service {
+namespace {
+
+std::shared_ptr<const etc::EtcMatrix> instance(std::size_t tasks = 32,
+                                               std::size_t machines = 8,
+                                               std::uint64_t seed = 7) {
+  etc::GenSpec spec;
+  spec.tasks = tasks;
+  spec.machines = machines;
+  spec.consistency = etc::Consistency::kInconsistent;
+  spec.seed = seed;
+  return std::make_shared<const etc::EtcMatrix>(etc::generate(spec));
+}
+
+JobTicket ticket_with_priority(int priority) {
+  auto t = std::make_shared<JobState>();
+  t->spec.priority = priority;
+  return t;
+}
+
+// --- JobQueue --------------------------------------------------------------
+
+TEST(JobQueue, PriorityThenFifoOrder) {
+  JobQueue q(8);
+  auto lo1 = ticket_with_priority(0);
+  auto hi = ticket_with_priority(5);
+  auto lo2 = ticket_with_priority(0);
+  ASSERT_TRUE(q.try_submit(lo1));
+  ASSERT_TRUE(q.try_submit(hi));
+  ASSERT_TRUE(q.try_submit(lo2));
+  EXPECT_EQ(q.pop().get(), hi.get());   // highest priority first
+  EXPECT_EQ(q.pop().get(), lo1.get());  // FIFO within a priority level
+  EXPECT_EQ(q.pop().get(), lo2.get());
+}
+
+TEST(JobQueue, TrySubmitFailsFastWhenFull) {
+  JobQueue q(2);
+  EXPECT_TRUE(q.try_submit(ticket_with_priority(0)));
+  EXPECT_TRUE(q.try_submit(ticket_with_priority(0)));
+  EXPECT_FALSE(q.try_submit(ticket_with_priority(0)));
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_TRUE(q.try_submit(ticket_with_priority(0)));  // slot freed
+}
+
+TEST(JobQueue, RemoveDropsQueuedJob) {
+  JobQueue q(4);
+  auto a = ticket_with_priority(0);
+  auto b = ticket_with_priority(0);
+  ASSERT_TRUE(q.try_submit(a));
+  ASSERT_TRUE(q.try_submit(b));
+  EXPECT_TRUE(q.remove(a.get()));
+  EXPECT_FALSE(q.remove(a.get()));  // already gone
+  EXPECT_EQ(q.pop().get(), b.get());
+}
+
+TEST(JobQueue, CloseDrainsThenReturnsNull) {
+  JobQueue q(4);
+  auto a = ticket_with_priority(0);
+  ASSERT_TRUE(q.try_submit(a));
+  q.close();
+  EXPECT_FALSE(q.try_submit(ticket_with_priority(0)));
+  EXPECT_EQ(q.pop().get(), a.get());  // queued work is drained
+  EXPECT_EQ(q.pop(), nullptr);        // then shutdown
+}
+
+TEST(JobQueue, BlockingSubmitWaitsForSlot) {
+  JobQueue q(1);
+  ASSERT_TRUE(q.try_submit(ticket_with_priority(0)));
+  std::atomic<bool> admitted{false};
+  std::thread t([&] {
+    EXPECT_TRUE(q.submit(ticket_with_priority(0)));
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());  // still blocked on the full queue
+  (void)q.pop();
+  t.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+// --- SolutionCache ---------------------------------------------------------
+
+TEST(SolutionCache, LruEvictionAndCounts) {
+  SolutionCache cache(2);
+  const std::vector<sched::MachineId> a{0, 1}, b{1, 0}, c{1, 1};
+  cache.insert(1, a, 10.0, SolvePolicy::kCga);
+  cache.insert(2, b, 20.0, SolvePolicy::kCga);
+  SolutionCache::Entry e;
+  EXPECT_TRUE(cache.lookup(1, e));  // bumps key 1 to most-recent
+  cache.insert(3, c, 30.0, SolvePolicy::kCga);  // evicts key 2 (LRU)
+  EXPECT_FALSE(cache.lookup(2, e));
+  EXPECT_TRUE(cache.lookup(3, e));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SolutionCache, KeepsBetterFitnessOnReinsertWithItsProvenance) {
+  SolutionCache cache(4);
+  const std::vector<sched::MachineId> good{0, 1}, bad{1, 0};
+  cache.insert(1, bad, 50.0, SolvePolicy::kMinMin);
+  cache.insert(1, good, 40.0, SolvePolicy::kCga);  // improves: replaces
+  SolutionCache::Entry e;
+  ASSERT_TRUE(cache.lookup(1, e));
+  EXPECT_EQ(e.fitness, 40.0);
+  EXPECT_EQ(e.assignment, good);
+  EXPECT_EQ(e.policy, SolvePolicy::kCga);
+  cache.insert(1, bad, 60.0, SolvePolicy::kSufferage);  // worse: kept out
+  ASSERT_TRUE(cache.lookup(1, e));
+  EXPECT_EQ(e.fitness, 40.0);
+  EXPECT_EQ(e.policy, SolvePolicy::kCga);
+}
+
+TEST(SolutionCache, ZeroCapacityDisables) {
+  SolutionCache cache(0);
+  cache.insert(1, std::vector<sched::MachineId>{0}, 1.0, SolvePolicy::kCga);
+  SolutionCache::Entry e;
+  EXPECT_FALSE(cache.lookup(1, e));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- SchedulerService ------------------------------------------------------
+
+ServiceOptions small_service(std::size_t workers = 2,
+                             std::size_t queue_capacity = 64,
+                             std::size_t cache_capacity = 64) {
+  ServiceOptions o;
+  o.workers = workers;
+  o.queue_capacity = queue_capacity;
+  o.cache_capacity = cache_capacity;
+  return o;
+}
+
+TEST(SchedulerService, SolvesAValidSchedule) {
+  SchedulerService svc(small_service());
+  auto m = instance();
+  JobSpec spec;
+  spec.etc = m;
+  spec.deadline_ms = 50.0;
+  const JobId id = svc.submit(spec);
+  const JobResult r = svc.wait(id);
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  ASSERT_EQ(r.assignment.size(), m->tasks());
+  // The solver's fitness rides the incremental completion-time cache; a
+  // from-scratch rebuild agrees to relative rounding error (same tolerance
+  // rationale as Schedule::validate).
+  const sched::Schedule s(*m, {r.assignment.begin(), r.assignment.end()});
+  EXPECT_NEAR(s.makespan(), r.makespan, 1e-6 * s.makespan());
+}
+
+TEST(SchedulerService, ConcurrentSubmitWaitManyThreads) {
+  SchedulerService svc(small_service(3, 128, 0));
+  auto m = instance();
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kJobsPerClient = 10;
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t j = 0; j < kJobsPerClient; ++j) {
+        JobSpec spec;
+        spec.etc = m;
+        spec.seed = c * 100 + j;
+        spec.deadline_ms = 30.0;
+        const JobResult r = svc.wait(svc.submit(spec));
+        if (r.status == JobStatus::kDone && r.assignment.size() == m->tasks())
+          done.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(done.load(), kClients * kJobsPerClient);
+  const auto snap = svc.metrics();
+  EXPECT_EQ(snap.completed, kClients * kJobsPerClient);
+  EXPECT_EQ(snap.submitted, kClients * kJobsPerClient);
+  EXPECT_EQ(snap.cancelled, 0u);
+}
+
+/// A job that occupies a worker for ~`ms` (CGA with a long deadline).
+JobSpec long_job(const std::shared_ptr<const etc::EtcMatrix>& m, double ms) {
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kCga;
+  spec.deadline_ms = ms;
+  spec.use_cache = false;
+  return spec;
+}
+
+TEST(SchedulerService, BackpressureOnFullQueue) {
+  SchedulerService svc(small_service(1, 1, 0));
+  auto m = instance();
+  // One long job occupies the single worker; one more fills the queue.
+  const JobId running = svc.submit(long_job(m, 2000.0));
+  JobId queued = 0;
+  // The first job may not have been popped yet; retry until the queue has
+  // exactly the one slot taken and the next try_submit bounces.
+  std::optional<JobId> extra;
+  support::WallTimer t;
+  for (;;) {
+    auto id = svc.try_submit(long_job(m, 2000.0));
+    if (!id) break;  // backpressure observed
+    if (queued == 0) {
+      queued = *id;
+    } else {
+      extra = *id;  // the worker drained one meanwhile; keep bookkeeping
+    }
+    ASSERT_LT(t.elapsed_seconds(), 5.0) << "queue never filled";
+  }
+  EXPECT_GT(svc.metrics().rejected, 0u);
+  // Unblock quickly: cancel everything and drain.
+  svc.cancel(running);
+  if (queued != 0) svc.cancel(queued);
+  if (extra) svc.cancel(*extra);
+  svc.drain();
+}
+
+TEST(SchedulerService, CancelQueuedJobBeforeRun) {
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance();
+  const JobId running = svc.submit(long_job(m, 1000.0));
+  const JobId queued = svc.submit(long_job(m, 1000.0));
+  EXPECT_TRUE(svc.cancel(queued));
+  const JobResult r = svc.wait(queued);  // resolves immediately
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_TRUE(r.assignment.empty());
+  svc.cancel(running);
+  svc.drain();
+  EXPECT_GE(svc.metrics().cancelled, 2u);
+}
+
+TEST(SchedulerService, CancelRunningJobStopsEarly) {
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance(128, 16);
+  const JobId id = svc.submit(long_job(m, 10000.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  support::WallTimer t;
+  EXPECT_TRUE(svc.cancel(id));
+  const JobResult r = svc.wait(id);
+  // Cancellation is honored within one generation, nowhere near the 10 s
+  // deadline.
+  EXPECT_LT(t.elapsed_seconds(), 5.0);
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+}
+
+TEST(SchedulerService, DeadlineBoundedAnytimeResult) {
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance(128, 16);
+  constexpr double kDeadlineMs = 100.0;
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kCga;  // uncapped generations: deadline decides
+  spec.deadline_ms = kDeadlineMs;
+  spec.use_cache = false;
+  support::WallTimer t;
+  const JobResult r = svc.wait(svc.submit(spec));
+  const double elapsed_ms = t.elapsed_seconds() * 1e3;
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_GT(r.generations, 0u);
+  ASSERT_EQ(r.assignment.size(), m->tasks());
+  // Anytime contract: the answer arrives within the deadline plus one
+  // generation's slack (generous CI margin).
+  EXPECT_LT(elapsed_ms, kDeadlineMs + 250.0);
+}
+
+TEST(SchedulerService, CacheHitReturnsIdenticalSchedule) {
+  SchedulerService svc(small_service(1, 8, 64));
+  auto m = instance();
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kCga;
+  spec.deadline_ms = 1000.0;
+  spec.max_generations = 20;
+  const JobResult first = svc.wait(svc.submit(spec));
+  EXPECT_EQ(first.status, JobStatus::kDone);
+  EXPECT_FALSE(first.cache_hit);
+  const JobResult second = svc.wait(svc.submit(spec));
+  EXPECT_EQ(second.status, JobStatus::kDone);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.assignment, first.assignment);
+  EXPECT_DOUBLE_EQ(second.makespan, first.makespan);
+  EXPECT_EQ(svc.metrics().cache_hits, 1u);
+}
+
+TEST(SchedulerService, CacheIsKeyedByPolicyAndReportsProvenance) {
+  // A kMinMin tenant must never poison a kCga tenant's results, and a hit
+  // reports the policy that PRODUCED the cached solution.
+  SchedulerService svc(small_service(1, 8, 64));
+  auto m = instance();
+  JobSpec heuristic;
+  heuristic.etc = m;
+  heuristic.policy = SolvePolicy::kMinMin;
+  heuristic.deadline_ms = 1000.0;
+  const JobResult h1 = svc.wait(svc.submit(heuristic));
+  EXPECT_FALSE(h1.cache_hit);
+
+  JobSpec ga = heuristic;
+  ga.policy = SolvePolicy::kCga;
+  ga.max_generations = 10;
+  const JobResult g1 = svc.wait(svc.submit(ga));
+  EXPECT_FALSE(g1.cache_hit) << "kCga must not hit the kMinMin entry";
+  EXPECT_EQ(g1.policy_used, SolvePolicy::kCga);
+
+  const JobResult h2 = svc.wait(svc.submit(heuristic));
+  EXPECT_TRUE(h2.cache_hit);
+  EXPECT_EQ(h2.policy_used, SolvePolicy::kMinMin);  // producing policy
+  const JobResult g2 = svc.wait(svc.submit(ga));
+  EXPECT_TRUE(g2.cache_hit);
+  EXPECT_EQ(g2.policy_used, SolvePolicy::kCga);
+}
+
+TEST(SchedulerService, CancelStopsParallelPolicyJob) {
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance(512, 16);
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kPaCga;
+  spec.deadline_ms = 10000.0;
+  spec.use_cache = false;
+  const JobId id = svc.submit(spec);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  support::WallTimer t;
+  svc.cancel(id);
+  const JobResult r = svc.wait(id);
+  EXPECT_LT(t.elapsed_seconds(), 5.0)
+      << "PA-CGA jobs must honor cancellation, not run out their deadline";
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+}
+
+TEST(SchedulerService, HugeFiniteDeadlineDoesNotWrap) {
+  // 1e18 ms would overflow the steady_clock duration cast if taken
+  // verbatim; the service caps it instead of serving a zero budget.
+  SchedulerService svc(small_service(1, 8, 0));
+  JobSpec spec;
+  spec.etc = instance();
+  spec.policy = SolvePolicy::kCga;
+  spec.deadline_ms = 1e18;
+  spec.max_generations = 5;
+  spec.use_cache = false;
+  const JobResult r = svc.wait(svc.submit(spec));
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_EQ(r.generations, 5u);  // ran its generations, not a 0-budget path
+  EXPECT_FALSE(r.deadline_missed);
+}
+
+TEST(SchedulerService, UnwaitedResultsAreBounded) {
+  // Fire-and-forget tenants must not grow the registry without bound:
+  // only the most recent kRetainedResults finished jobs stay waitable.
+  SchedulerService svc(small_service(2, 64, 0));
+  auto m = instance(8, 4);  // tiny: heuristic path, microseconds per job
+  JobSpec spec;
+  spec.etc = m;
+  spec.deadline_ms = 1000.0;
+  const JobId first = svc.submit(spec);
+  (void)first;
+  for (std::size_t i = 0; i < SchedulerService::kRetainedResults + 64; ++i) {
+    JobSpec s = spec;
+    s.seed = i;
+    (void)svc.submit(s);
+  }
+  svc.drain();
+  EXPECT_THROW(svc.wait(first), std::invalid_argument)
+      << "evicted result should no longer be waitable";
+}
+
+TEST(SchedulerService, ExpiredPaCgaJobIsServedNotCrashed) {
+  // Regression: an explicit-kPaCga job popped past its deadline used to
+  // hand run_parallel a zero wall budget, whose Config::validate throw
+  // escaped the worker thread and aborted the process.
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance();
+  const JobId blocker = svc.submit(long_job(m, 300.0));
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kPaCga;
+  spec.deadline_ms = 5.0;  // expires while the blocker holds the worker
+  spec.use_cache = false;
+  const JobId late = svc.submit(spec);
+  const JobResult r = svc.wait(late);
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_TRUE(r.deadline_missed);
+  EXPECT_EQ(r.assignment.size(), m->tasks());
+  (void)svc.wait(blocker);
+  EXPECT_EQ(svc.metrics().failed, 0u);
+}
+
+TEST(SchedulerService, TinyBaseGridIsSafe) {
+  // Regression: a sub-16-cell solver grid drove std::clamp with lo > hi
+  // (UB) in the arena's grid-shrink computation.
+  ServiceOptions o = small_service(1, 8, 0);
+  o.solver.width = 3;
+  o.solver.height = 3;
+  SchedulerService svc(o);
+  JobSpec spec;
+  spec.etc = instance();
+  spec.policy = SolvePolicy::kCga;
+  spec.deadline_ms = 500.0;
+  spec.max_generations = 5;
+  const JobResult r = svc.wait(svc.submit(spec));
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_EQ(r.generations, 5u);
+}
+
+TEST(SchedulerService, BudgetStarvedAutoResultIsNotCached) {
+  // Regression: a kAuto job that escalated to the heuristics because its
+  // budget was gone must not stick its degraded answer into the cache for
+  // later budget-rich kAuto jobs on the same matrix.
+  SchedulerService svc(small_service(1, 8, 64));
+  auto m = instance(64, 8);
+  const JobId blocker = svc.submit(long_job(m, 400.0));
+  JobSpec starved;
+  starved.etc = m;
+  starved.policy = SolvePolicy::kAuto;
+  starved.deadline_ms = 5.0;  // expires in the queue behind the blocker
+  const JobResult poor = svc.wait(svc.submit(starved));
+  (void)svc.wait(blocker);
+  EXPECT_EQ(poor.status, JobStatus::kDone);
+  ASSERT_TRUE(poor.policy_used == SolvePolicy::kMinMin ||
+              poor.policy_used == SolvePolicy::kSufferage)
+      << "expected the zero-budget heuristic escalation";
+
+  JobSpec rich = starved;
+  rich.deadline_ms = 1000.0;
+  rich.max_generations = 10;
+  const JobResult good = svc.wait(svc.submit(rich));
+  EXPECT_EQ(good.status, JobStatus::kDone);
+  EXPECT_FALSE(good.cache_hit) << "starved heuristic answer was cached";
+  EXPECT_EQ(good.policy_used, SolvePolicy::kCga);
+  EXPECT_LE(good.makespan, poor.makespan + 1e-9);
+}
+
+TEST(SchedulerService, PerJobSeedDeterminism) {
+  // Same JobSpec (generation-capped, cache off) => same schedule, no
+  // matter when or on which worker it runs.
+  auto m = instance();
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kCga;
+  spec.deadline_ms = 10000.0;
+  spec.max_generations = 25;
+  spec.seed = 42;
+  spec.use_cache = false;
+
+  JobResult first, second;
+  {
+    SchedulerService svc(small_service(2, 8, 0));
+    // Interleave unrelated jobs so the arena is reused dirty.
+    JobSpec other = spec;
+    other.seed = 7;
+    (void)svc.wait(svc.submit(other));
+    first = svc.wait(svc.submit(spec));
+  }
+  {
+    SchedulerService svc(small_service(1, 8, 0));
+    second = svc.wait(svc.submit(spec));
+  }
+  EXPECT_EQ(first.status, JobStatus::kDone);
+  EXPECT_EQ(first.assignment, second.assignment);
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.generations, second.generations);
+  EXPECT_EQ(first.evaluations, second.evaluations);
+}
+
+TEST(SchedulerService, WorkloadJobAdapter) {
+  batch::WorkloadSpec w;
+  w.tasks = 24;
+  w.machines = 6;
+  w.seed = 5;
+  JobSpec spec = make_workload_job(w, /*priority=*/1, /*deadline_ms=*/50.0,
+                                   /*seed=*/9);
+  ASSERT_NE(spec.etc, nullptr);
+  EXPECT_EQ(spec.etc->tasks(), 24u);
+  EXPECT_EQ(spec.etc->machines(), 6u);
+  SchedulerService svc(small_service());
+  const JobResult r = svc.wait(svc.submit(std::move(spec)));
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_EQ(r.assignment.size(), 24u);
+}
+
+TEST(SchedulerService, ShutdownDrainsQueuedJobs) {
+  auto m = instance();
+  std::vector<JobId> ids;
+  SchedulerService svc(small_service(2, 64, 0));
+  for (int i = 0; i < 8; ++i) {
+    JobSpec spec;
+    spec.etc = m;
+    spec.seed = static_cast<std::uint64_t>(i);
+    spec.deadline_ms = 30.0;
+    ids.push_back(svc.submit(spec));
+  }
+  svc.shutdown();  // graceful: queued jobs are still served
+  for (JobId id : ids) {
+    EXPECT_EQ(svc.wait(id).status, JobStatus::kDone);
+  }
+  EXPECT_THROW(svc.submit(long_job(m, 10.0)), std::runtime_error);
+}
+
+TEST(SchedulerService, RejectsMalformedSpecs) {
+  SchedulerService svc(small_service());
+  JobSpec no_etc;
+  EXPECT_THROW(svc.submit(no_etc), std::invalid_argument);
+  JobSpec bad_deadline;
+  bad_deadline.etc = instance();
+  bad_deadline.deadline_ms = 0.0;
+  EXPECT_THROW(svc.submit(bad_deadline), std::invalid_argument);
+  EXPECT_THROW(svc.wait(9999), std::invalid_argument);
+  EXPECT_FALSE(svc.cancel(9999));
+}
+
+// --- WarmSolver ------------------------------------------------------------
+
+TEST(WarmSolver, AutoEscalationByBudgetAndSize) {
+  cga::Config base;
+  WarmSolver solver(base);
+  auto small = instance(8, 4);
+  auto medium = instance(64, 8);
+  auto large = instance(512, 16);
+  JobSpec spec;
+  spec.policy = SolvePolicy::kAuto;
+  // Tiny instance or tiny budget -> heuristics.
+  EXPECT_EQ(solver.decide(spec, *small, 1.0), SolvePolicy::kMinMin);
+  EXPECT_EQ(solver.decide(spec, *medium, 0.0005), SolvePolicy::kMinMin);
+  // Real budget on a medium instance -> warm sequential CGA.
+  EXPECT_EQ(solver.decide(spec, *medium, 0.050), SolvePolicy::kCga);
+  // Generous budget on a big instance -> PA-CGA.
+  EXPECT_EQ(solver.decide(spec, *large, 1.0), SolvePolicy::kPaCga);
+  // Explicit policies are never overridden.
+  spec.policy = SolvePolicy::kSufferage;
+  EXPECT_EQ(solver.decide(spec, *large, 1.0), SolvePolicy::kSufferage);
+}
+
+TEST(WarmSolver, HeuristicEscalationBeatsOrMatchesMinMin) {
+  cga::Config base;
+  WarmSolver solver(base);
+  auto m = instance(10, 4);  // <= kHeuristicMaxTasks: auto -> heuristics
+  JobSpec spec;
+  spec.policy = SolvePolicy::kAuto;
+  JobResult out;
+  solver.solve(*m, spec, /*budget_seconds=*/1.0, nullptr, out);
+  EXPECT_TRUE(out.policy_used == SolvePolicy::kMinMin ||
+              out.policy_used == SolvePolicy::kSufferage);
+  const sched::Schedule mm = heur::min_min(*m);
+  EXPECT_LE(out.makespan,
+            sched::evaluate(mm, base.objective, base.lambda) + 1e-9);
+}
+
+TEST(WarmSolver, RepeatedSameShapeSolvesAllocateNothing) {
+  // THE acceptance property of the warm pool: after the first solve sizes
+  // the arena for a shape, a whole kCga solve of another same-shape job —
+  // population reseed, sweep loop, breeding, result fill — performs ZERO
+  // heap allocations (Min-min seeding off: the constructive heuristic
+  // allocates internally and is the documented exception).
+  cga::Config base;
+  base.seed_min_min = false;
+  base.local_search.iterations = 10;  // paper configuration
+  WarmSolver solver(base);
+
+  auto m1 = instance(64, 8, 1);
+  auto m2 = instance(64, 8, 2);
+  auto m3 = instance(64, 8, 3);
+  JobSpec spec;
+  spec.policy = SolvePolicy::kCga;
+  spec.max_generations = 5;
+  spec.use_cache = false;
+
+  JobResult out;
+  spec.seed = 1;
+  solver.solve(*m1, spec, 10.0, nullptr, out);  // cold: builds the arena
+  spec.seed = 2;
+  solver.solve(*m2, spec, 10.0, nullptr, out);  // warm-up second instance
+  ASSERT_EQ(out.assignment.size(), m2->tasks());
+
+  const std::uint64_t before = g_allocations.load();
+  spec.seed = 3;
+  solver.solve(*m3, spec, 10.0, nullptr, out);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "warm same-shape kCga solve must not touch the heap";
+}
+
+TEST(WarmSolver, BreedingPathAllocationFreeWithMinMinSeeding) {
+  // With the default Min-min seeding ON, per-job setup allocates (the
+  // heuristic does), but the breeding path — everything between the first
+  // and the last generation — must still be allocation-free.
+  cga::Config base;  // seed_min_min = true
+  base.local_search.iterations = 10;
+  WarmSolver solver(base);
+
+  auto m = instance(64, 8, 4);
+  JobSpec spec;
+  spec.policy = SolvePolicy::kCga;
+  spec.max_generations = 8;
+  spec.use_cache = false;
+
+  JobResult out;
+  solver.solve(*m, spec, 10.0, nullptr, out);  // warm-up
+
+  std::uint64_t at_first_generation = 0;
+  std::uint64_t at_last_generation = 0;
+  const cga::GenerationObserver observer =
+      [&](const cga::GenerationEvent& e) {
+        if (e.generation == 1) at_first_generation = g_allocations.load();
+        at_last_generation = g_allocations.load();
+      };
+  solver.solve(*m, spec, 10.0, nullptr, out, observer);
+  EXPECT_EQ(at_last_generation, at_first_generation)
+      << "generations 2..n of a warm solve must not allocate";
+}
+
+}  // namespace
+}  // namespace pacga::service
