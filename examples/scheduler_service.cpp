@@ -24,15 +24,32 @@
 //   DRAIN         -> DRAINED
 //   QUIT (or EOF) -> graceful shutdown, exit 0
 //
+// Dynamic-grid verbs (one live rescheduling session per daemon):
+//
+//   DYNAMIC <tasks> <machines> <wseed>
+//       Open (or replace) the dynamic session: generate the workload,
+//       build the initial heuristic schedule.
+//       -> DYNAMIC tasks=<T> machines=<M> makespan=<x>
+//   EVENT DOWN <machine> | UP <mips> | SLOW <machine> <factor>
+//         | ARRIVE <workload> | CANCEL <task>
+//       Apply one grid event and repair the schedule in place.
+//       -> EVENT kind=<k> orphans=<n> tasks=<T> machines=<M> makespan=<x>
+//   RESCHEDULE <priority> <deadline_ms> <seed>
+//       Re-optimize the repaired schedule on the solver pool (warm CGA
+//       seeded with it) under the deadline; adopt an improvement.
+//       -> RESULT ... warm_started=<0|1> adopted=<0|1>
+//
 // Errors never kill the daemon: a malformed request gets "ERR <reason>".
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "batch/workload.hpp"
+#include "dynamic/session.hpp"
 #include "etc/suite.hpp"
 #include "service/service.hpp"
 #include "support/cli.hpp"
@@ -47,6 +64,7 @@ struct DaemonOptions {
   std::size_t queue_capacity = 256;
   std::size_t cache_capacity = 1024;
   std::string policy = "auto";
+  std::string repair_policy = "minmin";
   double default_deadline_ms = 100.0;
 };
 
@@ -67,6 +85,7 @@ std::string result_line(const service::JobResult& r) {
       << " makespan=" << r.makespan
       << " policy=" << service::to_string(r.policy_used)
       << " cache_hit=" << (r.cache_hit ? 1 : 0)
+      << " warm_started=" << (r.warm_started ? 1 : 0)
       << " deadline_missed=" << (r.deadline_missed ? 1 : 0)
       << " generations=" << r.generations
       << " evaluations=" << r.evaluations
@@ -79,7 +98,7 @@ std::string stats_line(const service::ServiceMetrics::Snapshot& s) {
   std::ostringstream out;
   out << "STATS submitted=" << s.submitted << " completed=" << s.completed
       << " cancelled=" << s.cancelled << " failed=" << s.failed
-      << " rejected=" << s.rejected
+      << " rejected=" << s.rejected << " reschedules=" << s.reschedules
       << " cache_hits=" << s.cache_hits
       << " deadline_misses=" << s.deadline_misses
       << " jobs_per_sec=" << s.jobs_per_second()
@@ -96,10 +115,59 @@ std::string stats_line(const service::ServiceMetrics::Snapshot& s) {
 using InstancePool =
     std::unordered_map<std::string, std::shared_ptr<const etc::EtcMatrix>>;
 
+std::string event_line(const dynamic::RescheduleSession& session,
+                       const dynamic::RepairStats& stats) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "EVENT kind=" << dynamic::to_string(stats.kind)
+      << " orphans=" << stats.orphaned << " tasks=" << session.tasks()
+      << " machines=" << session.machines()
+      << " makespan=" << session.schedule().makespan();
+  return out.str();
+}
+
+/// Parses the EVENT sub-command into a GridEvent; throws on bad input.
+dynamic::GridEvent parse_event(std::istringstream& in) {
+  std::string what;
+  if (!(in >> what))
+    throw std::invalid_argument(
+        "EVENT expects DOWN|UP|SLOW|ARRIVE|CANCEL ...");
+  if (what == "DOWN") {
+    std::size_t m = 0;
+    if (!(in >> m)) throw std::invalid_argument("EVENT DOWN expects <machine>");
+    return dynamic::machine_down(m);
+  }
+  if (what == "UP") {
+    double mips = 0.0;
+    if (!(in >> mips)) throw std::invalid_argument("EVENT UP expects <mips>");
+    return dynamic::machine_up(mips);
+  }
+  if (what == "SLOW") {
+    std::size_t m = 0;
+    double factor = 0.0;
+    if (!(in >> m >> factor))
+      throw std::invalid_argument("EVENT SLOW expects <machine> <factor>");
+    return dynamic::machine_slowdown(m, factor);
+  }
+  if (what == "ARRIVE") {
+    double workload = 0.0;
+    if (!(in >> workload))
+      throw std::invalid_argument("EVENT ARRIVE expects <workload>");
+    return dynamic::task_arrival(workload);
+  }
+  if (what == "CANCEL") {
+    std::size_t t = 0;
+    if (!(in >> t)) throw std::invalid_argument("EVENT CANCEL expects <task>");
+    return dynamic::task_cancel(t);
+  }
+  throw std::invalid_argument("unknown EVENT kind " + what);
+}
+
 /// Handles one request line; returns the response (empty = quit).
 std::string handle(service::SchedulerService& svc, const DaemonOptions& opts,
-                   InstancePool& instances, const std::string& line,
-                   bool& quit) {
+                   InstancePool& instances,
+                   std::optional<dynamic::RescheduleSession>& session,
+                   const std::string& line, bool& quit) {
   std::istringstream in(line);
   std::string cmd;
   if (!(in >> cmd)) return "";  // blank line: no response
@@ -125,6 +193,43 @@ std::string handle(service::SchedulerService& svc, const DaemonOptions& opts,
       std::ostringstream out;
       out << "CANCELLED " << id << ' ' << (ok ? 1 : 0);
       return out.str();
+    }
+    if (cmd == "DYNAMIC") {
+      batch::WorkloadSpec w;
+      if (!(in >> w.tasks >> w.machines >> w.seed))
+        return "ERR DYNAMIC expects <tasks> <machines> <wseed>";
+      const auto policy = opts.repair_policy == "sufferage"
+                              ? dynamic::RepairPolicy::kSufferage
+                              : dynamic::RepairPolicy::kMinMin;
+      session.emplace(w, policy);
+      std::ostringstream out;
+      out.precision(10);
+      out << "DYNAMIC tasks=" << session->tasks()
+          << " machines=" << session->machines()
+          << " makespan=" << session->schedule().makespan();
+      return out.str();
+    }
+    if (cmd == "EVENT") {
+      if (!session) return "ERR EVENT requires a DYNAMIC session";
+      const dynamic::GridEvent e = parse_event(in);
+      const dynamic::RepairStats stats = session->apply(e);
+      return event_line(*session, stats);
+    }
+    if (cmd == "RESCHEDULE") {
+      if (!session) return "ERR RESCHEDULE requires a DYNAMIC session";
+      int priority = 0;
+      double deadline_ms = 0.0;
+      std::uint64_t seed = 1;
+      if (!(in >> priority >> deadline_ms >> seed))
+        return "ERR RESCHEDULE expects <priority> <deadline_ms> <seed>";
+      service::JobSpec spec = session->make_reschedule_spec(
+          priority,
+          deadline_ms > 0.0 ? deadline_ms : opts.default_deadline_ms, seed);
+      spec.policy = service::parse_policy(opts.policy);
+      const service::JobResult r = svc.wait(svc.submit_reschedule(std::move(spec)));
+      const bool adopted =
+          r.status == service::JobStatus::kDone && session->adopt(r.assignment);
+      return result_line(r) + " adopted=" + (adopted ? "1" : "0");
     }
     if (cmd == "INSTANCE" || cmd == "WORKLOAD" || cmd == "SUBMIT") {
       int priority = 0;
@@ -186,6 +291,8 @@ int main(int argc, char** argv) {
       .option("policy", &opts.policy,
               {"auto", "minmin", "sufferage", "cga", "pacga"},
               "solve policy applied to every job")
+      .option("repair-policy", &opts.repair_policy, {"minmin", "sufferage"},
+              "orphan reassignment order of the dynamic session")
       .option("default-deadline-ms", &opts.default_deadline_ms,
               "deadline used when a request passes 0");
   try {
@@ -204,8 +311,10 @@ int main(int argc, char** argv) {
   std::string line;
   bool quit = false;
   InstancePool instances;
+  std::optional<dynamic::RescheduleSession> session;
   while (!quit && std::getline(std::cin, line)) {
-    const std::string response = handle(svc, opts, instances, line, quit);
+    const std::string response =
+        handle(svc, opts, instances, session, line, quit);
     if (!response.empty()) std::cout << response << std::endl;  // flush: piped
   }
   svc.shutdown();

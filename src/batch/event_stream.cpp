@@ -1,0 +1,135 @@
+#include "batch/event_stream.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace pacga::batch {
+
+using dynamic::EventKind;
+using dynamic::GridEvent;
+
+namespace {
+
+void require_rate(double r, const char* name) {
+  if (!(r >= 0.0) || !std::isfinite(r))
+    throw std::invalid_argument(std::string("EventStreamSpec: ") + name +
+                                " must be >= 0 and finite");
+}
+
+void require_range(double lo, double hi, double floor, const char* name) {
+  if (!(lo >= floor) || !std::isfinite(lo) || !(hi >= lo) || !std::isfinite(hi))
+    throw std::invalid_argument(std::string("EventStreamSpec: ") + name +
+                                " range is degenerate");
+}
+
+}  // namespace
+
+void validate(const EventStreamSpec& spec) {
+  if (!(spec.duration > 0.0) || !std::isfinite(spec.duration))
+    throw std::invalid_argument(
+        "EventStreamSpec: duration must be positive and finite");
+  require_rate(spec.arrival_rate, "arrival_rate");
+  require_rate(spec.cancel_rate, "cancel_rate");
+  require_rate(spec.down_rate, "down_rate");
+  require_rate(spec.up_rate, "up_rate");
+  require_rate(spec.slowdown_rate, "slowdown_rate");
+  const double total = spec.arrival_rate + spec.cancel_rate + spec.down_rate +
+                       spec.up_rate + spec.slowdown_rate;
+  if (!(total > 0.0))
+    throw std::invalid_argument(
+        "EventStreamSpec: at least one rate must be positive");
+  require_range(spec.slowdown_lo, spec.slowdown_hi, 1.0, "slowdown factor");
+  require_range(spec.workload_lo, spec.workload_hi, 0.0, "workload");
+  if (!(spec.workload_lo > 0.0))
+    throw std::invalid_argument("EventStreamSpec: workload_lo must be > 0");
+  require_range(spec.mips_lo, spec.mips_hi, 0.0, "mips");
+  if (!(spec.mips_lo > 0.0))
+    throw std::invalid_argument("EventStreamSpec: mips_lo must be > 0");
+  if (spec.initial_tasks == 0 || spec.initial_machines == 0)
+    throw std::invalid_argument(
+        "EventStreamSpec: initial_tasks and initial_machines must be > 0");
+}
+
+std::vector<GridEvent> generate_event_stream(const EventStreamSpec& spec) {
+  validate(spec);
+
+  support::Xoshiro256 rng(spec.seed);
+  std::vector<GridEvent> stream;
+  std::size_t tasks = spec.initial_tasks;
+  std::size_t machines = spec.initial_machines;
+  const double total_rate = spec.arrival_rate + spec.cancel_rate +
+                            spec.down_rate + spec.up_rate +
+                            spec.slowdown_rate;
+
+  double t = 0.0;
+  while (spec.max_events == 0 || stream.size() < spec.max_events) {
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    t += -std::log(u) / total_rate;        // superposed Poisson gap
+    if (t > spec.duration && spec.max_events == 0) break;
+
+    // Categorical draw over the kinds that are LEGAL in the current
+    // state (cancel keeps >= 1 task, down keeps >= 1 machine), weighted
+    // by their configured rates. Restricting the support instead of
+    // skipping the tick keeps the stream dense under extreme churn.
+    std::array<std::pair<EventKind, double>, 5> kinds{{
+        {EventKind::kTaskArrival, spec.arrival_rate},
+        {EventKind::kTaskCancel, tasks > 1 ? spec.cancel_rate : 0.0},
+        {EventKind::kMachineDown, machines > 1 ? spec.down_rate : 0.0},
+        {EventKind::kMachineUp, spec.up_rate},
+        {EventKind::kMachineSlowdown, spec.slowdown_rate},
+    }};
+    double legal_rate = 0.0;
+    for (const auto& [kind, rate] : kinds) legal_rate += rate;
+    if (!(legal_rate > 0.0)) break;  // only illegal kinds are configured
+
+    // Walk the cumulative rates; default to the LAST legal kind so an FP
+    // rounding edge (pick landing exactly on legal_rate) can never emit a
+    // kind whose rate is zero.
+    double pick = rng.uniform() * legal_rate;
+    EventKind kind = EventKind::kTaskArrival;
+    for (const auto& [k, rate] : kinds) {
+      if (rate <= 0.0) continue;
+      kind = k;
+      if (pick < rate) break;
+      pick -= rate;
+    }
+
+    switch (kind) {
+      case EventKind::kTaskArrival:
+        stream.push_back(dynamic::task_arrival(
+            rng.uniform(spec.workload_lo, spec.workload_hi), t));
+        ++tasks;
+        break;
+      case EventKind::kTaskCancel:
+        stream.push_back(dynamic::task_cancel(rng.index(tasks), t));
+        --tasks;
+        break;
+      case EventKind::kMachineDown:
+        stream.push_back(dynamic::machine_down(rng.index(machines), t));
+        --machines;
+        break;
+      case EventKind::kMachineUp:
+        stream.push_back(
+            dynamic::machine_up(rng.uniform(spec.mips_lo, spec.mips_hi), t));
+        ++machines;
+        break;
+      case EventKind::kMachineSlowdown: {
+        double factor = rng.uniform(spec.slowdown_lo, spec.slowdown_hi);
+        // Half the episodes are recoveries so ETCs stay bounded (the
+        // mutator clamps accumulated slowdown anyway, but a stream that
+        // only degrades would pin every machine at the clamp).
+        if (rng.bernoulli(0.5)) factor = 1.0 / factor;
+        stream.push_back(
+            dynamic::machine_slowdown(rng.index(machines), factor, t));
+        break;
+      }
+    }
+  }
+  return stream;
+}
+
+}  // namespace pacga::batch

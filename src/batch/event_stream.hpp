@@ -1,0 +1,65 @@
+// Dynamic event-stream generator — the churn counterpart of the workload
+// generator.
+//
+// Superposes five independent Poisson processes (task arrivals, task
+// cancellations, machine drops, joins, and slowdown/recovery episodes)
+// into one time-ordered stream of CONCRETE dynamic::GridEvents: the
+// generator tracks the evolving task/machine counts itself and draws
+// exact target indices, so the stream can be replayed against an
+// EtcMutator (or logged byte-for-byte) with no hidden state. Events that
+// would violate a grid invariant — cancel with one task left, drop the
+// last machine — are resampled into the kinds that remain legal, keeping
+// configured rates meaningful even under extreme churn.
+//
+// Deterministic in spec.seed, like every generator in the library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/events.hpp"
+
+namespace pacga::batch {
+
+/// Rates are events per unit of simulated time (same clock as
+/// WorkloadSpec::arrival_rate). A zero rate disables that event kind.
+struct EventStreamSpec {
+  /// Stream horizon; generation stops at the first event past it.
+  /// Ignored when max_events is set (see below).
+  double duration = 10.0;
+  double arrival_rate = 4.0;   ///< TaskArrival
+  double cancel_rate = 0.5;    ///< TaskCancel
+  double down_rate = 0.25;     ///< MachineDown
+  double up_rate = 0.25;       ///< MachineUp
+  double slowdown_rate = 1.0;  ///< MachineSlowdown (or recovery)
+  /// Slowdown factors ~ U(slowdown_lo, slowdown_hi); each episode is
+  /// inverted to a recovery (1/factor) with probability 1/2 so machines
+  /// degrade AND heal and ETCs stay bounded over long streams.
+  double slowdown_lo = 1.25;
+  double slowdown_hi = 3.0;
+  /// Arriving task workloads ~ U(workload_lo, workload_hi) — match the
+  /// WorkloadSpec the instance was generated from.
+  double workload_lo = 1.0;
+  double workload_hi = 3000.0;
+  /// Joining machine capacities ~ U(mips_lo, mips_hi).
+  double mips_lo = 1.0;
+  double mips_hi = 10.0;
+  /// When nonzero, generate EXACTLY this many events and ignore the
+  /// horizon (the fuzz tests' "exactly N events" knob — a 10k-event
+  /// stream must not depend on how the rates happen to sum against
+  /// `duration`). 0 = horizon only.
+  std::size_t max_events = 0;
+  /// Initial grid state the index draws start from.
+  std::size_t initial_tasks = 0;
+  std::size_t initial_machines = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Throws std::invalid_argument naming the offending parameter.
+void validate(const EventStreamSpec& spec);
+
+/// Generates the stream. Deterministic in spec.seed; validates first.
+std::vector<dynamic::GridEvent> generate_event_stream(
+    const EventStreamSpec& spec);
+
+}  // namespace pacga::batch

@@ -39,6 +39,15 @@ void Population::reseed(const etc::EtcMatrix& etc, support::Xoshiro256& rng,
   }
 }
 
+void Population::seed_cell(std::size_t i, const etc::EtcMatrix& etc,
+                           std::span<const sched::MachineId> assignment,
+                           sched::Objective objective, double lambda) {
+  if (i >= cells_.size())
+    throw std::invalid_argument("Population::seed_cell: cell out of range");
+  cells_[i].schedule.adopt(etc, assignment);
+  cells_[i].fitness = sched::evaluate(cells_[i].schedule, objective, lambda);
+}
+
 std::size_t Population::best_index() const noexcept {
   std::size_t best = 0;
   for (std::size_t i = 1; i < cells_.size(); ++i) {

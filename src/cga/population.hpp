@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "cga/grid.hpp"
@@ -46,6 +47,17 @@ class Population {
   /// population was built for.
   void reseed(const etc::EtcMatrix& etc, support::Xoshiro256& rng,
               bool seed_min_min, sched::Objective objective, double lambda);
+
+  /// Overwrites cell `i` with `assignment` (adopted into the existing
+  /// storage — zero heap allocations) and re-evaluates its fitness. This
+  /// is the warm-start injection point of the dynamic rescheduling path:
+  /// a repaired schedule becomes one individual of the initial population
+  /// and the anytime CGA can only improve on it. Throws
+  /// std::invalid_argument on shape or machine-id range violations
+  /// (Schedule::adopt's checks).
+  void seed_cell(std::size_t i, const etc::EtcMatrix& etc,
+                 std::span<const sched::MachineId> assignment,
+                 sched::Objective objective, double lambda);
 
   const Grid& grid() const noexcept { return grid_; }
   std::size_t size() const noexcept { return cells_.size(); }

@@ -1,0 +1,90 @@
+#include "dynamic/events.hpp"
+
+#include <cstdio>
+
+namespace pacga::dynamic {
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kMachineDown: return "down";
+    case EventKind::kMachineUp: return "up";
+    case EventKind::kMachineSlowdown: return "slowdown";
+    case EventKind::kTaskArrival: return "arrival";
+    case EventKind::kTaskCancel: return "cancel";
+  }
+  return "?";
+}
+
+GridEvent machine_down(std::size_t machine, double time) {
+  GridEvent e;
+  e.kind = EventKind::kMachineDown;
+  e.time = time;
+  e.machine = machine;
+  return e;
+}
+
+GridEvent machine_up(double mips, double time) {
+  GridEvent e;
+  e.kind = EventKind::kMachineUp;
+  e.time = time;
+  e.value = mips;
+  return e;
+}
+
+GridEvent machine_slowdown(std::size_t machine, double factor, double time) {
+  GridEvent e;
+  e.kind = EventKind::kMachineSlowdown;
+  e.time = time;
+  e.machine = machine;
+  e.factor = factor;
+  return e;
+}
+
+GridEvent task_arrival(double workload, double time) {
+  GridEvent e;
+  e.kind = EventKind::kTaskArrival;
+  e.time = time;
+  e.value = workload;
+  return e;
+}
+
+GridEvent task_cancel(std::size_t task, double time) {
+  GridEvent e;
+  e.kind = EventKind::kTaskCancel;
+  e.time = time;
+  e.task = task;
+  return e;
+}
+
+std::string format_event(const GridEvent& e) {
+  // snprintf, not ostream: %f is locale-independent in practice for the
+  // "C" numerics the library never changes, and the fixed buffer keeps
+  // this allocation-light for per-event logging.
+  char buf[160];
+  int n = 0;
+  switch (e.kind) {
+    case EventKind::kMachineDown:
+      n = std::snprintf(buf, sizeof buf, "t=%.6f down machine=%zu", e.time,
+                        e.machine);
+      break;
+    case EventKind::kMachineUp:
+      n = std::snprintf(buf, sizeof buf, "t=%.6f up mips=%.6f", e.time,
+                        e.value);
+      break;
+    case EventKind::kMachineSlowdown:
+      n = std::snprintf(buf, sizeof buf, "t=%.6f slowdown machine=%zu factor=%.6f",
+                        e.time, e.machine, e.factor);
+      break;
+    case EventKind::kTaskArrival:
+      n = std::snprintf(buf, sizeof buf, "t=%.6f arrival workload=%.6f",
+                        e.time, e.value);
+      break;
+    case EventKind::kTaskCancel:
+      n = std::snprintf(buf, sizeof buf, "t=%.6f cancel task=%zu", e.time,
+                        e.task);
+      break;
+  }
+  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+}  // namespace pacga::dynamic

@@ -1,0 +1,59 @@
+// Dynamic-grid event model.
+//
+// The paper's batch setting freezes the grid into one ETC matrix; the real
+// operating regime (§2.1) churns: machines drop out mid-window, rejoin,
+// degrade under background load, and tasks keep arriving (or are
+// withdrawn) while a schedule is already committed. A GridEvent is one
+// such state change, fully concrete — it names the exact machine/task
+// index it targets and carries the parameters (slowdown factor, new task
+// workload, joining machine capacity) needed to apply it. Concrete events
+// make streams replayable byte-for-byte, which the golden determinism
+// tests and the daemon's EVENT verb rely on.
+//
+// Index convention: `machine` and `task` are CURRENT indices at apply
+// time. Removals shift the indices above them down by one (dense matrices
+// have no holes); dynamic::EtcMutator reports the shift through its
+// Outcome so the schedule repairer can remap an existing assignment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pacga::dynamic {
+
+enum class EventKind : std::uint8_t {
+  kMachineDown,      ///< machine leaves; its tasks are orphaned
+  kMachineUp,        ///< a new machine joins with the given mips
+  kMachineSlowdown,  ///< machine's ETCs scale by `factor` (recovery: < 1)
+  kTaskArrival,      ///< a new task with the given workload joins the batch
+  kTaskCancel,       ///< task is withdrawn; its machine sheds the load
+};
+
+const char* to_string(EventKind k) noexcept;
+
+/// One grid state change. Only the fields the kind names are meaningful;
+/// the factories below set exactly those.
+struct GridEvent {
+  EventKind kind = EventKind::kTaskArrival;
+  double time = 0.0;        ///< event timestamp (stream bookkeeping only)
+  std::size_t machine = 0;  ///< target machine (down / slowdown)
+  std::size_t task = 0;     ///< target task (cancel)
+  double factor = 1.0;      ///< slowdown multiplier (> 1 slower, < 1 recovery)
+  double value = 0.0;       ///< arrival workload (MI) or joining machine mips
+};
+
+GridEvent machine_down(std::size_t machine, double time = 0.0);
+GridEvent machine_up(double mips, double time = 0.0);
+GridEvent machine_slowdown(std::size_t machine, double factor,
+                           double time = 0.0);
+GridEvent task_arrival(double workload, double time = 0.0);
+GridEvent task_cancel(std::size_t task, double time = 0.0);
+
+/// Stable one-line rendering, e.g. "t=1.250000 slowdown machine=3
+/// factor=1.500000". The golden tests compare these byte-for-byte, so the
+/// format is part of the determinism contract: fixed field order, fixed
+/// 6-digit precision, no locale dependence.
+std::string format_event(const GridEvent& e);
+
+}  // namespace pacga::dynamic

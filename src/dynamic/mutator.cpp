@@ -1,0 +1,134 @@
+#include "dynamic/mutator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace pacga::dynamic {
+
+namespace {
+
+void require_positive_finite(double v, const char* what) {
+  if (!(v > 0.0) || !std::isfinite(v))
+    throw std::invalid_argument(std::string("EtcMutator: ") + what +
+                                " must be positive finite");
+}
+
+}  // namespace
+
+EtcMutator::EtcMutator(const batch::WorkloadSpec& spec)
+    : inconsistency_(spec.inconsistency),
+      noise_seed_(spec.seed),
+      next_task_uid_(spec.tasks),
+      next_machine_uid_(spec.machines),
+      etc_([&] {
+        // Initial uids equal initial indices, so the starting matrix is
+        // bit-identical to batch::make_workload_etc(spec) — a dynamic
+        // session warm-starts from exactly the instance the static
+        // service path would have solved.
+        return batch::make_workload_etc(spec);
+      }()) {
+  const batch::Workload w = batch::generate_workload(spec);
+  tasks_.reserve(w.tasks.size());
+  for (std::size_t i = 0; i < w.tasks.size(); ++i) {
+    tasks_.push_back({i, w.tasks[i].workload});
+  }
+  machines_.reserve(w.machines.size());
+  for (std::size_t m = 0; m < w.machines.size(); ++m) {
+    machines_.push_back({m, w.machines[m].mips, 1.0});
+  }
+}
+
+double EtcMutator::entry(const DynTask& t, const DynMachine& m) const {
+  // Identical hash scheme to batch::make_batch_etc, keyed on STABLE uids:
+  // a task's execution profile survives any amount of churn around it.
+  support::SplitMix64 hash(noise_seed_ ^ (t.uid * 0x9e3779b97f4a7c15ULL) ^
+                           (m.uid * 0xc2b2ae3d27d4eb4fULL));
+  const double unit = static_cast<double>(hash.next() >> 11) * 0x1.0p-53;
+  const double noise = 1.0 + inconsistency_ * unit;
+  return t.workload * m.slow / m.mips * noise;
+}
+
+etc::EtcMatrix EtcMutator::materialize() const {
+  std::vector<double> data(tasks_.size() * machines_.size());
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      data[t * machines_.size() + m] = entry(tasks_[t], machines_[m]);
+    }
+  }
+  return etc::EtcMatrix(tasks_.size(), machines_.size(), std::move(data));
+}
+
+EtcMutator::Outcome EtcMutator::apply(const GridEvent& e) {
+  Outcome out;
+  out.kind = e.kind;
+  switch (e.kind) {
+    case EventKind::kMachineSlowdown: {
+      if (e.machine >= machines_.size())
+        throw std::invalid_argument("EtcMutator: slowdown machine out of range");
+      require_positive_finite(e.factor, "slowdown factor");
+      DynMachine& m = machines_[e.machine];
+      // Clamp the ACCUMULATED slowdown, then apply whatever factor
+      // realizes the clamped value — model and matrix stay in lockstep
+      // and entries stay finite under arbitrarily long event streams.
+      const double target =
+          std::clamp(m.slow * e.factor, 1.0 / kMaxSlowdown, kMaxSlowdown);
+      const double applied = target / m.slow;
+      etc_.scale_machine(e.machine, applied);  // in place, no reallocation
+      m.slow = target;
+      out.machine = e.machine;
+      out.factor = applied;
+      break;
+    }
+    case EventKind::kMachineDown: {
+      if (e.machine >= machines_.size())
+        throw std::invalid_argument("EtcMutator: down machine out of range");
+      if (machines_.size() <= kMinMachines)
+        throw std::domain_error("EtcMutator: cannot drop the last machine");
+      machines_.erase(machines_.begin() +
+                      static_cast<std::ptrdiff_t>(e.machine));
+      etc_ = materialize();
+      out.shape_changed = true;
+      out.machine = e.machine;
+      break;
+    }
+    case EventKind::kMachineUp: {
+      require_positive_finite(e.value, "joining machine mips");
+      machines_.push_back({next_machine_uid_++, e.value, 1.0});
+      etc_ = materialize();
+      out.shape_changed = true;
+      out.machine = machines_.size() - 1;
+      break;
+    }
+    case EventKind::kTaskArrival: {
+      require_positive_finite(e.value, "arriving task workload");
+      tasks_.push_back({next_task_uid_++, e.value});
+      etc_ = materialize();
+      out.shape_changed = true;
+      out.task = tasks_.size() - 1;
+      break;
+    }
+    case EventKind::kTaskCancel: {
+      if (e.task >= tasks_.size())
+        throw std::invalid_argument("EtcMutator: cancel task out of range");
+      if (tasks_.size() <= kMinTasks)
+        throw std::domain_error("EtcMutator: cannot cancel the last task");
+      // Copy the row from the MATRIX (not the model): the repairer
+      // subtracts these from completion times that were accumulated from
+      // matrix entries, so the decrement must be exact.
+      const auto row = etc_.of_task(e.task);
+      out.removed_task_etc.assign(row.begin(), row.end());
+      tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(e.task));
+      etc_ = materialize();
+      out.shape_changed = true;
+      out.task = e.task;
+      break;
+    }
+  }
+  ++events_applied_;
+  return out;
+}
+
+}  // namespace pacga::dynamic

@@ -1,0 +1,116 @@
+// EtcMutator — applies grid events to a live ETC matrix.
+//
+// The mutator owns both the generative model (per-task workloads in MI,
+// per-machine capacities in mips plus an accumulated slowdown factor —
+// the §2.1 quantities, same formula as batch::make_batch_etc) and the
+// materialized EtcMatrix the solvers consume:
+//
+//     ETC[t][m] = workload_t * slow_m / mips_m * noise(task_uid, machine_uid)
+//
+// with the deterministic per-(task, machine) hash noise of the batch
+// module, so a task keeps its execution profile across arbitrary churn.
+//
+// Cost model: MachineSlowdown is the only shape-preserving event and is
+// applied IN PLACE (EtcMatrix::scale_machine — no reallocation). The four
+// shape-changing events (down/up/arrival/cancel) rebuild the matrix from
+// the model, so reallocation happens exactly when the task or machine
+// count changes — never on the steady slowdown/recovery stream.
+//
+// Every apply() returns an Outcome describing the index shift it caused;
+// dynamic::ScheduleRepairer consumes it to patch an existing schedule
+// instead of re-solving from scratch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batch/workload.hpp"
+#include "dynamic/events.hpp"
+#include "etc/etc_matrix.hpp"
+
+namespace pacga::dynamic {
+
+class EtcMutator {
+ public:
+  /// Grid invariants the mutator enforces (throwing std::domain_error
+  /// rather than materializing an unsolvable or overflowing instance).
+  static constexpr std::size_t kMinMachines = 1;
+  static constexpr std::size_t kMinTasks = 1;
+  /// Accumulated slowdown clamp: |log2(slow)| <= 6 keeps entries finite
+  /// under arbitrarily long slowdown streams.
+  static constexpr double kMaxSlowdown = 64.0;
+
+  /// Adopts a generated workload as the initial grid (all tasks one
+  /// batch, idle machines — the make_workload_etc regime). Deterministic
+  /// in spec.seed. Validates the spec.
+  explicit EtcMutator(const batch::WorkloadSpec& spec);
+
+  /// What one event did to the instance; everything the schedule
+  /// repairer needs to remap an assignment built on the PRE-event shape.
+  struct Outcome {
+    EventKind kind = EventKind::kTaskArrival;
+    bool shape_changed = false;
+    /// kMachineDown: removed index (pre-shift; indices above it moved
+    /// down by one). kMachineUp: the new machine's index (= machines-1).
+    /// kMachineSlowdown: the scaled machine.
+    std::size_t machine = SIZE_MAX;
+    /// kTaskCancel: removed index (pre-shift). kTaskArrival: the new
+    /// task's index (= tasks-1).
+    std::size_t task = SIZE_MAX;
+    /// kMachineSlowdown: the factor actually applied (after the
+    /// accumulated-slowdown clamp; 1.0 when the clamp swallowed it).
+    double factor = 1.0;
+    /// kTaskCancel: the cancelled task's ETC row (one entry per
+    /// PRE-event machine), copied from the matrix before the rebuild so
+    /// the repairer can decrement its machine's completion time exactly.
+    std::vector<double> removed_task_etc;
+  };
+
+  /// Applies one event. Throws std::invalid_argument on out-of-range
+  /// indices / non-positive parameters and std::domain_error on events
+  /// that would violate a grid invariant (down to zero machines, cancel
+  /// of the last task). The instance is unchanged on throw.
+  Outcome apply(const GridEvent& e);
+
+  /// The live instance. The reference is stable across apply() calls
+  /// (the matrix object is reassigned in place), but its CONTENT and
+  /// shape change with every event — snapshot() for anything that must
+  /// outlive the next apply (e.g. a service job).
+  const etc::EtcMatrix& etc() const noexcept { return etc_; }
+
+  /// Deep copy of the current instance.
+  etc::EtcMatrix snapshot() const { return etc_; }
+
+  /// From-scratch materialization from the model — the property tests
+  /// cross-check it against the incrementally maintained matrix.
+  etc::EtcMatrix rebuild() const { return materialize(); }
+
+  std::size_t tasks() const noexcept { return tasks_.size(); }
+  std::size_t machines() const noexcept { return machines_.size(); }
+  std::uint64_t events_applied() const noexcept { return events_applied_; }
+
+ private:
+  struct DynTask {
+    std::uint64_t uid = 0;  ///< stable identity for the noise hash
+    double workload = 0.0;
+  };
+  struct DynMachine {
+    std::uint64_t uid = 0;
+    double mips = 0.0;
+    double slow = 1.0;  ///< accumulated slowdown (1 = nominal speed)
+  };
+
+  double entry(const DynTask& t, const DynMachine& m) const;
+  etc::EtcMatrix materialize() const;
+
+  std::vector<DynTask> tasks_;
+  std::vector<DynMachine> machines_;
+  double inconsistency_;
+  std::uint64_t noise_seed_;
+  std::uint64_t next_task_uid_;
+  std::uint64_t next_machine_uid_;
+  std::uint64_t events_applied_ = 0;
+  etc::EtcMatrix etc_;
+};
+
+}  // namespace pacga::dynamic

@@ -1,0 +1,176 @@
+#include "dynamic/repair.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pacga::dynamic {
+
+namespace {
+
+constexpr sched::MachineId kUnassigned =
+    std::numeric_limits<sched::MachineId>::max();
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("ScheduleRepairer: ") + what);
+}
+
+}  // namespace
+
+const char* to_string(RepairPolicy p) noexcept {
+  switch (p) {
+    case RepairPolicy::kMinMin: return "minmin";
+    case RepairPolicy::kSufferage: return "sufferage";
+  }
+  return "?";
+}
+
+RepairStats ScheduleRepairer::repair(const EtcMutator::Outcome& outcome,
+                                     const etc::EtcMatrix& etc,
+                                     sched::Schedule& schedule) {
+  RepairStats stats;
+  stats.kind = outcome.kind;
+  stats.shape_changed = outcome.shape_changed;
+
+  // Work on scratch copies of the pre-event state; the schedule is only
+  // overwritten once the repair is complete, so a thrown validation
+  // leaves it untouched.
+  const auto old_assignment = schedule.assignment();
+  const auto old_completion = schedule.completions();
+  assignment_.assign(old_assignment.begin(), old_assignment.end());
+  completion_.assign(old_completion.begin(), old_completion.end());
+  orphans_.clear();
+
+  switch (outcome.kind) {
+    case EventKind::kMachineSlowdown: {
+      require(assignment_.size() == etc.tasks() &&
+                  completion_.size() == etc.machines(),
+              "slowdown repair: shape mismatch");
+      require(outcome.machine < completion_.size(),
+              "slowdown repair: machine out of range");
+      // The machine's load (completion minus ready) scaled with its ETCs;
+      // one multiply keeps the cache consistent with the scaled column.
+      const double ready = etc.ready(outcome.machine);
+      completion_[outcome.machine] =
+          ready + outcome.factor * (completion_[outcome.machine] - ready);
+      break;
+    }
+    case EventKind::kMachineDown: {
+      require(assignment_.size() == etc.tasks() &&
+                  completion_.size() == etc.machines() + 1,
+              "down repair: shape mismatch");
+      require(outcome.machine < completion_.size(),
+              "down repair: machine out of range");
+      const auto down = static_cast<sched::MachineId>(outcome.machine);
+      for (std::size_t t = 0; t < assignment_.size(); ++t) {
+        if (assignment_[t] == down) {
+          assignment_[t] = kUnassigned;  // orphaned: machine is gone
+          orphans_.push_back(t);
+        } else if (assignment_[t] > down) {
+          --assignment_[t];  // dense matrices: indices above shift down
+        }
+      }
+      completion_.erase(completion_.begin() +
+                        static_cast<std::ptrdiff_t>(outcome.machine));
+      break;
+    }
+    case EventKind::kMachineUp: {
+      require(assignment_.size() == etc.tasks() &&
+                  completion_.size() + 1 == etc.machines(),
+              "up repair: shape mismatch");
+      // The newcomer starts empty; re-optimization (not repair) decides
+      // what migrates onto it.
+      completion_.push_back(etc.ready(etc.machines() - 1));
+      break;
+    }
+    case EventKind::kTaskArrival: {
+      require(assignment_.size() + 1 == etc.tasks() &&
+                  completion_.size() == etc.machines(),
+              "arrival repair: shape mismatch");
+      assignment_.push_back(kUnassigned);
+      orphans_.push_back(assignment_.size() - 1);
+      break;
+    }
+    case EventKind::kTaskCancel: {
+      require(assignment_.size() == etc.tasks() + 1 &&
+                  completion_.size() == etc.machines(),
+              "cancel repair: shape mismatch");
+      require(outcome.task < assignment_.size(),
+              "cancel repair: task out of range");
+      require(outcome.removed_task_etc.size() == completion_.size(),
+              "cancel repair: removed-row size mismatch");
+      const sched::MachineId m = assignment_[outcome.task];
+      // Exact decrement: the row was copied from the pre-event matrix,
+      // the same values the completion sum accumulated.
+      completion_[m] -= outcome.removed_task_etc[m];
+      assignment_.erase(assignment_.begin() +
+                        static_cast<std::ptrdiff_t>(outcome.task));
+      break;
+    }
+  }
+
+  stats.orphaned = orphans_.size();
+  reassign_orphans(etc);
+  stats.reassigned = stats.orphaned;
+
+  schedule.adopt_with_completions(etc, assignment_, completion_);
+  return stats;
+}
+
+void ScheduleRepairer::reassign_orphans(const etc::EtcMatrix& etc) {
+  // The constructive heuristics, restricted to the orphan set against the
+  // CURRENT machine loads. Ties break toward the lower orphan position
+  // and lower machine index (strict comparisons, in-order scans), so the
+  // repair is a pure function of its inputs — the golden tests depend on
+  // that.
+  while (!orphans_.empty()) {
+    std::size_t pick_pos = 0;          // index into orphans_
+    sched::MachineId pick_machine = 0;
+    if (policy_ == RepairPolicy::kMinMin) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < orphans_.size(); ++i) {
+        const std::size_t t = orphans_[i];
+        for (std::size_t m = 0; m < etc.machines(); ++m) {
+          const double c = completion_[m] + etc(t, m);
+          if (c < best) {
+            best = c;
+            pick_pos = i;
+            pick_machine = static_cast<sched::MachineId>(m);
+          }
+        }
+      }
+    } else {  // kSufferage
+      double best_sufferage = -1.0;
+      for (std::size_t i = 0; i < orphans_.size(); ++i) {
+        const std::size_t t = orphans_[i];
+        double best = std::numeric_limits<double>::infinity();
+        double second = std::numeric_limits<double>::infinity();
+        sched::MachineId best_m = 0;
+        for (std::size_t m = 0; m < etc.machines(); ++m) {
+          const double c = completion_[m] + etc(t, m);
+          if (c < best) {
+            second = best;
+            best = c;
+            best_m = static_cast<sched::MachineId>(m);
+          } else if (c < second) {
+            second = c;
+          }
+        }
+        // One machine: no second choice, sufferage degenerates to 0 and
+        // the first orphan in order wins.
+        const double sufferage =
+            etc.machines() > 1 ? second - best : 0.0;
+        if (sufferage > best_sufferage) {
+          best_sufferage = sufferage;
+          pick_pos = i;
+          pick_machine = best_m;
+        }
+      }
+    }
+    const std::size_t task = orphans_[pick_pos];
+    assignment_[task] = pick_machine;
+    completion_[pick_machine] += etc(task, pick_machine);
+    orphans_.erase(orphans_.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+  }
+}
+
+}  // namespace pacga::dynamic

@@ -1,0 +1,56 @@
+#include "dynamic/session.hpp"
+
+#include "heuristics/minmin.hpp"
+#include "heuristics/sufferage.hpp"
+
+namespace pacga::dynamic {
+
+namespace {
+
+sched::Schedule initial_schedule(const etc::EtcMatrix& etc,
+                                 RepairPolicy policy) {
+  return policy == RepairPolicy::kSufferage ? heur::sufferage(etc)
+                                            : heur::min_min(etc);
+}
+
+}  // namespace
+
+RescheduleSession::RescheduleSession(const batch::WorkloadSpec& spec,
+                                     RepairPolicy policy)
+    : mutator_(spec),
+      repairer_(policy),
+      schedule_(initial_schedule(mutator_.etc(), policy)) {}
+
+RepairStats RescheduleSession::apply(const GridEvent& e) {
+  const EtcMutator::Outcome outcome = mutator_.apply(e);
+  if (outcome.shape_changed) ++shape_epoch_;
+  return repairer_.repair(outcome, mutator_.etc(), schedule_);
+}
+
+service::JobSpec RescheduleSession::make_reschedule_spec(
+    int priority, double deadline_ms, std::uint64_t seed) const {
+  service::JobSpec spec;
+  // Deep snapshot: the job may still be queued when the next event
+  // mutates the live matrix.
+  spec.etc = std::make_shared<const etc::EtcMatrix>(mutator_.snapshot());
+  spec.priority = priority;
+  spec.deadline_ms = deadline_ms;
+  spec.seed = seed;
+  const auto a = schedule_.assignment();
+  spec.warm_start.assign(a.begin(), a.end());
+  return spec;
+}
+
+bool RescheduleSession::adopt(std::span<const sched::MachineId> assignment) {
+  if (assignment.size() != mutator_.tasks()) return false;  // stale shape
+  for (sched::MachineId m : assignment) {
+    if (m >= mutator_.machines()) return false;
+  }
+  const sched::Schedule candidate(mutator_.etc(),
+                                  {assignment.begin(), assignment.end()});
+  if (!(candidate.makespan() < schedule_.makespan())) return false;
+  schedule_.adopt(mutator_.etc(), assignment);
+  return true;
+}
+
+}  // namespace pacga::dynamic

@@ -1,0 +1,84 @@
+// RescheduleSession — one tenant's live instance + its repaired schedule.
+//
+// The driver object behind the daemon's DYNAMIC/EVENT/RESCHEDULE verbs
+// and the dynamic benchmarks: it owns an EtcMutator (the live grid), a
+// ScheduleRepairer, and the current best-known schedule, and keeps the
+// three consistent through an arbitrary event stream:
+//
+//   apply(event)        mutate the instance, repair the schedule (always
+//                       leaves a feasible, CT-consistent schedule);
+//   make_reschedule_spec()
+//                       package the CURRENT instance (snapshot — the live
+//                       matrix keeps churning) plus the repaired schedule
+//                       as the warm start of a service job
+//                       (SchedulerService::submit_reschedule);
+//   adopt(assignment)   take the re-optimized result back, IF the grid
+//                       has not changed shape since the spec was made.
+//
+// Single-threaded by design: the serializing actor is the protocol loop
+// (daemon) or the driver thread (bench/tests); the solve itself runs on
+// the service's workers against the snapshot, never the live matrix.
+#pragma once
+
+#include <cstdint>
+
+#include "batch/workload.hpp"
+#include "dynamic/mutator.hpp"
+#include "dynamic/repair.hpp"
+#include "sched/schedule.hpp"
+#include "service/job.hpp"
+
+namespace pacga::dynamic {
+
+class RescheduleSession {
+ public:
+  /// Builds the initial grid from `spec` (same instance the static path
+  /// would solve) and the initial schedule with the repair policy's
+  /// constructive heuristic over the FULL task set (every task starts
+  /// orphaned — repair degenerates to Min-min/Sufferage from scratch).
+  explicit RescheduleSession(const batch::WorkloadSpec& spec,
+                             RepairPolicy policy = RepairPolicy::kMinMin);
+
+  /// Applies one event to the instance and repairs the schedule.
+  /// Exceptions from validation (EtcMutator::apply) leave both untouched.
+  RepairStats apply(const GridEvent& e);
+
+  const etc::EtcMatrix& etc() const noexcept { return mutator_.etc(); }
+  const sched::Schedule& schedule() const noexcept { return schedule_; }
+  const EtcMutator& mutator() const noexcept { return mutator_; }
+
+  std::size_t tasks() const noexcept { return mutator_.tasks(); }
+  std::size_t machines() const noexcept { return mutator_.machines(); }
+  std::uint64_t events_applied() const noexcept {
+    return mutator_.events_applied();
+  }
+  /// Monotone epoch, bumped by every shape-changing event. adopt() does
+  /// not need it (it re-validates candidates against the live instance);
+  /// it exists for callers running reschedules asynchronously who want
+  /// to know whether the grid shape moved under a job they submitted.
+  std::uint64_t shape_epoch() const noexcept { return shape_epoch_; }
+
+  /// Packages the current instance (deep snapshot) and repaired schedule
+  /// as a re-optimization job. The spec's warm_start is this session's
+  /// schedule; deadline/priority/seed/policy are the caller's business.
+  service::JobSpec make_reschedule_spec(int priority, double deadline_ms,
+                                        std::uint64_t seed) const;
+
+  /// Adopts a re-optimized assignment as the session schedule. Returns
+  /// false (and keeps the repaired schedule) when the assignment does
+  /// not fit the live shape — e.g. a shape-changing event landed between
+  /// make_reschedule_spec() and the job's completion — or when,
+  /// re-evaluated against the LIVE instance, it does not improve on the
+  /// current schedule's makespan. The re-evaluation is what makes a
+  /// stale-but-size-matching result safe to offer: it is only ever
+  /// adopted as a valid, better schedule of the instance as it is NOW.
+  bool adopt(std::span<const sched::MachineId> assignment);
+
+ private:
+  EtcMutator mutator_;
+  ScheduleRepairer repairer_;
+  sched::Schedule schedule_;
+  std::uint64_t shape_epoch_ = 0;
+};
+
+}  // namespace pacga::dynamic

@@ -33,13 +33,9 @@ EtcMatrix::EtcMatrix(std::size_t tasks, std::size_t machines,
   } else if (ready_.size() != machines_) {
     throw std::invalid_argument("EtcMatrix: ready size mismatch");
   }
-  min_etc_ = std::numeric_limits<double>::infinity();
-  max_etc_ = -std::numeric_limits<double>::infinity();
   for (double v : by_task_) {
     if (!(v > 0.0) || !std::isfinite(v))
       throw std::invalid_argument("EtcMatrix: ETC entries must be positive finite");
-    min_etc_ = std::min(min_etc_, v);
-    max_etc_ = std::max(max_etc_, v);
   }
   by_machine_.resize(tasks_ * machines_);
   for (std::size_t t = 0; t < tasks_; ++t) {
@@ -47,11 +43,44 @@ EtcMatrix::EtcMatrix(std::size_t tasks, std::size_t machines,
       by_machine_[m * tasks_ + t] = by_task_[t * machines_ + m];
     }
   }
+  refresh_summary();
+}
+
+void EtcMatrix::refresh_summary() {
+  min_etc_ = std::numeric_limits<double>::infinity();
+  max_etc_ = -std::numeric_limits<double>::infinity();
+  for (double v : by_task_) {
+    min_etc_ = std::min(min_etc_, v);
+    max_etc_ = std::max(max_etc_, v);
+  }
   fingerprint_ = hash_mix(hash_mix(0x5045c6a7a1ce0001ULL, tasks_), machines_);
   for (double v : by_task_)
     fingerprint_ = hash_mix(fingerprint_, std::bit_cast<std::uint64_t>(v));
   for (double r : ready_)
     fingerprint_ = hash_mix(fingerprint_, std::bit_cast<std::uint64_t>(r));
+}
+
+void EtcMatrix::scale_machine(std::size_t m, double factor) {
+  if (m >= machines_)
+    throw std::invalid_argument("EtcMatrix::scale_machine: machine out of range");
+  if (!(factor > 0.0) || !std::isfinite(factor))
+    throw std::invalid_argument(
+        "EtcMatrix::scale_machine: factor must be positive finite");
+  // Validate BEFORE mutating: a factor that would push an entry to inf (or
+  // denormal-to-zero) must leave the matrix untouched.
+  for (double v : on_machine(m)) {
+    const double scaled = v * factor;
+    if (!(scaled > 0.0) || !std::isfinite(scaled))
+      throw std::invalid_argument(
+          "EtcMatrix::scale_machine: scaled entry not positive finite");
+  }
+  double* column = by_machine_.data() + m * tasks_;
+  for (std::size_t t = 0; t < tasks_; ++t) {
+    // Same multiplication in both layouts keeps them bitwise identical.
+    column[t] *= factor;
+    by_task_[t * machines_ + m] = column[t];
+  }
+  refresh_summary();
 }
 
 bool EtcMatrix::machine_dominates(std::size_t a, std::size_t b) const noexcept {

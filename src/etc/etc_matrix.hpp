@@ -19,8 +19,11 @@
 namespace pacga::etc {
 
 /// Dense tasks x machines matrix of expected execution times, plus machine
-/// ready times. Immutable after construction — every algorithm shares one
-/// instance by const reference across threads.
+/// ready times. Effectively immutable: every algorithm shares one instance
+/// by const reference across threads. The single mutation point,
+/// scale_machine(), exists for the dynamic subsystem's in-place grid
+/// events; the owner (dynamic::EtcMutator) must guarantee no solver reads
+/// the matrix concurrently with a mutation.
 class EtcMatrix {
  public:
   /// Builds from task-major data: `task_major[t * machines + m]` is the
@@ -86,7 +89,18 @@ class EtcMatrix {
   double task_heterogeneity() const;
   double machine_heterogeneity() const;
 
+  /// Multiplies every ETC of machine `m` by `factor` IN PLACE (both
+  /// layouts; no reallocation) and refreshes min/max and the fingerprint —
+  /// the dynamic subsystem's MachineSlowdown event. The resulting entries
+  /// must stay positive finite or std::invalid_argument is thrown before
+  /// anything is modified. NOT thread-safe against concurrent readers.
+  void scale_machine(std::size_t m, double factor);
+
  private:
+  /// Recomputes min/max and the content fingerprint after construction or
+  /// an in-place mutation.
+  void refresh_summary();
+
   std::size_t tasks_;
   std::size_t machines_;
   std::vector<double> by_task_;     // t * machines_ + m

@@ -32,6 +32,14 @@ Schedule Schedule::random(const etc::EtcMatrix& etc, support::Xoshiro256& rng) {
 }
 
 void Schedule::assign_from(const Schedule& src) {
+  // adopt() and randomize_from() throw on shape mismatch; assign_from is
+  // the hot path (every breeding step), so it only asserts: a mismatched
+  // copy silently reallocates, voiding the zero-allocation contract the
+  // warm arenas are built on.
+  assert(src.assignment_.size() == assignment_.size() &&
+         "Schedule::assign_from: task count mismatch");
+  assert(src.completion_.size() == completion_.size() &&
+         "Schedule::assign_from: machine count mismatch");
   etc_ = src.etc_;
   assignment_ = src.assignment_;
   completion_ = src.completion_;
@@ -60,6 +68,24 @@ void Schedule::adopt(const etc::EtcMatrix& etc,
   etc_ = &etc;
   std::copy(assignment.begin(), assignment.end(), assignment_.begin());
   recompute();
+}
+
+void Schedule::adopt_with_completions(const etc::EtcMatrix& etc,
+                                      std::span<const MachineId> assignment,
+                                      std::span<const double> completion) {
+  if (assignment.size() != etc.tasks() || completion.size() != etc.machines())
+    throw std::invalid_argument(
+        "Schedule::adopt_with_completions: size mismatch");
+  for (MachineId m : assignment) {
+    if (m >= etc.machines())
+      throw std::invalid_argument(
+          "Schedule::adopt_with_completions: machine id out of range");
+  }
+  etc_ = &etc;
+  assignment_.assign(assignment.begin(), assignment.end());
+  completion_.assign(completion.begin(), completion.end());
+  assert(validate() &&
+         "Schedule::adopt_with_completions: inconsistent completion cache");
 }
 
 void Schedule::move_task(std::size_t t, MachineId m) noexcept {

@@ -41,6 +41,8 @@ class Schedule {
   /// performs zero heap allocations. The completion-time cache is taken
   /// from `src` wholesale, which is exactly the incremental discipline:
   /// the cache travels with the assignment instead of being rebuilt.
+  /// Debug builds assert the shapes match (the zero-allocation contract
+  /// every engine relies on); release builds trust the caller.
   void assign_from(const Schedule& src);
 
   /// Rebinds to `etc` (which must have this schedule's tasks x machines
@@ -56,6 +58,17 @@ class Schedule {
   /// recycled storage. Throws std::invalid_argument on shape or machine-id
   /// range violations.
   void adopt(const etc::EtcMatrix& etc, std::span<const MachineId> assignment);
+
+  /// Rebinds to `etc` (possibly a DIFFERENT shape — storage is resized),
+  /// adopting `assignment` AND the caller-maintained completion-time cache
+  /// verbatim, with no O(tasks) recompute. This is the dynamic repairer's
+  /// handoff: it patches the cache incrementally across grid events and
+  /// hands both halves over together. The cache is trusted in release
+  /// builds and assert-validated (full recomputation) in debug builds.
+  /// Throws std::invalid_argument on size/machine-id range violations.
+  void adopt_with_completions(const etc::EtcMatrix& etc,
+                              std::span<const MachineId> assignment,
+                              std::span<const double> completion);
 
   std::size_t tasks() const noexcept { return assignment_.size(); }
   std::size_t machines() const noexcept { return completion_.size(); }

@@ -11,6 +11,7 @@ const char* to_string(SolvePolicy p) noexcept {
     case SolvePolicy::kSufferage: return "sufferage";
     case SolvePolicy::kCga: return "cga";
     case SolvePolicy::kPaCga: return "pacga";
+    case SolvePolicy::kWarmStart: return "warmstart";
   }
   return "?";
 }

@@ -38,6 +38,10 @@ enum class SolvePolicy {
   kSufferage,  ///< Sufferage constructive heuristic only
   kCga,        ///< warm sequential cellular GA (arena-backed)
   kPaCga,      ///< parallel PA-CGA engine (cold start, own threads)
+  /// Result provenance only (never requested): the job's warm-start seed
+  /// was already better than anything the solver found in its budget —
+  /// the zero-budget reschedule path returns the repaired schedule as-is.
+  kWarmStart,
 };
 
 const char* to_string(SolvePolicy p) noexcept;
@@ -77,6 +81,15 @@ struct JobSpec {
   /// Look up / store this instance in the solution cache. Disable for
   /// jobs that want a fresh stochastic solve per seed.
   bool use_cache = true;
+  /// Optional warm start (the dynamic rescheduling path): a feasible
+  /// assignment for `etc` — typically a repaired schedule — seeded into
+  /// the CGA population, and returned verbatim if the solver cannot beat
+  /// it in the budget (the result is never worse than the seed). Must be
+  /// empty or exactly etc->tasks() in-range machine ids. A warm-started
+  /// job skips the solution-cache LOOKUP (a stale cached answer must not
+  /// short-circuit re-optimization) but still refreshes the cache with
+  /// its result.
+  std::vector<sched::MachineId> warm_start;
 };
 
 /// One solve answer.
@@ -87,6 +100,7 @@ struct JobResult {
   double makespan = 0.0;  ///< fitness under the service objective
   SolvePolicy policy_used = SolvePolicy::kAuto;
   bool cache_hit = false;
+  bool warm_started = false;  ///< the solve was seeded with spec.warm_start
   bool deadline_missed = false;  ///< finished after the wall-clock deadline
   std::uint64_t generations = 0;
   std::uint64_t evaluations = 0;

@@ -21,6 +21,7 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.reschedules = reschedules_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   {

@@ -27,6 +27,7 @@ class ServiceMetrics {
     std::uint64_t cancelled = 0;
     std::uint64_t failed = 0;     ///< solver threw (kFailed)
     std::uint64_t rejected = 0;   ///< try_submit refused: queue full
+    std::uint64_t reschedules = 0;  ///< submit_reschedule admissions
     std::uint64_t cache_hits = 0;
     std::uint64_t deadline_misses = 0;
     support::RunningStats queue_wait_seconds;
@@ -61,6 +62,9 @@ class ServiceMetrics {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
   void on_fail() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_reschedule() noexcept {
+    reschedules_.fetch_add(1, std::memory_order_relaxed);
+  }
   void on_complete(double queue_wait_seconds, double solve_seconds,
                    bool cache_hit, bool deadline_missed);
 
@@ -72,6 +76,7 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> reschedules_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> deadline_misses_{0};
   mutable std::mutex mutex_;  ///< guards the two accumulators only

@@ -13,6 +13,19 @@ void validate_spec(const JobSpec& spec) {
   if (!(spec.deadline_ms > 0.0) || !std::isfinite(spec.deadline_ms))
     throw std::invalid_argument(
         "JobSpec: deadline_ms must be positive and finite");
+  if (spec.policy == SolvePolicy::kWarmStart)
+    throw std::invalid_argument(
+        "JobSpec: kWarmStart is result provenance, not a requestable policy");
+  if (!spec.warm_start.empty()) {
+    if (spec.warm_start.size() != spec.etc->tasks())
+      throw std::invalid_argument(
+          "JobSpec: warm_start size must equal etc tasks");
+    for (sched::MachineId m : spec.warm_start) {
+      if (m >= spec.etc->machines())
+        throw std::invalid_argument(
+            "JobSpec: warm_start machine id out of range");
+    }
+  }
 }
 
 }  // namespace
@@ -75,6 +88,22 @@ JobId SchedulerService::submit(JobSpec spec) {
     throw std::runtime_error("SchedulerService: shut down during submit");
   }
   metrics_.on_submit();
+  return id;
+}
+
+JobId SchedulerService::submit_reschedule(JobSpec spec) {
+  validate_spec(spec);
+  if (spec.warm_start.empty() && spec.use_cache) {
+    const std::uint64_t key =
+        SolverPool::cache_key(*spec.etc, options_.solver, spec.policy);
+    SolutionCache::Entry cached;
+    if (cache_.lookup(key, cached) &&
+        cached.assignment.size() == spec.etc->tasks()) {
+      spec.warm_start = std::move(cached.assignment);
+    }
+  }
+  const JobId id = submit(std::move(spec));  // may throw: count admissions only
+  metrics_.on_reschedule();
   return id;
 }
 

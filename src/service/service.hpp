@@ -62,6 +62,17 @@ class SchedulerService {
   /// counted in metrics). Throws like submit() on bad specs/shutdown.
   std::optional<JobId> try_submit(JobSpec spec);
 
+  /// Admits a re-optimization job (the dynamic rescheduling path). Like
+  /// submit(), plus warm-start sourcing: when `spec.warm_start` is empty,
+  /// the solution cache is consulted under this job's key and a hit
+  /// becomes the seed — the cache doubles as the warm-start source for a
+  /// matrix the service has solved before. Warm-started jobs never SERVE
+  /// from the cache (the point is to re-optimize), but their results
+  /// refresh it; the solver guarantees the answer is never worse than
+  /// the seed, so an expired-deadline reschedule still returns the
+  /// repaired schedule.
+  JobId submit_reschedule(JobSpec spec);
+
   /// Blocks until the job reaches a terminal state and returns its result.
   /// Each id can be waited on once (the handle is released); a second wait
   /// throws std::invalid_argument. Fire-and-forget tenants do not leak:

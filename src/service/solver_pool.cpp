@@ -131,6 +131,16 @@ void WarmSolver::solve_cga(const etc::EtcMatrix& etc, const JobSpec& spec,
   rng_.reseed(spec.seed);
   pop.reseed(etc, rng_, base_.seed_min_min, arena_config_.objective,
              arena_config_.lambda);
+  if (!spec.warm_start.empty()) {
+    // Dynamic rescheduling: the repaired schedule becomes one individual
+    // (the cell AFTER the optional Min-min seed, so both survive) and the
+    // anytime loop can only improve on it. seed_cell adopts into existing
+    // storage — the warm arena stays allocation-free.
+    const std::size_t cell = base_.seed_min_min && pop.size() > 1 ? 1 : 0;
+    pop.seed_cell(cell, etc, spec.warm_start, arena_config_.objective,
+                  arena_config_.lambda);
+    out.warm_started = true;
+  }
   order_->reset(rng_);
   tracker_->reset(pop.at(pop.best_index()));
 
@@ -195,6 +205,7 @@ void WarmSolver::solve(const etc::EtcMatrix& etc, const JobSpec& spec,
                        double budget_seconds, const std::atomic<bool>* cancel,
                        JobResult& out, const cga::GenerationObserver& observer) {
   out.cache_hit = false;
+  out.warm_started = false;
   out.generations = 0;
   out.evaluations = 0;
   switch (decide(spec, etc, budget_seconds)) {
@@ -208,9 +219,27 @@ void WarmSolver::solve(const etc::EtcMatrix& etc, const JobSpec& spec,
     case SolvePolicy::kCga:
       solve_cga(etc, spec, budget_seconds, cancel, out, observer);
       break;
+    case SolvePolicy::kWarmStart:  // unreachable: never requested
     case SolvePolicy::kPaCga:
       solve_parallel(etc, spec, budget_seconds, cancel, out);
       break;
+  }
+  if (!spec.warm_start.empty()) {
+    // The reschedule contract: never answer worse than the seed. The CGA
+    // path holds this by construction (the seed is in the population);
+    // the heuristic escalation of a budget-starved reschedule and the
+    // unseedable PA-CGA engine need the explicit clamp — the repaired
+    // schedule IS a valid anytime answer.
+    const sched::Schedule seed(
+        etc, {spec.warm_start.begin(), spec.warm_start.end()});
+    const double seed_fitness =
+        sched::evaluate(seed, base_.objective, base_.lambda);
+    if (out.assignment.empty() || seed_fitness < out.makespan) {
+      out.assignment = spec.warm_start;
+      out.makespan = seed_fitness;
+      out.policy_used = SolvePolicy::kWarmStart;
+    }
+    out.warm_started = true;
   }
 }
 
@@ -269,7 +298,11 @@ void SolverPool::serve(JobState& job, WarmSolver& solver) {
   support::WallTimer solve_timer;
 
   SolutionCache::Entry cached;
-  if (job.spec.use_cache && cache_.lookup(key, cached)) {
+  // A warm-started job is a re-optimization request: its seed is fresher
+  // than anything cached for this fingerprint, so the lookup is skipped
+  // (the result still refreshes the cache below).
+  const bool cache_lookup = job.spec.use_cache && job.spec.warm_start.empty();
+  if (cache_lookup && cache_.lookup(key, cached)) {
     out.assignment = std::move(cached.assignment);
     out.makespan = cached.fitness;
     out.cache_hit = true;
@@ -309,7 +342,8 @@ void SolverPool::serve(JobState& job, WarmSolver& solver) {
       const bool budget_starved_heuristic =
           job.spec.policy == SolvePolicy::kAuto &&
           (out.policy_used == SolvePolicy::kMinMin ||
-           out.policy_used == SolvePolicy::kSufferage) &&
+           out.policy_used == SolvePolicy::kSufferage ||
+           out.policy_used == SolvePolicy::kWarmStart) &&
           etc.tasks() > kHeuristicMaxTasks;
       if (!budget_starved_heuristic) {
         cache_.insert(key, out.assignment, out.makespan, out.policy_used);

@@ -196,5 +196,69 @@ TEST_P(IncrementalPropertyTest, CacheStaysCoherent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(Schedule, AdoptWithCompletionsSkipsRecompute) {
+  const auto m = braun_small();
+  support::Xoshiro256 rng(11);
+  const Schedule src = Schedule::random(m, rng);
+  Schedule dst(m);
+  // Hand over assignment + cache wholesale; the result must be exactly
+  // the source state (and validate() agrees in every build mode).
+  dst.adopt_with_completions(m, src.assignment(), src.completions());
+  EXPECT_EQ(dst, src);
+  for (std::size_t i = 0; i < m.machines(); ++i) {
+    EXPECT_DOUBLE_EQ(dst.completion(i), src.completion(i));
+  }
+  EXPECT_TRUE(dst.validate());
+}
+
+TEST(Schedule, AdoptWithCompletionsResizesAcrossShapes) {
+  // The dynamic repairer rebinds a schedule to a DIFFERENT shape; the
+  // wholesale adopt must resize both halves.
+  const auto big = braun_small(3);
+  const auto small = tiny();
+  support::Xoshiro256 rng(12);
+  Schedule s = Schedule::random(big, rng);
+  const Schedule target(small, {0, 1, 0, 1});
+  s.adopt_with_completions(small, target.assignment(), target.completions());
+  EXPECT_EQ(s.tasks(), 4u);
+  EXPECT_EQ(s.machines(), 2u);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(Schedule, AdoptWithCompletionsRejectsBadInput) {
+  const auto m = tiny();
+  Schedule s(m);
+  const std::vector<double> completion{10.0, 60.0};
+  EXPECT_THROW(
+      s.adopt_with_completions(m, std::vector<MachineId>{0, 0, 1}, completion),
+      std::invalid_argument);  // wrong task count
+  EXPECT_THROW(s.adopt_with_completions(m, std::vector<MachineId>{0, 0, 1, 1},
+                                        std::vector<double>{10.0}),
+               std::invalid_argument);  // wrong machine count
+  EXPECT_THROW(s.adopt_with_completions(m, std::vector<MachineId>{0, 0, 1, 2},
+                                        completion),
+               std::invalid_argument);  // machine id out of range
+}
+
+// Regression (small-fix satellite): adopt() and randomize_from() throw on
+// shape mismatch, but assign_from() is the hot path and only asserts.
+// Verify the assertion actually fires in debug builds; in NDEBUG builds
+// (the default Release CI arm) the assert compiles away, so the death
+// test is skipped there.
+TEST(ScheduleDeathTest, AssignFromAssertsOnShapeMismatchInDebug) {
+#if defined(NDEBUG)
+  GTEST_SKIP() << "asserts compiled out (NDEBUG)";
+#elif defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "death tests fork, which TSan instrumentation dislikes";
+#else
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const auto big = braun_small();
+  const auto small = tiny();
+  Schedule wide(big);
+  const Schedule narrow(small);
+  EXPECT_DEATH(wide.assign_from(narrow), "assign_from");
+#endif
+}
+
 }  // namespace
 }  // namespace pacga::sched

@@ -562,6 +562,104 @@ TEST(SchedulerService, RejectsMalformedSpecs) {
   EXPECT_FALSE(svc.cancel(9999));
 }
 
+// --- reschedule path (dynamic subsystem) -----------------------------------
+
+TEST(SchedulerService, RescheduleWarmStartsFromCacheHit) {
+  // The PR 2 solution cache doubles as the warm-start source: a
+  // reschedule of a matrix the service has solved before is seeded with
+  // the cached assignment instead of starting cold — and must NOT be
+  // served the stale entry as its answer.
+  SchedulerService svc(small_service(1, 8, 64));
+  auto m = instance();
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kCga;
+  spec.deadline_ms = 1000.0;
+  spec.max_generations = 20;
+  const JobResult first = svc.wait(svc.submit(spec));
+  ASSERT_EQ(first.status, JobStatus::kDone);
+  ASSERT_FALSE(first.cache_hit);  // now cached
+
+  const JobResult re = svc.wait(svc.submit_reschedule(spec));
+  EXPECT_EQ(re.status, JobStatus::kDone);
+  EXPECT_TRUE(re.warm_started) << "cache entry should have become the seed";
+  EXPECT_FALSE(re.cache_hit) << "reschedules re-optimize, never short-circuit";
+  EXPECT_LE(re.makespan, first.makespan + 1e-9)
+      << "seeded re-optimization must never end worse than its seed";
+  EXPECT_EQ(svc.metrics().reschedules, 1u);
+
+  // Without a cache entry (and no explicit warm start) a reschedule
+  // degrades gracefully to a cold solve.
+  SchedulerService cold_svc(small_service(1, 8, 0));
+  const JobResult cold = cold_svc.wait(cold_svc.submit_reschedule(spec));
+  EXPECT_EQ(cold.status, JobStatus::kDone);
+  EXPECT_FALSE(cold.warm_started);
+}
+
+TEST(SchedulerService, RescheduleUnderExpiredDeadlineReturnsTheRepair) {
+  // A reschedule popped past its deadline has a zero solver budget; the
+  // kAuto escalation runs the microsecond heuristics, and the answer must
+  // be AT LEAST as good as the repaired schedule it was seeded with —
+  // the repair itself is a valid anytime result.
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance(64, 8);
+  const JobId blocker = svc.submit(long_job(m, 400.0));
+
+  const sched::Schedule repair = heur::min_min(*m);  // stands in for a repair
+  const double repair_fitness = repair.makespan();
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kAuto;
+  spec.deadline_ms = 5.0;  // expires in the queue behind the blocker
+  spec.warm_start.assign(repair.assignment().begin(),
+                         repair.assignment().end());
+  const JobResult r = svc.wait(svc.submit_reschedule(std::move(spec)));
+  (void)svc.wait(blocker);
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_TRUE(r.warm_started);
+  EXPECT_TRUE(r.deadline_missed);
+  ASSERT_EQ(r.assignment.size(), m->tasks());
+  EXPECT_LE(r.makespan, repair_fitness + 1e-9)
+      << "expired-deadline reschedule must still return the repair";
+}
+
+TEST(SchedulerService, RescheduleCancelledMidRepairStopsEarly) {
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance(128, 16);
+  const sched::Schedule repair = heur::min_min(*m);
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kCga;
+  spec.deadline_ms = 10000.0;
+  spec.use_cache = false;
+  spec.warm_start.assign(repair.assignment().begin(),
+                         repair.assignment().end());
+  const JobId id = svc.submit_reschedule(std::move(spec));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  support::WallTimer t;
+  EXPECT_TRUE(svc.cancel(id));
+  const JobResult r = svc.wait(id);
+  EXPECT_LT(t.elapsed_seconds(), 5.0)
+      << "cancellation must be honored within one generation";
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+}
+
+TEST(SchedulerService, RejectsMalformedWarmStart) {
+  SchedulerService svc(small_service());
+  auto m = instance();
+  JobSpec wrong_size;
+  wrong_size.etc = m;
+  wrong_size.warm_start.assign(m->tasks() + 1, 0);
+  EXPECT_THROW(svc.submit_reschedule(std::move(wrong_size)),
+               std::invalid_argument);
+  JobSpec bad_machine;
+  bad_machine.etc = m;
+  bad_machine.warm_start.assign(m->tasks(), 0);
+  bad_machine.warm_start[0] = static_cast<sched::MachineId>(m->machines());
+  EXPECT_THROW(svc.submit_reschedule(std::move(bad_machine)),
+               std::invalid_argument);
+}
+
 // --- WarmSolver ------------------------------------------------------------
 
 TEST(WarmSolver, AutoEscalationByBudgetAndSize) {
