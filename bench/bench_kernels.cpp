@@ -1,0 +1,432 @@
+// bench_kernels — the SIMD kernel layer, measured at both ends.
+//
+// Kernel level: scalar vs dispatched max/argmax/fused-min scans at 64 /
+// 512 / 4096 machines (the acceptance bar is >= 3x at 4096 for the
+// dispatched path on AVX2 hardware).
+//
+// End-to-end: the consumers rewired onto the kernels, each against its
+// pre-rewrite reference —
+//   * Min-min / Max-min / Sufferage: cached-best-machine rewrite vs the
+//     naive textbook loop (schedules asserted IDENTICAL);
+//   * H2LL: top-k selection + kernel scans vs the former per-iteration
+//     full sort (reference preserved inline here);
+//   * service kAuto escalation floor (Min-min + Sufferage under a tight
+//     deadline) through a real SchedulerService, naive vs accelerated via
+//     PACGA_NAIVE_HEURISTICS;
+//   * dynamic repair: full-orphan constructive repair (RescheduleSession
+//     init) vs the naive reference order, plus absolute machine-down
+//     repair latency.
+//
+// Emits BENCH_kernels.json. Default scale matches the acceptance spec
+// (Min-min at 8192x256); --quick shrinks everything for CI smoke runs.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cga/local_search.hpp"
+#include "cga/mutation.hpp"
+#include "dynamic/session.hpp"
+#include "etc/suite.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/sufferage.hpp"
+#include "service/service.hpp"
+#include "support/cli.hpp"
+#include "support/kernels.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace pacga;
+namespace kernels = support::kernels;
+
+struct Options {
+  std::size_t minmin_tasks = 8192;
+  std::size_t minmin_machines = 256;
+  std::size_t sufferage_tasks = 2048;
+  std::size_t sufferage_machines = 128;
+  std::size_t h2ll_tasks = 4096;
+  std::size_t h2ll_machines = 512;
+  std::size_t h2ll_iterations = 20000;
+  std::size_t service_tasks = 1024;
+  std::size_t service_machines = 64;
+  std::size_t service_jobs = 8;
+  std::size_t repair_tasks = 8192;
+  std::size_t repair_machines = 16;
+  std::uint64_t seed = 1;
+  bool quick = false;
+
+  void finalize() {
+    if (quick) {
+      minmin_tasks = 1024;
+      minmin_machines = 64;
+      sufferage_tasks = 512;
+      sufferage_machines = 32;
+      h2ll_tasks = 1024;
+      h2ll_machines = 128;
+      h2ll_iterations = 5000;
+      service_tasks = 256;
+      service_machines = 32;
+      service_jobs = 4;
+      repair_tasks = 2048;
+      repair_machines = 16;
+    }
+  }
+};
+
+etc::EtcMatrix random_matrix(std::size_t tasks, std::size_t machines,
+                             std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<double> data(tasks * machines);
+  for (auto& v : data) v = rng.uniform(1.0, 1000.0);
+  return etc::EtcMatrix(tasks, machines, std::move(data));
+}
+
+// ---- kernel-level microbench ---------------------------------------------
+
+struct KernelPoint {
+  const char* kernel;
+  std::size_t machines;
+  double scalar_ns;
+  double dispatched_ns;
+  double speedup;
+};
+
+/// ns per call of `fn`, amortized over enough repetitions to swamp timer
+/// noise. `sink` keeps the optimizer honest.
+template <typename Fn>
+double time_ns(Fn&& fn, std::size_t reps) {
+  volatile double sink = 0.0;
+  support::WallTimer timer;
+  for (std::size_t r = 0; r < reps; ++r) sink = sink + fn();
+  (void)sink;
+  return timer.elapsed_seconds() * 1e9 / static_cast<double>(reps);
+}
+
+std::vector<KernelPoint> bench_kernel_level(std::uint64_t seed) {
+  std::vector<KernelPoint> points;
+  const auto& scalar = kernels::detail::scalar_table();
+  const auto& active = kernels::active();
+  support::Xoshiro256 rng(seed);
+  for (const std::size_t n : {std::size_t{64}, std::size_t{512},
+                              std::size_t{4096}}) {
+    std::vector<double> ct(n), row(n);
+    for (auto& v : ct) v = rng.uniform(0.0, 1e6);
+    for (auto& v : row) v = rng.uniform(0.0, 1e3);
+    const std::size_t reps = std::max<std::size_t>(1, 40'000'000 / n);
+
+    const auto point = [&](const char* name, auto scalar_fn, auto active_fn) {
+      const double s = time_ns(scalar_fn, reps);
+      const double d = time_ns(active_fn, reps);
+      points.push_back({name, n, s, d, s / d});
+      std::printf("  %-10s n=%5zu  scalar %8.1f ns  %s %8.1f ns  %5.2fx\n",
+                  name, n, s, active.name, d, s / d);
+    };
+    point(
+        "max", [&] { return scalar.max_value(ct.data(), n); },
+        [&] { return active.max_value(ct.data(), n); });
+    point(
+        "argmax",
+        [&] { return static_cast<double>(scalar.argmax(ct.data(), n)); },
+        [&] { return static_cast<double>(active.argmax(ct.data(), n)); });
+    point(
+        "fused-min", [&] { return scalar.min_plus(ct.data(), row.data(), n).value; },
+        [&] { return active.min_plus(ct.data(), row.data(), n).value; });
+  }
+  return points;
+}
+
+// ---- end-to-end: heuristics ----------------------------------------------
+
+struct EndToEnd {
+  std::string name;
+  std::size_t tasks = 0;
+  std::size_t machines = 0;
+  double reference_ms = 0.0;
+  double accelerated_ms = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+  /// Only the heuristic arms are required (and checked) to produce the
+  /// reference's exact schedule; h2ll/kauto report null in the JSON.
+  bool identical_checked = false;
+};
+
+template <typename Fn>
+double time_ms_once(Fn&& fn) {
+  support::WallTimer timer;
+  fn();
+  return timer.elapsed_seconds() * 1e3;
+}
+
+EndToEnd bench_heuristic(const char* name, const etc::EtcMatrix& m,
+                         sched::Schedule (*accel)(const etc::EtcMatrix&),
+                         sched::Schedule (*naive)(const etc::EtcMatrix&)) {
+  EndToEnd r;
+  r.name = name;
+  r.tasks = m.tasks();
+  r.machines = m.machines();
+  std::unique_ptr<sched::Schedule> a, b;
+  r.accelerated_ms =
+      time_ms_once([&] { a = std::make_unique<sched::Schedule>(accel(m)); });
+  r.reference_ms =
+      time_ms_once([&] { b = std::make_unique<sched::Schedule>(naive(m)); });
+  r.speedup = r.reference_ms / r.accelerated_ms;
+  r.identical = a->hamming_distance(*b) == 0;
+  r.identical_checked = true;
+  std::printf("  %-10s %zux%zu  naive %9.1f ms  accel %8.1f ms  %5.2fx  %s\n",
+              name, r.tasks, r.machines, r.reference_ms, r.accelerated_ms,
+              r.speedup, r.identical ? "identical" : "DIFFERENT");
+  return r;
+}
+
+// ---- end-to-end: H2LL ----------------------------------------------------
+
+/// The pre-rewrite H2LL: full std::sort of all machine completions every
+/// iteration. Kept verbatim as the reference arm.
+void h2ll_sorted_reference(sched::Schedule& s, const cga::H2LLParams& params,
+                           support::Xoshiro256& rng) {
+  const std::size_t machines = s.machines();
+  if (machines < 2 || s.tasks() == 0) return;
+  const std::size_t n_candidates =
+      params.candidates == 0 ? machines / 2
+                             : std::min(params.candidates, machines - 1);
+  std::vector<std::size_t> order(machines);
+  for (std::size_t it = 0; it < params.iterations; ++it) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return s.completion(a) < s.completion(b);
+    });
+    const std::size_t most_loaded = order.back();
+    const std::size_t task = cga::random_task_on_machine(
+        s, static_cast<sched::MachineId>(most_loaded), rng);
+    if (task == s.tasks()) continue;
+    double best_score = s.completion(most_loaded);
+    std::size_t best_mac = machines;
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      const std::size_t mac = order[c];
+      if (mac == most_loaded) continue;
+      const double new_score = s.completion(mac) + s.etc()(task, mac);
+      if (new_score < best_score) {
+        best_score = new_score;
+        best_mac = mac;
+      }
+    }
+    if (best_mac != machines) {
+      s.move_task(task, static_cast<sched::MachineId>(best_mac));
+    }
+  }
+}
+
+EndToEnd bench_h2ll(const Options& opts) {
+  const auto m =
+      random_matrix(opts.h2ll_tasks, opts.h2ll_machines, opts.seed + 7);
+  EndToEnd r;
+  r.name = "h2ll";
+  r.tasks = m.tasks();
+  r.machines = m.machines();
+  const cga::H2LLParams params{opts.h2ll_iterations, 0};
+  {
+    support::Xoshiro256 rng(opts.seed);
+    auto s = sched::Schedule::random(m, rng);
+    r.reference_ms = time_ms_once([&] { h2ll_sorted_reference(s, params, rng); });
+  }
+  {
+    support::Xoshiro256 rng(opts.seed);
+    auto s = sched::Schedule::random(m, rng);
+    r.accelerated_ms = time_ms_once([&] { cga::h2ll(s, params, rng); });
+  }
+  r.speedup = r.reference_ms / r.accelerated_ms;
+  // Different (deterministic) tie-break definitions: schedules are not
+  // required to match here, only both to be valid descents —
+  // identical_checked stays false and the JSON reports null.
+  std::printf(
+      "  %-10s %zux%zu  sorted %8.1f ms  kernels %7.1f ms  %5.2fx (%zu iters)\n",
+      "h2ll", r.tasks, r.machines, r.reference_ms, r.accelerated_ms, r.speedup,
+      opts.h2ll_iterations);
+  return r;
+}
+
+// ---- end-to-end: service kAuto escalation floor --------------------------
+
+double kauto_ms_per_job(const std::shared_ptr<const etc::EtcMatrix>& m,
+                        std::size_t jobs, std::uint64_t seed) {
+  service::ServiceOptions so;
+  so.workers = 1;
+  so.cache_capacity = 0;  // every job must actually solve
+  service::SchedulerService svc(so);
+  support::WallTimer timer;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    service::JobSpec spec;
+    spec.etc = m;
+    spec.seed = seed + j;
+    spec.deadline_ms = 1.0;  // urgent: kAuto stays on the heuristic floor
+    spec.policy = service::SolvePolicy::kAuto;
+    spec.use_cache = false;
+    const auto id = svc.submit(spec);
+    (void)svc.wait(id);
+  }
+  return timer.elapsed_seconds() * 1e3 / static_cast<double>(jobs);
+}
+
+EndToEnd bench_kauto(const Options& opts) {
+  const auto m = std::make_shared<const etc::EtcMatrix>(
+      random_matrix(opts.service_tasks, opts.service_machines, opts.seed + 11));
+  EndToEnd r;
+  r.name = "service-kauto";
+  r.tasks = m->tasks();
+  r.machines = m->machines();
+  r.accelerated_ms = kauto_ms_per_job(m, opts.service_jobs, opts.seed);
+  setenv("PACGA_NAIVE_HEURISTICS", "1", 1);
+  r.reference_ms = kauto_ms_per_job(m, opts.service_jobs, opts.seed);
+  unsetenv("PACGA_NAIVE_HEURISTICS");
+  r.speedup = r.reference_ms / r.accelerated_ms;
+  std::printf("  %-10s %zux%zu  naive %9.1f ms/job  accel %8.1f ms/job  %5.2fx\n",
+              "kauto", r.tasks, r.machines, r.reference_ms, r.accelerated_ms,
+              r.speedup);
+  return r;
+}
+
+// ---- end-to-end: dynamic repair ------------------------------------------
+
+struct RepairResult {
+  std::size_t tasks;
+  std::size_t machines;
+  double full_repair_ms;     ///< session init: every task orphaned
+  double naive_reference_ms; ///< naive Min-min over the same instance
+  double speedup;
+  double machine_down_ms;    ///< one machine-down apply (repair incl.)
+  std::size_t orphans;
+};
+
+RepairResult bench_repair(const Options& opts) {
+  batch::WorkloadSpec spec;
+  spec.tasks = opts.repair_tasks;
+  spec.machines = opts.repair_machines;
+  spec.seed = opts.seed + 13;
+  RepairResult r{};
+  r.tasks = spec.tasks;
+  r.machines = spec.machines;
+  std::unique_ptr<dynamic::RescheduleSession> session;
+  // Session init repairs with the FULL task set orphaned — constructive
+  // Min-min from scratch, through the cached-orphan repairer.
+  r.full_repair_ms = time_ms_once([&] {
+    session = std::make_unique<dynamic::RescheduleSession>(
+        spec, dynamic::RepairPolicy::kMinMin);
+  });
+  r.naive_reference_ms = time_ms_once(
+      [&] { (void)heur::detail::min_min_naive(session->etc()); });
+  r.speedup = r.naive_reference_ms / r.full_repair_ms;
+  // Steady-state event: drop the most loaded machine, repair in place.
+  const std::size_t victim = session->schedule().argmax_machine();
+  r.orphans = session->schedule().tasks_on(
+      static_cast<sched::MachineId>(victim));
+  r.machine_down_ms =
+      time_ms_once([&] { session->apply(dynamic::machine_down(victim)); });
+  std::printf(
+      "  %-10s %zux%zu  naive %9.1f ms  repair-init %7.1f ms  %5.2fx  "
+      "(machine-down: %.3f ms, %zu orphans)\n",
+      "repair", r.tasks, r.machines, r.naive_reference_ms, r.full_repair_ms,
+      r.speedup, r.machine_down_ms, r.orphans);
+  return r;
+}
+
+// ---- JSON ----------------------------------------------------------------
+
+void write_json(const char* path, const Options& opts,
+                const std::vector<KernelPoint>& points,
+                const std::vector<EndToEnd>& e2e, const RepairResult& repair) {
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"dispatch\": \"%s\",\n  \"quick\": %s,\n",
+               kernels::active_dispatch(), opts.quick ? "true" : "false");
+  std::fprintf(out, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"machines\": %zu, "
+                 "\"scalar_ns\": %.1f, \"dispatched_ns\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 p.kernel, p.machines, p.scalar_ns, p.dispatched_ns, p.speedup,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"end_to_end\": [\n");
+  for (std::size_t i = 0; i < e2e.size(); ++i) {
+    const auto& r = e2e[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"tasks\": %zu, \"machines\": %zu, "
+                 "\"reference_ms\": %.2f, \"accelerated_ms\": %.2f, "
+                 "\"speedup\": %.2f, \"identical_schedule\": %s}%s\n",
+                 r.name.c_str(), r.tasks, r.machines, r.reference_ms,
+                 r.accelerated_ms, r.speedup,
+                 !r.identical_checked ? "null" : r.identical ? "true" : "false",
+                 i + 1 < e2e.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"repair\": {\"tasks\": %zu, \"machines\": %zu, "
+               "\"naive_reference_ms\": %.2f, \"full_repair_ms\": %.2f, "
+               "\"speedup\": %.2f, \"machine_down_ms\": %.3f, "
+               "\"orphans\": %zu}\n}\n",
+               repair.tasks, repair.machines, repair.naive_reference_ms,
+               repair.full_repair_ms, repair.speedup, repair.machine_down_ms,
+               repair.orphans);
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The accelerated arms must not be silently rerouted to the references.
+  unsetenv("PACGA_NAIVE_HEURISTICS");
+  Options opts;
+  support::Cli cli(
+      "bench_kernels — SIMD kernel layer, scalar vs dispatched, plus "
+      "end-to-end consumer deltas (writes BENCH_kernels.json)");
+  cli.option("minmin-tasks", &opts.minmin_tasks, "Min-min bench tasks")
+      .option("minmin-machines", &opts.minmin_machines, "Min-min bench machines")
+      .option("h2ll-iterations", &opts.h2ll_iterations, "H2LL bench iterations")
+      .option("seed", &opts.seed, "master seed")
+      .flag("quick", &opts.quick, "CI smoke scale (small instances)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  opts.finalize();
+
+  std::printf("dispatch: %s (avx2 %s)\n", kernels::active_dispatch(),
+              kernels::detail::avx2_supported() ? "available" : "unavailable");
+  std::printf("kernel-level (scalar vs dispatched):\n");
+  const auto points = bench_kernel_level(opts.seed);
+
+  std::printf("end-to-end:\n");
+  std::vector<EndToEnd> e2e;
+  {
+    const auto m =
+        random_matrix(opts.minmin_tasks, opts.minmin_machines, opts.seed + 3);
+    e2e.push_back(bench_heuristic("min-min", m, heur::min_min,
+                                  heur::detail::min_min_naive));
+    e2e.push_back(bench_heuristic("max-min", m, heur::max_min,
+                                  heur::detail::max_min_naive));
+  }
+  {
+    const auto m = random_matrix(opts.sufferage_tasks, opts.sufferage_machines,
+                                 opts.seed + 5);
+    e2e.push_back(bench_heuristic("sufferage", m, heur::sufferage,
+                                  heur::detail::sufferage_naive));
+  }
+  e2e.push_back(bench_h2ll(opts));
+  e2e.push_back(bench_kauto(opts));
+  const RepairResult repair = bench_repair(opts);
+
+  write_json("BENCH_kernels.json", opts, points, e2e, repair);
+  return 0;
+}

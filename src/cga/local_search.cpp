@@ -1,13 +1,18 @@
 #include "cga/local_search.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "cga/mutation.hpp"
+#include "support/kernels.hpp"
 
 namespace pacga::cga {
+
+namespace kernels = support::kernels;
 
 const char* to_string(LocalSearchKind k) noexcept {
   switch (k) {
@@ -38,6 +43,48 @@ void apply_local_search(LocalSearchKind kind, sched::Schedule& s,
   }
 }
 
+namespace {
+
+/// Fills `cand[0..k)` with the k machines of smallest (completion, index),
+/// sorted ascending by machine index. O(machines) selection via
+/// nth_element — this replaced H2LL's former per-iteration full sort of
+/// all machine completions. Ties at the selection boundary break toward
+/// the lower machine index, so the candidate set is a deterministic
+/// function of the completion array (the golden replays depend on that;
+/// std::sort over equal completions was not).
+void least_loaded(const sched::Schedule& s, std::size_t k,
+                  std::vector<std::uint32_t>& cand) {
+  const std::size_t machines = s.machines();
+  cand.resize(machines);
+  std::iota(cand.begin(), cand.end(), std::uint32_t{0});
+  const auto lighter = [&](std::uint32_t a, std::uint32_t b) {
+    const double ca = s.completion(a);
+    const double cb = s.completion(b);
+    return ca < cb || (ca == cb && a < b);
+  };
+  if (k < machines) {
+    std::nth_element(cand.begin(),
+                     cand.begin() + static_cast<std::ptrdiff_t>(k), cand.end(),
+                     lighter);
+  }
+  std::sort(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(k));
+}
+
+/// Index of the most loaded machine other than `skip` (highest completion;
+/// lowest index on ties). Requires at least two machines.
+std::size_t argmax_machine_skip(std::span<const double> ct, std::size_t skip) {
+  std::size_t best = ct.size();  // sentinel: nothing seen yet
+  if (skip > 0) best = kernels::argmax(ct.data(), skip);
+  if (skip + 1 < ct.size()) {
+    const std::size_t hi =
+        skip + 1 + kernels::argmax(ct.data() + skip + 1, ct.size() - skip - 1);
+    if (best == ct.size() || ct[hi] > ct[best]) best = hi;
+  }
+  return best;
+}
+
+}  // namespace
+
 void h2ll(sched::Schedule& s, const H2LLParams& params,
           support::Xoshiro256& rng) {
   const std::size_t machines = s.machines();
@@ -47,27 +94,26 @@ void h2ll(sched::Schedule& s, const H2LLParams& params,
           ? machines / 2
           : std::min(params.candidates, machines - 1);
 
-  // Machine indices sorted ascending by completion time; reused across
-  // iterations (thread-local to stay allocation-free on the hot path).
-  thread_local std::vector<std::size_t> order;
-  order.resize(machines);
+  // Candidate machine indices; reused across iterations (thread-local to
+  // stay allocation-free on the hot path).
+  thread_local std::vector<std::uint32_t> cand;
 
   for (std::size_t it = 0; it < params.iterations; ++it) {
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return s.completion(a) < s.completion(b);
-    });
-    const std::size_t most_loaded = order.back();
+    const std::size_t most_loaded =
+        kernels::argmax(s.completions().data(), machines);
     const std::size_t task = random_task_on_machine(
         s, static_cast<sched::MachineId>(most_loaded), rng);
     if (task == s.tasks()) continue;  // machine holds only ready-time load
 
+    least_loaded(s, n_candidates, cand);
+
     // Paper Alg. 4: best_score starts at the makespan; a candidate is
-    // accepted only if it strictly undercuts it.
+    // accepted only if it strictly undercuts it. Candidates are visited in
+    // ascending machine index, so score ties keep the lowest machine.
     double best_score = s.completion(most_loaded);
     std::size_t best_mac = machines;  // sentinel: no move
     for (std::size_t c = 0; c < n_candidates; ++c) {
-      const std::size_t mac = order[c];
+      const std::size_t mac = cand[c];
       if (mac == most_loaded) continue;
       const double new_score = s.completion(mac) + s.etc()(task, mac);
       if (new_score < best_score) {
@@ -88,21 +134,26 @@ void h2ll_steepest(sched::Schedule& s, const H2LLParams& params) {
       params.candidates == 0 ? machines / 2
                              : std::min(params.candidates, machines - 1);
 
-  thread_local std::vector<std::size_t> order;
-  order.resize(machines);
+  thread_local std::vector<std::uint32_t> cand;
 
   for (std::size_t it = 0; it < params.iterations; ++it) {
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return s.completion(a) < s.completion(b);
-    });
-    const std::size_t most_loaded = order.back();
+    const auto ct = s.completions();
+    const std::size_t most_loaded = kernels::argmax(ct.data(), machines);
     // Highest completion among machines other than the loaded one (and,
     // when the move target IS that machine, the next one down): the part
-    // of the resulting makespan no single move can change.
-    const std::size_t second = order[machines - 2];
-    const double third_ct =
-        machines >= 3 ? s.completion(order[machines - 3]) : 0.0;
+    // of the resulting makespan no single move can change. Top-3 kernel
+    // scans instead of the former full sort.
+    const std::size_t second = argmax_machine_skip(ct, most_loaded);
+    double third_ct = 0.0;
+    if (machines >= 3) {
+      third_ct = -std::numeric_limits<double>::infinity();
+      for (std::size_t m = 0; m < machines; ++m) {
+        if (m == most_loaded || m == second) continue;
+        third_ct = std::max(third_ct, ct[m]);
+      }
+    }
+
+    least_loaded(s, n_candidates, cand);
 
     // True steepest descent on the makespan: evaluate the RESULTING
     // makespan of every (task on loaded machine, candidate) move and take
@@ -117,7 +168,7 @@ void h2ll_steepest(sched::Schedule& s, const H2LLParams& params) {
       if (s.machine_of(t) != most_loaded) continue;
       const double src_after = current_ms - s.etc()(t, most_loaded);
       for (std::size_t c = 0; c < n_candidates; ++c) {
-        const std::size_t mac = order[c];
+        const std::size_t mac = cand[c];
         if (mac == most_loaded) continue;
         const double dst_after = s.completion(mac) + s.etc()(t, mac);
         const double rest = mac == second ? third_ct : s.completion(second);
@@ -148,24 +199,26 @@ void local_tabu_hop(sched::Schedule& s, const TabuHopParams& params,
   double best_makespan = best.makespan();
 
   for (std::size_t it = 1; it <= params.iterations; ++it) {
-    const auto loaded = static_cast<sched::MachineId>(s.argmax_machine());
+    const std::size_t loaded_idx = s.argmax_machine();
+    const auto loaded = static_cast<sched::MachineId>(loaded_idx);
     // Best move of any non-tabu task currently on the makespan machine:
     // minimize the resulting pair (new target completion) — classic
     // steepest-descent step, accepted even if worsening (tabu search).
+    // Per-task inner loop is one fused skip-scan over (completions, ETC
+    // row); the skip-scan's lowest-index tie-break matches the old loop.
     std::size_t move_task_id = tasks;
     std::size_t move_target = machines;
     double move_score = std::numeric_limits<double>::infinity();
     for (std::size_t t = 0; t < tasks; ++t) {
       if (s.machine_of(t) != loaded) continue;
       if (tabu_until[t] > it) continue;
-      for (std::size_t m = 0; m < machines; ++m) {
-        if (m == loaded) continue;
-        const double score = s.completion(m) + s.etc()(t, m);
-        if (score < move_score) {
-          move_score = score;
-          move_task_id = t;
-          move_target = m;
-        }
+      const auto cand = kernels::min_completion_index_skip(
+          s.completions().data(), s.etc().of_task(t).data(), machines,
+          loaded_idx);
+      if (cand.value < move_score) {
+        move_score = cand.value;
+        move_task_id = t;
+        move_target = cand.index;
       }
     }
     if (move_task_id == tasks) {

@@ -15,7 +15,10 @@
 //      machine minimizing its completion time, in Min-min order (cheapest
 //      insertion first) or Sufferage order (most-penalized-if-denied
 //      first) — the same constructive logic that seeds the GA, restricted
-//      to the orphan set: O(|orphans|^2 * machines);
+//      to the orphan set, with the same cached-best-machine + invalidation
+//      rewrite the heuristics run (loads only grow, so a cached best stays
+//      exact until its machine takes load): ~O(|orphans| * machines +
+//      |orphans|^2 + machines * rescans), scans SIMD-dispatched;
 //   4. hand assignment + cache to Schedule::adopt_with_completions (no
 //      recompute; debug builds cross-validate).
 //
@@ -25,6 +28,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dynamic/mutator.hpp"
@@ -73,6 +77,10 @@ class ScheduleRepairer {
   std::vector<sched::MachineId> assignment_;
   std::vector<double> completion_;
   std::vector<std::size_t> orphans_;
+  // Per-orphan cached scan results (parallel to orphans_).
+  std::vector<double> key_;  // best completion (Min-min) / sufferage
+  std::vector<std::uint32_t> best_m_;
+  std::vector<std::uint32_t> second_m_;
 };
 
 }  // namespace pacga::dynamic

@@ -6,11 +6,13 @@
 #include <limits>
 #include <stdexcept>
 
+#include "support/kernels.hpp"
 #include "support/rng.hpp"
 
 namespace pacga::etc {
 
 using support::hash_mix;
+namespace kernels = support::kernels;
 
 EtcMatrix::EtcMatrix(std::size_t tasks, std::size_t machines,
                      std::vector<double> task_major, std::vector<double> ready)
@@ -46,18 +48,35 @@ EtcMatrix::EtcMatrix(std::size_t tasks, std::size_t machines,
   refresh_summary();
 }
 
-void EtcMatrix::refresh_summary() {
+void EtcMatrix::refresh_column(std::size_t m) {
+  const double* column = by_machine_.data() + m * tasks_;
+  // The column hash folds the machine's ready time in with its ETCs, so
+  // the combined fingerprint keeps covering (dims, every entry, every
+  // ready time) exactly as the old whole-matrix chain did.
+  col_hash_[m] = hash_mix(
+      kernels::hash_block(column, tasks_, hash_mix(0x5045c01c01c0ffeeULL, m)),
+      std::bit_cast<std::uint64_t>(ready_[m]));
+  col_min_[m] = kernels::min_value(column, tasks_);
+  col_max_[m] = kernels::max_value(column, tasks_);
+}
+
+void EtcMatrix::combine_summary() {
   min_etc_ = std::numeric_limits<double>::infinity();
   max_etc_ = -std::numeric_limits<double>::infinity();
-  for (double v : by_task_) {
-    min_etc_ = std::min(min_etc_, v);
-    max_etc_ = std::max(max_etc_, v);
+  fingerprint_ = hash_mix(hash_mix(0x5045c6a7a1ce0002ULL, tasks_), machines_);
+  for (std::size_t m = 0; m < machines_; ++m) {
+    min_etc_ = std::min(min_etc_, col_min_[m]);
+    max_etc_ = std::max(max_etc_, col_max_[m]);
+    fingerprint_ = hash_mix(fingerprint_, col_hash_[m]);
   }
-  fingerprint_ = hash_mix(hash_mix(0x5045c6a7a1ce0001ULL, tasks_), machines_);
-  for (double v : by_task_)
-    fingerprint_ = hash_mix(fingerprint_, std::bit_cast<std::uint64_t>(v));
-  for (double r : ready_)
-    fingerprint_ = hash_mix(fingerprint_, std::bit_cast<std::uint64_t>(r));
+}
+
+void EtcMatrix::refresh_summary() {
+  col_hash_.resize(machines_);
+  col_min_.resize(machines_);
+  col_max_.resize(machines_);
+  for (std::size_t m = 0; m < machines_; ++m) refresh_column(m);
+  combine_summary();
 }
 
 void EtcMatrix::scale_machine(std::size_t m, double factor) {
@@ -75,12 +94,14 @@ void EtcMatrix::scale_machine(std::size_t m, double factor) {
           "EtcMatrix::scale_machine: scaled entry not positive finite");
   }
   double* column = by_machine_.data() + m * tasks_;
+  kernels::scale_inplace(column, tasks_, factor);
   for (std::size_t t = 0; t < tasks_; ++t) {
-    // Same multiplication in both layouts keeps them bitwise identical.
-    column[t] *= factor;
+    // Copying the scaled column keeps both layouts bitwise identical.
     by_task_[t * machines_ + m] = column[t];
   }
-  refresh_summary();
+  // Incremental refingerprint: only the touched column is rehashed.
+  refresh_column(m);
+  combine_summary();
 }
 
 bool EtcMatrix::machine_dominates(std::size_t a, std::size_t b) const noexcept {

@@ -91,21 +91,35 @@ class EtcMatrix {
 
   /// Multiplies every ETC of machine `m` by `factor` IN PLACE (both
   /// layouts; no reallocation) and refreshes min/max and the fingerprint —
-  /// the dynamic subsystem's MachineSlowdown event. The resulting entries
-  /// must stay positive finite or std::invalid_argument is thrown before
-  /// anything is modified. NOT thread-safe against concurrent readers.
+  /// the dynamic subsystem's MachineSlowdown event. The refresh is
+  /// INCREMENTAL: summaries are kept per machine column, so only the scaled
+  /// column is rehashed and rescanned — O(tasks + machines), not
+  /// O(tasks * machines). The resulting entries must stay positive finite
+  /// or std::invalid_argument is thrown before anything is modified. NOT
+  /// thread-safe against concurrent readers.
   void scale_machine(std::size_t m, double factor);
 
  private:
-  /// Recomputes min/max and the content fingerprint after construction or
-  /// an in-place mutation.
+  /// Recomputes every per-column summary and the combined fingerprint /
+  /// min / max from scratch (construction only; mutations go through the
+  /// incremental per-column path).
   void refresh_summary();
+
+  /// Rehashes and rescans column m only (O(tasks)).
+  void refresh_column(std::size_t m);
+
+  /// Folds the per-column summaries into fingerprint_ / min_etc_ /
+  /// max_etc_ (O(machines)).
+  void combine_summary();
 
   std::size_t tasks_;
   std::size_t machines_;
   std::vector<double> by_task_;     // t * machines_ + m
   std::vector<double> by_machine_;  // m * tasks_ + t
   std::vector<double> ready_;
+  std::vector<std::uint64_t> col_hash_;  // per-machine column content hash
+  std::vector<double> col_min_;
+  std::vector<double> col_max_;
   double min_etc_;
   double max_etc_;
   std::uint64_t fingerprint_;

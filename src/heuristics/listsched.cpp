@@ -1,9 +1,12 @@
 #include "heuristics/listsched.hpp"
 
-#include <limits>
 #include <vector>
 
+#include "support/kernels.hpp"
+
 namespace pacga::heur {
+
+namespace kernels = support::kernels;
 
 sched::Schedule mct(const etc::EtcMatrix& etc) {
   const std::size_t machines = etc.machines();
@@ -11,18 +14,12 @@ sched::Schedule mct(const etc::EtcMatrix& etc) {
   for (std::size_t m = 0; m < machines; ++m) ct[m] = etc.ready(m);
   std::vector<sched::MachineId> assignment(etc.tasks(), 0);
   for (std::size_t t = 0; t < etc.tasks(); ++t) {
-    const auto row = etc.of_task(t);
-    std::size_t best_m = 0;
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t m = 0; m < machines; ++m) {
-      const double c = ct[m] + row[m];
-      if (c < best) {
-        best = c;
-        best_m = m;
-      }
-    }
-    assignment[t] = static_cast<sched::MachineId>(best_m);
-    ct[best_m] = best;
+    // Fused completion scan: min over machines of ct[m] + etc(t, m),
+    // lowest index on ties — the same answer the scalar loop produced.
+    const auto best = kernels::min_completion_index(
+        ct.data(), etc.of_task(t).data(), machines);
+    assignment[t] = static_cast<sched::MachineId>(best.index);
+    ct[best.index] = best.value;
   }
   return sched::Schedule(etc, std::move(assignment));
 }
@@ -31,11 +28,8 @@ sched::Schedule met(const etc::EtcMatrix& etc) {
   std::vector<sched::MachineId> assignment(etc.tasks(), 0);
   for (std::size_t t = 0; t < etc.tasks(); ++t) {
     const auto row = etc.of_task(t);
-    std::size_t best_m = 0;
-    for (std::size_t m = 1; m < etc.machines(); ++m) {
-      if (row[m] < row[best_m]) best_m = m;
-    }
-    assignment[t] = static_cast<sched::MachineId>(best_m);
+    assignment[t] = static_cast<sched::MachineId>(
+        kernels::argmin(row.data(), row.size()));
   }
   return sched::Schedule(etc, std::move(assignment));
 }
@@ -46,10 +40,7 @@ sched::Schedule olb(const etc::EtcMatrix& etc) {
   for (std::size_t m = 0; m < machines; ++m) ct[m] = etc.ready(m);
   std::vector<sched::MachineId> assignment(etc.tasks(), 0);
   for (std::size_t t = 0; t < etc.tasks(); ++t) {
-    std::size_t best_m = 0;
-    for (std::size_t m = 1; m < machines; ++m) {
-      if (ct[m] < ct[best_m]) best_m = m;
-    }
+    const std::size_t best_m = kernels::argmin(ct.data(), machines);
     assignment[t] = static_cast<sched::MachineId>(best_m);
     ct[best_m] += etc(t, best_m);
   }

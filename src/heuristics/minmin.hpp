@@ -3,6 +3,17 @@
 // Min-min seeds one individual of the PA-CGA population (paper Table 1) and
 // is the strongest of the simple constructive heuristics on consistent
 // instances; Max-min is its pessimistic dual.
+//
+// Both run the cached-best-machine rewrite: each unassigned task caches its
+// (best machine, best completion) pair, and a round only rescans tasks whose
+// cached best machine just changed load — machine loads are monotone
+// increasing, so every other cache entry is provably still exact. Typical
+// cost drops from O(tasks^2 * machines) to ~O(tasks * machines + tasks^2 +
+// machines * rescans), with rescans and the per-round argmin/argmax going
+// through the SIMD kernel layer. The schedules are IDENTICAL to the naive
+// textbook loops, tie-break for tie-break (test_heuristics proves it);
+// setting PACGA_NAIVE_HEURISTICS=1 in the environment routes the public
+// entry points to the naive references (checked per call).
 #pragma once
 
 #include "sched/schedule.hpp"
@@ -11,7 +22,6 @@ namespace pacga::heur {
 
 /// Min-min: repeatedly pick the (task, machine) pair whose completion time
 /// is globally minimal among unassigned tasks and assign it.
-/// O(tasks^2 * machines).
 sched::Schedule min_min(const etc::EtcMatrix& etc);
 
 /// Max-min: pick the task whose best completion time is LARGEST, assign it
@@ -22,5 +32,18 @@ sched::Schedule max_min(const etc::EtcMatrix& etc);
 /// schedule with the lower makespan — cheap insurance against the classes
 /// where one of the duals degenerates.
 sched::Schedule duplex(const etc::EtcMatrix& etc);
+
+namespace detail {
+
+/// True when PACGA_NAIVE_HEURISTICS selects the reference implementations
+/// (re-read from the environment on every call, so benches can flip it).
+bool naive_requested() noexcept;
+
+/// The textbook O(tasks^2 * machines) loops — the semantic reference the
+/// accelerated paths must match schedule-for-schedule.
+sched::Schedule min_min_naive(const etc::EtcMatrix& etc);
+sched::Schedule max_min_naive(const etc::EtcMatrix& etc);
+
+}  // namespace detail
 
 }  // namespace pacga::heur

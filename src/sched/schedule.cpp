@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
+#include "support/kernels.hpp"
+
 namespace pacga::sched {
+
+namespace kernels = support::kernels;
 
 Schedule::Schedule(const etc::EtcMatrix& etc, std::vector<MachineId> assignment)
     : etc_(&etc),
@@ -115,43 +120,47 @@ void Schedule::copy_segment(const Schedule& source, std::size_t begin,
 }
 
 double Schedule::makespan() const noexcept {
-  double best = 0.0;
-  for (double c : completion_) best = std::max(best, c);
-  return best;
+  // The paper's evaluate(): one max-scan over the CT cache, now through the
+  // dispatched kernel layer. Clamped at 0.0 like the original accumulator.
+  return std::max(0.0,
+                  kernels::max_value(completion_.data(), completion_.size()));
 }
 
 std::size_t Schedule::argmax_machine() const noexcept {
-  std::size_t arg = 0;
-  for (std::size_t m = 1; m < completion_.size(); ++m) {
-    if (completion_[m] > completion_[arg]) arg = m;
-  }
-  return arg;
+  return kernels::argmax(completion_.data(), completion_.size());
 }
 
 std::size_t Schedule::argmin_machine() const noexcept {
-  std::size_t arg = 0;
-  for (std::size_t m = 1; m < completion_.size(); ++m) {
-    if (completion_[m] < completion_[arg]) arg = m;
-  }
-  return arg;
+  return kernels::argmin(completion_.data(), completion_.size());
 }
 
 double Schedule::flowtime() const {
   // Per machine: sort assigned ETCs ascending; finishing times are the
-  // prefix sums starting at the machine's ready time.
-  std::vector<std::vector<double>> per_machine(machines());
+  // prefix sums starting at the machine's ready time. Grouping is a
+  // counting sort into thread-local scratch, so steady-state calls (any
+  // shape already seen by this thread) perform zero heap allocations —
+  // flowtime sits on the multi-objective evaluation path.
+  thread_local std::vector<double> grouped;
+  thread_local std::vector<std::uint32_t> offset;
+  grouped.resize(tasks());
+  offset.assign(machines() + 1, 0);
+  for (MachineId a : assignment_) ++offset[a + 1];
+  for (std::size_t m = 1; m <= machines(); ++m) offset[m] += offset[m - 1];
+  // offset[m] now points at machine m's bucket start; restore after scatter.
   for (std::size_t t = 0; t < tasks(); ++t) {
-    per_machine[assignment_[t]].push_back((*etc_)(t, assignment_[t]));
+    grouped[offset[assignment_[t]]++] = (*etc_)(t, assignment_[t]);
   }
   double flow = 0.0;
+  std::uint32_t begin = 0;
   for (std::size_t m = 0; m < machines(); ++m) {
-    auto& ts = per_machine[m];
-    std::sort(ts.begin(), ts.end());
+    const std::uint32_t end = offset[m];
+    std::sort(grouped.begin() + begin, grouped.begin() + end);
     double finish = etc_->ready(m);
-    for (double e : ts) {
-      finish += e;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      finish += grouped[i];
       flow += finish;
     }
+    begin = end;
   }
   return flow;
 }

@@ -92,19 +92,22 @@ class Schedule {
   /// — the incremental form of crossover segment copy. O(end - begin).
   void copy_segment(const Schedule& source, std::size_t begin, std::size_t end) noexcept;
 
-  /// Makespan: max completion time (paper eq. (3)). O(machines) scan of the
-  /// cache — this IS the paper's evaluate().
+  /// Makespan: max completion time (paper eq. (3)). One SIMD-dispatched
+  /// max-scan of the cache (support::kernels) — this IS the paper's
+  /// evaluate().
   double makespan() const noexcept;
 
-  /// Index of (one of) the most loaded machine(s).
+  /// Index of the most loaded machine (lowest index on ties — pinned,
+  /// dispatch-independent).
   std::size_t argmax_machine() const noexcept;
 
-  /// Index of (one of) the least loaded machine(s).
+  /// Index of the least loaded machine (lowest index on ties).
   std::size_t argmin_machine() const noexcept;
 
   /// Flowtime: sum of task finishing times assuming each machine runs its
   /// tasks shortest-first (the order minimizing flowtime; the convention of
-  /// Xhafa et al.). O(tasks log tasks); not used on the GA hot path.
+  /// Xhafa et al.). O(tasks log tasks); allocation-free in the steady
+  /// state (thread-local counting-sort scratch).
   double flowtime() const;
 
   /// Number of tasks currently assigned to machine m. O(tasks).

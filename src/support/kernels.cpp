@@ -1,0 +1,431 @@
+#include "support/kernels.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "support/rng.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PACGA_KERNELS_X86_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace pacga::support::kernels {
+
+namespace {
+
+// ---- portable scalar path ------------------------------------------------
+//
+// These loops ARE the semantic definition: in-order scans with strict
+// comparisons (lowest index wins ties). The AVX2 path reproduces them
+// bit-for-bit; test_kernels holds both to that contract.
+
+// max_value/min_value return the extreme VALUE canonicalized by `+ 0.0`:
+// the only doubles that compare equal with different bit patterns are
+// signed zeros (NaN is excluded by contract), and -0.0 + 0.0 == +0.0, so
+// the result is bit-identical across paths no matter WHICH of several
+// compare-equal extremes a reduction happens to select. That freedom is
+// what lets the AVX2 path use raw max_pd/min_pd reductions — the fastest
+// shape — instead of index-tracked blends.
+
+double scalar_max_value(const double* d, std::size_t n) {
+  assert(n > 0);
+  double best = d[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (d[i] > best) best = d[i];
+  }
+  return best + 0.0;
+}
+
+double scalar_min_value(const double* d, std::size_t n) {
+  assert(n > 0);
+  double best = d[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (d[i] < best) best = d[i];
+  }
+  return best + 0.0;
+}
+
+std::size_t scalar_argmax(const double* d, std::size_t n) {
+  assert(n > 0);
+  std::size_t arg = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (d[i] > d[arg]) arg = i;
+  }
+  return arg;
+}
+
+std::size_t scalar_argmin(const double* d, std::size_t n) {
+  assert(n > 0);
+  std::size_t arg = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (d[i] < d[arg]) arg = i;
+  }
+  return arg;
+}
+
+MinScan scalar_min_plus(const double* a, const double* b, std::size_t n) {
+  assert(n > 0);
+  MinScan r{a[0] + b[0], 0};
+  for (std::size_t i = 1; i < n; ++i) {
+    const double c = a[i] + b[i];
+    if (c < r.value) {
+      r.value = c;
+      r.index = i;
+    }
+  }
+  return r;
+}
+
+void scalar_scale_inplace(double* d, std::size_t n, double factor) {
+  for (std::size_t i = 0; i < n; ++i) d[i] *= factor;
+}
+
+// hash_block is DEFINED as a 4-lane interleaved xorshift mix: lane l folds
+// elements l, l+4, l+8, ... so a 4-wide vector path computes the exact same
+// lane states. Quality is adequate for content fingerprints (every lane
+// word passes through hash_mix avalanches in the combine); stability across
+// platforms and dispatch paths is the hard requirement.
+inline std::uint64_t hash_lane_step(std::uint64_t h, std::uint64_t bits) {
+  h ^= bits;
+  h ^= h << 13;
+  h ^= h >> 7;
+  h ^= h << 17;
+  return h;
+}
+
+std::uint64_t scalar_hash_block(const double* d, std::size_t n,
+                                std::uint64_t seed) {
+  std::uint64_t lane[4];
+  for (std::size_t l = 0; l < 4; ++l) {
+    lane[l] = seed + (l + 1) * 0x9e3779b97f4a7c15ULL;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &d[i], sizeof bits);
+    lane[i & 3] = hash_lane_step(lane[i & 3], bits);
+  }
+  std::uint64_t acc = hash_mix(seed, n);
+  for (std::size_t l = 0; l < 4; ++l) acc = hash_mix(acc, lane[l]);
+  return acc;
+}
+
+constexpr Dispatch kScalar{
+    scalar_max_value, scalar_min_value,    scalar_argmax,     scalar_argmin,
+    scalar_min_plus,  scalar_scale_inplace, scalar_hash_block, "scalar"};
+
+// ---- AVX2 path -----------------------------------------------------------
+
+#if PACGA_KERNELS_X86_AVX2
+
+// Folds a 4-lane (value, index) state down to the scalar-scan answer:
+// smallest index among the lanes holding the extreme value. Lane l of a
+// block starting at element i holds element i + l, so comparing the stored
+// indices directly reproduces the in-order scan's lowest-index tie-break.
+template <bool kMax>
+std::size_t fold_lanes(const double (&v)[4], const std::uint64_t (&idx)[4]) {
+  std::size_t best = 0;
+  for (std::size_t l = 1; l < 4; ++l) {
+    const bool better = kMax ? v[l] > v[best] : v[l] < v[best];
+    if (better || (v[l] == v[best] && idx[l] < idx[best])) best = l;
+  }
+  return best;
+}
+
+// Raw max_pd/min_pd reductions: which of several compare-equal extremes
+// wins differs from the scalar scan's first-occurrence pick, but the
+// `+ 0.0` canonicalization (see the scalar definitions) erases the only
+// representable difference (signed zeros), so bit-identity holds.
+
+__attribute__((target("avx2"))) double avx2_max_value(const double* d,
+                                                      std::size_t n) {
+  assert(n > 0);
+  std::size_t i = 0;
+  double best = d[0];
+  if (n >= 8) {
+    __m256d acc = _mm256_loadu_pd(d);
+    for (i = 4; i + 4 <= n; i += 4) {
+      acc = _mm256_max_pd(acc, _mm256_loadu_pd(d + i));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    best = lanes[0];
+    for (std::size_t l = 1; l < 4; ++l) {
+      if (lanes[l] > best) best = lanes[l];
+    }
+  }
+  for (; i < n; ++i) {
+    if (d[i] > best) best = d[i];
+  }
+  return best + 0.0;
+}
+
+__attribute__((target("avx2"))) double avx2_min_value(const double* d,
+                                                      std::size_t n) {
+  assert(n > 0);
+  std::size_t i = 0;
+  double best = d[0];
+  if (n >= 8) {
+    __m256d acc = _mm256_loadu_pd(d);
+    for (i = 4; i + 4 <= n; i += 4) {
+      acc = _mm256_min_pd(acc, _mm256_loadu_pd(d + i));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    best = lanes[0];
+    for (std::size_t l = 1; l < 4; ++l) {
+      if (lanes[l] < best) best = lanes[l];
+    }
+  }
+  for (; i < n; ++i) {
+    if (d[i] < best) best = d[i];
+  }
+  return best + 0.0;
+}
+
+// Shared shape of the indexed reductions: per 4-wide block, a strict
+// compare against the running per-lane best blends in the new values and
+// their indices; within a lane the strict compare keeps the EARLIEST
+// occurrence, and the cross-lane fold plus the scalar tail restore the
+// global lowest-index tie-break. Four independent accumulator streams
+// (16 elements per round) break the cmp->blend latency chain that would
+// otherwise bound throughput; each lane of each stream still keeps the
+// earliest index of ITS subsequence, so the 16-way fold remains exact.
+template <bool kMax>
+__attribute__((target("avx2"))) std::size_t avx2_argextreme(const double* d,
+                                                            std::size_t n) {
+  assert(n > 0);
+  std::size_t i = 0;
+  std::size_t arg = 0;
+  if (n >= 32) {
+    __m256d best[4];
+    __m256i best_idx[4];
+    __m256i idx[4];
+    const __m256i step = _mm256_set1_epi64x(16);
+    for (int s = 0; s < 4; ++s) {
+      best[s] = _mm256_loadu_pd(d + 4 * s);
+      best_idx[s] = _mm256_setr_epi64x(4 * s, 4 * s + 1, 4 * s + 2, 4 * s + 3);
+      idx[s] = _mm256_add_epi64(best_idx[s], step);
+    }
+    for (i = 16; i + 16 <= n; i += 16) {
+      for (int s = 0; s < 4; ++s) {
+        const __m256d v = _mm256_loadu_pd(d + i + 4 * s);
+        const __m256d better = kMax ? _mm256_cmp_pd(v, best[s], _CMP_GT_OQ)
+                                    : _mm256_cmp_pd(v, best[s], _CMP_LT_OQ);
+        best[s] = _mm256_blendv_pd(best[s], v, better);
+        best_idx[s] = _mm256_blendv_epi8(best_idx[s], idx[s],
+                                         _mm256_castpd_si256(better));
+        idx[s] = _mm256_add_epi64(idx[s], step);
+      }
+    }
+    alignas(32) double v[16];
+    alignas(32) std::uint64_t vi[16];
+    for (int s = 0; s < 4; ++s) {
+      _mm256_store_pd(v + 4 * s, best[s]);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(vi + 4 * s), best_idx[s]);
+    }
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < 16; ++l) {
+      const bool better = kMax ? v[l] > v[lane] : v[l] < v[lane];
+      if (better || (v[l] == v[lane] && vi[l] < vi[lane])) lane = l;
+    }
+    arg = static_cast<std::size_t>(vi[lane]);
+  } else if (n >= 8) {
+    __m256d best = _mm256_loadu_pd(d);
+    __m256i best_idx = _mm256_setr_epi64x(0, 1, 2, 3);
+    __m256i idx = _mm256_setr_epi64x(4, 5, 6, 7);
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (i = 4; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(d + i);
+      const __m256d better = kMax ? _mm256_cmp_pd(v, best, _CMP_GT_OQ)
+                                  : _mm256_cmp_pd(v, best, _CMP_LT_OQ);
+      best = _mm256_blendv_pd(best, v, better);
+      best_idx = _mm256_blendv_epi8(best_idx, idx,
+                                    _mm256_castpd_si256(better));
+      idx = _mm256_add_epi64(idx, step);
+    }
+    alignas(32) double v[4];
+    alignas(32) std::uint64_t vi[4];
+    _mm256_store_pd(v, best);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(vi), best_idx);
+    const std::size_t lane = fold_lanes<kMax>(v, vi);
+    arg = static_cast<std::size_t>(vi[lane]);
+  }
+  // Tail indices are all larger than any vector-phase index, so the strict
+  // compare alone preserves the tie-break.
+  for (; i < n; ++i) {
+    const bool better = kMax ? d[i] > d[arg] : d[i] < d[arg];
+    if (better) arg = i;
+  }
+  return arg;
+}
+
+__attribute__((target("avx2"))) std::size_t avx2_argmax(const double* d,
+                                                        std::size_t n) {
+  return avx2_argextreme<true>(d, n);
+}
+
+__attribute__((target("avx2"))) std::size_t avx2_argmin(const double* d,
+                                                        std::size_t n) {
+  return avx2_argextreme<false>(d, n);
+}
+
+__attribute__((target("avx2"))) MinScan avx2_min_plus(const double* a,
+                                                      const double* b,
+                                                      std::size_t n) {
+  assert(n > 0);
+  std::size_t i = 0;
+  MinScan r{a[0] + b[0], 0};
+  if (n >= 32) {
+    // Same 4-stream unroll as the indexed reductions (see avx2_argextreme).
+    __m256d best[4];
+    __m256i best_idx[4];
+    __m256i idx[4];
+    const __m256i step = _mm256_set1_epi64x(16);
+    for (int s = 0; s < 4; ++s) {
+      best[s] = _mm256_add_pd(_mm256_loadu_pd(a + 4 * s),
+                              _mm256_loadu_pd(b + 4 * s));
+      best_idx[s] = _mm256_setr_epi64x(4 * s, 4 * s + 1, 4 * s + 2, 4 * s + 3);
+      idx[s] = _mm256_add_epi64(best_idx[s], step);
+    }
+    for (i = 16; i + 16 <= n; i += 16) {
+      for (int s = 0; s < 4; ++s) {
+        const __m256d c = _mm256_add_pd(_mm256_loadu_pd(a + i + 4 * s),
+                                        _mm256_loadu_pd(b + i + 4 * s));
+        const __m256d lt = _mm256_cmp_pd(c, best[s], _CMP_LT_OQ);
+        best[s] = _mm256_blendv_pd(best[s], c, lt);
+        best_idx[s] =
+            _mm256_blendv_epi8(best_idx[s], idx[s], _mm256_castpd_si256(lt));
+        idx[s] = _mm256_add_epi64(idx[s], step);
+      }
+    }
+    alignas(32) double v[16];
+    alignas(32) std::uint64_t vi[16];
+    for (int s = 0; s < 4; ++s) {
+      _mm256_store_pd(v + 4 * s, best[s]);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(vi + 4 * s), best_idx[s]);
+    }
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < 16; ++l) {
+      if (v[l] < v[lane] || (v[l] == v[lane] && vi[l] < vi[lane])) lane = l;
+    }
+    r = {v[lane], static_cast<std::size_t>(vi[lane])};
+  } else if (n >= 8) {
+    __m256d best = _mm256_add_pd(_mm256_loadu_pd(a), _mm256_loadu_pd(b));
+    __m256i best_idx = _mm256_setr_epi64x(0, 1, 2, 3);
+    __m256i idx = _mm256_setr_epi64x(4, 5, 6, 7);
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (i = 4; i + 4 <= n; i += 4) {
+      const __m256d c =
+          _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+      const __m256d lt = _mm256_cmp_pd(c, best, _CMP_LT_OQ);
+      best = _mm256_blendv_pd(best, c, lt);
+      best_idx =
+          _mm256_blendv_epi8(best_idx, idx, _mm256_castpd_si256(lt));
+      idx = _mm256_add_epi64(idx, step);
+    }
+    alignas(32) double v[4];
+    alignas(32) std::uint64_t vi[4];
+    _mm256_store_pd(v, best);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(vi), best_idx);
+    const std::size_t lane = fold_lanes<false>(v, vi);
+    r = {v[lane], static_cast<std::size_t>(vi[lane])};
+  }
+  for (; i < n; ++i) {
+    const double c = a[i] + b[i];
+    if (c < r.value) r = {c, i};
+  }
+  return r;
+}
+
+__attribute__((target("avx2"))) void avx2_scale_inplace(double* d,
+                                                        std::size_t n,
+                                                        double factor) {
+  const __m256d f = _mm256_set1_pd(factor);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(d + i, _mm256_mul_pd(_mm256_loadu_pd(d + i), f));
+  }
+  for (; i < n; ++i) d[i] *= factor;
+}
+
+__attribute__((target("avx2"))) std::uint64_t avx2_hash_block(
+    const double* d, std::size_t n, std::uint64_t seed) {
+  alignas(32) std::uint64_t lane[4];
+  for (std::size_t l = 0; l < 4; ++l) {
+    lane[l] = seed + (l + 1) * 0x9e3779b97f4a7c15ULL;
+  }
+  std::size_t i = 0;
+  if (n >= 4) {
+    __m256i h = _mm256_load_si256(reinterpret_cast<const __m256i*>(lane));
+    for (; i + 4 <= n; i += 4) {
+      const __m256i bits =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+      h = _mm256_xor_si256(h, bits);
+      h = _mm256_xor_si256(h, _mm256_slli_epi64(h, 13));
+      h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 7));
+      h = _mm256_xor_si256(h, _mm256_slli_epi64(h, 17));
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), h);
+  }
+  for (; i < n; ++i) {
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &d[i], sizeof bits);
+    lane[i & 3] = hash_lane_step(lane[i & 3], bits);
+  }
+  std::uint64_t acc = hash_mix(seed, n);
+  for (std::size_t l = 0; l < 4; ++l) acc = hash_mix(acc, lane[l]);
+  return acc;
+}
+
+constexpr Dispatch kAvx2{avx2_max_value, avx2_min_value,     avx2_argmax,
+                         avx2_argmin,    avx2_min_plus,      avx2_scale_inplace,
+                         avx2_hash_block, "avx2"};
+
+#endif  // PACGA_KERNELS_X86_AVX2
+
+bool force_scalar_env() {
+  const char* v = std::getenv("PACGA_FORCE_SCALAR");
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+const Dispatch* resolve() {
+#if PACGA_KERNELS_X86_AVX2
+  if (!force_scalar_env() && detail::avx2_supported()) return &kAvx2;
+#endif
+  return &kScalar;
+}
+
+}  // namespace
+
+const Dispatch& active() noexcept {
+  // Resolved once, on first use; thread-safe by the magic-static rule.
+  static const Dispatch* const d = resolve();
+  return *d;
+}
+
+const char* active_dispatch() noexcept { return active().name; }
+
+namespace detail {
+
+bool avx2_supported() noexcept {
+#if PACGA_KERNELS_X86_AVX2
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const Dispatch& scalar_table() noexcept { return kScalar; }
+
+const Dispatch& avx2_table() noexcept {
+#if PACGA_KERNELS_X86_AVX2
+  return kAvx2;
+#else
+  return kScalar;
+#endif
+}
+
+}  // namespace detail
+
+}  // namespace pacga::support::kernels

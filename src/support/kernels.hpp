@@ -1,0 +1,135 @@
+// Runtime-dispatched SIMD kernels — the vector layer under the whole solver
+// stack.
+//
+// Every hot reduction in the repo (makespan max-scans, argmax/argmin over
+// machine completions, the fused `ct[m] + etc_row[m]` min-scan at the heart
+// of Min-min / Sufferage / H2LL candidate selection, machine-column scaling,
+// content fingerprinting) funnels through this header. An AVX2 path and a
+// portable scalar path are selected ONCE at startup; `PACGA_FORCE_SCALAR=1`
+// pins the scalar path for testing.
+//
+// Semantics are PINNED and dispatch-independent:
+//   * argmax/argmin and the fused min scans break ties toward the LOWEST
+//     index (the strict-comparison in-order-scan convention every caller's
+//     golden determinism already depends on);
+//   * all floating-point results are BIT-IDENTICAL across paths: the kernels
+//     only select, compare, add element-wise, and multiply element-wise —
+//     no reassociated sums, no FMA contraction — so a schedule computed
+//     under AVX2 is byte-for-byte the schedule computed under the scalar
+//     path (test_kernels proves this over adversarial inputs); max_value /
+//     min_value canonicalize -0.0 to +0.0 on return, closing the one
+//     representable gap (signed-zero ties) between reduction orders;
+//   * hash_block is defined as a fixed 4-lane interleaved mix, so the
+//     scalar path reproduces the vector path's value exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace pacga::support::kernels {
+
+/// Result of a fused scan: the winning value and its (lowest, on ties)
+/// index.
+struct MinScan {
+  double value;
+  std::size_t index;
+};
+
+/// The resolved kernel table. All function pointers are non-null; `name` is
+/// "avx2" or "scalar". Scans require n >= 1 unless noted.
+struct Dispatch {
+  double (*max_value)(const double* data, std::size_t n);
+  double (*min_value)(const double* data, std::size_t n);
+  std::size_t (*argmax)(const double* data, std::size_t n);
+  std::size_t (*argmin)(const double* data, std::size_t n);
+  /// min over i of a[i] + b[i], lowest index on ties. The element-wise sum
+  /// is computed exactly as the scalar loop computes it, so the winning
+  /// value is bit-identical across paths.
+  MinScan (*min_plus)(const double* a, const double* b, std::size_t n);
+  void (*scale_inplace)(double* data, std::size_t n, double factor);
+  /// 4-lane interleaved content hash (lane l mixes elements l, l+4, ...).
+  /// Stable across platforms, standard libraries, and dispatch paths.
+  std::uint64_t (*hash_block)(const double* data, std::size_t n,
+                              std::uint64_t seed);
+  const char* name;
+};
+
+/// The active table: resolved once (first use) from CPU features and the
+/// PACGA_FORCE_SCALAR environment variable.
+const Dispatch& active() noexcept;
+
+/// "avx2" or "scalar" — what active() resolved to.
+const char* active_dispatch() noexcept;
+
+// ---- convenience wrappers over the active table --------------------------
+
+inline double max_value(const double* data, std::size_t n) noexcept {
+  return active().max_value(data, n);
+}
+
+inline double min_value(const double* data, std::size_t n) noexcept {
+  return active().min_value(data, n);
+}
+
+inline std::size_t argmax(const double* data, std::size_t n) noexcept {
+  return active().argmax(data, n);
+}
+
+inline std::size_t argmin(const double* data, std::size_t n) noexcept {
+  return active().argmin(data, n);
+}
+
+/// Fused completion scan: min over machines of ct[m] + etc_row[m] — the
+/// inner loop of MCT, Min-min, Sufferage, tabu-hop and H2LL candidate
+/// evaluation.
+inline MinScan min_completion_index(const double* ct, const double* etc_row,
+                                    std::size_t n) noexcept {
+  return active().min_plus(ct, etc_row, n);
+}
+
+/// Same scan with one index excluded (Sufferage's second-best machine,
+/// tabu-hop's "any machine but the loaded one"). Requires n >= 2 and
+/// skip < n; ties still break toward the lowest surviving index.
+inline MinScan min_completion_index_skip(const double* ct,
+                                         const double* etc_row, std::size_t n,
+                                         std::size_t skip) noexcept {
+  const auto& d = active();
+  MinScan lo{std::numeric_limits<double>::infinity(), 0};
+  if (skip > 0) lo = d.min_plus(ct, etc_row, skip);
+  if (skip + 1 < n) {
+    MinScan hi = d.min_plus(ct + skip + 1, etc_row + skip + 1, n - skip - 1);
+    hi.index += skip + 1;
+    // Strict <: on ties the low range (lower indices) wins.
+    if (hi.value < lo.value) return hi;
+  }
+  return lo;
+}
+
+inline void scale_inplace(double* data, std::size_t n,
+                          double factor) noexcept {
+  active().scale_inplace(data, n, factor);
+}
+
+inline std::uint64_t hash_block(const double* data, std::size_t n,
+                                std::uint64_t seed) noexcept {
+  return active().hash_block(data, n, seed);
+}
+
+// ---- direct access to both paths (equivalence tests, benchmarks) ---------
+
+namespace detail {
+
+/// True when this CPU can run the AVX2 table.
+bool avx2_supported() noexcept;
+
+/// The portable reference path — always valid.
+const Dispatch& scalar_table() noexcept;
+
+/// The AVX2 path; only callable when avx2_supported(). On non-x86 builds
+/// this aliases the scalar table.
+const Dispatch& avx2_table() noexcept;
+
+}  // namespace detail
+
+}  // namespace pacga::support::kernels

@@ -184,6 +184,23 @@ TEST(Breeder, SteadyStateBreedingStepAllocatesNothing) {
       << "steady-state breeding steps must not touch the heap";
 }
 
+TEST(Flowtime, AllocationFreeAfterWarmup) {
+  // flowtime() groups per-machine ETCs with a counting sort into
+  // thread-local scratch; once the scratch has seen the shape, repeated
+  // evaluations must not touch the heap (it sits on the multi-objective
+  // evaluation path).
+  const auto m = instance();
+  support::Xoshiro256 rng(13);
+  const auto s = sched::Schedule::random(m, rng);
+  const double first = s.flowtime();  // warm-up: sizes the scratch
+  const std::uint64_t before = g_allocations.load();
+  bool stable = true;
+  for (int i = 0; i < 50; ++i) stable = stable && (s.flowtime() == first);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "steady-state flowtime must not touch the heap";
+  EXPECT_TRUE(stable) << "flowtime must be deterministic";
+}
+
 TEST(BestTracker, ObserveDoesNotAllocateAfterConstruction) {
   const auto m = instance();
   support::Xoshiro256 rng(11);

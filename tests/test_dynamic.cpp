@@ -18,6 +18,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "batch/event_stream.hpp"
 #include "cga/population.hpp"
@@ -264,6 +266,115 @@ TEST(ScheduleRepairer, UpAndSlowdownKeepAssignmentPatchCache) {
   EXPECT_EQ(stats.orphaned, 0u);
   EXPECT_FALSE(stats.shape_changed);
   EXPECT_TRUE(f.schedule.validate());
+}
+
+// The repairer's orphan reassignment runs the cached-best-machine +
+// invalidation rewrite; this reference is the naive exhaustive-rescan
+// loop it replaced (global scan per round, in-order strict comparisons).
+// The rewrite must match it pick for pick — including exact ties.
+void naive_reassign(const etc::EtcMatrix& etc, RepairPolicy policy,
+                    std::vector<sched::MachineId>& assignment,
+                    std::vector<double>& completion,
+                    std::vector<std::size_t> orphans) {
+  while (!orphans.empty()) {
+    std::size_t pick_pos = 0;
+    sched::MachineId pick_machine = 0;
+    if (policy == RepairPolicy::kMinMin) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < orphans.size(); ++i) {
+        const std::size_t t = orphans[i];
+        for (std::size_t m = 0; m < etc.machines(); ++m) {
+          const double c = completion[m] + etc(t, m);
+          if (c < best) {
+            best = c;
+            pick_pos = i;
+            pick_machine = static_cast<sched::MachineId>(m);
+          }
+        }
+      }
+    } else {
+      double best_sufferage = -1.0;
+      for (std::size_t i = 0; i < orphans.size(); ++i) {
+        const std::size_t t = orphans[i];
+        double best = std::numeric_limits<double>::infinity();
+        double second = std::numeric_limits<double>::infinity();
+        sched::MachineId best_m = 0;
+        for (std::size_t m = 0; m < etc.machines(); ++m) {
+          const double c = completion[m] + etc(t, m);
+          if (c < best) {
+            second = best;
+            best = c;
+            best_m = static_cast<sched::MachineId>(m);
+          } else if (c < second) {
+            second = c;
+          }
+        }
+        const double sufferage = etc.machines() > 1 ? second - best : 0.0;
+        if (sufferage > best_sufferage) {
+          best_sufferage = sufferage;
+          pick_pos = i;
+          pick_machine = best_m;
+        }
+      }
+    }
+    const std::size_t task = orphans[pick_pos];
+    assignment[task] = pick_machine;
+    completion[pick_machine] += etc(task, pick_machine);
+    orphans.erase(orphans.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+  }
+}
+
+TEST(ScheduleRepairer, CachedReassignmentMatchesNaiveReference) {
+  for (const auto policy : {RepairPolicy::kMinMin, RepairPolicy::kSufferage}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      batch::WorkloadSpec w = small_spec(seed);
+      w.tasks = 60;
+      w.machines = 8;
+      RescheduleSession session(w, policy);
+
+      // Machine-down: the multi-orphan case. Snapshot the pre-event
+      // state, replay the remap + naive reassignment by hand, and demand
+      // the repaired schedule match assignment for assignment.
+      const auto pre_assign = session.schedule().assignment();
+      const auto pre_completion = session.schedule().completions();
+      const std::size_t down = seed % w.machines;
+      std::vector<sched::MachineId> expect(pre_assign.begin(),
+                                           pre_assign.end());
+      std::vector<double> completion(pre_completion.begin(),
+                                     pre_completion.end());
+      std::vector<std::size_t> orphans;
+      for (std::size_t t = 0; t < expect.size(); ++t) {
+        if (expect[t] == down) {
+          orphans.push_back(t);
+        } else if (expect[t] > down) {
+          --expect[t];
+        }
+      }
+      completion.erase(completion.begin() + static_cast<std::ptrdiff_t>(down));
+      session.apply(machine_down(down));
+      naive_reassign(session.etc(), policy, expect, completion, orphans);
+      ASSERT_EQ(session.schedule().assignment().size(), expect.size());
+      for (std::size_t t = 0; t < expect.size(); ++t) {
+        ASSERT_EQ(session.schedule().machine_of(t), expect[t])
+            << to_string(policy) << " seed " << seed << " task " << t;
+      }
+
+      // Task arrival: the single-orphan case on the already-churned grid.
+      auto arrived(std::vector<sched::MachineId>(
+          session.schedule().assignment().begin(),
+          session.schedule().assignment().end()));
+      std::vector<double> arr_completion(session.schedule().completions().begin(),
+                                         session.schedule().completions().end());
+      session.apply(task_arrival(1500.0));
+      arrived.push_back(0);
+      naive_reassign(session.etc(), policy, arrived, arr_completion,
+                     {arrived.size() - 1});
+      for (std::size_t t = 0; t < arrived.size(); ++t) {
+        ASSERT_EQ(session.schedule().machine_of(t), arrived[t])
+            << to_string(policy) << " seed " << seed << " arrival task " << t;
+      }
+    }
+  }
 }
 
 TEST(ScheduleRepairer, StaleScheduleShapeThrows) {

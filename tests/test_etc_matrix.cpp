@@ -4,6 +4,9 @@
 
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
 
 namespace pacga::etc {
 namespace {
@@ -147,6 +150,38 @@ TEST(EtcMatrix, ScaleMachineUpdatesBothLayoutsAndSummary) {
   // scratch agrees.
   EXPECT_EQ(m.fingerprint(),
             EtcMatrix(3, 2, {1.0, 20.0, 3.0, 40.0, 5.0, 60.0}).fingerprint());
+}
+
+TEST(EtcMatrix, IncrementalFingerprintMatchesFromScratchAfterEventSequences) {
+  // scale_machine refingerprints incrementally (only the touched column is
+  // rehashed); after ANY sequence of events the result must equal the
+  // from-scratch fingerprint of an identical matrix — bit for bit, along
+  // with the min/max summaries.
+  support::Xoshiro256 rng(91);
+  const std::size_t tasks = 17, machines = 5;
+  std::vector<double> data(tasks * machines);
+  for (auto& v : data) v = rng.uniform(0.5, 100.0);
+  std::vector<double> ready(machines);
+  for (auto& r : ready) r = rng.uniform(0.0, 10.0);
+  EtcMatrix m(tasks, machines, data, ready);
+
+  for (int event = 0; event < 50; ++event) {
+    const std::size_t machine = rng.index(machines);
+    const double factor = rng.uniform(0.25, 4.0);
+    m.scale_machine(machine, factor);
+
+    std::vector<double> flat;
+    flat.reserve(tasks * machines);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      const auto row = m.of_task(t);
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    const EtcMatrix fresh(tasks, machines, flat,
+                          {ready.begin(), ready.end()});
+    ASSERT_EQ(m.fingerprint(), fresh.fingerprint()) << "event " << event;
+    ASSERT_EQ(m.min_etc(), fresh.min_etc()) << "event " << event;
+    ASSERT_EQ(m.max_etc(), fresh.max_etc()) << "event " << event;
+  }
 }
 
 TEST(EtcMatrix, ScaleMachineRejectsBadInputUnchanged) {

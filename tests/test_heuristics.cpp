@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "support/stats.hpp"
 
 #include "etc/suite.hpp"
@@ -128,6 +132,79 @@ INSTANTIATE_TEST_SUITE_P(BraunSuite, HeuristicSuiteTest,
                            }
                            return n;
                          });
+
+// ---- accelerated vs naive reference equivalence --------------------------
+//
+// The cached-best-machine rewrites of Min-min / Max-min / Sufferage must
+// produce the EXACT schedule of the textbook loops — assignment for
+// assignment, tie-break for tie-break — on every instance shape, including
+// machine counts below/straddling the SIMD width and nonzero ready times.
+
+void expect_identical(const sched::Schedule& a, const sched::Schedule& b,
+                      const char* what) {
+  ASSERT_EQ(a.tasks(), b.tasks());
+  EXPECT_EQ(a.hamming_distance(b), 0u) << what;
+}
+
+etc::EtcMatrix random_instance(std::size_t tasks, std::size_t machines,
+                               std::uint64_t seed, bool with_ready) {
+  support::Xoshiro256 rng(seed);
+  std::vector<double> data(tasks * machines);
+  for (auto& v : data) v = rng.uniform(1.0, 1000.0);
+  std::vector<double> ready;
+  if (with_ready) {
+    ready.resize(machines);
+    for (auto& r : ready) r = rng.uniform(0.0, 500.0);
+  }
+  return etc::EtcMatrix(tasks, machines, std::move(data), std::move(ready));
+}
+
+TEST(AcceleratedHeuristics, MatchNaiveOnRandomShapes) {
+  const std::size_t shapes[][2] = {{1, 1},  {3, 1},  {5, 2},   {17, 3},
+                                   {32, 4}, {40, 5}, {64, 8},  {50, 9},
+                                   {96, 16}, {70, 33}};
+  for (const auto& shape : shapes) {
+    for (const bool with_ready : {false, true}) {
+      const auto m = random_instance(shape[0], shape[1],
+                                     41 + shape[0] * 7 + with_ready, with_ready);
+      expect_identical(min_min(m), detail::min_min_naive(m), "min_min");
+      expect_identical(max_min(m), detail::max_min_naive(m), "max_min");
+      expect_identical(sufferage(m), detail::sufferage_naive(m), "sufferage");
+    }
+  }
+}
+
+TEST(AcceleratedHeuristics, MatchNaiveWithExactTies) {
+  // A matrix full of repeated values forces ties in every round; the
+  // accelerated paths must reproduce the naive loops' lowest-index picks.
+  const std::size_t tasks = 24, machines = 6;
+  support::Xoshiro256 rng(5);
+  std::vector<double> data(tasks * machines);
+  for (auto& v : data) v = 1.0 + static_cast<double>(rng.index(3));
+  const etc::EtcMatrix m(tasks, machines, std::move(data));
+  expect_identical(min_min(m), detail::min_min_naive(m), "min_min ties");
+  expect_identical(max_min(m), detail::max_min_naive(m), "max_min ties");
+  expect_identical(sufferage(m), detail::sufferage_naive(m), "sufferage ties");
+}
+
+TEST(AcceleratedHeuristics, MatchNaiveOnBraunSuite) {
+  for (const auto& name : etc::braun_suite_names()) {
+    const auto m = etc::generate_by_name(name);
+    expect_identical(min_min(m), detail::min_min_naive(m), name.c_str());
+    expect_identical(sufferage(m), detail::sufferage_naive(m), name.c_str());
+  }
+}
+
+TEST(Duplex, KeepsTheBetterDual) {
+  for (const auto& name : {"u_c_hihi.0", "u_i_lolo.0", "u_s_hilo.0"}) {
+    const auto m = etc::generate_by_name(name);
+    const auto d = duplex(m);
+    const auto mm = min_min(m);
+    const auto mx = max_min(m);
+    EXPECT_DOUBLE_EQ(d.makespan(), std::min(mm.makespan(), mx.makespan()));
+    EXPECT_TRUE(d.validate());
+  }
+}
 
 TEST(MetDegeneracy, PilesOnFastestMachineWhenConsistent) {
   const auto m = etc::generate_by_name("u_c_hihi.0");
