@@ -30,21 +30,34 @@
 //       Open (or replace) the dynamic session: generate the workload,
 //       build the initial heuristic schedule.
 //       -> DYNAMIC tasks=<T> machines=<M> makespan=<x>
-//   EVENT DOWN <machine> | UP <mips> | SLOW <machine> <factor>
-//         | ARRIVE <workload> | CANCEL <task>
-//       Apply one grid event and repair the schedule in place.
+//   EVENT DOWN <machine> | UP <mips> [ready] | SLOW <machine> <factor>
+//         | ARRIVE <workload> | CANCEL <task> | COMMIT <elapsed>
+//       Apply one grid event and repair the schedule in place (UP takes
+//       an optional ready time; COMMIT is the epoch boundary — started
+//       work leaves the batch and becomes machine ready time).
 //       -> EVENT kind=<k> orphans=<n> tasks=<T> machines=<M> makespan=<x>
-//   RESCHEDULE <priority> <deadline_ms> <seed>
+//   RESCHEDULE <priority> <deadline_ms> <seed> [max_generations]
 //       Re-optimize the repaired schedule on the solver pool (warm CGA
-//       seeded with it) under the deadline; adopt an improvement.
+//       seeded with it) under the deadline; adopt an improvement. The
+//       optional generation cap makes the result timing-independent.
 //       -> RESULT ... warm_started=<0|1> adopted=<0|1>
+//   REPLAY <file>
+//       Stream a serialized event log (one format_event line per event —
+//       batch::generate_event_stream output, or a recorded session)
+//       through the dynamic session. Stops at the first bad line.
+//       -> REPLAY events=<n> tasks=<T> machines=<M> makespan=<x>
 //
 // Errors never kill the daemon: a malformed request gets "ERR <reason>".
+// --deterministic suppresses the timing fields (wait_ms/solve_ms) of
+// RESULT lines, so a scripted run (REPLAY + capped RESCHEDULE) produces
+// byte-identical output across runs.
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -66,6 +79,9 @@ struct DaemonOptions {
   std::string policy = "auto";
   std::string repair_policy = "minmin";
   double default_deadline_ms = 100.0;
+  /// Suppress timing fields in RESULT lines so scripted runs (REPLAY +
+  /// generation-capped RESCHEDULE) are byte-identical across runs.
+  bool deterministic = false;
 };
 
 service::JobSpec base_spec(const DaemonOptions& opts, int priority,
@@ -78,7 +94,7 @@ service::JobSpec base_spec(const DaemonOptions& opts, int priority,
   return spec;
 }
 
-std::string result_line(const service::JobResult& r) {
+std::string result_line(const service::JobResult& r, bool deterministic) {
   std::ostringstream out;
   out.precision(10);
   out << "RESULT id=" << r.id << " status=" << service::to_string(r.status)
@@ -88,9 +104,11 @@ std::string result_line(const service::JobResult& r) {
       << " warm_started=" << (r.warm_started ? 1 : 0)
       << " deadline_missed=" << (r.deadline_missed ? 1 : 0)
       << " generations=" << r.generations
-      << " evaluations=" << r.evaluations
-      << " wait_ms=" << r.queue_wait_seconds * 1e3
-      << " solve_ms=" << r.solve_seconds * 1e3;
+      << " evaluations=" << r.evaluations;
+  if (!deterministic) {
+    out << " wait_ms=" << r.queue_wait_seconds * 1e3
+        << " solve_ms=" << r.solve_seconds * 1e3;
+  }
   return out.str();
 }
 
@@ -120,10 +138,28 @@ std::string event_line(const dynamic::RescheduleSession& session,
   std::ostringstream out;
   out.precision(10);
   out << "EVENT kind=" << dynamic::to_string(stats.kind)
-      << " orphans=" << stats.orphaned << " tasks=" << session.tasks()
-      << " machines=" << session.machines()
+      << " orphans=" << stats.orphaned << " committed=" << stats.committed
+      << " tasks=" << session.tasks() << " machines=" << session.machines()
       << " makespan=" << session.schedule().makespan();
   return out.str();
+}
+
+/// Reads an optional trailing numeric argument. Returns false when the
+/// stream is exhausted; throws std::invalid_argument naming `what` when a
+/// token is present but does not parse completely as a T.
+template <typename T>
+bool parse_optional(std::istringstream& in, const char* what, T& out) {
+  std::string token;
+  if (!(in >> token)) return false;
+  std::istringstream value(token);
+  // istream extraction into an unsigned target accepts "-40" by modulo
+  // wraparound; reject the sign explicitly.
+  const bool bad_sign =
+      std::is_unsigned_v<T> && !token.empty() && token.front() == '-';
+  if (bad_sign || !(value >> out) || value.peek() != EOF)
+    throw std::invalid_argument(std::string("malformed ") + what + " " +
+                                token);
+  return true;
 }
 
 /// Parses the EVENT sub-command into a GridEvent; throws on bad input.
@@ -131,7 +167,7 @@ dynamic::GridEvent parse_event(std::istringstream& in) {
   std::string what;
   if (!(in >> what))
     throw std::invalid_argument(
-        "EVENT expects DOWN|UP|SLOW|ARRIVE|CANCEL ...");
+        "EVENT expects DOWN|UP|SLOW|ARRIVE|CANCEL|COMMIT ...");
   if (what == "DOWN") {
     std::size_t m = 0;
     if (!(in >> m)) throw std::invalid_argument("EVENT DOWN expects <machine>");
@@ -139,8 +175,18 @@ dynamic::GridEvent parse_event(std::istringstream& in) {
   }
   if (what == "UP") {
     double mips = 0.0;
-    if (!(in >> mips)) throw std::invalid_argument("EVENT UP expects <mips>");
+    if (!(in >> mips))
+      throw std::invalid_argument("EVENT UP expects <mips> [ready]");
+    double ready = 0.0;
+    if (parse_optional(in, "EVENT UP ready", ready))
+      return dynamic::machine_up_ready(mips, ready);
     return dynamic::machine_up(mips);
+  }
+  if (what == "COMMIT") {
+    double elapsed = 0.0;
+    if (!(in >> elapsed))
+      throw std::invalid_argument("EVENT COMMIT expects <elapsed>");
+    return dynamic::epoch_commit(elapsed);
   }
   if (what == "SLOW") {
     std::size_t m = 0;
@@ -184,7 +230,7 @@ std::string handle(service::SchedulerService& svc, const DaemonOptions& opts,
     if (cmd == "WAIT") {
       service::JobId id = 0;
       if (!(in >> id)) return "ERR WAIT expects a job id";
-      return result_line(svc.wait(id));
+      return result_line(svc.wait(id), opts.deterministic);
     }
     if (cmd == "CANCEL") {
       service::JobId id = 0;
@@ -221,15 +267,49 @@ std::string handle(service::SchedulerService& svc, const DaemonOptions& opts,
       double deadline_ms = 0.0;
       std::uint64_t seed = 1;
       if (!(in >> priority >> deadline_ms >> seed))
-        return "ERR RESCHEDULE expects <priority> <deadline_ms> <seed>";
+        return "ERR RESCHEDULE expects <priority> <deadline_ms> <seed> "
+               "[max_generations]";
+      // Optional; absent leaves the deadline in charge of the budget.
+      std::uint64_t max_generations = 0;
+      (void)parse_optional(in, "RESCHEDULE max_generations", max_generations);
       service::JobSpec spec = session->make_reschedule_spec(
           priority,
           deadline_ms > 0.0 ? deadline_ms : opts.default_deadline_ms, seed);
       spec.policy = service::parse_policy(opts.policy);
+      spec.max_generations = max_generations;
       const service::JobResult r = svc.wait(svc.submit_reschedule(std::move(spec)));
       const bool adopted =
           r.status == service::JobStatus::kDone && session->adopt(r.assignment);
-      return result_line(r) + " adopted=" + (adopted ? "1" : "0");
+      return result_line(r, opts.deterministic) +
+             " adopted=" + (adopted ? "1" : "0");
+    }
+    if (cmd == "REPLAY") {
+      if (!session) return "ERR REPLAY requires a DYNAMIC session";
+      std::string path;
+      if (!(in >> path)) return "ERR REPLAY expects a file path";
+      std::ifstream file(path);
+      if (!file) return "ERR REPLAY cannot open " + path;
+      std::string event_line_text;
+      std::size_t applied = 0;
+      std::size_t lineno = 0;
+      while (std::getline(file, event_line_text)) {
+        ++lineno;
+        if (event_line_text.empty()) continue;
+        try {
+          session->apply(dynamic::parse_event(event_line_text));
+        } catch (const std::exception& e) {
+          std::ostringstream out;
+          out << "ERR REPLAY " << path << ":" << lineno << ": " << e.what();
+          return out.str();
+        }
+        ++applied;
+      }
+      std::ostringstream out;
+      out.precision(10);
+      out << "REPLAY events=" << applied << " tasks=" << session->tasks()
+          << " machines=" << session->machines()
+          << " makespan=" << session->schedule().makespan();
+      return out.str();
     }
     if (cmd == "INSTANCE" || cmd == "WORKLOAD" || cmd == "SUBMIT") {
       int priority = 0;
@@ -294,7 +374,9 @@ int main(int argc, char** argv) {
       .option("repair-policy", &opts.repair_policy, {"minmin", "sufferage"},
               "orphan reassignment order of the dynamic session")
       .option("default-deadline-ms", &opts.default_deadline_ms,
-              "deadline used when a request passes 0");
+              "deadline used when a request passes 0")
+      .flag("deterministic", &opts.deterministic,
+            "omit timing fields from RESULT lines (byte-identical replays)");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {

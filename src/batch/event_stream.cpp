@@ -49,6 +49,9 @@ void validate(const EventStreamSpec& spec) {
   require_range(spec.mips_lo, spec.mips_hi, 0.0, "mips");
   if (!(spec.mips_lo > 0.0))
     throw std::invalid_argument("EventStreamSpec: mips_lo must be > 0");
+  if (!(spec.up_ready_hi >= 0.0) || !std::isfinite(spec.up_ready_hi))
+    throw std::invalid_argument(
+        "EventStreamSpec: up_ready_hi must be >= 0 and finite");
   if (spec.initial_tasks == 0 || spec.initial_machines == 0)
     throw std::invalid_argument(
         "EventStreamSpec: initial_tasks and initial_machines must be > 0");
@@ -112,11 +115,19 @@ std::vector<GridEvent> generate_event_stream(const EventStreamSpec& spec) {
         stream.push_back(dynamic::machine_down(rng.index(machines), t));
         --machines;
         break;
-      case EventKind::kMachineUp:
-        stream.push_back(
-            dynamic::machine_up(rng.uniform(spec.mips_lo, spec.mips_hi), t));
+      case EventKind::kMachineUp: {
+        const double mips = rng.uniform(spec.mips_lo, spec.mips_hi);
+        // The ready draw happens only when configured, so streams from
+        // pre-ready-time specs stay byte-identical (golden contract).
+        if (spec.up_ready_hi > 0.0) {
+          stream.push_back(dynamic::machine_up_ready(
+              mips, rng.uniform(0.0, spec.up_ready_hi), t));
+        } else {
+          stream.push_back(dynamic::machine_up(mips, t));
+        }
         ++machines;
         break;
+      }
       case EventKind::kMachineSlowdown: {
         double factor = rng.uniform(spec.slowdown_lo, spec.slowdown_hi);
         // Half the episodes are recoveries so ETCs stay bounded (the
@@ -127,6 +138,8 @@ std::vector<GridEvent> generate_event_stream(const EventStreamSpec& spec) {
             dynamic::machine_slowdown(rng.index(machines), factor, t));
         break;
       }
+      case EventKind::kEpochCommit:
+        break;  // never drawn: commits are schedule-dependent (see kinds[])
     }
   }
   return stream;

@@ -44,6 +44,11 @@ struct EventStreamSpec {
   /// Joining machine capacities ~ U(mips_lo, mips_hi).
   double mips_lo = 1.0;
   double mips_hi = 10.0;
+  /// When > 0, joining machines carry a ready time ~ U(0, up_ready_hi) —
+  /// a machine that returns still draining the in-flight work it went
+  /// down with. 0 (default) keeps joins ready-free and the generated
+  /// streams byte-identical to the pre-ready-time format.
+  double up_ready_hi = 0.0;
   /// When nonzero, generate EXACTLY this many events and ignore the
   /// horizon (the fuzz tests' "exactly N events" knob — a 10k-event
   /// stream must not depend on how the rates happen to sum against

@@ -1,6 +1,12 @@
 #include "dynamic/events.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
 
 namespace pacga::dynamic {
 
@@ -11,6 +17,7 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kMachineSlowdown: return "slowdown";
     case EventKind::kTaskArrival: return "arrival";
     case EventKind::kTaskCancel: return "cancel";
+    case EventKind::kEpochCommit: return "commit";
   }
   return "?";
 }
@@ -28,6 +35,12 @@ GridEvent machine_up(double mips, double time) {
   e.kind = EventKind::kMachineUp;
   e.time = time;
   e.value = mips;
+  return e;
+}
+
+GridEvent machine_up_ready(double mips, double ready, double time) {
+  GridEvent e = machine_up(mips, time);
+  e.ready = ready;
   return e;
 }
 
@@ -56,21 +69,51 @@ GridEvent task_cancel(std::size_t task, double time) {
   return e;
 }
 
+GridEvent epoch_commit(double elapsed, double time) {
+  GridEvent e;
+  e.kind = EventKind::kEpochCommit;
+  e.time = time;
+  e.value = elapsed;
+  return e;
+}
+
 std::string format_event(const GridEvent& e) {
   // snprintf, not ostream: %f is locale-independent in practice for the
   // "C" numerics the library never changes, and the fixed buffer keeps
-  // this allocation-light for per-event logging.
-  char buf[160];
+  // this allocation-light for per-event logging. Sized for the worst
+  // case of THREE %f fields (a ~1.8e308 double renders 309 integral
+  // digits + ".######" ≈ 317 chars; "up mips=... ready=..." carries time
+  // + two values), so no LEGAL event can truncate — a truncated line
+  // could re-parse as a different event and silently diverge a replay.
+  char buf[1024];
   int n = 0;
   switch (e.kind) {
     case EventKind::kMachineDown:
       n = std::snprintf(buf, sizeof buf, "t=%.6f down machine=%zu", e.time,
                         e.machine);
       break;
-    case EventKind::kMachineUp:
-      n = std::snprintf(buf, sizeof buf, "t=%.6f up mips=%.6f", e.time,
-                        e.value);
+    case EventKind::kMachineUp: {
+      // The ready field is appended only when its RENDERED value is
+      // nonzero, so every log written before ready-time events existed
+      // stays byte-identical AND the line stays the fixed point of
+      // format(parse(...)): a ready that rounds to 0.000000 at the log's
+      // 6-decimal precision is canonically zero (emitting it would parse
+      // back to 0.0 and drop on the next format). An invalid ready that
+      // renders nonzero (negative, nan) round-trips, so a replayed log
+      // reproduces the live session's rejection.
+      char rendered[352];  // single-%f worst case, like buf above
+      std::snprintf(rendered, sizeof rendered, "%.6f", e.ready);
+      const bool renders_zero = std::string_view(rendered) == "0.000000" ||
+                                std::string_view(rendered) == "-0.000000";
+      if (!renders_zero) {
+        n = std::snprintf(buf, sizeof buf, "t=%.6f up mips=%.6f ready=%s",
+                          e.time, e.value, rendered);
+      } else {
+        n = std::snprintf(buf, sizeof buf, "t=%.6f up mips=%.6f", e.time,
+                          e.value);
+      }
       break;
+    }
     case EventKind::kMachineSlowdown:
       n = std::snprintf(buf, sizeof buf, "t=%.6f slowdown machine=%zu factor=%.6f",
                         e.time, e.machine, e.factor);
@@ -83,8 +126,108 @@ std::string format_event(const GridEvent& e) {
       n = std::snprintf(buf, sizeof buf, "t=%.6f cancel task=%zu", e.time,
                         e.task);
       break;
+    case EventKind::kEpochCommit:
+      n = std::snprintf(buf, sizeof buf, "t=%.6f commit elapsed=%.6f", e.time,
+                        e.value);
+      break;
   }
-  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+  if (n < 0) return std::string();
+  // snprintf returns the WOULD-HAVE-WRITTEN length; the buffer covers the
+  // %f worst case above, but clamp defensively rather than read past it.
+  return std::string(buf, std::min(static_cast<std::size_t>(n),
+                                   sizeof buf - 1));
+}
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& line, const char* why) {
+  throw std::invalid_argument(std::string("parse_event: ") + why + " in \"" +
+                              line + "\"");
+}
+
+/// Parses one "key=<double>" token already read from the stream; throws
+/// unless the key matches and the value parses completely.
+double parse_double_token(const std::string& token, const char* key,
+                          const std::string& line) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) bad_line(line, "unexpected field");
+  const std::string value = token.substr(prefix.size());
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size())
+    bad_line(line, "malformed numeric value");
+  return v;
+}
+
+/// Consumes one "key=<double>" token; throws when it is missing.
+double parse_double_field(std::istringstream& in, const char* key,
+                          const std::string& line) {
+  std::string token;
+  if (!(in >> token)) bad_line(line, "missing field");
+  return parse_double_token(token, key, line);
+}
+
+std::size_t parse_index_field(std::istringstream& in, const char* key,
+                              const std::string& line) {
+  std::string token;
+  if (!(in >> token)) bad_line(line, "missing field");
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) bad_line(line, "unexpected field");
+  const std::string value = token.substr(prefix.size());
+  // Digits only: strtoull would silently wrap "-1" to SIZE_MAX.
+  if (value.empty() ||
+      !std::isdigit(static_cast<unsigned char>(value.front())))
+    bad_line(line, "malformed index value");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size())
+    bad_line(line, "malformed index value");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+GridEvent parse_event(const std::string& line) {
+  std::istringstream in(line);
+  std::string token;
+  if (!(in >> token)) bad_line(line, "empty line");
+  if (token.rfind("t=", 0) != 0) bad_line(line, "missing t= field");
+  const std::string tvalue = token.substr(2);
+  char* end = nullptr;
+  const double time = std::strtod(tvalue.c_str(), &end);
+  if (tvalue.empty() || end != tvalue.c_str() + tvalue.size())
+    bad_line(line, "malformed timestamp");
+
+  std::string kind;
+  if (!(in >> kind)) bad_line(line, "missing event kind");
+
+  GridEvent e;
+  if (kind == "down") {
+    e = machine_down(parse_index_field(in, "machine", line), time);
+  } else if (kind == "up") {
+    const double mips = parse_double_field(in, "mips", line);
+    // Optional trailing ready= field (emitted only when nonzero).
+    std::string rest;
+    if (in >> rest) {
+      e = machine_up_ready(mips, parse_double_token(rest, "ready", line),
+                           time);
+    } else {
+      e = machine_up(mips, time);
+    }
+  } else if (kind == "slowdown") {
+    const std::size_t m = parse_index_field(in, "machine", line);
+    e = machine_slowdown(m, parse_double_field(in, "factor", line), time);
+  } else if (kind == "arrival") {
+    e = task_arrival(parse_double_field(in, "workload", line), time);
+  } else if (kind == "cancel") {
+    e = task_cancel(parse_index_field(in, "task", line), time);
+  } else if (kind == "commit") {
+    e = epoch_commit(parse_double_field(in, "elapsed", line), time);
+  } else {
+    bad_line(line, "unknown event kind");
+  }
+  if (in >> kind) bad_line(line, "trailing garbage");
+  return e;
 }
 
 }  // namespace pacga::dynamic

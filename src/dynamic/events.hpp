@@ -28,6 +28,7 @@ enum class EventKind : std::uint8_t {
   kMachineSlowdown,  ///< machine's ETCs scale by `factor` (recovery: < 1)
   kTaskArrival,      ///< a new task with the given workload joins the batch
   kTaskCancel,       ///< task is withdrawn; its machine sheds the load
+  kEpochCommit,      ///< `value` time units elapse; started work is committed
 };
 
 const char* to_string(EventKind k) noexcept;
@@ -40,20 +41,45 @@ struct GridEvent {
   std::size_t machine = 0;  ///< target machine (down / slowdown)
   std::size_t task = 0;     ///< target task (cancel)
   double factor = 1.0;      ///< slowdown multiplier (> 1 slower, < 1 recovery)
-  double value = 0.0;       ///< arrival workload (MI) or joining machine mips
+  double value = 0.0;       ///< arrival workload (MI), joining machine mips,
+                            ///< or commit horizon (elapsed time units)
+  /// kMachineUp only: time until the joining machine can take new work —
+  /// nonzero when a machine returns still draining in-flight work it
+  /// carried away (the §2.1 ready_m). Every downstream consumer (repair,
+  /// heuristics, CGA seeding) reads it through EtcMatrix::ready().
+  double ready = 0.0;
+
+  bool operator==(const GridEvent&) const = default;
 };
 
 GridEvent machine_down(std::size_t machine, double time = 0.0);
 GridEvent machine_up(double mips, double time = 0.0);
+/// A machine that RETURNS: joins with `mips` capacity but is busy for
+/// `ready` more time units finishing the in-flight work it went down with.
+GridEvent machine_up_ready(double mips, double ready, double time = 0.0);
 GridEvent machine_slowdown(std::size_t machine, double factor,
                            double time = 0.0);
 GridEvent task_arrival(double workload, double time = 0.0);
 GridEvent task_cancel(std::size_t task, double time = 0.0);
+/// Epoch boundary: `elapsed` time units pass. Work that STARTED inside the
+/// window is committed — completed tasks leave the batch, the in-flight
+/// remainder becomes its machine's ready time (RescheduleSession applies
+/// it against its current schedule; EtcMutator::apply alone cannot, it has
+/// no assignment).
+GridEvent epoch_commit(double elapsed, double time = 0.0);
 
 /// Stable one-line rendering, e.g. "t=1.250000 slowdown machine=3
 /// factor=1.500000". The golden tests compare these byte-for-byte, so the
 /// format is part of the determinism contract: fixed field order, fixed
-/// 6-digit precision, no locale dependence.
+/// 6-digit precision, no locale dependence. (machine_up emits its ready
+/// field only when nonzero, so pre-ready-time logs are byte-identical.)
 std::string format_event(const GridEvent& e);
+
+/// Inverse of format_event: parses one log line back into the event it
+/// came from (field values round to the log's 6-decimal precision — the
+/// line is the canonical form; replaying a file is deterministic). Throws
+/// std::invalid_argument naming the problem on any malformed line. This
+/// parser is load-bearing for the daemon's REPLAY verb.
+GridEvent parse_event(const std::string& line);
 
 }  // namespace pacga::dynamic

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/algo.hpp"
 #include "support/rng.hpp"
 
 namespace pacga::dynamic {
@@ -58,7 +59,12 @@ etc::EtcMatrix EtcMutator::materialize() const {
       data[t * machines_.size() + m] = entry(tasks_[t], machines_[m]);
     }
   }
-  return etc::EtcMatrix(tasks_.size(), machines_.size(), std::move(data));
+  std::vector<double> ready(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    ready[m] = machines_[m].ready;
+  }
+  return etc::EtcMatrix(tasks_.size(), machines_.size(), std::move(data),
+                        std::move(ready));
 }
 
 EtcMutator::Outcome EtcMutator::apply(const GridEvent& e) {
@@ -96,7 +102,10 @@ EtcMutator::Outcome EtcMutator::apply(const GridEvent& e) {
     }
     case EventKind::kMachineUp: {
       require_positive_finite(e.value, "joining machine mips");
-      machines_.push_back({next_machine_uid_++, e.value, 1.0});
+      if (!(e.ready >= 0.0) || !std::isfinite(e.ready))
+        throw std::invalid_argument(
+            "EtcMutator: joining machine ready time must be >= 0 and finite");
+      machines_.push_back({next_machine_uid_++, e.value, 1.0, e.ready});
       etc_ = materialize();
       out.shape_changed = true;
       out.machine = machines_.size() - 1;
@@ -126,7 +135,73 @@ EtcMutator::Outcome EtcMutator::apply(const GridEvent& e) {
       out.task = e.task;
       break;
     }
+    case EventKind::kEpochCommit:
+      // A commit depends on the schedule being executed, which the mutator
+      // does not know. RescheduleSession::apply routes commit events to
+      // commit_epoch() with its current assignment.
+      throw std::invalid_argument(
+          "EtcMutator: commit events need an assignment — use commit_epoch()");
   }
+  ++events_applied_;
+  return out;
+}
+
+EtcMutator::CommitOutcome EtcMutator::commit_epoch(
+    std::span<const sched::MachineId> assignment, double elapsed) {
+  require_positive_finite(elapsed, "commit elapsed");
+  if (assignment.size() != tasks_.size())
+    throw std::invalid_argument("EtcMutator: commit assignment size mismatch");
+  for (const sched::MachineId m : assignment) {
+    if (m >= machines_.size())
+      throw std::invalid_argument(
+          "EtcMutator: commit assignment machine out of range");
+  }
+
+  CommitOutcome out;
+  out.old_ready.resize(machines_.size());
+  std::vector<double> new_ready(machines_.size());
+
+  // Per machine, replay its timeline for the window: it drains its ready
+  // time first, then runs its assigned tasks in ascending task order (the
+  // deterministic service order every consumer shares). A task whose start
+  // lies strictly inside the window is committed; once one task fails to
+  // start, every later task on that machine is unstarted too.
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    out.old_ready[m] = machines_[m].ready;
+    new_ready[m] = std::max(0.0, machines_[m].ready - elapsed);
+  }
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    const sched::MachineId m = assignment[t];
+    // old_ready is reused as the machine's running busy-through time while
+    // scanning (restored below); committed work accumulates onto it.
+    double& busy = out.old_ready[m];
+    if (busy >= elapsed) continue;  // machine full for the window: unstarted
+    const double cost = etc_(t, m);
+    const double finish = busy + cost;
+    out.removed_tasks.push_back(t);
+    out.removed_etc.push_back(cost);
+    if (finish <= elapsed) {
+      ++out.completed;
+    } else {
+      ++out.in_flight;
+    }
+    busy = finish;
+    new_ready[m] = std::max(0.0, finish - elapsed);
+  }
+  // Restore the pre-commit ready times the scan borrowed.
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    out.old_ready[m] = machines_[m].ready;
+  }
+
+  if (tasks_.size() - out.removed_tasks.size() < kMinTasks)
+    throw std::domain_error("EtcMutator: commit would empty the batch");
+
+  // Mutate: new ready times, committed tasks leave the model, rebuild.
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    machines_[m].ready = new_ready[m];
+  }
+  support::erase_sorted_indices(tasks_, out.removed_tasks);
+  etc_ = materialize();
   ++events_applied_;
   return out;
 }

@@ -10,6 +10,14 @@
 // with the deterministic per-(task, machine) hash noise of the batch
 // module, so a task keeps its execution profile across arbitrary churn.
 //
+// Ready times: each machine additionally carries a ready time (when it can
+// take new work — the §2.1 ready_m), materialized into the EtcMatrix so
+// every downstream consumer (repair, heuristics, CGA completion seeding)
+// accounts for work already underway. Ready times enter through machines
+// that return still draining (GridEvent::ready on kMachineUp) and through
+// commit_epoch(), which feeds an epoch's completed/in-flight assignments
+// back into the model.
+//
 // Cost model: MachineSlowdown is the only shape-preserving event and is
 // applied IN PLACE (EtcMatrix::scale_machine — no reallocation). The four
 // shape-changing events (down/up/arrival/cancel) rebuild the matrix from
@@ -22,11 +30,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "batch/workload.hpp"
 #include "dynamic/events.hpp"
 #include "etc/etc_matrix.hpp"
+#include "sched/schedule.hpp"
 
 namespace pacga::dynamic {
 
@@ -36,8 +46,17 @@ class EtcMutator {
   /// rather than materializing an unsolvable or overflowing instance).
   static constexpr std::size_t kMinMachines = 1;
   static constexpr std::size_t kMinTasks = 1;
-  /// Accumulated slowdown clamp: |log2(slow)| <= 6 keeps entries finite
-  /// under arbitrarily long slowdown streams.
+  /// Accumulated slowdown clamp — PART OF THE API CONTRACT, not an
+  /// internal detail: a machine's accumulated slowdown factor is clamped
+  /// to [1/kMaxSlowdown, kMaxSlowdown] = [1/64, 64] (|log2(slow)| <= 6),
+  /// so ETC entries stay finite under arbitrarily long slowdown streams.
+  /// A kMachineSlowdown event whose factor would push the accumulated
+  /// value past either edge is PARTIALLY applied: Outcome::factor reports
+  /// the factor actually realized (exactly 1.0 once a machine sits pinned
+  /// at an edge and the event pushes further outward), and model and
+  /// matrix stay in lockstep at the clamped value. Recovery events
+  /// (factor < 1) move a pinned machine back off the edge normally.
+  /// test_dynamic pins this behavior at both edges.
   static constexpr double kMaxSlowdown = 64.0;
 
   /// Adopts a generated workload as the initial grid (all tasks one
@@ -69,8 +88,41 @@ class EtcMutator {
   /// Applies one event. Throws std::invalid_argument on out-of-range
   /// indices / non-positive parameters and std::domain_error on events
   /// that would violate a grid invariant (down to zero machines, cancel
-  /// of the last task). The instance is unchanged on throw.
+  /// of the last task). The instance is unchanged on throw. kEpochCommit
+  /// events cannot be applied here (they need the current assignment) —
+  /// use commit_epoch(), or RescheduleSession::apply which routes them.
   Outcome apply(const GridEvent& e);
+
+  /// What one epoch commit did to the instance. Everything the repairer
+  /// needs to patch a schedule of the pre-commit shape: which tasks left
+  /// the batch, the exact ETC each contributed to its machine, and the
+  /// per-machine ready times on both sides of the boundary.
+  struct CommitOutcome {
+    std::size_t completed = 0;  ///< removed tasks that finished in the window
+    std::size_t in_flight = 0;  ///< removed tasks still running at the edge
+    /// Removed (committed) tasks, ascending PRE-commit indices.
+    std::vector<std::size_t> removed_tasks;
+    /// Parallel to removed_tasks: etc(t, machine_of(t)) copied from the
+    /// pre-commit matrix, so the repairer's completion decrement is exact.
+    std::vector<double> removed_etc;
+    /// Pre-commit ready time of every machine (the matrix now holds the
+    /// post-commit values).
+    std::vector<double> old_ready;
+  };
+
+  /// Epoch boundary: `elapsed` time units pass while the grid executes
+  /// `assignment` (one machine id per current task; each machine runs its
+  /// tasks in ascending task order after draining its ready time). Tasks
+  /// that STARTED inside the window are committed — completed ones and
+  /// the in-flight remainder leave the batch, and each machine's new
+  /// ready time is whatever committed work is still running at the
+  /// boundary (non-preemptive, so an in-flight task is no longer
+  /// reschedulable). Unstarted tasks stay in the batch. Throws
+  /// std::invalid_argument on a malformed assignment / non-positive
+  /// elapsed and std::domain_error when the commit would empty the batch
+  /// (kMinTasks); the instance is unchanged on throw.
+  CommitOutcome commit_epoch(std::span<const sched::MachineId> assignment,
+                             double elapsed);
 
   /// The live instance. The reference is stable across apply() calls
   /// (the matrix object is reassigned in place), but its CONTENT and
@@ -97,7 +149,8 @@ class EtcMutator {
   struct DynMachine {
     std::uint64_t uid = 0;
     double mips = 0.0;
-    double slow = 1.0;  ///< accumulated slowdown (1 = nominal speed)
+    double slow = 1.0;   ///< accumulated slowdown (1 = nominal speed)
+    double ready = 0.0;  ///< time until the machine can take new work
   };
 
   double entry(const DynTask& t, const DynMachine& m) const;

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "support/algo.hpp"
 #include "support/kernels.hpp"
 
 namespace pacga::dynamic {
@@ -108,11 +109,55 @@ RepairStats ScheduleRepairer::repair(const EtcMutator::Outcome& outcome,
                         static_cast<std::ptrdiff_t>(outcome.task));
       break;
     }
+    case EventKind::kEpochCommit:
+      // Commits carry a CommitOutcome, not an Outcome — see commit().
+      require(false, "commit outcomes go through commit()");
+      break;
   }
 
   stats.orphaned = orphans_.size();
   reassign_orphans(etc);
   stats.reassigned = stats.orphaned;
+
+  schedule.adopt_with_completions(etc, assignment_, completion_);
+  return stats;
+}
+
+RepairStats ScheduleRepairer::commit(const EtcMutator::CommitOutcome& outcome,
+                                     const etc::EtcMatrix& etc,
+                                     sched::Schedule& schedule) {
+  RepairStats stats;
+  stats.kind = EventKind::kEpochCommit;
+  stats.committed = outcome.removed_tasks.size();
+  stats.shape_changed = !outcome.removed_tasks.empty();
+
+  const std::size_t removed = outcome.removed_tasks.size();
+  require(schedule.tasks() == etc.tasks() + removed,
+          "commit: task count mismatch");
+  require(schedule.machines() == etc.machines() &&
+              outcome.old_ready.size() == etc.machines(),
+          "commit: machine count mismatch");
+  require(outcome.removed_etc.size() == removed,
+          "commit: removed-etc size mismatch");
+
+  const auto old_assignment = schedule.assignment();
+  const auto old_completion = schedule.completions();
+  assignment_.assign(old_assignment.begin(), old_assignment.end());
+  completion_.assign(old_completion.begin(), old_completion.end());
+
+  // Re-base every machine's completion from its old ready time onto the
+  // post-commit one, then subtract the exact ETC each committed task was
+  // contributing (copied from the pre-commit matrix). O(machines +
+  // removed); no task moves, so the CT cache stays incremental.
+  for (std::size_t m = 0; m < completion_.size(); ++m) {
+    completion_[m] += etc.ready(m) - outcome.old_ready[m];
+  }
+  for (std::size_t i = 0; i < removed; ++i) {
+    const std::size_t t = outcome.removed_tasks[i];
+    require(t < assignment_.size(), "commit: removed task out of range");
+    completion_[assignment_[t]] -= outcome.removed_etc[i];
+  }
+  support::erase_sorted_indices(assignment_, outcome.removed_tasks);
 
   schedule.adopt_with_completions(etc, assignment_, completion_);
   return stats;

@@ -48,6 +48,7 @@ struct RepairStats {
   EventKind kind = EventKind::kTaskArrival;
   std::size_t orphaned = 0;    ///< tasks that lost (or never had) a machine
   std::size_t reassigned = 0;  ///< orphans placed (== orphaned on success)
+  std::size_t committed = 0;   ///< kEpochCommit: tasks that left the batch
   bool shape_changed = false;
 };
 
@@ -67,6 +68,17 @@ class ScheduleRepairer {
   /// recomputed. Throws std::invalid_argument when `schedule`'s shape is
   /// inconsistent with what `outcome` says the pre-event shape was.
   RepairStats repair(const EtcMutator::Outcome& outcome,
+                     const etc::EtcMatrix& etc, sched::Schedule& schedule);
+
+  /// Epoch-commit counterpart of repair(): patches `schedule` (valid for
+  /// the pre-commit instance) into a valid schedule of the post-commit
+  /// `etc` — committed tasks drop out of the assignment, and every
+  /// machine's completion is re-based from its old ready time onto its
+  /// new one (commits never orphan anything, so this is pure O(machines +
+  /// |removed|) cache patching, no reassignment). Throws
+  /// std::invalid_argument on shape inconsistencies, leaving `schedule`
+  /// untouched.
+  RepairStats commit(const EtcMutator::CommitOutcome& outcome,
                      const etc::EtcMatrix& etc, sched::Schedule& schedule);
 
  private:

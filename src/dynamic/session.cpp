@@ -22,9 +22,17 @@ RescheduleSession::RescheduleSession(const batch::WorkloadSpec& spec,
       schedule_(initial_schedule(mutator_.etc(), policy)) {}
 
 RepairStats RescheduleSession::apply(const GridEvent& e) {
+  if (e.kind == EventKind::kEpochCommit) return commit_epoch(e.value);
   const EtcMutator::Outcome outcome = mutator_.apply(e);
   if (outcome.shape_changed) ++shape_epoch_;
   return repairer_.repair(outcome, mutator_.etc(), schedule_);
+}
+
+RepairStats RescheduleSession::commit_epoch(double elapsed) {
+  const EtcMutator::CommitOutcome outcome =
+      mutator_.commit_epoch(schedule_.assignment(), elapsed);
+  if (!outcome.removed_tasks.empty()) ++shape_epoch_;
+  return repairer_.commit(outcome, mutator_.etc(), schedule_);
 }
 
 service::JobSpec RescheduleSession::make_reschedule_spec(

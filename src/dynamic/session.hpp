@@ -41,7 +41,18 @@ class RescheduleSession {
 
   /// Applies one event to the instance and repairs the schedule.
   /// Exceptions from validation (EtcMutator::apply) leave both untouched.
+  /// kEpochCommit events are routed to commit_epoch() with the session's
+  /// current schedule — the one verb EtcMutator cannot apply alone.
   RepairStats apply(const GridEvent& e);
+
+  /// Epoch boundary: `elapsed` time units pass while the grid executes the
+  /// session's current schedule. Completed and in-flight tasks leave the
+  /// batch, their remainders become machine ready times
+  /// (EtcMutator::commit_epoch), and the schedule's completion cache is
+  /// re-based accordingly (ScheduleRepairer::commit). The repaired
+  /// schedule — and any warm start built from it — therefore accounts for
+  /// work already underway.
+  RepairStats commit_epoch(double elapsed);
 
   const etc::EtcMatrix& etc() const noexcept { return mutator_.etc(); }
   const sched::Schedule& schedule() const noexcept { return schedule_; }

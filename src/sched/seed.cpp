@@ -1,0 +1,39 @@
+#include "sched/seed.hpp"
+
+#include <stdexcept>
+
+#include "support/kernels.hpp"
+
+namespace pacga::sched {
+
+Schedule warm_seed(const etc::EtcMatrix& etc,
+                   std::span<const MachineId> partial) {
+  if (partial.size() != etc.tasks())
+    throw std::invalid_argument("warm_seed: partial size != tasks");
+  const std::size_t machines = etc.machines();
+
+  // Seed completions from ready times, then charge the assigned tasks.
+  std::vector<double> completion(machines);
+  for (std::size_t m = 0; m < machines; ++m) completion[m] = etc.ready(m);
+  std::vector<MachineId> assignment(partial.begin(), partial.end());
+  for (std::size_t t = 0; t < assignment.size(); ++t) {
+    if (assignment[t] == kNoMachine) continue;
+    if (assignment[t] >= machines)
+      throw std::invalid_argument("warm_seed: machine id out of range");
+    completion[assignment[t]] += etc(t, assignment[t]);
+  }
+
+  // Place the gaps greedily: each unassigned task (ascending — the
+  // deterministic order) goes to the machine minimizing its completion.
+  for (std::size_t t = 0; t < assignment.size(); ++t) {
+    if (assignment[t] != kNoMachine) continue;
+    const auto best = support::kernels::min_completion_index(
+        completion.data(), etc.of_task(t).data(), machines);
+    assignment[t] = static_cast<MachineId>(best.index);
+    completion[best.index] = best.value;
+  }
+
+  return Schedule(etc, std::move(assignment));
+}
+
+}  // namespace pacga::sched

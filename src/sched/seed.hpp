@@ -1,0 +1,37 @@
+// Ready-time-aware completion seeding — turn a PARTIAL assignment into a
+// complete warm-start schedule.
+//
+// The streaming/rescheduling paths repeatedly face the same situation: some
+// tasks already have a machine (the previous epoch's tail, a repaired
+// schedule) and some do not (fresh arrivals). A good warm seed keeps the
+// committed decisions and places only the rest, against completion times
+// seeded from the machines' READY times — work already underway counts, or
+// the seed would overload machines that are busy draining committed work.
+//
+// warm_seed() is that constructive step: completions start at
+// etc.ready(m), assigned tasks are summed in, then each unassigned task is
+// placed on the machine minimizing its completion time, in ascending task
+// order (MCT restricted to the gap set; one SIMD-dispatched fused scan per
+// placement). Deterministic: pure function of (etc, partial), lowest-index
+// tie-breaks — warm starts built from it replay byte-identically, which
+// the streaming golden tests rely on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "etc/etc_matrix.hpp"
+#include "sched/schedule.hpp"
+
+namespace pacga::sched {
+
+/// Sentinel marking "this task has no machine yet" in a partial assignment.
+inline constexpr MachineId kNoMachine = static_cast<MachineId>(-1);
+
+/// Completes `partial` (one entry per task; kNoMachine = unassigned) into a
+/// full assignment and returns the resulting schedule. Throws
+/// std::invalid_argument on a size mismatch or an assigned id out of range.
+Schedule warm_seed(const etc::EtcMatrix& etc,
+                   std::span<const MachineId> partial);
+
+}  // namespace pacga::sched

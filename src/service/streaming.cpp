@@ -1,0 +1,167 @@
+#include "service/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "sched/seed.hpp"
+#include "service/service.hpp"
+
+namespace pacga::service {
+
+StreamingSession::StreamingSession(SchedulerService& service,
+                                   StreamingSpec spec)
+    : service_(service), spec_(std::move(spec)) {
+  if (!(spec_.epoch_length > 0.0) || !std::isfinite(spec_.epoch_length))
+    throw std::invalid_argument(
+        "StreamingSession: epoch_length must be positive and finite");
+  if (!(spec_.deadline_ms > 0.0))
+    throw std::invalid_argument(
+        "StreamingSession: deadline_ms must be positive");
+  workload_ = batch::generate_workload(spec_.workload);  // validates
+  const std::size_t machines = workload_.machines.size();
+  machine_ids_.resize(machines);
+  for (std::size_t m = 0; m < machines; ++m) machine_ids_[m] = m;
+  busy_until_.assign(machines, 0.0);
+  ready_.assign(machines, 0.0);
+  task_start_.assign(workload_.tasks.size(), -1.0);
+  task_finish_.assign(workload_.tasks.size(), -1.0);
+  last_machine_.assign(workload_.tasks.size(), sched::kNoMachine);
+}
+
+bool StreamingSession::done() const noexcept {
+  return next_arrival_ >= workload_.tasks.size() && pending_.empty();
+}
+
+EpochReport StreamingSession::step() {
+  if (done()) throw std::logic_error("StreamingSession::step: already done");
+  if (spec_.max_epochs != 0 && metrics_.epochs >= spec_.max_epochs)
+    throw std::runtime_error("StreamingSession: epoch limit exceeded");
+
+  EpochReport rep;
+  rep.epoch = metrics_.epochs;
+  const double now = static_cast<double>(metrics_.epochs) * spec_.epoch_length;
+  rep.now = now;
+
+  // --- arrivals (tasks are sorted by arrival, so ids stay ascending) ------
+  rep.carried = pending_.size();
+  while (next_arrival_ < workload_.tasks.size() &&
+         workload_.tasks[next_arrival_].arrival <= now) {
+    pending_.push_back(next_arrival_);
+    ++next_arrival_;
+    ++rep.arrivals;
+  }
+  if (pending_.empty()) {
+    ++metrics_.epochs;
+    return rep;  // idle epoch: nothing to solve, machines keep draining
+  }
+  rep.batch_tasks = pending_.size();
+  metrics_.carried_tasks += rep.carried;
+
+  // --- the epoch's batch instance, with CURRENT ready times ---------------
+  for (std::size_t m = 0; m < busy_until_.size(); ++m) {
+    ready_[m] = std::max(0.0, busy_until_[m] - now);
+  }
+  auto batch_etc = std::make_shared<const etc::EtcMatrix>(batch::make_batch_etc(
+      workload_, pending_, machine_ids_, ready_, spec_.workload.inconsistency,
+      spec_.workload.seed));
+
+  // --- solve: reschedule of the previous tail, or an independent solve ----
+  JobSpec job;
+  job.etc = batch_etc;
+  job.priority = spec_.priority;
+  job.deadline_ms = spec_.deadline_ms;
+  job.seed = spec_.seed + metrics_.epochs;
+  job.max_generations = spec_.max_generations;
+  job.policy = spec_.policy;
+  // Epoch matrices never repeat (ready times shift every epoch), so the
+  // solution cache cannot help; keep stream jobs out of it entirely.
+  job.use_cache = false;
+  JobId id = 0;
+  if (spec_.warm) {
+    // Carried tasks keep the machine the last solve gave them; fresh
+    // arrivals are completed ready-time-aware (sched::warm_seed). The
+    // service's never-worse-than-seed clamp makes every epoch's answer at
+    // least as good as this seed.
+    std::vector<sched::MachineId> partial(pending_.size());
+    for (std::size_t bi = 0; bi < pending_.size(); ++bi) {
+      partial[bi] = last_machine_[pending_[bi]];
+    }
+    const sched::Schedule seed = sched::warm_seed(*batch_etc, partial);
+    const auto a = seed.assignment();
+    job.warm_start.assign(a.begin(), a.end());
+    id = service_.submit_reschedule(std::move(job));
+  } else {
+    id = service_.submit(std::move(job));
+  }
+  const JobResult r = service_.wait(id);
+  if (r.status != JobStatus::kDone)
+    throw std::runtime_error(std::string("StreamingSession: epoch solve ") +
+                             to_string(r.status));
+  rep.solved = true;
+  rep.warm_started = r.warm_started;
+  rep.batch_makespan = r.makespan;
+  rep.solve_seconds = r.solve_seconds;
+  ++metrics_.solved_batches;
+  metrics_.warm_epochs += r.warm_started ? 1 : 0;
+  metrics_.solve_seconds += r.solve_seconds;
+
+  // --- commit the epoch: whatever STARTS inside it is locked in ----------
+  // Machines run their batch share in batch order; a task that cannot
+  // start before the next boundary stays pending and carries its assigned
+  // machine into the next epoch's warm seed.
+  const double boundary = now + spec_.epoch_length;
+  std::size_t kept = 0;
+  for (std::size_t bi = 0; bi < pending_.size(); ++bi) {
+    const std::size_t task = pending_[bi];
+    const sched::MachineId machine = r.assignment[bi];
+    const double start = std::max(now, busy_until_[machine]);
+    if (start < boundary) {
+      const double exec = (*batch_etc)(bi, machine);
+      busy_until_[machine] = start + exec;
+      task_start_[task] = start;
+      task_finish_[task] = start + exec;
+      busy_time_ += exec;
+      ++rep.committed;
+      ++metrics_.committed_tasks;
+    } else {
+      last_machine_[task] = machine;
+      pending_[kept++] = task;  // tail: order (ascending ids) preserved
+    }
+  }
+  pending_.resize(kept);
+
+  ++metrics_.epochs;
+  if (done()) finalize();
+  return rep;
+}
+
+const StreamingMetrics& StreamingSession::run() {
+  while (!done()) step();
+  return metrics_;
+}
+
+void StreamingSession::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  double wait_sum = 0.0;
+  double response_sum = 0.0;
+  for (std::size_t t = 0; t < workload_.tasks.size(); ++t) {
+    const double wait = task_start_[t] - workload_.tasks[t].arrival;
+    const double response = task_finish_[t] - workload_.tasks[t].arrival;
+    wait_sum += wait;
+    response_sum += response;
+    metrics_.max_response = std::max(metrics_.max_response, response);
+    metrics_.completion_time =
+        std::max(metrics_.completion_time, task_finish_[t]);
+  }
+  const auto n = static_cast<double>(workload_.tasks.size());
+  metrics_.mean_wait = wait_sum / n;
+  metrics_.mean_response = response_sum / n;
+  const double machine_time =
+      static_cast<double>(busy_until_.size()) * metrics_.completion_time;
+  metrics_.utilization = machine_time > 0.0 ? busy_time_ / machine_time : 0.0;
+}
+
+}  // namespace pacga::service

@@ -1,0 +1,30 @@
+// Small header-only algorithms shared across subsystems.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pacga::support {
+
+/// Erases the elements at `sorted_indices` (strictly ascending, in-range)
+/// from `v` in ONE stable compaction pass — per-index vector::erase would
+/// shift the tail once per removal, O(|indices| * |v|). Used by the
+/// dynamic epoch-commit paths, where a batch commit drops many tasks at
+/// once.
+template <typename T>
+void erase_sorted_indices(std::vector<T>& v,
+                          std::span<const std::size_t> sorted_indices) {
+  std::size_t next = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (next < sorted_indices.size() && sorted_indices[next] == i) {
+      ++next;
+      continue;
+    }
+    v[kept++] = std::move(v[i]);
+  }
+  v.resize(kept);
+}
+
+}  // namespace pacga::support

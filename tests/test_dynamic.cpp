@@ -62,6 +62,105 @@ TEST(GridEvent, FormatIsStable) {
   EXPECT_EQ(format_event(task_arrival(10.0, 2.0)),
             "t=2.000000 arrival workload=10.000000");
   EXPECT_EQ(format_event(task_cancel(7, 3.0)), "t=3.000000 cancel task=7");
+  EXPECT_EQ(format_event(epoch_commit(250.0, 4.0)),
+            "t=4.000000 commit elapsed=250.000000");
+  // The optional ready field appears only when set, so pre-ready-time
+  // event logs keep their byte format.
+  EXPECT_EQ(format_event(machine_up_ready(2.5, 80.0, 0.25)),
+            "t=0.250000 up mips=2.500000 ready=80.000000");
+}
+
+TEST(GridEvent, EveryKindRoundTripsThroughTheParser) {
+  // The parser is load-bearing for the daemon's REPLAY verb: a serialized
+  // stream must come back as the events it was written from. Values here
+  // are exactly representable at the log's 6-decimal precision, so the
+  // round trip is field-exact.
+  const GridEvent cases[] = {
+      machine_down(3, 1.5),
+      machine_up(2.5, 0.25),
+      machine_up_ready(4.75, 120.5, 2.25),
+      // An INVALID ready must round-trip too: a replayed log has to
+      // reproduce the live session's rejection, not silently drop the
+      // field and apply a ready-free join.
+      machine_up_ready(4.0, -3.0, 1.0),
+      machine_slowdown(1, 2.0, 0.5),
+      task_arrival(1500.125, 2.0),
+      task_cancel(7, 3.0),
+      epoch_commit(250.0, 4.0),
+  };
+  for (const GridEvent& e : cases) {
+    const std::string line = format_event(e);
+    EXPECT_EQ(parse_event(line), e) << line;
+    // And the line itself is the fixed point of a second round trip.
+    EXPECT_EQ(format_event(parse_event(line)), line);
+  }
+}
+
+TEST(GridEvent, ReadyRenderingToZeroIsCanonicallyZero) {
+  // A ready whose 6-decimal rendering is (-)0.000000 is dropped from the
+  // line entirely: emitting it would parse back to 0.0 and vanish on the
+  // next format, breaking the canonical-form fixed point.
+  EXPECT_EQ(format_event(machine_up_ready(2.5, 1e-9, 0.25)),
+            format_event(machine_up(2.5, 0.25)));
+  EXPECT_EQ(format_event(machine_up_ready(2.5, -1e-9, 0.25)),
+            format_event(machine_up(2.5, 0.25)));
+  // Just past the rounding threshold the field survives and round-trips.
+  const std::string line = format_event(machine_up_ready(2.5, 1e-6, 0.25));
+  EXPECT_EQ(line, "t=0.250000 up mips=2.500000 ready=0.000001");
+  EXPECT_EQ(format_event(parse_event(line)), line);
+}
+
+TEST(GridEvent, ExtremeLegalValuesNeverTruncate) {
+  // %f renders ~316 chars for a near-max double; the format buffer must
+  // cover it, or a clamped line could re-parse as a DIFFERENT event and
+  // silently diverge a replay. 1e300 is a legal workload/mips/ready (the
+  // mutator only requires positive finite).
+  for (const GridEvent& e :
+       {task_arrival(1e300, 1.0), machine_up(1e300, 1.0),
+        machine_up_ready(1e300, 1e300, 1.0), epoch_commit(1e300, 1.0),
+        // The compound worst case: all three %f fields near max width.
+        machine_up_ready(1e300, 1e300, 1e300)}) {
+    const std::string line = format_event(e);
+    EXPECT_GT(line.size(), 300u);
+    EXPECT_EQ(format_event(parse_event(line)), line);
+    EXPECT_EQ(parse_event(line), e);  // 1e300 is 6-decimal exact
+  }
+}
+
+TEST(GridEvent, GeneratedStreamsRoundTripByteForByte) {
+  // Arbitrary generated values truncate to the log's 6-decimal precision,
+  // so the LINE is the canonical form: format(parse(line)) == line for
+  // every event the generator can emit (ready-carrying joins included).
+  batch::EventStreamSpec spec;
+  spec.initial_tasks = 24;
+  spec.initial_machines = 6;
+  spec.up_ready_hi = 250.0;
+  spec.max_events = 500;
+  spec.seed = 11;
+  for (const GridEvent& e : batch::generate_event_stream(spec)) {
+    const std::string line = format_event(e);
+    EXPECT_EQ(format_event(parse_event(line)), line) << line;
+  }
+}
+
+TEST(GridEvent, ParserRejectsMalformedLines) {
+  EXPECT_THROW(parse_event(""), std::invalid_argument);
+  EXPECT_THROW(parse_event("down machine=1"), std::invalid_argument);
+  EXPECT_THROW(parse_event("t=notanumber down machine=1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_event("t=1.0 explode machine=1"), std::invalid_argument);
+  EXPECT_THROW(parse_event("t=1.0 down"), std::invalid_argument);
+  EXPECT_THROW(parse_event("t=1.0 down task=1"), std::invalid_argument);
+  EXPECT_THROW(parse_event("t=1.0 down machine=xyz"), std::invalid_argument);
+  // strtoull would silently wrap a negative index to SIZE_MAX.
+  EXPECT_THROW(parse_event("t=1.0 down machine=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_event("t=1.0 cancel task=-7"), std::invalid_argument);
+  EXPECT_THROW(parse_event("t=1.0 up mips=2.0 bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_event("t=1.0 cancel task=7 extra"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_event("t=1.0 slowdown machine=1 factor=2.0 junk=3"),
+               std::invalid_argument);
 }
 
 // --- EtcMutator ------------------------------------------------------------
@@ -105,6 +204,112 @@ TEST(EtcMutator, SlowdownClampBoundsAccumulation) {
   }
   EXPECT_NEAR(mut.etc()(0, 0), e0 / EtcMutator::kMaxSlowdown,
               1e-9 * e0 / EtcMutator::kMaxSlowdown);
+}
+
+TEST(EtcMutator, ClampPinsOutcomeFactorAtBothEdges) {
+  // The [1/64, 64] accumulated-slowdown clamp is part of the API contract
+  // (mutator.hpp): at either edge the event is PARTIALLY applied and
+  // Outcome::factor reports what was realized — exactly 1.0 once the
+  // machine is pinned and the event pushes further outward.
+  EtcMutator mut(small_spec());
+  const double e0 = mut.etc()(0, 0);
+
+  // Upper edge: 32 * 4 = 128 overshoots; only 64/32 = 2 is realized.
+  (void)mut.apply(machine_slowdown(0, 32.0));
+  auto out = mut.apply(machine_slowdown(0, 4.0));
+  EXPECT_DOUBLE_EQ(out.factor, 2.0);
+  out = mut.apply(machine_slowdown(0, 1.5));  // pinned: swallowed entirely
+  EXPECT_DOUBLE_EQ(out.factor, 1.0);
+  EXPECT_NEAR(mut.etc()(0, 0), e0 * EtcMutator::kMaxSlowdown,
+              1e-9 * e0 * EtcMutator::kMaxSlowdown);
+  // A recovery moves a pinned machine off the edge normally.
+  out = mut.apply(machine_slowdown(0, 0.5));
+  EXPECT_DOUBLE_EQ(out.factor, 0.5);
+
+  // Lower edge: accumulated 1/32 (= 64/32/64), pushing to 1/128 realizes
+  // only 1/2; once pinned, a further recovery is swallowed.
+  out = mut.apply(machine_slowdown(0, 1.0 / 64.0));
+  EXPECT_DOUBLE_EQ(out.factor, 1.0 / 64.0);  // 32 -> 1/2: inside the range
+  out = mut.apply(machine_slowdown(0, 1.0 / 128.0));
+  EXPECT_DOUBLE_EQ(out.factor, 1.0 / 32.0);  // 1/2 -> clamped at 1/64
+  out = mut.apply(machine_slowdown(0, 0.25));
+  EXPECT_DOUBLE_EQ(out.factor, 1.0);  // pinned at the lower edge
+  EXPECT_NEAR(mut.etc()(0, 0), e0 / EtcMutator::kMaxSlowdown,
+              1e-9 * e0 / EtcMutator::kMaxSlowdown);
+  // Model and matrix stayed in lockstep through every clamped apply.
+  EXPECT_EQ(mut.etc().fingerprint(), mut.rebuild().fingerprint());
+}
+
+TEST(EtcMutator, MachineUpReadyMaterializesIntoTheMatrix) {
+  EtcMutator mut(small_spec());
+  const auto out = mut.apply(machine_up_ready(4.0, 75.0));
+  EXPECT_TRUE(out.shape_changed);
+  EXPECT_EQ(out.machine, 6u);
+  EXPECT_DOUBLE_EQ(mut.etc().ready(6), 75.0);
+  for (std::size_t m = 0; m < 6; ++m) {
+    EXPECT_DOUBLE_EQ(mut.etc().ready(m), 0.0);
+  }
+  // Ready times survive rebuilds and participate in the fingerprint.
+  EXPECT_EQ(mut.etc().fingerprint(), mut.rebuild().fingerprint());
+  EXPECT_THROW(mut.apply(machine_up_ready(4.0, -1.0)), std::invalid_argument);
+  EXPECT_THROW(
+      mut.apply(machine_up_ready(4.0, std::numeric_limits<double>::infinity())),
+      std::invalid_argument);
+}
+
+TEST(EtcMutator, CommitEpochFeedsStartedWorkBackIntoReady) {
+  const auto spec = small_spec();
+  EtcMutator mut(spec);
+  const sched::Schedule schedule = heur::min_min(mut.etc());
+  const std::vector<double> before(schedule.completions().begin(),
+                                   schedule.completions().end());
+  const double elapsed = schedule.makespan() * 0.5;
+
+  const auto out = mut.commit_epoch(schedule.assignment(), elapsed);
+  EXPECT_EQ(out.removed_tasks.size(), out.completed + out.in_flight);
+  EXPECT_GT(out.removed_tasks.size(), 0u);
+  EXPECT_LT(out.removed_tasks.size(), 24u);
+  EXPECT_EQ(mut.tasks(), 24u - out.removed_tasks.size());
+  EXPECT_EQ(out.old_ready, std::vector<double>(6, 0.0));
+
+  // The committed work's remainder is each machine's new ready time:
+  // since every machine ran its queue from t=0, the boundary cuts its
+  // completion to max(0, completion - elapsed) — and that remainder is
+  // exactly what the new ready times + remaining assignments must re-add.
+  for (std::size_t m = 0; m < 6; ++m) {
+    EXPECT_GE(mut.etc().ready(m), 0.0);
+    EXPECT_LE(mut.etc().ready(m), std::max(0.0, before[m] - elapsed) + 1e-9);
+  }
+  EXPECT_EQ(mut.etc().fingerprint(), mut.rebuild().fingerprint());
+
+  // Execution profiles of surviving tasks are untouched (stable uids).
+  EXPECT_EQ(mut.etc().tasks(), mut.tasks());
+}
+
+TEST(EtcMutator, CommitEpochValidatesAndLeavesInstanceOnThrow) {
+  EtcMutator mut(small_spec());
+  const sched::Schedule schedule = heur::min_min(mut.etc());
+  const auto fp = mut.etc().fingerprint();
+
+  // Wrong assignment size.
+  const std::vector<sched::MachineId> short_assignment(23, 0);
+  EXPECT_THROW(mut.commit_epoch(short_assignment, 10.0),
+               std::invalid_argument);
+  // Out-of-range machine id.
+  std::vector<sched::MachineId> bad(24, 0);
+  bad[3] = 6;
+  EXPECT_THROW(mut.commit_epoch(bad, 10.0), std::invalid_argument);
+  // Non-positive elapsed.
+  EXPECT_THROW(mut.commit_epoch(schedule.assignment(), 0.0),
+               std::invalid_argument);
+  // A window past the makespan would commit everything: domain error.
+  EXPECT_THROW(
+      mut.commit_epoch(schedule.assignment(), schedule.makespan() * 2.0),
+      std::domain_error);
+
+  EXPECT_EQ(mut.etc().fingerprint(), fp);
+  EXPECT_EQ(mut.tasks(), 24u);
+  EXPECT_EQ(mut.events_applied(), 0u);
 }
 
 TEST(EtcMutator, ShapeChangesReportOutcome) {
@@ -445,6 +650,36 @@ TEST(EventStream, ZeroRateDisablesAKind) {
   }
 }
 
+TEST(EventStream, UpReadyKnobGatesJoiningReadyTimes) {
+  batch::EventStreamSpec spec;
+  spec.initial_tasks = 16;
+  spec.initial_machines = 4;
+  spec.arrival_rate = spec.cancel_rate = spec.down_rate = 0.0;
+  spec.slowdown_rate = 0.0;
+  spec.up_rate = 1.0;
+  spec.max_events = 64;
+  spec.seed = 3;
+
+  // Default: joins are ready-free (the pre-ready-time byte format).
+  for (const GridEvent& e : batch::generate_event_stream(spec)) {
+    ASSERT_EQ(e.kind, EventKind::kMachineUp);
+    EXPECT_DOUBLE_EQ(e.ready, 0.0);
+  }
+  // With the knob: every join carries ready in [0, hi), and the stream is
+  // legal against a live session (ready times repair cleanly).
+  spec.up_ready_hi = 300.0;
+  bool any_positive = false;
+  RescheduleSession session(small_spec());
+  for (const GridEvent& e : batch::generate_event_stream(spec)) {
+    EXPECT_GE(e.ready, 0.0);
+    EXPECT_LT(e.ready, 300.0);
+    any_positive = any_positive || e.ready > 0.0;
+    (void)session.apply(e);
+    ASSERT_TRUE(session.schedule().validate()) << format_event(e);
+  }
+  EXPECT_TRUE(any_positive);
+}
+
 TEST(EventStream, ValidatesSpec) {
   auto spec = stream_spec();
   spec.duration = 0.0;
@@ -476,6 +711,77 @@ TEST(RescheduleSession, MaintainsAValidScheduleThroughEvents) {
     ASSERT_EQ(session.schedule().tasks(), session.tasks());
     ASSERT_EQ(session.schedule().machines(), session.machines());
   }
+}
+
+TEST(RescheduleSession, CommitEpochShiftsCompletionsByTheWindow) {
+  // The clean invariant of an epoch commit: every machine ran its queue
+  // for `elapsed` units, so its completion drops to
+  // max(0, completion - elapsed) — committed work became ready time,
+  // unstarted work stayed assigned. The repairer must reproduce this
+  // through its incremental cache patch (adopt_with_completions
+  // cross-validates in debug builds).
+  RescheduleSession session(small_spec());
+  const std::vector<double> before(session.schedule().completions().begin(),
+                                   session.schedule().completions().end());
+  const double elapsed = session.schedule().makespan() * 0.4;
+
+  const RepairStats stats = session.apply(epoch_commit(elapsed));
+  EXPECT_EQ(stats.kind, EventKind::kEpochCommit);
+  EXPECT_EQ(stats.orphaned, 0u);
+  EXPECT_GT(stats.committed, 0u);
+  EXPECT_TRUE(stats.shape_changed);
+  EXPECT_EQ(session.tasks(), 24u - stats.committed);
+  ASSERT_TRUE(session.schedule().validate());
+  for (std::size_t m = 0; m < session.machines(); ++m) {
+    EXPECT_NEAR(session.schedule().completion(m),
+                std::max(0.0, before[m] - elapsed), 1e-6 * before[m] + 1e-9);
+  }
+
+  // A second commit keeps compounding (ready times now nonzero).
+  const std::vector<double> mid(session.schedule().completions().begin(),
+                                session.schedule().completions().end());
+  const RepairStats again = session.commit_epoch(elapsed * 0.5);
+  ASSERT_TRUE(session.schedule().validate());
+  for (std::size_t m = 0; m < session.machines(); ++m) {
+    EXPECT_NEAR(session.schedule().completion(m),
+                std::max(0.0, mid[m] - elapsed * 0.5), 1e-6 * mid[m] + 1e-9);
+  }
+  EXPECT_EQ(again.kind, EventKind::kEpochCommit);
+}
+
+TEST(RescheduleSession, CommittedWorkFlowsIntoTheWarmStartSpec) {
+  RescheduleSession session(small_spec());
+  (void)session.commit_epoch(session.schedule().makespan() * 0.5);
+  const service::JobSpec spec = session.make_reschedule_spec(0, 50.0, 7);
+  ASSERT_TRUE(spec.etc != nullptr);
+  // The snapshot carries the post-commit ready times, so the service's
+  // warm CGA optimizes around work already underway.
+  double total_ready = 0.0;
+  for (std::size_t m = 0; m < spec.etc->machines(); ++m) {
+    total_ready += spec.etc->ready(m);
+  }
+  EXPECT_GT(total_ready, 0.0);
+  EXPECT_EQ(spec.warm_start.size(), session.tasks());
+  // And the warm start evaluates on that snapshot to the session makespan.
+  const sched::Schedule seeded(*spec.etc, spec.warm_start);
+  EXPECT_NEAR(seeded.makespan(), session.schedule().makespan(),
+              1e-9 * seeded.makespan());
+}
+
+TEST(RescheduleSession, MachineReturnsWithReadyTimeForInFlightWork) {
+  // The down-and-return story: the machine's replacement joins busy, and
+  // repair seeds its completion at the ready time, so nothing lands on it
+  // until the backlog clears (or re-optimization decides it is worth the
+  // wait).
+  RescheduleSession session(small_spec());
+  (void)session.apply(machine_down(2));
+  const RepairStats stats = session.apply(machine_up_ready(5.0, 400.0));
+  EXPECT_EQ(stats.orphaned, 0u);
+  ASSERT_TRUE(session.schedule().validate());
+  EXPECT_EQ(session.machines(), 6u);
+  EXPECT_DOUBLE_EQ(session.etc().ready(5), 400.0);
+  EXPECT_DOUBLE_EQ(session.schedule().completion(5), 400.0);
+  EXPECT_EQ(session.schedule().tasks_on(5), 0u);
 }
 
 TEST(RescheduleSession, SpecCarriesSnapshotAndWarmStart) {

@@ -1,0 +1,187 @@
+// Streaming-scheduler tests:
+//
+//  * sched::warm_seed — ready-time-aware completion of a partial
+//    assignment (the gap-filling step every warm start shares);
+//  * service::StreamingSession — epoch-batched arrivals served through the
+//    scheduler service: every task is eventually committed exactly once,
+//    tails carry their machines into the next epoch's warm seed, warm
+//    epochs go through submit_reschedule (never worse than the seed), and
+//    a generation-capped stream is a pure function of its spec.
+#include "service/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sched/seed.hpp"
+#include "service/service.hpp"
+
+namespace pacga::service {
+namespace {
+
+// --- sched::warm_seed ------------------------------------------------------
+
+etc::EtcMatrix tiny_matrix() {
+  // 4 tasks x 2 machines, machine 1 busy (ready 10).
+  return etc::EtcMatrix(4, 2,
+                        {1.0, 2.0,   // task 0
+                         3.0, 1.0,   // task 1
+                         2.0, 2.0,   // task 2
+                         4.0, 1.0},  // task 3
+                        {0.0, 10.0});
+}
+
+TEST(WarmSeed, KeepsAssignmentsAndFillsGapsByMinCompletion) {
+  const etc::EtcMatrix etc = tiny_matrix();
+  const std::vector<sched::MachineId> partial = {0, sched::kNoMachine, 1,
+                                                 sched::kNoMachine};
+  const sched::Schedule s = sched::warm_seed(etc, partial);
+  // Assigned tasks kept their machines.
+  EXPECT_EQ(s.machine_of(0), 0);
+  EXPECT_EQ(s.machine_of(2), 1);
+  // After charging tasks 0 and 2: completion = {1, 12}. Task 1 goes to
+  // machine 0 (1+3=4 vs 12+1=13); task 3 too (4+4=8 vs 13).
+  EXPECT_EQ(s.machine_of(1), 0);
+  EXPECT_EQ(s.machine_of(3), 0);
+  EXPECT_TRUE(s.validate());
+  EXPECT_DOUBLE_EQ(s.completion(0), 8.0);
+  EXPECT_DOUBLE_EQ(s.completion(1), 12.0);
+}
+
+TEST(WarmSeed, ReadyTimesSteerPlacement) {
+  // Identical ETCs; only the ready times differ — the seed must respect
+  // them or warm starts would overload machines draining committed work.
+  const etc::EtcMatrix etc(2, 2, {1.0, 1.0, 1.0, 1.0}, {5.0, 0.0});
+  const std::vector<sched::MachineId> none = {sched::kNoMachine,
+                                              sched::kNoMachine};
+  const sched::Schedule s = sched::warm_seed(etc, none);
+  EXPECT_EQ(s.machine_of(0), 1);
+  EXPECT_EQ(s.machine_of(1), 1);  // 2.0 on machine 1 still beats 5+1
+}
+
+TEST(WarmSeed, ValidatesItsInputs) {
+  const etc::EtcMatrix etc = tiny_matrix();
+  const std::vector<sched::MachineId> wrong_size = {0, 1};
+  EXPECT_THROW((void)sched::warm_seed(etc, wrong_size),
+               std::invalid_argument);
+  const std::vector<sched::MachineId> out_of_range = {0, 1, 2,
+                                                      sched::kNoMachine};
+  EXPECT_THROW((void)sched::warm_seed(etc, out_of_range),
+               std::invalid_argument);
+}
+
+// --- StreamingSession ------------------------------------------------------
+
+StreamingSpec small_stream(bool warm) {
+  StreamingSpec spec;
+  spec.workload.tasks = 48;
+  spec.workload.machines = 6;
+  spec.workload.seed = 9;
+  // Workload scale: ETC entries land around ~150; a 400-unit epoch forces
+  // several epochs with both commits and carried tails.
+  spec.epoch_length = 400.0;
+  spec.deadline_ms = 2000.0;
+  spec.max_generations = 20;  // determinism: budget in generations
+  spec.policy = SolvePolicy::kCga;
+  spec.seed = 4;
+  spec.warm = warm;
+  return spec;
+}
+
+TEST(StreamingSession, RunsToCompletionAndCommitsEveryTaskOnce) {
+  SchedulerService svc;
+  StreamingSession session(svc, small_stream(/*warm=*/true));
+  std::size_t committed = 0;
+  std::size_t carried = 0;
+  while (!session.done()) {
+    const EpochReport rep = session.step();
+    committed += rep.committed;
+    carried += rep.carried;
+    if (rep.solved) {
+      EXPECT_EQ(rep.batch_tasks, rep.carried + rep.arrivals);
+      EXPECT_GT(rep.batch_makespan, 0.0);
+    }
+  }
+  const StreamingMetrics& m = session.metrics();
+  EXPECT_EQ(committed, 48u);
+  EXPECT_EQ(m.committed_tasks, 48u);
+  EXPECT_GT(m.epochs, 1u);
+  EXPECT_GT(m.solved_batches, 1u);
+  EXPECT_GT(carried, 0u);  // the scenario exercises real tails
+  EXPECT_GT(m.completion_time, 0.0);
+  EXPECT_GE(m.mean_response, m.mean_wait);
+  EXPECT_GE(m.max_response, m.mean_response);
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0);
+  EXPECT_THROW((void)session.step(), std::logic_error);
+}
+
+TEST(StreamingSession, WarmEpochsGoThroughReschedule) {
+  SchedulerService svc;
+  StreamingSession warm(svc, small_stream(/*warm=*/true));
+  warm.run();
+  EXPECT_EQ(warm.metrics().warm_epochs, warm.metrics().solved_batches);
+  EXPECT_GT(svc.metrics().reschedules, 0u);
+
+  SchedulerService cold_svc;
+  StreamingSession cold(cold_svc, small_stream(/*warm=*/false));
+  cold.run();
+  EXPECT_EQ(cold.metrics().warm_epochs, 0u);
+  EXPECT_EQ(cold_svc.metrics().reschedules, 0u);
+  // Same scenario either way: both arms commit all 48 tasks.
+  EXPECT_EQ(cold.metrics().committed_tasks, 48u);
+}
+
+TEST(StreamingSession, GenerationCappedStreamsAreDeterministic) {
+  // With a generation cap the whole stream — per-epoch makespans
+  // included — is a pure function of the spec, across runs and worker
+  // counts (the same discipline as the service determinism tests).
+  auto trace = [](std::size_t workers) {
+    ServiceOptions options;
+    options.workers = workers;
+    SchedulerService svc(options);
+    StreamingSession session(svc, small_stream(/*warm=*/true));
+    std::vector<double> makespans;
+    while (!session.done()) {
+      const EpochReport rep = session.step();
+      if (rep.solved) makespans.push_back(rep.batch_makespan);
+    }
+    makespans.push_back(session.metrics().completion_time);
+    makespans.push_back(session.metrics().mean_response);
+    return makespans;
+  };
+  const auto a = trace(1);
+  const auto b = trace(2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "epoch " << i;
+  }
+}
+
+TEST(StreamingSession, ValidatesItsSpec) {
+  SchedulerService svc;
+  StreamingSpec bad = small_stream(true);
+  bad.epoch_length = 0.0;
+  EXPECT_THROW(StreamingSession(svc, bad), std::invalid_argument);
+  bad = small_stream(true);
+  bad.deadline_ms = -1.0;
+  EXPECT_THROW(StreamingSession(svc, bad), std::invalid_argument);
+  bad = small_stream(true);
+  bad.workload.tasks = 0;  // WorkloadSpec validation still applies
+  EXPECT_THROW(StreamingSession(svc, bad), std::invalid_argument);
+}
+
+TEST(StreamingSession, EpochLimitGuards) {
+  SchedulerService svc;
+  StreamingSpec spec = small_stream(true);
+  spec.max_epochs = 1;
+  StreamingSession session(svc, spec);
+  (void)session.step();
+  if (!session.done()) {
+    EXPECT_THROW((void)session.step(), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace pacga::service

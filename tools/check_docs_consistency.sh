@@ -1,0 +1,47 @@
+#!/bin/sh
+# Docs drift gate: every daemon verb (and EVENT subcommand) that exists in
+# examples/scheduler_service.cpp must be documented in
+# docs/DAEMON_PROTOCOL.md, and every runtime environment switch read
+# anywhere in src/ must appear in the README's switch table. Run from
+# anywhere; CI (and `ctest -R docs_consistency`) fails when code grows a
+# verb or switch without its docs.
+set -eu
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- daemon verbs ----------------------------------------------------------
+verbs=$(grep -o 'cmd == "[A-Z]*"' examples/scheduler_service.cpp \
+          | sed 's/.*"\([A-Z]*\)".*/\1/' | sort -u)
+[ -n "$verbs" ] || { echo "BUG: no daemon verbs found — check the grep"; exit 1; }
+for v in $verbs; do
+  if ! grep -q "## $v" docs/DAEMON_PROTOCOL.md; then
+    echo "MISSING: daemon verb $v has no '## $v' section in docs/DAEMON_PROTOCOL.md"
+    fail=1
+  fi
+done
+
+# --- EVENT subcommands -----------------------------------------------------
+subs=$(grep -o 'what == "[A-Z]*"' examples/scheduler_service.cpp \
+         | sed 's/.*"\([A-Z]*\)".*/\1/' | sort -u)
+for s in $subs; do
+  if ! grep -q "EVENT $s" docs/DAEMON_PROTOCOL.md; then
+    echo "MISSING: EVENT subcommand $s undocumented in docs/DAEMON_PROTOCOL.md"
+    fail=1
+  fi
+done
+
+# --- runtime environment switches ------------------------------------------
+switches=$(grep -rho 'getenv("PACGA_[A-Z_]*")' src \
+             | sed 's/.*"\(PACGA_[A-Z_]*\)".*/\1/' | sort -u)
+[ -n "$switches" ] || { echo "BUG: no env switches found — check the grep"; exit 1; }
+for s in $switches; do
+  if ! grep -q "\`$s" README.md; then
+    echo "MISSING: env switch $s not in the README switch table"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs consistency OK ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$subs" | wc -w | tr -d ' ') EVENT subcommands, $(echo "$switches" | wc -w | tr -d ' ') switches)"
+fi
+exit $fail
