@@ -9,14 +9,28 @@
 // are hits) and cache disabled (every job is a real solve), so the JSON
 // shows both the cache win and the raw solver throughput.
 //
+// A third scenario exercises the sharded core: mixed-shape multi-tenancy.
+// Several tenants, each with its own instance SHAPE, submit concurrently
+// (cache off, generation-capped CGA — every job is a real solve), swept
+// across worker counts. Shape-affine sharding routes each tenant's jobs to
+// the worker whose warm arena matches, so throughput should scale with
+// workers instead of flatlining on arena thrash; the JSON records jobs/sec
+// per sweep point, speedup vs 1 worker, arena builds, and steal counts.
+// The sweep deliberately does NOT clamp workers to the core count: on a
+// small box the extra workers oversubscribe and the speedup is flat —
+// read the scaling claim from a >= 4-core run (CI uploads the artifact).
+//
 // Emits BENCH_service.json with jobs/sec, client-observed p50/p99 latency,
 // deadline-miss rate, and cache hit rate per arm. Defaults are smoke-scale
 // (>= 1000 jobs, a few seconds); --full scales the stream up.
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "etc/etc_matrix.hpp"
 
 #include "etc/braun.hpp"
 #include "service/service.hpp"
@@ -41,6 +55,10 @@ struct Options {
   std::uint64_t seed = 1;
   std::string policy = "auto";
   bool full = false;
+  std::size_t mixed_jobs = 600;  ///< jobs per sweep point (0 disables)
+  /// Worker counts of the mixed-shape sweep; NOT clamped to core count
+  /// (see the file comment).
+  std::string sweep_workers = "1,2,4";
 };
 
 struct ArmResult {
@@ -134,6 +152,118 @@ ArmResult run_arm(const Options& opts, bool use_cache, const char* name) {
   return a;
 }
 
+// --- mixed-shape multi-tenant sweep ----------------------------------------
+
+struct MixedResult {
+  std::size_t workers = 0;
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  double speedup_vs_1 = 0.0;
+  std::uint64_t arena_builds = 0;
+  std::uint64_t steals = 0;
+  std::vector<std::uint64_t> worker_completed;
+};
+
+/// The tenant shapes. Four distinct (tasks x machines) shapes so a 4-worker
+/// service can give every shape its own warm arena; two closed-loop clients
+/// per shape emulate two tenants sharing it. These four hash to FOUR
+/// DISTINCT shards at 4 shards (and split 2/2 at 2), so the sweep measures
+/// affinity rather than an accident of modulo collisions — a production
+/// mix won't be this clean, which is what stealing is for.
+struct TenantShape {
+  std::size_t tasks;
+  std::size_t machines;
+};
+
+constexpr TenantShape kTenantShapes[] = {
+    {24, 6}, {32, 8}, {48, 12}, {80, 16}};
+
+MixedResult run_mixed(const Options& opts, std::size_t workers) {
+  service::ServiceOptions service_options;
+  service_options.workers = workers;  // deliberately unclamped (sweep axis)
+  service_options.queue_capacity = opts.queue_capacity;
+  service_options.cache_capacity = 0;  // every job is a real solve
+  service::SchedulerService svc(service_options);
+
+  constexpr std::size_t kShapes = std::size(kTenantShapes);
+  const std::size_t clients = 2 * kShapes;  // two tenants per shape
+
+  // One instance per tenant, generated once: the shape is what matters,
+  // and a fixed matrix keeps per-job work identical across sweep points.
+  std::vector<std::shared_ptr<const etc::EtcMatrix>> tenant_etc;
+  tenant_etc.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    etc::GenSpec spec;
+    spec.tasks = kTenantShapes[c % kShapes].tasks;
+    spec.machines = kTenantShapes[c % kShapes].machines;
+    spec.consistency = etc::Consistency::kInconsistent;
+    spec.seed = opts.seed + 1000 + c;
+    tenant_etc.push_back(
+        std::make_shared<const etc::EtcMatrix>(etc::generate(spec)));
+  }
+
+  support::WallTimer wall;
+  {
+    support::ScopedThreads tenants(clients, [&](std::size_t c) {
+      for (std::size_t j = c; j < opts.mixed_jobs; j += clients) {
+        service::JobSpec spec;
+        spec.etc = tenant_etc[c];
+        spec.seed = opts.seed + j;
+        spec.deadline_ms = 10000.0;  // the generation cap is the budget
+        spec.policy = service::SolvePolicy::kCga;
+        spec.max_generations = 6;
+        spec.use_cache = false;
+        svc.wait(svc.submit(std::move(spec)));
+      }
+    });
+  }
+  svc.drain();
+  const double wall_s = wall.elapsed_seconds();
+  const auto snap = svc.metrics();
+
+  MixedResult m;
+  m.workers = workers;
+  m.jobs = snap.completed;
+  m.wall_seconds = wall_s;
+  m.jobs_per_second =
+      wall_s > 0.0 ? static_cast<double>(snap.completed) / wall_s : 0.0;
+  m.arena_builds = snap.arena_builds;
+  m.steals = svc.queue_steals();
+  m.worker_completed = snap.worker_completed;
+  svc.shutdown();
+  return m;
+}
+
+std::vector<std::size_t> parse_sweep(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t used = 0;
+    const unsigned long v = std::stoul(spec.substr(pos), &used);
+    if (v == 0) throw std::invalid_argument("sweep-workers: 0 is not a count");
+    out.push_back(static_cast<std::size_t>(v));
+    pos += used;
+    if (pos < spec.size()) {
+      if (spec[pos] != ',')
+        throw std::invalid_argument("sweep-workers: expected comma in " + spec);
+      ++pos;
+    }
+  }
+  if (out.empty())
+    throw std::invalid_argument("sweep-workers: empty sweep list");
+  return out;
+}
+
+void print_mixed(const MixedResult& m) {
+  std::printf(
+      "mixed-shape %2zu workers: %5zu jobs in %6.2f s -> %8.1f jobs/s | "
+      "speedup %4.2fx | arena builds %4llu | steals %6llu\n",
+      m.workers, m.jobs, m.wall_seconds, m.jobs_per_second, m.speedup_vs_1,
+      static_cast<unsigned long long>(m.arena_builds),
+      static_cast<unsigned long long>(m.steals));
+}
+
 void print_arm(const ArmResult& a) {
   std::printf(
       "%-10s %6zu jobs in %6.2f s -> %8.1f jobs/s | p50 %7.2f ms  p99 %7.2f "
@@ -143,7 +273,8 @@ void print_arm(const ArmResult& a) {
 }
 
 void write_json(const char* path, const Options& opts,
-                const std::vector<ArmResult>& arms) {
+                const std::vector<ArmResult>& arms,
+                const std::vector<MixedResult>& mixed) {
   std::FILE* out = std::fopen(path, "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", path);
@@ -172,6 +303,26 @@ void write_json(const char* path, const Options& opts,
         a.mean_queue_wait_ms, a.mean_solve_ms, a.mean_makespan,
         i + 1 < arms.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"mixed_shape\": [\n");
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    const MixedResult& m = mixed[i];
+    std::string per_worker;
+    for (std::size_t w = 0; w < m.worker_completed.size(); ++w) {
+      if (w > 0) per_worker += ", ";
+      per_worker += std::to_string(m.worker_completed[w]);
+    }
+    std::fprintf(
+        out,
+        "    {\"workers\": %zu, \"jobs\": %zu, \"wall_seconds\": %.4f, "
+        "\"jobs_per_sec\": %.2f, \"speedup_vs_1\": %.4f, "
+        "\"arena_builds\": %llu, \"steals\": %llu, "
+        "\"worker_completed\": [%s]}%s\n",
+        m.workers, m.jobs, m.wall_seconds, m.jobs_per_second, m.speedup_vs_1,
+        static_cast<unsigned long long>(m.arena_builds),
+        static_cast<unsigned long long>(m.steals), per_worker.c_str(),
+        i + 1 < mixed.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path);
@@ -196,6 +347,10 @@ int main(int argc, char** argv) {
       .option("policy", &opts.policy,
               {"auto", "minmin", "sufferage", "cga", "pacga"},
               "solve policy for every job")
+      .option("mixed-jobs", &opts.mixed_jobs,
+              "jobs per mixed-shape sweep point (0 disables the sweep)")
+      .option("sweep-workers", &opts.sweep_workers,
+              "comma-separated worker counts of the mixed-shape sweep")
       .flag("full", &opts.full, "10x jobs, paper-style campaign");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -209,11 +364,34 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (opts.full) opts.mixed_jobs *= 4;
+
   std::vector<ArmResult> arms;
   arms.push_back(run_arm(opts, /*use_cache=*/true, "cached"));
   print_arm(arms.back());
   arms.push_back(run_arm(opts, /*use_cache=*/false, "uncached"));
   print_arm(arms.back());
-  write_json("BENCH_service.json", opts, arms);
+
+  std::vector<MixedResult> mixed;
+  if (opts.mixed_jobs > 0) {
+    std::vector<std::size_t> sweep;
+    try {
+      sweep = parse_sweep(opts.sweep_workers);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    for (std::size_t w : sweep) {
+      mixed.push_back(run_mixed(opts, w));
+      // Speedup against the sweep's first point (1 worker by default).
+      const MixedResult& base = mixed.front();
+      mixed.back().speedup_vs_1 =
+          base.jobs_per_second > 0.0
+              ? mixed.back().jobs_per_second / base.jobs_per_second
+              : 0.0;
+      print_mixed(mixed.back());
+    }
+  }
+  write_json("BENCH_service.json", opts, arms, mixed);
   return 0;
 }

@@ -112,8 +112,22 @@ std::string result_line(const service::JobResult& r, bool deterministic) {
   return out.str();
 }
 
-std::string stats_line(const service::ServiceMetrics::Snapshot& s) {
+/// Comma-joins a vector of counters (no spaces: one STATS token per field).
+template <typename T>
+std::string join_counts(const std::vector<T>& v) {
   std::ostringstream out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out << ',';
+    out << v[i];
+  }
+  return out.str();
+}
+
+std::string stats_line(const service::SchedulerService& svc) {
+  const service::ServiceMetrics::Snapshot s = svc.metrics();
+  std::ostringstream out;
+  // Append-only: scripts key on leading fields by prefix, so new fields go
+  // at the end (the per-shard/per-worker block is newest).
   out << "STATS submitted=" << s.submitted << " completed=" << s.completed
       << " cancelled=" << s.cancelled << " failed=" << s.failed
       << " rejected=" << s.rejected << " reschedules=" << s.reschedules
@@ -123,7 +137,13 @@ std::string stats_line(const service::ServiceMetrics::Snapshot& s) {
       << " deadline_miss_rate=" << s.deadline_miss_rate()
       << " cache_hit_rate=" << s.cache_hit_rate()
       << " mean_wait_ms=" << s.queue_wait_seconds.mean() * 1e3
-      << " mean_solve_ms=" << s.solve_seconds.mean() * 1e3;
+      << " mean_solve_ms=" << s.solve_seconds.mean() * 1e3
+      << " workers=" << s.worker_completed.size()
+      << " shards=" << svc.shards() << " steals=" << svc.queue_steals()
+      << " arena_builds=" << s.arena_builds
+      << " shard_depth=" << join_counts(svc.shard_depths())
+      << " shard_hits=" << join_counts(svc.cache().stripe_hits())
+      << " worker_completed=" << join_counts(s.worker_completed);
   return out.str();
 }
 
@@ -222,7 +242,7 @@ std::string handle(service::SchedulerService& svc, const DaemonOptions& opts,
       quit = true;
       return "BYE";
     }
-    if (cmd == "STATS") return stats_line(svc.metrics());
+    if (cmd == "STATS") return stats_line(svc);
     if (cmd == "DRAIN") {
       svc.drain();
       return "DRAINED";

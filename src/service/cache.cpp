@@ -1,73 +1,127 @@
 #include "service/cache.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace pacga::service {
 
-SolutionCache::SolutionCache(std::size_t capacity) : capacity_(capacity) {
-  if (capacity_ > 0) index_.reserve(capacity_);
+SolutionCache::SolutionCache(std::size_t capacity, std::size_t stripes)
+    : stripe_capacity_(
+          capacity == 0 ? 0
+                        : std::max<std::size_t>(1, capacity / stripes)) {
+  if (stripes == 0)
+    throw std::invalid_argument("SolutionCache: stripes must be >= 1");
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+    if (stripe_capacity_ > 0) stripes_.back()->index.reserve(stripe_capacity_);
+  }
 }
 
-bool SolutionCache::lookup(std::uint64_t key, Entry& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
+bool SolutionCache::lookup(std::size_t stripe, std::uint64_t key,
+                           Entry& out) {
+  Stripe& s = *stripes_[stripe % stripes_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // bump to most recent
   out.assignment.assign(it->second->second.assignment.begin(),
                         it->second->second.assignment.end());
   out.fitness = it->second->second.fitness;
   out.policy = it->second->second.policy;
-  ++hits_;
+  ++s.hits;
   return true;
 }
 
-void SolutionCache::insert(std::uint64_t key,
+bool SolutionCache::lookup(std::uint64_t key, Entry& out) {
+  return lookup(static_cast<std::size_t>(key), key, out);
+}
+
+void SolutionCache::insert(std::size_t stripe, std::uint64_t key,
                            std::span<const sched::MachineId> assignment,
                            double fitness, SolvePolicy policy) {
-  if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
+  if (stripe_capacity_ == 0) return;
+  Stripe& s = *stripes_[stripe % stripes_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
     if (fitness < it->second->second.fitness) {
       it->second->second.assignment.assign(assignment.begin(),
                                            assignment.end());
       it->second->second.fitness = fitness;
       it->second->second.policy = policy;
     }
-    lru_.splice(lru_.begin(), lru_, it->second);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+  if (s.lru.size() >= stripe_capacity_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
   }
-  lru_.emplace_front(key, Entry{{assignment.begin(), assignment.end()},
-                                fitness, policy});
-  index_[key] = lru_.begin();
+  s.lru.emplace_front(key, Entry{{assignment.begin(), assignment.end()},
+                                 fitness, policy});
+  s.index[key] = s.lru.begin();
+}
+
+void SolutionCache::insert(std::uint64_t key,
+                           std::span<const sched::MachineId> assignment,
+                           double fitness, SolvePolicy policy) {
+  insert(static_cast<std::size_t>(key), key, assignment, fitness, policy);
 }
 
 void SolutionCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (auto& sp : stripes_) {
+    Stripe& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.lru.clear();
+    s.index.clear();
+    s.hits = 0;
+    s.misses = 0;
+  }
 }
 
 std::size_t SolutionCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  std::size_t total = 0;
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    total += sp->lru.size();
+  }
+  return total;
+}
+
+std::size_t SolutionCache::capacity() const noexcept {
+  return stripe_capacity_ * stripes_.size();
 }
 
 std::uint64_t SolutionCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  std::uint64_t total = 0;
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    total += sp->hits;
+  }
+  return total;
 }
 
 std::uint64_t SolutionCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  std::uint64_t total = 0;
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    total += sp->misses;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> SolutionCache::stripe_hits() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(stripes_.size());
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    out.push_back(sp->hits);
+  }
+  return out;
 }
 
 }  // namespace pacga::service

@@ -1,4 +1,4 @@
-// LRU solution cache keyed by ETC content fingerprint.
+// Striped LRU solution cache keyed by ETC content fingerprint.
 //
 // The service's answer to repeated instances — sweep campaigns submit the
 // same matrix dozens of times, a broker retries a failed batch verbatim —
@@ -9,14 +9,22 @@
 // an entry. insert() keeps the better of old and new fitness, so anytime
 // results only ever improve a cached answer.
 //
-// One mutex around a list+hashmap LRU: lookups copy the assignment out
-// under the lock (tasks * 2 bytes — a memcpy, not a solve), which keeps
-// entries immutable-by-copy and the locking trivially correct.
+// The cache is striped: N independent (mutex, list+hashmap LRU) stripes,
+// and the service selects the stripe by the job's QUEUE SHARD — the same
+// shape hash that pins jobs to workers. A pinned worker therefore takes
+// the same stripe lock job after job, uncontended by construction, and two
+// workers only meet on a lock when one of them is serving stolen work.
+// Within a stripe, lookups copy the assignment out under the lock
+// (tasks * 2 bytes — a memcpy, not a solve), which keeps entries
+// immutable-by-copy and the locking trivially correct. Capacity is split
+// evenly across stripes (at least 1 each), so eviction pressure is
+// per-stripe — matching the per-shard backpressure story of the queue.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -30,7 +38,10 @@ namespace pacga::service {
 class SolutionCache {
  public:
   /// A capacity of 0 disables the cache (lookups miss, inserts drop).
-  explicit SolutionCache(std::size_t capacity);
+  /// `stripes` >= 1; capacity is divided across them (at least 1 per
+  /// stripe when enabled). The default of one stripe is the classic
+  /// single-lock cache.
+  explicit SolutionCache(std::size_t capacity, std::size_t stripes = 1);
 
   struct Entry {
     std::vector<sched::MachineId> assignment;
@@ -41,30 +52,49 @@ class SolutionCache {
   };
 
   /// On hit copies the entry into `out`, bumps recency, and returns true.
+  /// `stripe` (any value; reduced mod stripes()) must be derived from the
+  /// key deterministically — the service uses the job's queue shard, so a
+  /// key always lands in the same stripe.
+  bool lookup(std::size_t stripe, std::uint64_t key, Entry& out);
+  /// Key-routed convenience (stripe = key % stripes()): the single-tenant
+  /// call sites and tests that have no shard in hand.
   bool lookup(std::uint64_t key, Entry& out);
 
-  /// Stores (or refreshes) `key`. An existing entry is only overwritten
-  /// when `fitness` improves on it; either way the entry becomes
-  /// most-recently-used. Evicts the least-recently-used entry when full.
+  /// Stores (or refreshes) `key` in `stripe`. An existing entry is only
+  /// overwritten when `fitness` improves on it; either way the entry
+  /// becomes most-recently-used. Evicts that stripe's least-recently-used
+  /// entry when the stripe is full.
+  void insert(std::size_t stripe, std::uint64_t key,
+              std::span<const sched::MachineId> assignment, double fitness,
+              SolvePolicy policy);
   void insert(std::uint64_t key, std::span<const sched::MachineId> assignment,
               double fitness, SolvePolicy policy);
 
   void clear();
 
   std::size_t size() const;
-  std::size_t capacity() const noexcept { return capacity_; }
+  /// Total capacity across stripes (stripes() * stripe capacity — at least
+  /// the constructor argument, rounded up by the >= 1-per-stripe floor).
+  std::size_t capacity() const noexcept;
+  std::size_t stripes() const noexcept { return stripes_.size(); }
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  /// Per-stripe hit counts (the daemon's STATS shard_hits field).
+  std::vector<std::uint64_t> stripe_hits() const;
 
  private:
   using LruList = std::list<std::pair<std::uint64_t, Entry>>;
 
-  mutable std::mutex mutex_;
-  LruList lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, LruList::iterator> index_;
-  std::size_t capacity_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  struct Stripe {
+    mutable std::mutex mutex;
+    LruList lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, LruList::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::size_t stripe_capacity_;  ///< 0 disables the whole cache
 };
 
 }  // namespace pacga::service

@@ -106,6 +106,11 @@ struct JobResult {
   std::uint64_t evaluations = 0;
   double queue_wait_seconds = 0.0;
   double solve_seconds = 0.0;
+  /// Index of the pool worker that served the job; -1 when no worker ever
+  /// touched it (cancelled while still queued). Shape-affine sharding makes
+  /// this observable: same-shape jobs gravitate to one worker, so its warm
+  /// arena stays hot (tests and the mixed-shape bench read it).
+  std::int32_t worker = -1;
 };
 
 /// Internal shared job handle (queue entry + waiter rendezvous).
@@ -113,6 +118,11 @@ struct JobState {
   JobSpec spec;
   std::chrono::steady_clock::time_point submitted{};
   std::chrono::steady_clock::time_point deadline{};
+
+  /// Owning queue shard, assigned at admission from the instance shape.
+  /// Cancellation routes straight to this shard instead of scanning every
+  /// shard's heap (tag-at-submit, O(one shard) remove).
+  std::uint32_t shard = 0;
 
   /// Raised by cancel(); polled by the solver once per generation.
   std::atomic<bool> cancel{false};

@@ -1,33 +1,94 @@
 #include "service/metrics.hpp"
 
+#include <stdexcept>
+
 namespace pacga::service {
 
-void ServiceMetrics::on_complete(double queue_wait_seconds,
+ServiceMetrics::ServiceMetrics(std::size_t workers) : slots_(workers) {
+  if (workers == 0)
+    throw std::invalid_argument("ServiceMetrics: workers must be >= 1");
+}
+
+void ServiceMetrics::OwnedStats::add(double x) noexcept {
+  // Bit-for-bit the arithmetic of RunningStats::add, on relaxed snapshots
+  // of this slot's own values (we are the only writer, so the loads see
+  // exactly what we last stored). Store n last: a concurrent snapshot that
+  // observes the new n also observes the new moments on any coherent
+  // machine reading this exclusively-owned line.
+  const std::uint64_t n0 = n.load(std::memory_order_relaxed);
+  const double old_mean = mean.load(std::memory_order_relaxed);
+  if (n0 == 0) {
+    min.store(x, std::memory_order_relaxed);
+    max.store(x, std::memory_order_relaxed);
+  } else {
+    const double lo = min.load(std::memory_order_relaxed);
+    const double hi = max.load(std::memory_order_relaxed);
+    if (x < lo) min.store(x, std::memory_order_relaxed);
+    if (x > hi) max.store(x, std::memory_order_relaxed);
+  }
+  const double delta = x - old_mean;
+  const double new_mean = old_mean + delta / static_cast<double>(n0 + 1);
+  mean.store(new_mean, std::memory_order_relaxed);
+  m2.store(m2.load(std::memory_order_relaxed) + delta * (x - new_mean),
+           std::memory_order_relaxed);
+  n.store(n0 + 1, std::memory_order_relaxed);
+}
+
+support::RunningStats ServiceMetrics::OwnedStats::materialize()
+    const noexcept {
+  return support::RunningStats::from_moments(
+      static_cast<std::size_t>(n.load(std::memory_order_relaxed)),
+      mean.load(std::memory_order_relaxed),
+      m2.load(std::memory_order_relaxed),
+      min.load(std::memory_order_relaxed),
+      max.load(std::memory_order_relaxed));
+}
+
+void ServiceMetrics::on_complete(std::size_t worker,
+                                 double queue_wait_seconds,
                                  double solve_seconds, bool cache_hit,
-                                 bool deadline_missed) {
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+                                 bool deadline_missed) noexcept {
+  WorkerSlot& s = *slots_[worker % slots_.size()];
+  s.completed.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit) s.cache_hits.fetch_add(1, std::memory_order_relaxed);
   if (deadline_missed)
-    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_wait_.add(queue_wait_seconds);
-  solve_.add(solve_seconds);
+    s.deadline_misses.fetch_add(1, std::memory_order_relaxed);
+  s.queue_wait.add(queue_wait_seconds);
+  s.solve.add(solve_seconds);
+}
+
+void ServiceMetrics::on_fail(std::size_t worker) noexcept {
+  slots_[worker % slots_.size()]->failed.fetch_add(1,
+                                                   std::memory_order_relaxed);
+}
+
+void ServiceMetrics::add_arena_builds(std::size_t worker,
+                                      std::uint64_t n) noexcept {
+  slots_[worker % slots_.size()]->arena_builds.fetch_add(
+      n, std::memory_order_relaxed);
 }
 
 ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   Snapshot s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
-  s.failed = failed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.reschedules = reschedules_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    s.queue_wait_seconds = queue_wait_;
-    s.solve_seconds = solve_;
+  s.worker_completed.reserve(slots_.size());
+  // Merge in worker order (slot 0 first): repeated snapshots of a quiesced
+  // service are bit-identical, and the equivalence test can reproduce the
+  // exact merged moments from the per-worker sequences.
+  for (const auto& padded : slots_) {
+    const WorkerSlot& w = *padded;
+    const std::uint64_t done = w.completed.load(std::memory_order_relaxed);
+    s.completed += done;
+    s.worker_completed.push_back(done);
+    s.failed += w.failed.load(std::memory_order_relaxed);
+    s.cache_hits += w.cache_hits.load(std::memory_order_relaxed);
+    s.deadline_misses += w.deadline_misses.load(std::memory_order_relaxed);
+    s.arena_builds += w.arena_builds.load(std::memory_order_relaxed);
+    s.queue_wait_seconds.merge(w.queue_wait.materialize());
+    s.solve_seconds.merge(w.solve.materialize());
   }
   s.elapsed_seconds = clock_.elapsed_seconds();
   return s;

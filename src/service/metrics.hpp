@@ -1,25 +1,45 @@
-// Lock-cheap running metrics of the scheduler service.
+// Contention-free running metrics of the scheduler service.
 //
-// Counters are relaxed atomics (one uncontended RMW per event); the two
-// latency accumulators (queue wait, solve time) are Welford RunningStats
-// behind one mutex taken for a handful of arithmetic ops per completion.
-// snapshot() is safe to call at any time while serving — it reads the
-// counters and copies the accumulators, never blocking the workers for
-// longer than one completion does.
+// The completion path — the hottest metrics path, hit once per served job
+// by every worker — touches ONLY that worker's own cache-line-padded slot:
+// plain Welford moments and event counters kept as single-writer relaxed
+// atomics (the DPDK per-lcore RunningStat idiom). No RMW on a shared line,
+// no mutex, no synchronization between workers at all; snapshot() merges
+// the slots on demand with the parallel-Welford reduction, reading each
+// slot's relaxed atomics in a fixed worker order so repeated snapshots of
+// a quiesced service are bit-identical.
+//
+// Events that originate OUTSIDE a worker thread (submit, reject, cancel,
+// reschedule — any client thread may raise them) stay shared relaxed-RMW
+// counters: they are orders of magnitude rarer than completions and have
+// no natural owning worker.
+//
+// Why relaxed atomics instead of plain fields in the slots: each slot has
+// exactly one writer (its pinned worker), but snapshot() reads concurrently
+// from another thread. Relaxed loads/stores make that race defined (and
+// TSan-clean) at zero cost on every relevant ISA — they compile to the same
+// plain moves, and there is still no RMW and no shared line. A torn-epoch
+// read (count from after a completion, mean from before) skews one in-flight
+// sample in a monitoring snapshot; final totals are exact because workers
+// have quiesced by then.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-
-#include <mutex>
+#include <vector>
 
 #include "support/stats.hpp"
+#include "support/threading.hpp"
 #include "support/timer.hpp"
 
 namespace pacga::service {
 
 class ServiceMetrics {
  public:
+  /// One per pool worker; `workers` must be >= 1.
+  explicit ServiceMetrics(std::size_t workers = 1);
+
   /// Consistent-enough copy of all metrics at one instant.
   struct Snapshot {
     std::uint64_t submitted = 0;
@@ -30,6 +50,14 @@ class ServiceMetrics {
     std::uint64_t reschedules = 0;  ///< submit_reschedule admissions
     std::uint64_t cache_hits = 0;
     std::uint64_t deadline_misses = 0;
+    /// Warm-arena rebuilds across all workers — the shape-affinity figure
+    /// of merit: with perfect pinning it approaches (shapes x workers that
+    /// ever touched them); thrash shows up as a multiple of completions.
+    std::uint64_t arena_builds = 0;
+    /// Jobs served per worker (index = worker id). Skew here is expected
+    /// and healthy under shape affinity; all-but-one-zero under a mixed
+    /// workload means stealing is broken.
+    std::vector<std::uint64_t> worker_completed;
     support::RunningStats queue_wait_seconds;
     support::RunningStats solve_seconds;
     double elapsed_seconds = 0.0;  ///< since service start
@@ -61,27 +89,59 @@ class ServiceMetrics {
   void on_cancel() noexcept {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
-  void on_fail() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
   void on_reschedule() noexcept {
     reschedules_.fetch_add(1, std::memory_order_relaxed);
   }
-  void on_complete(double queue_wait_seconds, double solve_seconds,
-                   bool cache_hit, bool deadline_missed);
+
+  /// Completion-path events: touch only slot `worker`'s cache line. The
+  /// caller must be the single thread that owns that slot.
+  void on_complete(std::size_t worker, double queue_wait_seconds,
+                   double solve_seconds, bool cache_hit,
+                   bool deadline_missed) noexcept;
+  void on_fail(std::size_t worker) noexcept;
+  /// Folds `n` warm-arena rebuilds into slot `worker` (reported as a diff
+  /// per job by the pool, so idle workers cost nothing).
+  void add_arena_builds(std::size_t worker, std::uint64_t n) noexcept;
+
+  std::size_t workers() const noexcept { return slots_.size(); }
 
   Snapshot snapshot() const;
 
  private:
+  /// Single-writer streaming accumulator: the owning worker updates the
+  /// Welford moments exactly as RunningStats::add would (same operations,
+  /// same order, so the merged snapshot is bit-equal to what a shared
+  /// locked RunningStats would have produced for this worker's sequence).
+  /// `n` is stored LAST so a concurrent snapshot never pairs a new count
+  /// with stale moments for the sample it just admitted.
+  struct OwnedStats {
+    std::atomic<std::uint64_t> n{0};
+    std::atomic<double> mean{0.0};
+    std::atomic<double> m2{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+
+    void add(double x) noexcept;
+    support::RunningStats materialize() const noexcept;
+  };
+
+  /// Per-worker metric slot; cache-line aligned and padded (never shares a
+  /// line with a neighbor slot), exactly one writing thread.
+  struct WorkerSlot {
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> deadline_misses{0};
+    std::atomic<std::uint64_t> arena_builds{0};
+    OwnedStats queue_wait;
+    OwnedStats solve;
+  };
+
   std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> cancelled_{0};
-  std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> reschedules_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> deadline_misses_{0};
-  mutable std::mutex mutex_;  ///< guards the two accumulators only
-  support::RunningStats queue_wait_;
-  support::RunningStats solve_;
+  std::vector<support::Padded<WorkerSlot>> slots_;
   support::WallTimer clock_;  ///< started at service construction
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/rng.hpp"
+
 namespace pacga::service {
 
 JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
@@ -18,6 +20,13 @@ void JobQueue::push_locked(JobTicket&& job) {
   e.job = std::move(job);
   heap_.push_back(std::move(e));
   std::push_heap(heap_.begin(), heap_.end(), heap_before);
+}
+
+JobTicket JobQueue::pop_locked() {
+  std::pop_heap(heap_.begin(), heap_.end(), heap_before);
+  JobTicket job = std::move(heap_.back().job);
+  heap_.pop_back();
+  return job;
 }
 
 bool JobQueue::try_submit(JobTicket job) {
@@ -48,12 +57,27 @@ JobTicket JobQueue::pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return closed_ || !heap_.empty(); });
     if (heap_.empty()) return nullptr;  // closed and drained
-    std::pop_heap(heap_.begin(), heap_.end(), heap_before);
-    job = std::move(heap_.back().job);
-    heap_.pop_back();
+    job = pop_locked();
   }
   not_full_.notify_one();
   return job;
+}
+
+JobTicket JobQueue::try_pop() {
+  JobTicket job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (heap_.empty()) return nullptr;
+    job = pop_locked();
+  }
+  not_full_.notify_one();
+  return job;
+}
+
+void JobQueue::wait_for_work(std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, timeout,
+                      [this] { return closed_ || !heap_.empty(); });
 }
 
 bool JobQueue::remove(const JobState* job) {
@@ -87,9 +111,106 @@ bool JobQueue::closed() const {
   return closed_;
 }
 
+bool JobQueue::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_ && heap_.empty();
+}
+
 std::size_t JobQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return heap_.size();
+}
+
+ShardedJobQueue::ShardedJobQueue(std::size_t capacity, std::size_t shards) {
+  if (shards == 0)
+    throw std::invalid_argument("ShardedJobQueue: shards must be >= 1");
+  if (capacity == 0)
+    throw std::invalid_argument("ShardedJobQueue: capacity must be >= 1");
+  const std::size_t per_shard = std::max<std::size_t>(1, capacity / shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<JobQueue>(per_shard));
+}
+
+std::size_t ShardedJobQueue::shard_of_shape(
+    std::size_t tasks, std::size_t machines) const noexcept {
+  return static_cast<std::size_t>(support::hash_mix(
+             static_cast<std::uint64_t>(tasks),
+             static_cast<std::uint64_t>(machines))) %
+         shards_.size();
+}
+
+bool ShardedJobQueue::try_submit(JobTicket job) {
+  JobQueue& shard = *shards_[job->shard % shards_.size()];
+  return shard.try_submit(std::move(job));
+}
+
+bool ShardedJobQueue::submit(JobTicket job) {
+  JobQueue& shard = *shards_[job->shard % shards_.size()];
+  return shard.submit(std::move(job));
+}
+
+JobTicket ShardedJobQueue::pop(std::size_t home) {
+  const std::size_t n = shards_.size();
+  home %= n;
+  for (;;) {
+    // Home shard first: the pinned worker has absolute priority on its own
+    // (shape-affine) traffic, so warm arenas see unbroken same-shape runs.
+    if (JobTicket job = shards_[home]->try_pop()) return job;
+
+    // Steal ONE job from the first non-empty neighbor, ring order. Bounded
+    // to one per attempt so the thief re-checks home before stealing again
+    // — a burst on the home shard reclaims its worker within one job.
+    for (std::size_t off = 1; off < n; ++off) {
+      const std::size_t victim = (home + off) % n;
+      if (JobTicket job = shards_[victim]->try_pop()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return job;
+      }
+    }
+
+    // Nothing anywhere. Exit only when every shard is closed AND drained —
+    // monotone after close() (closed shards only drain), so a false "not
+    // done" here just means another loop iteration. A job submitted to any
+    // shard between our scan and this check is picked up after the nap at
+    // the latest (wait_for_work wakes immediately for home submissions).
+    bool all_done = true;
+    for (const auto& s : shards_)
+      if (!s->done()) {
+        all_done = false;
+        break;
+      }
+    if (all_done) return nullptr;
+
+    shards_[home]->wait_for_work(kStealPatience);
+  }
+}
+
+bool ShardedJobQueue::remove(const JobState* job) {
+  return shards_[job->shard % shards_.size()]->remove(job);
+}
+
+void ShardedJobQueue::close() {
+  for (auto& s : shards_) s->close();
+}
+
+bool ShardedJobQueue::closed() const { return shards_.front()->closed(); }
+
+std::size_t ShardedJobQueue::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->size();
+  return total;
+}
+
+std::vector<std::size_t> ShardedJobQueue::depths() const {
+  std::vector<std::size_t> d;
+  d.reserve(shards_.size());
+  for (const auto& s : shards_) d.push_back(s->size());
+  return d;
+}
+
+std::size_t ShardedJobQueue::shard_capacity() const noexcept {
+  return shards_.front()->capacity();
 }
 
 }  // namespace pacga::service

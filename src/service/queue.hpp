@@ -1,22 +1,40 @@
-// Bounded, priority-aware MPMC job queue with backpressure.
+// Bounded, priority-aware job queues with backpressure — the single-shard
+// primitive (JobQueue) and the shape-affine sharded front (ShardedJobQueue)
+// the service actually serves from.
 //
-// The admission-control point of the service: `try_submit` fails fast when
-// the queue is full (the caller sheds load or retries), `submit` blocks
-// until a slot frees (closed-loop clients). Consumers block in `pop` until
-// a job or shutdown arrives. Ordering is strict priority, FIFO within a
-// priority level (a monotone sequence number breaks heap ties), so a
-// starved low-priority job still runs in submission order once the queue
-// drains above it.
+// JobQueue is the admission-control point of one shard: `try_submit` fails
+// fast when the shard is full (the caller sheds load or retries), `submit`
+// blocks until a slot frees (closed-loop clients). Ordering is strict
+// priority, FIFO within a priority level (a monotone sequence number breaks
+// heap ties), so a starved low-priority job still runs in submission order
+// once the queue drains above it. Plain mutex + two condvars + a binary
+// heap: per shard the lock is uncontended by construction (one pinned
+// consumer, tenant-affine producers), and a mutex keeps remove() —
+// cancellation of a queued job — trivially correct, which lock-free ring
+// buffers do not.
 //
-// Plain mutex + two condvars + a binary heap: at service scale (thousands
-// of jobs/sec, each worth >= a heuristic solve) the lock is nowhere near
-// the bottleneck, and a mutex keeps remove() — cancellation of a queued
-// job — trivially correct, which lock-free ring buffers do not.
+// ShardedJobQueue is what makes the service core contention-free: N shards
+// keyed by instance SHAPE (tasks x machines), one pinned worker per shard.
+// Same-shape jobs always land on the same shard, so the pinned worker's
+// per-shape WarmSolver arena stays hot across consecutive jobs instead of
+// being rebuilt every time mixed tenants interleave. A worker that finds
+// its home shard empty steals — bounded to one job per attempt, ring order
+// starting at its neighbor — so a cold shard's worker is never idle while
+// another shard backs up; under backlog stealing is continuous (no sleep
+// between steals), so a single hot shape still fans out across every
+// worker. Only a fully idle worker naps, on its home condvar with a
+// kStealPatience timeout, which both bounds the latency of work stranded
+// on a busy neighbor's shard and gives the home worker first claim on its
+// own traffic (the steal scan runs at most once per patience window while
+// idle).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -40,8 +58,17 @@ class JobQueue {
   /// (shutdown drains queued work); nullptr means "no more jobs, exit".
   JobTicket pop();
 
+  /// Non-blocking pop: nullptr when the queue is currently empty.
+  JobTicket try_pop();
+
+  /// Blocks until a job is queued, the queue is closed, or `timeout`
+  /// elapses — the idle worker's nap between steal scans. Returns
+  /// immediately when work or closure is already visible.
+  void wait_for_work(std::chrono::nanoseconds timeout);
+
   /// Removes a specific queued job (cancel-before-run). False when the job
-  /// is not in the queue (already popped or never queued). O(n).
+  /// is not in the queue (already popped or never queued). O(n) in THIS
+  /// queue only — the sharded front routes here by the job's shard tag.
   bool remove(const JobState* job);
 
   /// Closes the queue: subsequent submissions fail, consumers drain the
@@ -49,6 +76,8 @@ class JobQueue {
   void close();
 
   bool closed() const;
+  /// True once closed AND drained — the consumer's exit condition.
+  bool done() const;
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
 
@@ -66,6 +95,7 @@ class JobQueue {
   }
 
   void push_locked(JobTicket&& job);
+  JobTicket pop_locked();
 
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
@@ -74,6 +104,66 @@ class JobQueue {
   std::size_t capacity_;
   std::uint64_t next_seq_ = 0;
   bool closed_ = false;
+};
+
+/// How long a fully idle worker naps before re-scanning for stealable
+/// work. The upper bound on how long a job can sit on a shard whose pinned
+/// worker is busy while other workers idle; also the grace period the home
+/// worker gets before thieves contend for its traffic. Submissions to a
+/// shard wake its pinned worker immediately regardless.
+inline constexpr std::chrono::nanoseconds kStealPatience =
+    std::chrono::microseconds(1000);
+
+/// N independent JobQueue shards keyed by instance shape, one pinned
+/// consumer per shard, bounded work-stealing between them (see the file
+/// comment). Capacity is split evenly across shards (at least 1 each), so
+/// backpressure is per-shard: a hot shape fills ITS shard and sheds load
+/// without starving other tenants' admission.
+class ShardedJobQueue {
+ public:
+  /// `capacity` >= 1 total queued jobs (split across shards), `shards` >= 1.
+  ShardedJobQueue(std::size_t capacity, std::size_t shards);
+
+  /// The shard a (tasks x machines) shape routes to. Pure shape hash: every
+  /// job of one shape maps to one shard, which is exactly the key the warm
+  /// solver arenas are warm ON. (Keying by content fingerprint would spread
+  /// same-shape tenants across workers — better-looking balance, but every
+  /// worker would then juggle several shapes and thrash its arena; balance
+  /// under a single dominant shape comes from stealing instead.)
+  std::size_t shard_of_shape(std::size_t tasks,
+                             std::size_t machines) const noexcept;
+
+  /// Admission to the shard in `job->shard` (assign it first, e.g. from
+  /// shard_of_shape). Same semantics as the JobQueue counterparts.
+  bool try_submit(JobTicket job);
+  bool submit(JobTicket job);
+
+  /// Consumer loop for the worker pinned to `home`: home shard first, then
+  /// one bounded steal scan, then nap (kStealPatience) and retry; nullptr
+  /// once every shard is closed and drained.
+  JobTicket pop(std::size_t home);
+
+  /// Cancel-before-run: routes directly to the job's tagged shard — one
+  /// shard's heap is scanned, never all of them.
+  bool remove(const JobState* job);
+
+  /// Closes every shard. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;  ///< total queued across shards
+  /// Queued depth per shard (the daemon's STATS shard_depth field).
+  std::vector<std::size_t> depths() const;
+  std::size_t shards() const noexcept { return shards_.size(); }
+  std::size_t shard_capacity() const noexcept;
+  /// Jobs served off a non-home shard since construction.
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::unique_ptr<JobQueue>> shards_;
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace pacga::service

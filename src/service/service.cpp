@@ -32,8 +32,12 @@ void validate_spec(const JobSpec& spec) {
 
 SchedulerService::SchedulerService(ServiceOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_capacity),
-      queue_(options_.queue_capacity) {
+      metrics_(std::max<std::size_t>(1, options_.workers)),
+      // One queue shard and one cache stripe per worker: each worker's home
+      // shard is its own, and the shape hash that routes a job to a shard
+      // also picks its cache stripe.
+      cache_(options_.cache_capacity, std::max<std::size_t>(1, options_.workers)),
+      queue_(options_.queue_capacity, std::max<std::size_t>(1, options_.workers)) {
   SolverPoolOptions pool_options;
   pool_options.workers = options_.workers;
   pool_options.solver = options_.solver;
@@ -50,6 +54,11 @@ JobTicket SchedulerService::make_ticket(JobSpec&& spec) {
   auto ticket = std::make_shared<JobState>();
   ticket->spec = std::move(spec);
   ticket->submitted = std::chrono::steady_clock::now();
+  // Shape-affine shard assignment, tagged once here: the queue routes
+  // admission by it, cancel removes by it, and the pool uses it as the
+  // cache stripe.
+  ticket->shard = static_cast<std::uint32_t>(queue_.shard_of_shape(
+      ticket->spec.etc->tasks(), ticket->spec.etc->machines()));
   // Cap at ~1000 days: duration_cast of a larger double to the clock's
   // integral nanosecond rep would overflow (UB) and wrap an effectively
   // infinite deadline into one already in the past.
@@ -96,8 +105,12 @@ JobId SchedulerService::submit_reschedule(JobSpec spec) {
   if (spec.warm_start.empty() && spec.use_cache) {
     const std::uint64_t key =
         SolverPool::cache_key(*spec.etc, options_.solver, spec.policy);
+    // Same stripe the pool stores under: stripe follows the queue shard,
+    // which is a pure function of the instance shape.
+    const std::size_t stripe =
+        queue_.shard_of_shape(spec.etc->tasks(), spec.etc->machines());
     SolutionCache::Entry cached;
-    if (cache_.lookup(key, cached) &&
+    if (cache_.lookup(stripe, key, cached) &&
         cached.assignment.size() == spec.etc->tasks()) {
       spec.warm_start = std::move(cached.assignment);
     }

@@ -4,11 +4,20 @@
 // receives task batches and must answer within a scheduling window. This
 // facade is that broker's solver tier as an in-process service:
 //
-//   submit/try_submit -> JobQueue (bounded, priority, backpressure)
-//                     -> SolverPool (N workers, warm per-shape arenas,
-//                        deadline-driven anytime CGA, policy escalation)
-//                     -> SolutionCache (LRU on ETC fingerprint)
+//   submit/try_submit -> ShardedJobQueue (bounded, priority, backpressure;
+//                        one shard per worker, routed by instance shape)
+//                     -> SolverPool (N pinned workers, warm per-shape
+//                        arenas, bounded stealing, deadline-driven anytime
+//                        CGA, policy escalation)
+//                     -> SolutionCache (LRU on ETC fingerprint, striped by
+//                        the same shard key)
 //   wait/cancel/drain  and  metrics() snapshots while serving.
+//
+// The core is sharded end to end: a job's shard — a pure function of its
+// instance shape, assigned at admission — selects its queue shard, its
+// cache stripe, and (via pinning) the worker whose warm arena matches the
+// shape. Completions record into per-worker padded metric slots, so the
+// serving fast path shares no mutable cache line between workers.
 //
 // Lifecycle: construct -> serve -> shutdown() (or destruction). Shutdown
 // is graceful: admission closes, already-queued jobs are drained by the
@@ -22,6 +31,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "batch/workload.hpp"
 #include "service/cache.hpp"
@@ -101,6 +111,13 @@ class SchedulerService {
   const SolutionCache& cache() const noexcept { return cache_; }
   const ServiceOptions& options() const noexcept { return options_; }
 
+  /// Queue shards == workers (each worker's home shard is its own).
+  std::size_t shards() const noexcept { return queue_.shards(); }
+  /// Currently queued jobs per shard (the daemon's STATS shard_depth).
+  std::vector<std::size_t> shard_depths() const { return queue_.depths(); }
+  /// Jobs served off a non-home shard since start (work-stealing volume).
+  std::uint64_t queue_steals() const noexcept { return queue_.steals(); }
+
  private:
   JobTicket make_ticket(JobSpec&& spec);
   void reject_unregistered(const JobTicket& ticket);
@@ -109,7 +126,7 @@ class SchedulerService {
   ServiceOptions options_;
   ServiceMetrics metrics_;
   SolutionCache cache_;
-  JobQueue queue_;
+  ShardedJobQueue queue_;
 
   mutable std::mutex registry_mutex_;
   std::unordered_map<JobId, JobTicket> registry_;

@@ -53,6 +53,7 @@ void WarmSolver::ensure_shape(const etc::EtcMatrix& etc) {
     return;
   tasks_ = etc.tasks();
   machines_ = etc.machines();
+  ++arena_builds_;
 
   // Shrink the grid for small instances (same rationale as the batch
   // pa_cga_policy: a 16x16 population on a 3-task batch is pure overhead).
@@ -245,7 +246,7 @@ void WarmSolver::solve(const etc::EtcMatrix& etc, const JobSpec& spec,
 
 // --- SolverPool ------------------------------------------------------------
 
-SolverPool::SolverPool(JobQueue& queue, SolutionCache& cache,
+SolverPool::SolverPool(ShardedJobQueue& queue, SolutionCache& cache,
                        ServiceMetrics& metrics, SolverPoolOptions options,
                        CompletionHook on_terminal)
     : queue_(queue),
@@ -256,10 +257,11 @@ SolverPool::SolverPool(JobQueue& queue, SolutionCache& cache,
   if (options_.workers == 0)
     throw std::invalid_argument("SolverPool: workers must be >= 1");
   options_.solver.validate();
-  threads_.emplace(options_.workers, [this](std::size_t) {
+  threads_.emplace(options_.workers, [this](std::size_t worker) {
     WarmSolver solver(options_.solver);
-    while (JobTicket job = queue_.pop()) {
-      serve(*job, solver);
+    const std::size_t home = worker % queue_.shards();
+    while (JobTicket job = queue_.pop(home)) {
+      serve(*job, solver, worker);
     }
   });
 }
@@ -279,10 +281,12 @@ std::uint64_t SolverPool::cache_key(const etc::EtcMatrix& etc,
   return support::hash_mix(h, static_cast<std::uint64_t>(policy) + 1);
 }
 
-void SolverPool::serve(JobState& job, WarmSolver& solver) {
+void SolverPool::serve(JobState& job, WarmSolver& solver,
+                       std::size_t worker) {
   const auto picked_up = std::chrono::steady_clock::now();
   JobResult& out = job.result;
   out.queue_wait_seconds = seconds_between(job.submitted, picked_up);
+  out.worker = static_cast<std::int32_t>(worker);
 
   if (job.cancel.load(std::memory_order_relaxed)) {
     out.status = JobStatus::kCancelled;
@@ -301,8 +305,13 @@ void SolverPool::serve(JobState& job, WarmSolver& solver) {
   // A warm-started job is a re-optimization request: its seed is fresher
   // than anything cached for this fingerprint, so the lookup is skipped
   // (the result still refreshes the cache below).
+  // Stripe the cache by the job's queue shard: the pinned worker keeps
+  // taking one stripe's lock, and a key is always sought where it was
+  // stored (the shard is a pure function of the shape, the key of the
+  // fingerprint — one shape, one stripe).
+  const std::size_t stripe = job.shard;
   const bool cache_lookup = job.spec.use_cache && job.spec.warm_start.empty();
-  if (cache_lookup && cache_.lookup(key, cached)) {
+  if (cache_lookup && cache_.lookup(stripe, key, cached)) {
     out.assignment = std::move(cached.assignment);
     out.makespan = cached.fitness;
     out.cache_hit = true;
@@ -319,6 +328,7 @@ void SolverPool::serve(JobState& job, WarmSolver& solver) {
     // (serve late rather than never).
     const double remaining = std::max(
         0.0, seconds_between(picked_up, job.deadline));
+    const std::uint64_t builds_before = solver.arena_builds();
     try {
       solver.solve(etc, job.spec, remaining * kDeadlineHeadroom, &job.cancel,
                    out);
@@ -332,6 +342,8 @@ void SolverPool::serve(JobState& job, WarmSolver& solver) {
                           << " failed: " << e.what();
       out.status = JobStatus::kFailed;
     }
+    const std::uint64_t built = solver.arena_builds() - builds_before;
+    if (built > 0) metrics_.add_arena_builds(worker, built);
     if (out.status == JobStatus::kDone && job.spec.use_cache &&
         !out.assignment.empty()) {
       // Don't let a budget-starved kAuto escalation poison the cache: its
@@ -346,7 +358,8 @@ void SolverPool::serve(JobState& job, WarmSolver& solver) {
            out.policy_used == SolvePolicy::kWarmStart) &&
           etc.tasks() > kHeuristicMaxTasks;
       if (!budget_starved_heuristic) {
-        cache_.insert(key, out.assignment, out.makespan, out.policy_used);
+        cache_.insert(stripe, key, out.assignment, out.makespan,
+                      out.policy_used);
       }
     }
   }
@@ -358,10 +371,10 @@ void SolverPool::serve(JobState& job, WarmSolver& solver) {
       metrics_.on_cancel();
       break;
     case JobStatus::kFailed:
-      metrics_.on_fail();
+      metrics_.on_fail(worker);
       break;
     default:
-      metrics_.on_complete(out.queue_wait_seconds, out.solve_seconds,
+      metrics_.on_complete(worker, out.queue_wait_seconds, out.solve_seconds,
                            out.cache_hit, out.deadline_missed);
       break;
   }

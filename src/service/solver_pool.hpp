@@ -77,6 +77,11 @@ class WarmSolver {
 
   const cga::Config& base() const noexcept { return base_; }
 
+  /// Cold arena (re)builds since construction — the shape-affinity figure
+  /// of merit. A worker fed an unbroken run of same-shape jobs builds once;
+  /// every extra build is a shape switch that threw the warm arena away.
+  std::uint64_t arena_builds() const noexcept { return arena_builds_; }
+
  private:
   void ensure_shape(const etc::EtcMatrix& etc);
   void solve_heuristic(const etc::EtcMatrix& etc, SolvePolicy policy,
@@ -92,6 +97,7 @@ class WarmSolver {
   cga::Config arena_config_;  ///< base_ with the grid shrunk for the shape
   std::size_t tasks_ = 0;
   std::size_t machines_ = 0;
+  std::uint64_t arena_builds_ = 0;
   support::Xoshiro256 rng_{1};
   std::optional<cga::Population> population_;
   std::optional<cga::Breeder> breeder_;
@@ -108,16 +114,21 @@ struct SolverPoolOptions {
   cga::Config solver;
 };
 
-/// N worker threads, each owning one WarmSolver, consuming one JobQueue.
-/// Jobs are finished (result published, waiters woken) by the worker that
-/// served them; `on_terminal` (optional) runs after each finish — the
-/// service uses it for outstanding-job accounting.
+/// N worker threads, each owning one WarmSolver and pinned to one home
+/// shard of the sharded queue (worker i -> shard i % shards; with the
+/// service's workers == shards construction that is a bijection). A worker
+/// drains its home shard — where shape-affine routing concentrates the
+/// shapes whose warm arenas it owns — and steals from neighbors only when
+/// home is empty. Jobs are finished (result published, waiters woken) by
+/// the worker that served them; `on_terminal` (optional) runs after each
+/// finish — the service uses it for outstanding-job accounting.
 class SolverPool {
  public:
   using CompletionHook = std::function<void(const JobState&)>;
 
-  SolverPool(JobQueue& queue, SolutionCache& cache, ServiceMetrics& metrics,
-             SolverPoolOptions options, CompletionHook on_terminal = {});
+  SolverPool(ShardedJobQueue& queue, SolutionCache& cache,
+             ServiceMetrics& metrics, SolverPoolOptions options,
+             CompletionHook on_terminal = {});
 
   /// Joins the workers. The queue must have been closed first or this
   /// blocks forever (ScopedThreads joins in its destructor too).
@@ -137,9 +148,9 @@ class SolverPool {
   std::size_t workers() const noexcept { return options_.workers; }
 
  private:
-  void serve(JobState& job, WarmSolver& solver);
+  void serve(JobState& job, WarmSolver& solver, std::size_t worker);
 
-  JobQueue& queue_;
+  ShardedJobQueue& queue_;
   SolutionCache& cache_;
   ServiceMetrics& metrics_;
   SolverPoolOptions options_;

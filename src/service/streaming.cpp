@@ -103,6 +103,7 @@ EpochReport StreamingSession::step() {
   rep.warm_started = r.warm_started;
   rep.batch_makespan = r.makespan;
   rep.solve_seconds = r.solve_seconds;
+  rep.worker = r.worker;
   ++metrics_.solved_batches;
   metrics_.warm_epochs += r.warm_started ? 1 : 0;
   metrics_.solve_seconds += r.solve_seconds;

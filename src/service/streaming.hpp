@@ -75,6 +75,11 @@ struct EpochReport {
   bool warm_started = false;    ///< the service solve took the warm seed
   double batch_makespan = 0.0;  ///< solver makespan for this epoch's batch
   double solve_seconds = 0.0;
+  /// Pool worker that served the epoch solve (-1 for unsolved epochs). The
+  /// stream's batches share one shape, so under shape-affine sharding the
+  /// warm epochs keep landing on the worker that owns their arena — this
+  /// field makes that observable (tests pin it).
+  std::int32_t worker = -1;
 };
 
 /// Aggregate outcome of a finished stream (same quantities as

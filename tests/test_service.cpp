@@ -27,6 +27,8 @@
 #include "heuristics/minmin.hpp"
 #include "sched/fitness.hpp"
 #include "service/solver_pool.hpp"
+#include "support/rng.hpp"
+#include "support/threading.hpp"
 #include "support/timer.hpp"
 
 // --- global allocation counter (see test_breeder.cpp) ----------------------
@@ -133,6 +135,105 @@ TEST(JobQueue, BlockingSubmitWaitsForSlot) {
   EXPECT_TRUE(admitted.load());
 }
 
+// --- ShardedJobQueue -------------------------------------------------------
+
+JobTicket ticket_for_shard(std::uint32_t shard, int priority = 0) {
+  auto t = ticket_with_priority(priority);
+  t->shard = shard;
+  return t;
+}
+
+TEST(ShardedJobQueue, ShapeRoutingIsStableAndSubmitFollowsTheTag) {
+  ShardedJobQueue q(64, 4);
+  const std::size_t s = q.shard_of_shape(32, 8);
+  EXPECT_EQ(q.shard_of_shape(32, 8), s);  // pure function of the shape
+  EXPECT_LT(s, q.shards());
+  auto job = ticket_for_shard(static_cast<std::uint32_t>(s));
+  ASSERT_TRUE(q.try_submit(job));
+  const auto depths = q.depths();
+  ASSERT_EQ(depths.size(), 4u);
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    EXPECT_EQ(depths[i], i == s ? 1u : 0u);
+  }
+}
+
+TEST(ShardedJobQueue, HomeShardBeatsHigherPriorityNeighbor) {
+  // Affinity before priority ACROSS shards: the pinned worker drains its
+  // own (shape-matched) traffic even when a neighbor queues hotter jobs —
+  // priority orders jobs WITHIN a shard, neighbors are served by their own
+  // worker or by stealing when home is empty.
+  ShardedJobQueue q(8, 2);
+  auto home_job = ticket_for_shard(0, /*priority=*/0);
+  auto hot_neighbor = ticket_for_shard(1, /*priority=*/9);
+  ASSERT_TRUE(q.try_submit(hot_neighbor));
+  ASSERT_TRUE(q.try_submit(home_job));
+  EXPECT_EQ(q.pop(0).get(), home_job.get());
+  EXPECT_EQ(q.steals(), 0u);
+}
+
+TEST(ShardedJobQueue, StealsFromNeighborWhenHomeIsEmpty) {
+  ShardedJobQueue q(8, 3);
+  auto stranded = ticket_for_shard(2);
+  ASSERT_TRUE(q.try_submit(stranded));
+  EXPECT_EQ(q.pop(0).get(), stranded.get());  // worker 0 steals from shard 2
+  EXPECT_EQ(q.steals(), 1u);
+}
+
+TEST(ShardedJobQueue, RemoveRoutesToTheOwningShard) {
+  ShardedJobQueue q(8, 2);
+  auto a = ticket_for_shard(1);
+  auto b = ticket_for_shard(1);
+  ASSERT_TRUE(q.try_submit(a));
+  ASSERT_TRUE(q.try_submit(b));
+  EXPECT_TRUE(q.remove(a.get()));
+  EXPECT_FALSE(q.remove(a.get()));  // already gone
+  EXPECT_EQ(q.depths()[1], 1u);
+  EXPECT_EQ(q.pop(1).get(), b.get());
+}
+
+TEST(ShardedJobQueue, CloseDrainsEveryShardThenReturnsNull) {
+  ShardedJobQueue q(8, 3);
+  auto a = ticket_for_shard(0);
+  auto b = ticket_for_shard(1);
+  auto c = ticket_for_shard(2);
+  ASSERT_TRUE(q.try_submit(a));
+  ASSERT_TRUE(q.try_submit(b));
+  ASSERT_TRUE(q.try_submit(c));
+  q.close();
+  EXPECT_FALSE(q.try_submit(ticket_for_shard(0)));
+  // Worker 0 drains its home first, then steals the strays.
+  EXPECT_EQ(q.pop(0).get(), a.get());
+  EXPECT_EQ(q.pop(0).get(), b.get());
+  EXPECT_EQ(q.pop(0).get(), c.get());
+  EXPECT_EQ(q.pop(0), nullptr);
+  EXPECT_EQ(q.pop(2), nullptr);  // every consumer sees the shutdown
+}
+
+TEST(ShardedJobQueue, BackpressureIsPerShard) {
+  // Total capacity 2 over 2 shards = 1 slot per shard: a hot shape fills
+  // ITS shard without consuming the other tenant's admission slot.
+  ShardedJobQueue q(2, 2);
+  ASSERT_TRUE(q.try_submit(ticket_for_shard(0)));
+  EXPECT_FALSE(q.try_submit(ticket_for_shard(0)));  // shard 0 full
+  EXPECT_TRUE(q.try_submit(ticket_for_shard(1)));   // shard 1 unaffected
+}
+
+TEST(ShardedJobQueue, BlockedSubmitWakesWhenAThiefDrainsTheShard) {
+  ShardedJobQueue q(2, 2);
+  ASSERT_TRUE(q.try_submit(ticket_for_shard(0)));
+  std::atomic<bool> admitted{false};
+  std::thread t([&] {
+    EXPECT_TRUE(q.submit(ticket_for_shard(0)));
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+  EXPECT_NE(q.pop(1), nullptr);  // worker 1 steals shard 0's job
+  t.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(q.steals(), 1u);
+}
+
 // --- SolutionCache ---------------------------------------------------------
 
 TEST(SolutionCache, LruEvictionAndCounts) {
@@ -172,6 +273,176 @@ TEST(SolutionCache, ZeroCapacityDisables) {
   SolutionCache::Entry e;
   EXPECT_FALSE(cache.lookup(1, e));
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SolutionCache, StripesAreIndependent) {
+  // The same key in different stripes addresses different entries — the
+  // caller owns the key->stripe mapping (the service derives both from the
+  // instance, so a key never visits two stripes in practice).
+  SolutionCache cache(8, 2);
+  EXPECT_EQ(cache.stripes(), 2u);
+  const std::vector<sched::MachineId> a{0, 1}, b{1, 0};
+  cache.insert(0, 7, a, 10.0, SolvePolicy::kCga);
+  cache.insert(1, 7, b, 20.0, SolvePolicy::kMinMin);
+  SolutionCache::Entry e;
+  ASSERT_TRUE(cache.lookup(0, 7, e));
+  EXPECT_EQ(e.assignment, a);
+  EXPECT_EQ(e.fitness, 10.0);
+  ASSERT_TRUE(cache.lookup(1, 7, e));
+  EXPECT_EQ(e.assignment, b);
+  EXPECT_EQ(e.fitness, 20.0);
+  EXPECT_EQ(cache.size(), 2u);
+  const auto per_stripe = cache.stripe_hits();
+  ASSERT_EQ(per_stripe.size(), 2u);
+  EXPECT_EQ(per_stripe[0], 1u);
+  EXPECT_EQ(per_stripe[1], 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(SolutionCache, EvictionPressureIsPerStripe) {
+  // Capacity 4 over 2 stripes = 2 entries per stripe: overfilling one
+  // stripe evicts within it and never touches the other.
+  SolutionCache cache(4, 2);
+  const std::vector<sched::MachineId> v{0};
+  cache.insert(1, 100, v, 1.0, SolvePolicy::kCga);
+  cache.insert(0, 1, v, 1.0, SolvePolicy::kCga);
+  cache.insert(0, 2, v, 2.0, SolvePolicy::kCga);
+  cache.insert(0, 3, v, 3.0, SolvePolicy::kCga);  // evicts key 1 (stripe 0 LRU)
+  SolutionCache::Entry e;
+  EXPECT_FALSE(cache.lookup(0, 1, e));
+  EXPECT_TRUE(cache.lookup(0, 2, e));
+  EXPECT_TRUE(cache.lookup(0, 3, e));
+  EXPECT_TRUE(cache.lookup(1, 100, e)) << "other stripe must be untouched";
+}
+
+TEST(SolutionCache, SingleStripeDefaultKeepsTotalCapacity) {
+  SolutionCache cache(8);
+  EXPECT_EQ(cache.stripes(), 1u);
+  EXPECT_EQ(cache.capacity(), 8u);
+}
+
+// --- ServiceMetrics (sharded merge equivalence) ----------------------------
+
+TEST(ServiceMetrics, ShardedMergeMatchesAtomicTotalsUnderConcurrency) {
+  // THE acceptance property of the per-worker metrics rewrite: with every
+  // worker hammering its own slot, external events landing from other
+  // threads, and a poller snapshotting mid-flight, the FINAL snapshot must
+  // be bit-equal to the old single-accumulator implementation fed the same
+  // per-worker sequences — integer totals exactly, Welford moments through
+  // the same merge arithmetic in the same (worker-index) order.
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kEventsPerWorker = 5000;
+  ServiceMetrics metrics(kWorkers);
+
+  struct Reference {
+    std::uint64_t completed = 0, failed = 0, hits = 0, misses = 0, builds = 0;
+    support::RunningStats wait, solve;
+  };
+  std::vector<Reference> ref(kWorkers);
+
+  std::atomic<bool> stop_poller{false};
+  std::thread poller([&] {
+    // Concurrent snapshots must be safe (and sane), not exact: totals only
+    // ever grow, and no read may tear a slot into an impossible state that
+    // trips RunningStats (e.g. n > 0 with garbage moments).
+    std::uint64_t last = 0;
+    while (!stop_poller.load(std::memory_order_relaxed)) {
+      const auto s = metrics.snapshot();
+      EXPECT_GE(s.completed, last);
+      last = s.completed;
+      EXPECT_GE(s.queue_wait_seconds.count(), 0u);
+      std::this_thread::yield();  // don't starve the workers on small boxes
+    }
+  });
+
+  {
+    support::ScopedThreads workers(kWorkers, [&](std::size_t w) {
+      support::Xoshiro256 rng(1000 + w);
+      const auto uniform = [&] {
+        return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+      };
+      Reference& r = ref[w];
+      for (std::size_t i = 0; i < kEventsPerWorker; ++i) {
+        const double wait = uniform() * 0.01;
+        const double solve = uniform() * 0.05;
+        const bool hit = (rng() & 7) == 0;
+        const bool miss = (rng() & 15) == 0;
+        if ((rng() & 63) == 0) {
+          metrics.on_fail(w);
+          ++r.failed;
+        } else {
+          metrics.on_complete(w, wait, solve, hit, miss);
+          ++r.completed;
+          r.hits += hit ? 1 : 0;
+          r.misses += miss ? 1 : 0;
+          r.wait.add(wait);
+          r.solve.add(solve);
+        }
+        if ((rng() & 255) == 0) {
+          const std::uint64_t n = 1 + (rng() & 3);
+          metrics.add_arena_builds(w, n);
+          r.builds += n;
+        }
+      }
+    });
+  }
+  stop_poller.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  const auto s = metrics.snapshot();
+  std::uint64_t completed = 0, failed = 0, hits = 0, misses = 0, builds = 0;
+  support::RunningStats wait, solve;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    completed += ref[w].completed;
+    failed += ref[w].failed;
+    hits += ref[w].hits;
+    misses += ref[w].misses;
+    builds += ref[w].builds;
+    EXPECT_EQ(s.worker_completed[w], ref[w].completed);
+    // The old implementation's accumulator order: merge per-worker
+    // sequences in worker order.
+    wait.merge(ref[w].wait);
+    solve.merge(ref[w].solve);
+  }
+  EXPECT_EQ(s.completed, completed);
+  EXPECT_EQ(s.failed, failed);
+  EXPECT_EQ(s.cache_hits, hits);
+  EXPECT_EQ(s.deadline_misses, misses);
+  EXPECT_EQ(s.arena_builds, builds);
+  // Bit-equality of the merged Welford state: the per-worker slots ran the
+  // exact RunningStats::add arithmetic, and snapshot() merged in the same
+  // order as the reference loop above.
+  EXPECT_EQ(s.queue_wait_seconds.count(), wait.count());
+  EXPECT_EQ(s.queue_wait_seconds.mean(), wait.mean());
+  EXPECT_EQ(s.queue_wait_seconds.variance(), wait.variance());
+  EXPECT_EQ(s.queue_wait_seconds.min(), wait.min());
+  EXPECT_EQ(s.queue_wait_seconds.max(), wait.max());
+  EXPECT_EQ(s.solve_seconds.count(), solve.count());
+  EXPECT_EQ(s.solve_seconds.mean(), solve.mean());
+  EXPECT_EQ(s.solve_seconds.variance(), solve.variance());
+  EXPECT_EQ(s.solve_seconds.min(), solve.min());
+  EXPECT_EQ(s.solve_seconds.max(), solve.max());
+}
+
+TEST(ServiceMetrics, ExternalEventsAndArenaBuildsAggregate) {
+  ServiceMetrics metrics(3);
+  {
+    support::ScopedThreads ext(4, [&](std::size_t) {
+      for (int i = 0; i < 100; ++i) {
+        metrics.on_submit();
+        metrics.on_reschedule();
+      }
+      metrics.on_cancel();
+    });
+  }
+  metrics.add_arena_builds(0, 2);
+  metrics.add_arena_builds(2, 3);
+  const auto s = metrics.snapshot();
+  EXPECT_EQ(s.submitted, 400u);
+  EXPECT_EQ(s.reschedules, 400u);
+  EXPECT_EQ(s.cancelled, 4u);
+  EXPECT_EQ(s.arena_builds, 5u);
+  EXPECT_EQ(s.worker_completed.size(), 3u);
 }
 
 // --- SchedulerService ------------------------------------------------------
@@ -560,6 +831,113 @@ TEST(SchedulerService, RejectsMalformedSpecs) {
   EXPECT_THROW(svc.submit(bad_deadline), std::invalid_argument);
   EXPECT_THROW(svc.wait(9999), std::invalid_argument);
   EXPECT_FALSE(svc.cancel(9999));
+}
+
+// --- shape affinity and stealing (the sharded core, end to end) ------------
+
+TEST(SchedulerService, SameShapeJobsStickToTheirHomeWorker) {
+  // Closed-loop same-shape jobs with idle neighbor workers: shape-affine
+  // routing plus the home worker's instant wakeup (vs the thieves'
+  // kStealPatience nap) keeps the overwhelming majority on the shard's
+  // pinned worker. The threshold is deliberately loose (60 %) — on an
+  // oversubscribed 1-core CI box a sleeping home worker occasionally loses
+  // a job to a thief whose nap expires first, and that is by design.
+  constexpr std::size_t kWorkers = 4;
+  SchedulerService svc(small_service(kWorkers, 64, 0));
+  ASSERT_EQ(svc.shards(), kWorkers);
+  // The expected home worker, computed with the queue's own hash.
+  const std::size_t home = ShardedJobQueue(64, kWorkers).shard_of_shape(32, 8);
+
+  auto m = instance(32, 8);
+  constexpr std::size_t kJobs = 100;
+  std::size_t on_home = 0;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    JobSpec spec;
+    spec.etc = m;
+    spec.seed = j + 1;
+    spec.deadline_ms = 10000.0;
+    spec.policy = SolvePolicy::kCga;
+    spec.max_generations = 2;
+    spec.use_cache = false;
+    const JobResult r = svc.wait(svc.submit(std::move(spec)));
+    ASSERT_EQ(r.status, JobStatus::kDone);
+    ASSERT_GE(r.worker, 0);
+    if (static_cast<std::size_t>(r.worker) == home) ++on_home;
+  }
+  EXPECT_GE(on_home, kJobs * 60 / 100)
+      << "shape-affine pinning should dominate; stolen jobs are the rare "
+         "exception under a closed loop";
+}
+
+TEST(SchedulerService, StealingSpreadsABackloggedShardAcrossWorkers) {
+  // One hot shape, fire-and-forget backlog: the home shard queues deep and
+  // the OTHER worker must steal rather than idle — the flip side of the
+  // affinity test.
+  SchedulerService svc(small_service(2, 64, 0));
+  auto m = instance(64, 8);
+  std::vector<JobId> ids;
+  for (int j = 0; j < 8; ++j) {
+    ids.push_back(svc.submit(long_job(m, 80.0)));
+  }
+  std::vector<bool> seen(2, false);
+  for (const JobId id : ids) {
+    const JobResult r = svc.wait(id);
+    ASSERT_EQ(r.status, JobStatus::kDone);
+    ASSERT_GE(r.worker, 0);
+    ASSERT_LT(r.worker, 2);
+    seen[static_cast<std::size_t>(r.worker)] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1])
+      << "a backlogged shard must be served by both workers (stealing)";
+  EXPECT_GT(svc.queue_steals(), 0u);
+}
+
+TEST(SchedulerService, RescheduleKeepsShapeAffinity) {
+  // The dynamic path rides the same sharded route: warm epochs of one
+  // shape keep landing on the worker whose arena holds it.
+  constexpr std::size_t kWorkers = 4;
+  SchedulerService svc(small_service(kWorkers, 64, 0));
+  const std::size_t home = ShardedJobQueue(64, kWorkers).shard_of_shape(48, 12);
+
+  auto m = instance(48, 12);
+  const sched::Schedule repair = heur::min_min(*m);
+  constexpr std::size_t kJobs = 40;
+  std::size_t on_home = 0;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    JobSpec spec;
+    spec.etc = m;
+    spec.seed = j + 1;
+    spec.deadline_ms = 10000.0;
+    spec.policy = SolvePolicy::kCga;
+    spec.max_generations = 2;
+    spec.use_cache = false;
+    spec.warm_start.assign(repair.assignment().begin(),
+                           repair.assignment().end());
+    const JobResult r = svc.wait(svc.submit_reschedule(std::move(spec)));
+    ASSERT_EQ(r.status, JobStatus::kDone);
+    EXPECT_TRUE(r.warm_started);
+    if (r.worker >= 0 && static_cast<std::size_t>(r.worker) == home) ++on_home;
+  }
+  EXPECT_GE(on_home, kJobs * 60 / 100);
+}
+
+TEST(SchedulerService, ShardObservabilityAccessors) {
+  SchedulerService svc(small_service(3, 64, 32));
+  EXPECT_EQ(svc.shards(), 3u);
+  EXPECT_EQ(svc.shard_depths().size(), 3u);
+  EXPECT_EQ(svc.cache().stripes(), 3u);
+  auto m = instance(16, 4);
+  JobSpec spec;
+  spec.etc = m;
+  spec.deadline_ms = 1000.0;
+  const JobResult r = svc.wait(svc.submit(spec));
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  const auto snap = svc.metrics();
+  ASSERT_EQ(snap.worker_completed.size(), 3u);
+  std::uint64_t sum = 0;
+  for (const auto c : snap.worker_completed) sum += c;
+  EXPECT_EQ(sum, snap.completed);
+  for (const auto d : svc.shard_depths()) EXPECT_EQ(d, 0u);  // drained
 }
 
 // --- reschedule path (dynamic subsystem) -----------------------------------
