@@ -59,6 +59,12 @@ struct ArmResult {
   std::size_t epochs = 0;
   std::size_t solved = 0;
   std::size_t carried = 0;
+  /// Obs-layer histogram percentiles of the arm's service (0 when the
+  /// build has observability compiled out or the arm solved nothing).
+  double wait_p50_ms = 0.0;
+  double wait_p99_ms = 0.0;
+  double solve_p50_ms = 0.0;
+  double solve_p99_ms = 0.0;
 };
 
 struct ScenarioResult {
@@ -84,6 +90,10 @@ ArmResult run_arm(const service::StreamingSpec& spec) {
   r.epochs = m.epochs;
   r.solved = m.solved_batches;
   r.carried = m.carried_tasks;
+  r.wait_p50_ms = m.wait_p50_ms;
+  r.wait_p99_ms = m.wait_p99_ms;
+  r.solve_p50_ms = m.solve_p50_ms;
+  r.solve_p99_ms = m.solve_p99_ms;
   return r;
 }
 
@@ -206,17 +216,25 @@ void write_json(const char* path, const Options& opts,
     std::fprintf(out, "    {\"scenario\": \"%s\",\n", r.name.c_str());
     std::fprintf(out,
                  "     \"cold\": {\"deadline_ms\": %.3f, \"completion\": "
-                 "%.4f, \"solve_s\": %.6f, \"epochs\": %zu},\n",
+                 "%.4f, \"solve_s\": %.6f, \"epochs\": %zu, "
+                 "\"wait_p50_ms\": %.4f, \"wait_p99_ms\": %.4f, "
+                 "\"solve_p50_ms\": %.4f, \"solve_p99_ms\": %.4f},\n",
                  r.cold.deadline_ms, r.cold.completion_time,
-                 r.cold.solve_seconds, r.cold.epochs);
+                 r.cold.solve_seconds, r.cold.epochs, r.cold.wait_p50_ms,
+                 r.cold.wait_p99_ms, r.cold.solve_p50_ms,
+                 r.cold.solve_p99_ms);
     std::fprintf(out, "     \"warm\": [");
     for (std::size_t j = 0; j < r.warm.size(); ++j) {
       std::fprintf(out,
                    "%s{\"deadline_ms\": %.3f, \"completion\": %.4f, "
-                   "\"solve_s\": %.6f, \"carried\": %zu}",
+                   "\"solve_s\": %.6f, \"carried\": %zu, "
+                   "\"wait_p50_ms\": %.4f, \"wait_p99_ms\": %.4f, "
+                   "\"solve_p50_ms\": %.4f, \"solve_p99_ms\": %.4f}",
                    j ? ", " : "", r.warm[j].deadline_ms,
                    r.warm[j].completion_time, r.warm[j].solve_seconds,
-                   r.warm[j].carried);
+                   r.warm[j].carried, r.warm[j].wait_p50_ms,
+                   r.warm[j].wait_p99_ms, r.warm[j].solve_p50_ms,
+                   r.warm[j].solve_p99_ms);
     }
     std::fprintf(out, "],\n");
     std::fprintf(out,

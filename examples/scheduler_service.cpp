@@ -20,7 +20,17 @@
 //                 deadline_missed=<0|1> generations=<g> evaluations=<e>
 //                 wait_ms=<w> solve_ms=<s>
 //   CANCEL <id>   -> CANCELLED <id> <1|0>
-//   STATS         -> STATS completed=... jobs_per_sec=... (key=value line)
+//   STATS         -> STATS completed=... jobs_per_sec=... (key=value line;
+//                    latency min/max and p50/p90/p99/p99.9 fields print `-`
+//                    while no job has completed)
+//   METRICS       -> Prometheus text exposition, terminated by `# EOF`
+//                    (the one multi-line response in the protocol)
+//   TRACE <id>    -> TRACE id=<id> spans=<n> <kind>@<start_ms>+<dur_ms> ...
+//                    (the job's span timeline from the flight recorder;
+//                    spans=0 once the ring has wrapped past the job)
+//   TRACE DUMP <file>
+//                 -> TRACE dump=<file> spans=<n>  (writes Chrome
+//                    trace_event JSON loadable in chrome://tracing)
 //   DRAIN         -> DRAINED
 //   QUIT (or EOF) -> graceful shutdown, exit 0
 //
@@ -51,6 +61,11 @@
 // --deterministic suppresses the timing fields (wait_ms/solve_ms) of
 // RESULT lines, so a scripted run (REPLAY + capped RESCHEDULE) produces
 // byte-identical output across runs.
+//
+// Diagnostics go through support/log (stderr), OFF unless PACGA_LOG_LEVEL
+// is set — stdout carries only protocol responses either way. --no-obs
+// disables the observability layer at runtime (TRACE returns empty,
+// latency percentiles print `-`).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -64,8 +79,10 @@
 #include "batch/workload.hpp"
 #include "dynamic/session.hpp"
 #include "etc/suite.hpp"
+#include "service/exposition.hpp"
 #include "service/service.hpp"
 #include "support/cli.hpp"
+#include "support/log.hpp"
 #include "support/threading.hpp"
 
 namespace {
@@ -79,9 +96,12 @@ struct DaemonOptions {
   std::string policy = "auto";
   std::string repair_policy = "minmin";
   double default_deadline_ms = 100.0;
+  std::size_t trace_capacity = 8192;
   /// Suppress timing fields in RESULT lines so scripted runs (REPLAY +
   /// generation-capped RESCHEDULE) are byte-identical across runs.
   bool deterministic = false;
+  /// Disable the observability layer (trace rings + latency histograms).
+  bool no_obs = false;
 };
 
 service::JobSpec base_spec(const DaemonOptions& opts, int priority,
@@ -144,6 +164,24 @@ std::string stats_line(const service::SchedulerService& svc) {
       << " shard_depth=" << join_counts(svc.shard_depths())
       << " shard_hits=" << join_counts(svc.cache().stripe_hits())
       << " worker_completed=" << join_counts(s.worker_completed);
+  // Latency distribution fields (newest appendix). All through
+  // format_metric: an empty distribution's min/max/quantiles are NaN,
+  // which must print as `-`, never "nan".
+  const auto& fm = service::format_metric;
+  out << " min_wait_ms=" << fm(s.queue_wait_seconds.min() * 1e3, 3)
+      << " max_wait_ms=" << fm(s.queue_wait_seconds.max() * 1e3, 3)
+      << " min_solve_ms=" << fm(s.solve_seconds.min() * 1e3, 3)
+      << " max_solve_ms=" << fm(s.solve_seconds.max() * 1e3, 3)
+      << " p50_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.5), 3)
+      << " p90_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.9), 3)
+      << " p99_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.99), 3)
+      << " p999_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.999), 3)
+      << " p50_solve_ms=" << fm(s.solve_hist.quantile_ms(0.5), 3)
+      << " p90_solve_ms=" << fm(s.solve_hist.quantile_ms(0.9), 3)
+      << " p99_solve_ms=" << fm(s.solve_hist.quantile_ms(0.99), 3)
+      << " p999_solve_ms=" << fm(s.solve_hist.quantile_ms(0.999), 3)
+      << " p50_e2e_ms=" << fm(s.e2e_hist.quantile_ms(0.5), 3)
+      << " p99_e2e_ms=" << fm(s.e2e_hist.quantile_ms(0.99), 3);
   return out.str();
 }
 
@@ -243,6 +281,39 @@ std::string handle(service::SchedulerService& svc, const DaemonOptions& opts,
       return "BYE";
     }
     if (cmd == "STATS") return stats_line(svc);
+    if (cmd == "METRICS") {
+      // The protocol's one multi-line response; `# EOF` marks the end so a
+      // pipe client knows when to stop reading.
+      std::ostringstream out;
+      service::write_prometheus(out, svc.metrics());
+      std::string text = out.str();
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      return text;
+    }
+    if (cmd == "TRACE") {
+      std::string target;
+      if (!(in >> target)) return "ERR TRACE expects <job-id> or DUMP <file>";
+      if (target == "DUMP") {
+        std::string path;
+        if (!(in >> path)) return "ERR TRACE DUMP expects a file path";
+        std::ofstream file(path);
+        if (!file) return "ERR TRACE DUMP cannot open " + path;
+        svc.trace().write_chrome_trace(file);
+        std::ostringstream out;
+        out << "TRACE dump=" << path
+            << " spans=" << svc.trace().snapshot().size();
+        return out.str();
+      }
+      service::JobId id = 0;
+      std::istringstream value(target);
+      if (!(value >> id) || value.peek() != EOF)
+        return "ERR TRACE expects <job-id> or DUMP <file>";
+      const std::vector<obs::SpanEvent> spans = svc.trace().job_spans(id);
+      std::ostringstream out;
+      out << "TRACE id=" << id << " spans=" << spans.size();
+      if (!spans.empty()) out << ' ' << obs::format_job_timeline(spans);
+      return out.str();
+    }
     if (cmd == "DRAIN") {
       svc.drain();
       return "DRAINED";
@@ -395,8 +466,12 @@ int main(int argc, char** argv) {
               "orphan reassignment order of the dynamic session")
       .option("default-deadline-ms", &opts.default_deadline_ms,
               "deadline used when a request passes 0")
+      .option("trace-capacity", &opts.trace_capacity,
+              "span flight-recorder entries per worker (0 disables tracing)")
       .flag("deterministic", &opts.deterministic,
-            "omit timing fields from RESULT lines (byte-identical replays)");
+            "omit timing fields from RESULT lines (byte-identical replays)")
+      .flag("no-obs", &opts.no_obs,
+            "disable the observability layer (traces and latency histograms)");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -408,7 +483,13 @@ int main(int argc, char** argv) {
   options.workers = pacga::support::clamp_threads(opts.workers);
   options.queue_capacity = opts.queue_capacity;
   options.cache_capacity = opts.cache_capacity;
+  options.trace_capacity = opts.trace_capacity;
+  options.observability = !opts.no_obs;
   service::SchedulerService svc(options);
+  support::log_info() << "scheduler_service: workers=" << options.workers
+                      << " queue=" << options.queue_capacity
+                      << " cache=" << options.cache_capacity
+                      << " obs=" << (options.observability ? 1 : 0);
 
   std::string line;
   bool quit = false;
@@ -417,8 +498,14 @@ int main(int argc, char** argv) {
   while (!quit && std::getline(std::cin, line)) {
     const std::string response =
         handle(svc, opts, instances, session, line, quit);
+    // Diagnostics go to the logger (stderr, off by default), never stdout:
+    // the protocol stream must stay parseable.
+    if (response.compare(0, 4, "ERR ") == 0) {
+      support::log_warn() << "request failed: " << line << " -> " << response;
+    }
     if (!response.empty()) std::cout << response << std::endl;  // flush: piped
   }
+  support::log_info() << "scheduler_service: shutting down";
   svc.shutdown();
   return 0;
 }

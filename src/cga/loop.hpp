@@ -199,6 +199,14 @@ struct GenerationEvent {
 /// (parallel engines).
 using GenerationObserver = std::function<void(const GenerationEvent&)>;
 
+/// True for the generations the service's convergence probe records:
+/// powers of two, so a G-generation run emits O(log G) probes — dense
+/// early where the CGA improves fastest, sparse in the long tail. g == 0
+/// (no committed sweep yet) is never sampled.
+inline constexpr bool sampled_generation(std::uint64_t g) noexcept {
+  return g != 0 && (g & (g - 1)) == 0;
+}
+
 /// The loop skeleton every engine shares: refresh the sweep order, visit
 /// each cell through `step`, then run `end_of_sweep` — repeatedly, until
 /// either asks to stop.

@@ -4,7 +4,8 @@
 
 namespace pacga::service {
 
-ServiceMetrics::ServiceMetrics(std::size_t workers) : slots_(workers) {
+ServiceMetrics::ServiceMetrics(std::size_t workers, bool histograms)
+    : slots_(workers), histograms_(histograms) {
   if (workers == 0)
     throw std::invalid_argument("ServiceMetrics: workers must be >= 1");
 }
@@ -47,7 +48,8 @@ support::RunningStats ServiceMetrics::OwnedStats::materialize()
 void ServiceMetrics::on_complete(std::size_t worker,
                                  double queue_wait_seconds,
                                  double solve_seconds, bool cache_hit,
-                                 bool deadline_missed) noexcept {
+                                 bool deadline_missed,
+                                 double e2e_seconds) noexcept {
   WorkerSlot& s = *slots_[worker % slots_.size()];
   s.completed.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit) s.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -55,6 +57,13 @@ void ServiceMetrics::on_complete(std::size_t worker,
     s.deadline_misses.fetch_add(1, std::memory_order_relaxed);
   s.queue_wait.add(queue_wait_seconds);
   s.solve.add(solve_seconds);
+  if (histograms_) {
+    s.wait_hist.record_seconds(queue_wait_seconds);
+    s.solve_hist.record_seconds(solve_seconds);
+    s.e2e_hist.record_seconds(e2e_seconds < 0.0
+                                  ? queue_wait_seconds + solve_seconds
+                                  : e2e_seconds);
+  }
 }
 
 void ServiceMetrics::on_fail(std::size_t worker) noexcept {
@@ -89,6 +98,11 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
     s.arena_builds += w.arena_builds.load(std::memory_order_relaxed);
     s.queue_wait_seconds.merge(w.queue_wait.materialize());
     s.solve_seconds.merge(w.solve.materialize());
+    if (histograms_) {
+      s.queue_wait_hist.merge(w.wait_hist.snapshot());
+      s.solve_hist.merge(w.solve_hist.snapshot());
+      s.e2e_hist.merge(w.e2e_hist.snapshot());
+    }
   }
   s.elapsed_seconds = clock_.elapsed_seconds();
   return s;

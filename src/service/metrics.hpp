@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "support/stats.hpp"
 #include "support/threading.hpp"
 #include "support/timer.hpp"
@@ -37,8 +38,10 @@ namespace pacga::service {
 
 class ServiceMetrics {
  public:
-  /// One per pool worker; `workers` must be >= 1.
-  explicit ServiceMetrics(std::size_t workers = 1);
+  /// One per pool worker; `workers` must be >= 1. `histograms` false keeps
+  /// the Welford moments but skips the latency histograms (the runtime
+  /// observability switch; PACGA_NO_OBS compiles them out entirely).
+  explicit ServiceMetrics(std::size_t workers = 1, bool histograms = true);
 
   /// Consistent-enough copy of all metrics at one instant.
   struct Snapshot {
@@ -60,6 +63,13 @@ class ServiceMetrics {
     std::vector<std::uint64_t> worker_completed;
     support::RunningStats queue_wait_seconds;
     support::RunningStats solve_seconds;
+    /// Log-bucketed latency distributions merged across workers in worker
+    /// order (same discipline as the Welford moments, so quantiles of a
+    /// quiesced service are bit-identical across snapshots). Empty when
+    /// histograms are disabled or compiled out.
+    obs::HistogramSnapshot queue_wait_hist;
+    obs::HistogramSnapshot solve_hist;
+    obs::HistogramSnapshot e2e_hist;  ///< submit -> terminal
     double elapsed_seconds = 0.0;  ///< since service start
 
     double jobs_per_second() const noexcept {
@@ -95,9 +105,11 @@ class ServiceMetrics {
 
   /// Completion-path events: touch only slot `worker`'s cache line. The
   /// caller must be the single thread that owns that slot.
+  /// `e2e_seconds` is the submit->terminal latency; negative (the default)
+  /// derives it as queue_wait + solve.
   void on_complete(std::size_t worker, double queue_wait_seconds,
                    double solve_seconds, bool cache_hit,
-                   bool deadline_missed) noexcept;
+                   bool deadline_missed, double e2e_seconds = -1.0) noexcept;
   void on_fail(std::size_t worker) noexcept;
   /// Folds `n` warm-arena rebuilds into slot `worker` (reported as a diff
   /// per job by the pool, so idle workers cost nothing).
@@ -135,6 +147,11 @@ class ServiceMetrics {
     std::atomic<std::uint64_t> arena_builds{0};
     OwnedStats queue_wait;
     OwnedStats solve;
+    /// Same single-writer contract as OwnedStats; buckets allocated at
+    /// construction so the recording path never allocates.
+    obs::LatencyHistogram wait_hist;
+    obs::LatencyHistogram solve_hist;
+    obs::LatencyHistogram e2e_hist;
   };
 
   std::atomic<std::uint64_t> submitted_{0};
@@ -142,6 +159,7 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> reschedules_{0};
   std::vector<support::Padded<WorkerSlot>> slots_;
+  bool histograms_;  ///< runtime switch; recording is skipped when false
   support::WallTimer clock_;  ///< started at service construction
 };
 

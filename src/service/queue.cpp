@@ -150,9 +150,10 @@ bool ShardedJobQueue::submit(JobTicket job) {
   return shard.submit(std::move(job));
 }
 
-JobTicket ShardedJobQueue::pop(std::size_t home) {
+JobTicket ShardedJobQueue::pop(std::size_t home, bool* stolen) {
   const std::size_t n = shards_.size();
   home %= n;
+  if (stolen) *stolen = false;
   for (;;) {
     // Home shard first: the pinned worker has absolute priority on its own
     // (shape-affine) traffic, so warm arenas see unbroken same-shape runs.
@@ -165,6 +166,7 @@ JobTicket ShardedJobQueue::pop(std::size_t home) {
       const std::size_t victim = (home + off) % n;
       if (JobTicket job = shards_[victim]->try_pop()) {
         steals_.fetch_add(1, std::memory_order_relaxed);
+        if (stolen) *stolen = true;
         return job;
       }
     }

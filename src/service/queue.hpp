@@ -140,8 +140,10 @@ class ShardedJobQueue {
 
   /// Consumer loop for the worker pinned to `home`: home shard first, then
   /// one bounded steal scan, then nap (kStealPatience) and retry; nullptr
-  /// once every shard is closed and drained.
-  JobTicket pop(std::size_t home);
+  /// once every shard is closed and drained. `stolen` (optional) reports
+  /// whether the returned job came off a non-home shard (the trace layer
+  /// tags queue-wait spans with it).
+  JobTicket pop(std::size_t home, bool* stolen = nullptr);
 
   /// Cancel-before-run: routes directly to the job's tagged shard — one
   /// shard's heap is scanned, never all of them.

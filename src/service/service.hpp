@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "batch/workload.hpp"
+#include "obs/trace.hpp"
 #include "service/cache.hpp"
 #include "service/job.hpp"
 #include "service/metrics.hpp"
@@ -47,6 +48,15 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   /// LRU entries; 0 disables the solution cache entirely.
   std::size_t cache_capacity = 1024;
+  /// Trace-ring capacity PER WORKER (span records; rounded up to a power
+  /// of two). The flight recorder keeps the most recent spans and drops
+  /// the oldest on wrap. 0 disables tracing while keeping histograms.
+  std::size_t trace_capacity = 8192;
+  /// Master runtime switch for the observability layer (trace rings AND
+  /// latency histograms). Counters and Welford moments always run — they
+  /// predate the obs layer and STATS depends on them. PACGA_NO_OBS
+  /// compiles the layer out regardless of this flag.
+  bool observability = true;
   /// Solver base configuration (grid, operators, objective, Min-min
   /// seeding). Termination and seed are per-job; collect_trace is forced
   /// off.
@@ -111,6 +121,11 @@ class SchedulerService {
   const SolutionCache& cache() const noexcept { return cache_; }
   const ServiceOptions& options() const noexcept { return options_; }
 
+  /// The span flight recorder (disabled — empty snapshots — when
+  /// options.observability is false, trace_capacity is 0, or the build
+  /// defines PACGA_NO_OBS). The daemon's TRACE verbs read it.
+  const obs::TraceCollector& trace() const noexcept { return trace_; }
+
   /// Queue shards == workers (each worker's home shard is its own).
   std::size_t shards() const noexcept { return queue_.shards(); }
   /// Currently queued jobs per shard (the daemon's STATS shard_depth).
@@ -127,6 +142,7 @@ class SchedulerService {
   ServiceMetrics metrics_;
   SolutionCache cache_;
   ShardedJobQueue queue_;
+  obs::TraceCollector trace_;  ///< before pool_: workers write into it
 
   mutable std::mutex registry_mutex_;
   std::unordered_map<JobId, JobTicket> registry_;

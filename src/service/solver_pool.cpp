@@ -1,6 +1,7 @@
 #include "service/solver_pool.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <stdexcept>
 
@@ -48,9 +49,13 @@ SolvePolicy WarmSolver::decide(const JobSpec& spec, const etc::EtcMatrix& etc,
   return SolvePolicy::kCga;
 }
 
-void WarmSolver::ensure_shape(const etc::EtcMatrix& etc) {
+void WarmSolver::ensure_shape(const etc::EtcMatrix& etc,
+                              obs::WorkerTracer* tracer,
+                              std::uint64_t job_id) {
   if (population_ && tasks_ == etc.tasks() && machines_ == etc.machines())
     return;
+  const std::uint64_t t0 =
+      tracer && tracer->enabled() ? tracer->now_ns() : 0;
   tasks_ = etc.tasks();
   machines_ = etc.machines();
   ++arena_builds_;
@@ -83,6 +88,10 @@ void WarmSolver::ensure_shape(const etc::EtcMatrix& etc) {
   order_.emplace(arena_config_.sweep, population_->size(), rng_);
   scratch_.emplace(sched::Schedule(etc), 0.0);
   tracker_.emplace(population_->at(0));
+  if (tracer && tracer->enabled()) {
+    tracer->span(obs::SpanKind::kArenaBuild, job_id, t0, tracer->now_ns(),
+                 tasks_, machines_);
+  }
 }
 
 void WarmSolver::solve_heuristic(const etc::EtcMatrix& etc, SolvePolicy policy,
@@ -123,9 +132,14 @@ void WarmSolver::solve_heuristic(const etc::EtcMatrix& etc, SolvePolicy policy,
 void WarmSolver::solve_cga(const etc::EtcMatrix& etc, const JobSpec& spec,
                            double budget_seconds,
                            const std::atomic<bool>* cancel, JobResult& out,
-                           const cga::GenerationObserver& observer) {
-  ensure_shape(etc);
+                           const cga::GenerationObserver& observer,
+                           obs::WorkerTracer* tracer, std::uint64_t job_id) {
+  ensure_shape(etc, tracer, job_id);
   cga::Population& pop = *population_;
+  // Tracing stays on this branchy flag — never wrapped into `observer`,
+  // which would heap-allocate a std::function per job.
+  const bool tracing = tracer && tracer->enabled();
+  const std::uint64_t cga_start = tracing ? tracer->now_ns() : 0;
 
   // Per-job determinism: generator, population, and sweep order are all a
   // pure function of (etc, spec.seed) from here on.
@@ -168,6 +182,10 @@ void WarmSolver::solve_cga(const etc::EtcMatrix& etc, const JobSpec& spec,
       },
       [&] {  // end of sweep: the anytime checkpoint
         ++generations;
+        if (tracing && cga::sampled_generation(generations)) {
+          tracer->instant(obs::SpanKind::kGeneration, job_id, generations,
+                          std::bit_cast<std::uint64_t>(tracker_->fitness()));
+        }
         if (observer) {
           observer({generations, evaluations, termination.elapsed_seconds(),
                     tracker_->fitness(), pop});
@@ -179,6 +197,10 @@ void WarmSolver::solve_cga(const etc::EtcMatrix& etc, const JobSpec& spec,
   out.generations = generations;
   out.evaluations = evaluations;
   out.policy_used = SolvePolicy::kCga;
+  if (tracing) {
+    tracer->span(obs::SpanKind::kWarmCga, job_id, cga_start, tracer->now_ns(),
+                 generations);
+  }
 }
 
 void WarmSolver::solve_parallel(const etc::EtcMatrix& etc, const JobSpec& spec,
@@ -204,26 +226,39 @@ void WarmSolver::solve_parallel(const etc::EtcMatrix& etc, const JobSpec& spec,
 
 void WarmSolver::solve(const etc::EtcMatrix& etc, const JobSpec& spec,
                        double budget_seconds, const std::atomic<bool>* cancel,
-                       JobResult& out, const cga::GenerationObserver& observer) {
+                       JobResult& out, const cga::GenerationObserver& observer,
+                       obs::WorkerTracer* tracer, std::uint64_t job_id) {
   out.cache_hit = false;
   out.warm_started = false;
   out.generations = 0;
   out.evaluations = 0;
+  const bool tracing = tracer && tracer->enabled();
   switch (decide(spec, etc, budget_seconds)) {
     case SolvePolicy::kAuto:  // unreachable: decide() never returns kAuto
     case SolvePolicy::kMinMin:
-    case SolvePolicy::kSufferage:
+    case SolvePolicy::kSufferage: {
       // spec.policy distinguishes the explicit heuristics from the kAuto
       // escalation (which runs both and keeps the winner).
+      const std::uint64_t t0 = tracing ? tracer->now_ns() : 0;
       solve_heuristic(etc, spec.policy, out);
+      if (tracing)
+        tracer->span(obs::SpanKind::kHeuristic, job_id, t0, tracer->now_ns());
       break;
+    }
     case SolvePolicy::kCga:
-      solve_cga(etc, spec, budget_seconds, cancel, out, observer);
+      solve_cga(etc, spec, budget_seconds, cancel, out, observer, tracer,
+                job_id);
       break;
     case SolvePolicy::kWarmStart:  // unreachable: never requested
-    case SolvePolicy::kPaCga:
+    case SolvePolicy::kPaCga: {
+      const std::uint64_t t0 = tracing ? tracer->now_ns() : 0;
       solve_parallel(etc, spec, budget_seconds, cancel, out);
+      if (tracing) {
+        tracer->span(obs::SpanKind::kPaCga, job_id, t0, tracer->now_ns(),
+                     out.generations);
+      }
       break;
+    }
   }
   if (!spec.warm_start.empty()) {
     // The reschedule contract: never answer worse than the seed. The CGA
@@ -248,20 +283,23 @@ void WarmSolver::solve(const etc::EtcMatrix& etc, const JobSpec& spec,
 
 SolverPool::SolverPool(ShardedJobQueue& queue, SolutionCache& cache,
                        ServiceMetrics& metrics, SolverPoolOptions options,
-                       CompletionHook on_terminal)
+                       obs::TraceCollector* trace, CompletionHook on_terminal)
     : queue_(queue),
       cache_(cache),
       metrics_(metrics),
       options_(std::move(options)),
+      trace_(trace),
       on_terminal_(std::move(on_terminal)) {
   if (options_.workers == 0)
     throw std::invalid_argument("SolverPool: workers must be >= 1");
   options_.solver.validate();
   threads_.emplace(options_.workers, [this](std::size_t worker) {
     WarmSolver solver(options_.solver);
+    obs::WorkerTracer tracer(trace_, worker);
     const std::size_t home = worker % queue_.shards();
-    while (JobTicket job = queue_.pop(home)) {
-      serve(*job, solver, worker);
+    bool stolen = false;
+    while (JobTicket job = queue_.pop(home, &stolen)) {
+      serve(*job, solver, worker, tracer, stolen);
     }
   });
 }
@@ -281,15 +319,27 @@ std::uint64_t SolverPool::cache_key(const etc::EtcMatrix& etc,
   return support::hash_mix(h, static_cast<std::uint64_t>(policy) + 1);
 }
 
-void SolverPool::serve(JobState& job, WarmSolver& solver,
-                       std::size_t worker) {
+void SolverPool::serve(JobState& job, WarmSolver& solver, std::size_t worker,
+                       obs::WorkerTracer& tracer, bool stolen) {
   const auto picked_up = std::chrono::steady_clock::now();
   JobResult& out = job.result;
   out.queue_wait_seconds = seconds_between(job.submitted, picked_up);
   out.worker = static_cast<std::int32_t>(worker);
 
+  // Queue-phase span, emitted retroactively at pickup from the admission
+  // timestamp: the submitting client thread never writes this worker's
+  // ring, so the single-writer contract holds end to end.
+  const bool tracing = tracer.enabled();
+  const std::uint64_t pickup_ns = tracing ? tracer.now_ns() : 0;
+  if (tracing) {
+    tracer.span(obs::SpanKind::kQueueWait, out.id,
+                tracer.to_ns(job.submitted), pickup_ns, job.shard,
+                stolen ? 1 : 0);
+  }
+
   if (job.cancel.load(std::memory_order_relaxed)) {
     out.status = JobStatus::kCancelled;
+    if (tracing) tracer.instant(obs::SpanKind::kCancelled, out.id);
     metrics_.on_cancel();
     job.finish();
     if (on_terminal_) on_terminal_(job);
@@ -311,7 +361,16 @@ void SolverPool::serve(JobState& job, WarmSolver& solver,
   // fingerprint — one shape, one stripe).
   const std::size_t stripe = job.shard;
   const bool cache_lookup = job.spec.use_cache && job.spec.warm_start.empty();
-  if (cache_lookup && cache_.lookup(stripe, key, cached)) {
+  bool cache_hit = false;
+  if (cache_lookup) {
+    const std::uint64_t probe_start = tracing ? tracer.now_ns() : 0;
+    cache_hit = cache_.lookup(stripe, key, cached);
+    if (tracing) {
+      tracer.span(obs::SpanKind::kCacheProbe, out.id, probe_start,
+                  tracer.now_ns(), 0, cache_hit ? 1 : 0);
+    }
+  }
+  if (cache_hit) {
     out.assignment = std::move(cached.assignment);
     out.makespan = cached.fitness;
     out.cache_hit = true;
@@ -331,7 +390,7 @@ void SolverPool::serve(JobState& job, WarmSolver& solver,
     const std::uint64_t builds_before = solver.arena_builds();
     try {
       solver.solve(etc, job.spec, remaining * kDeadlineHeadroom, &job.cancel,
-                   out);
+                   out, {}, &tracer, out.id);
       out.status = job.cancel.load(std::memory_order_relaxed)
                        ? JobStatus::kCancelled
                        : JobStatus::kDone;
@@ -364,7 +423,25 @@ void SolverPool::serve(JobState& job, WarmSolver& solver,
     }
   }
   out.solve_seconds = solve_timer.elapsed_seconds();
-  out.deadline_missed = std::chrono::steady_clock::now() > job.deadline;
+  const auto finished_at = std::chrono::steady_clock::now();
+  out.deadline_missed = finished_at > job.deadline;
+
+  if (tracing) {
+    tracer.span(obs::SpanKind::kServe, out.id, pickup_ns, tracer.now_ns(), 0,
+                static_cast<std::uint64_t>(out.status));
+    switch (out.status) {
+      case JobStatus::kCancelled:
+        tracer.instant(obs::SpanKind::kCancelled, out.id);
+        break;
+      case JobStatus::kFailed:
+        tracer.instant(obs::SpanKind::kFailed, out.id);
+        break;
+      default:
+        tracer.instant(obs::SpanKind::kCompleted, out.id, 0,
+                       std::bit_cast<std::uint64_t>(out.makespan));
+        break;
+    }
+  }
 
   switch (out.status) {
     case JobStatus::kCancelled:
@@ -375,7 +452,8 @@ void SolverPool::serve(JobState& job, WarmSolver& solver,
       break;
     default:
       metrics_.on_complete(worker, out.queue_wait_seconds, out.solve_seconds,
-                           out.cache_hit, out.deadline_missed);
+                           out.cache_hit, out.deadline_missed,
+                           seconds_between(job.submitted, finished_at));
       break;
   }
   job.finish();

@@ -28,6 +28,7 @@
 #include "cga/engine.hpp"
 #include "cga/loop.hpp"
 #include "cga/population.hpp"
+#include "obs/trace.hpp"
 #include "service/cache.hpp"
 #include "service/job.hpp"
 #include "service/metrics.hpp"
@@ -67,9 +68,14 @@ class WarmSolver {
   /// `cancel` (optional) at the same granularity. `observer` (optional)
   /// fires after every committed generation. Per-job seeding makes the
   /// result a pure function of (etc, spec) given a generation cap.
+  /// `tracer` (optional) records phase spans (arena build, heuristic,
+  /// warm-CGA, PA-CGA) and power-of-two-generation convergence instants
+  /// tagged `job_id` — the probe is inlined rather than wrapped into
+  /// `observer` so tracing never allocates on the serving path.
   void solve(const etc::EtcMatrix& etc, const JobSpec& spec,
              double budget_seconds, const std::atomic<bool>* cancel,
-             JobResult& out, const cga::GenerationObserver& observer = {});
+             JobResult& out, const cga::GenerationObserver& observer = {},
+             obs::WorkerTracer* tracer = nullptr, std::uint64_t job_id = 0);
 
   /// The escalation decision, exposed for tests and the daemon's STATS.
   SolvePolicy decide(const JobSpec& spec, const etc::EtcMatrix& etc,
@@ -83,12 +89,14 @@ class WarmSolver {
   std::uint64_t arena_builds() const noexcept { return arena_builds_; }
 
  private:
-  void ensure_shape(const etc::EtcMatrix& etc);
+  void ensure_shape(const etc::EtcMatrix& etc, obs::WorkerTracer* tracer,
+                    std::uint64_t job_id);
   void solve_heuristic(const etc::EtcMatrix& etc, SolvePolicy policy,
                        JobResult& out);
   void solve_cga(const etc::EtcMatrix& etc, const JobSpec& spec,
                  double budget_seconds, const std::atomic<bool>* cancel,
-                 JobResult& out, const cga::GenerationObserver& observer);
+                 JobResult& out, const cga::GenerationObserver& observer,
+                 obs::WorkerTracer* tracer, std::uint64_t job_id);
   void solve_parallel(const etc::EtcMatrix& etc, const JobSpec& spec,
                       double budget_seconds, const std::atomic<bool>* cancel,
                       JobResult& out);
@@ -126,8 +134,11 @@ class SolverPool {
  public:
   using CompletionHook = std::function<void(const JobState&)>;
 
+  /// `trace` (optional) is the service's span collector; each worker
+  /// records into its own ring. Must outlive the pool.
   SolverPool(ShardedJobQueue& queue, SolutionCache& cache,
              ServiceMetrics& metrics, SolverPoolOptions options,
+             obs::TraceCollector* trace = nullptr,
              CompletionHook on_terminal = {});
 
   /// Joins the workers. The queue must have been closed first or this
@@ -148,12 +159,14 @@ class SolverPool {
   std::size_t workers() const noexcept { return options_.workers; }
 
  private:
-  void serve(JobState& job, WarmSolver& solver, std::size_t worker);
+  void serve(JobState& job, WarmSolver& solver, std::size_t worker,
+             obs::WorkerTracer& tracer, bool stolen);
 
   ShardedJobQueue& queue_;
   SolutionCache& cache_;
   ServiceMetrics& metrics_;
   SolverPoolOptions options_;
+  obs::TraceCollector* trace_;
   CompletionHook on_terminal_;
   std::optional<support::ScopedThreads> threads_;  ///< last member: joins first
 };

@@ -163,6 +163,15 @@ void StreamingSession::finalize() {
   const double machine_time =
       static_cast<double>(busy_until_.size()) * metrics_.completion_time;
   metrics_.utilization = machine_time > 0.0 ? busy_time_ / machine_time : 0.0;
+
+  // Serving-latency percentiles from the backing service's histograms
+  // (NaN — disabled or empty — reports as 0: "no distribution").
+  const auto finite_ms = [](double ms) { return std::isfinite(ms) ? ms : 0.0; };
+  const ServiceMetrics::Snapshot snap = service_.metrics();
+  metrics_.wait_p50_ms = finite_ms(snap.queue_wait_hist.quantile_ms(0.50));
+  metrics_.wait_p99_ms = finite_ms(snap.queue_wait_hist.quantile_ms(0.99));
+  metrics_.solve_p50_ms = finite_ms(snap.solve_hist.quantile_ms(0.50));
+  metrics_.solve_p99_ms = finite_ms(snap.solve_hist.quantile_ms(0.99));
 }
 
 }  // namespace pacga::service

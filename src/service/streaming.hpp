@@ -96,6 +96,14 @@ struct StreamingMetrics {
   std::size_t committed_tasks = 0;  ///< == workload tasks once done
   std::size_t carried_tasks = 0;    ///< sum of per-epoch tails
   double solve_seconds = 0.0;       ///< total solver wall time
+  /// Queue-wait / solve latency percentiles of the backing service at
+  /// stream completion, in milliseconds (0 when its histograms are
+  /// disabled or empty). Service-lifetime figures: a bench that wants
+  /// clean per-arm numbers runs each arm against a fresh service.
+  double wait_p50_ms = 0.0;
+  double wait_p99_ms = 0.0;
+  double solve_p50_ms = 0.0;
+  double solve_p99_ms = 0.0;
 };
 
 class StreamingSession {

@@ -1,5 +1,11 @@
 // Minimal leveled logger for the harness binaries. Not used on algorithm
 // hot paths (the engines report through typed Stats structs instead).
+//
+// The threshold comes from the PACGA_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, case-insensitive), resolved lazily on the
+// first log call; unset or unparseable means OFF — a daemon driven over a
+// pipe must not mix diagnostics into anyone's stderr unless asked.
+// set_log_level() overrides the environment (tests, CLI flags).
 #pragma once
 
 #include <sstream>
@@ -7,11 +13,15 @@
 
 namespace pacga::support {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Global threshold; messages below it are dropped. Thread-safe.
 void set_log_level(LogLevel level);
 LogLevel log_level() noexcept;
+
+/// Parses the PACGA_LOG_LEVEL spelling (debug|info|warn|error|off,
+/// case-insensitive). False (and `out` untouched) on anything else.
+bool parse_log_level(const std::string& name, LogLevel& out) noexcept;
 
 /// Emits one line `[LEVEL] message` to stderr (atomic w.r.t. other log
 /// calls through an internal mutex).

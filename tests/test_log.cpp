@@ -44,6 +44,42 @@ TEST(Log, ThresholdSuppressesLowerLevels) {
   for (int i = 0; i < 1000; ++i) log_debug() << i;
 }
 
+TEST(Log, ParsesEveryLevelSpellingCaseInsensitively) {
+  const struct {
+    const char* name;
+    LogLevel expected;
+  } cases[] = {
+      {"debug", LogLevel::kDebug}, {"DEBUG", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},   {"Info", LogLevel::kInfo},
+      {"warn", LogLevel::kWarn},   {"warning", LogLevel::kWarn},
+      {"error", LogLevel::kError}, {"ERROR", LogLevel::kError},
+      {"off", LogLevel::kOff},     {"none", LogLevel::kOff},
+      {"OFF", LogLevel::kOff},
+  };
+  for (const auto& c : cases) {
+    LogLevel out = LogLevel::kDebug;
+    EXPECT_TRUE(parse_log_level(c.name, out)) << c.name;
+    EXPECT_EQ(out, c.expected) << c.name;
+  }
+}
+
+TEST(Log, RejectsUnknownSpellingsAndLeavesOutUntouched) {
+  for (const char* bad : {"", "verbose", "trace", "2", "warn ", " info"}) {
+    LogLevel out = LogLevel::kWarn;
+    EXPECT_FALSE(parse_log_level(bad, out)) << '"' << bad << '"';
+    EXPECT_EQ(out, LogLevel::kWarn) << '"' << bad << '"';
+  }
+}
+
+TEST(Log, OffSuppressesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  // Even kError is below the kOff threshold — the daemon-on-a-pipe
+  // default must emit nothing.
+  log_error() << "suppressed";
+}
+
 TEST(Log, ConcurrentLoggingDoesNotCrash) {
   LogLevelGuard guard;
   set_log_level(LogLevel::kError);  // suppress output, keep the lock path

@@ -17,15 +17,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <optional>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "etc/braun.hpp"
 #include "heuristics/minmin.hpp"
 #include "sched/fitness.hpp"
+#include "service/exposition.hpp"
 #include "service/solver_pool.hpp"
 #include "support/rng.hpp"
 #include "support/threading.hpp"
@@ -1135,6 +1139,131 @@ TEST(WarmSolver, BreedingPathAllocationFreeWithMinMinSeeding) {
   solver.solve(*m, spec, 10.0, nullptr, out, observer);
   EXPECT_EQ(at_last_generation, at_first_generation)
       << "generations 2..n of a warm solve must not allocate";
+}
+
+// --- observability integration ---------------------------------------------
+
+TEST(SchedulerService, TraceRecordsTheJobLifecycle) {
+  SchedulerService svc(small_service(2, 64, 64));
+  auto m = instance(32, 8);
+  JobSpec spec;
+  spec.etc = m;
+  spec.deadline_ms = 1000.0;
+  const JobId id = svc.submit(spec);
+  const JobResult r = svc.wait(id);
+  ASSERT_EQ(r.status, JobStatus::kDone);
+  svc.drain();
+#if !defined(PACGA_NO_OBS)
+  const std::vector<obs::SpanEvent> spans = svc.trace().job_spans(id);
+  ASSERT_FALSE(spans.empty());
+  bool wait = false, serve = false, probe = false, completed = false;
+  for (const obs::SpanEvent& e : spans) {
+    EXPECT_EQ(e.job_id, id);
+    if (e.kind == obs::SpanKind::kQueueWait) wait = true;
+    if (e.kind == obs::SpanKind::kServe) serve = true;
+    if (e.kind == obs::SpanKind::kCacheProbe) probe = true;
+    if (e.kind == obs::SpanKind::kCompleted) completed = true;
+  }
+  EXPECT_TRUE(wait);
+  EXPECT_TRUE(serve);
+  EXPECT_TRUE(probe);
+  EXPECT_TRUE(completed);
+  // Spans are sorted by ts and the serve envelope closes before the
+  // terminal instant.
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_LE(spans[i - 1].ts_ns, spans[i].ts_ns);
+#endif
+}
+
+TEST(SchedulerService, HistogramsCountEveryCompletion) {
+  SchedulerService svc(small_service(2, 64, 64));
+  auto m = instance(24, 6);
+  constexpr std::size_t kJobs = 12;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    JobSpec spec;
+    spec.etc = m;
+    spec.seed = j;
+    spec.deadline_ms = 1000.0;
+    EXPECT_EQ(svc.wait(svc.submit(spec)).status, JobStatus::kDone);
+  }
+  svc.drain();
+  const auto snap = svc.metrics();
+  EXPECT_EQ(snap.completed, kJobs);
+#if !defined(PACGA_NO_OBS)
+  EXPECT_EQ(snap.queue_wait_hist.count(), kJobs);
+  EXPECT_EQ(snap.solve_hist.count(), kJobs);
+  EXPECT_EQ(snap.e2e_hist.count(), kJobs);
+  // End-to-end covers wait + solve, so its median cannot undercut the
+  // wait median.
+  EXPECT_GE(snap.e2e_hist.quantile_ns(0.5),
+            snap.queue_wait_hist.quantile_ns(0.5));
+#endif
+}
+
+TEST(SchedulerService, ObservabilityOffDisablesCollectionOnly) {
+  ServiceOptions o = small_service(2, 64, 64);
+  o.observability = false;
+  SchedulerService svc(o);
+  auto m = instance(24, 6);
+  JobSpec spec;
+  spec.etc = m;
+  spec.deadline_ms = 1000.0;
+  const JobId id = svc.submit(spec);
+  EXPECT_EQ(svc.wait(id).status, JobStatus::kDone);
+  svc.drain();
+  EXPECT_TRUE(svc.trace().job_spans(id).empty());
+  const auto snap = svc.metrics();
+  EXPECT_TRUE(snap.solve_hist.empty());
+  EXPECT_EQ(snap.completed, 1u);                   // counters still run
+  EXPECT_GT(snap.solve_seconds.count(), 0u);       // Welford still runs
+}
+
+TEST(SchedulerService, ResultsIdenticalWithObservabilityOnAndOff) {
+  // The obs layer observes; it must not perturb. The same pinned-seed
+  // capped-generation solve must produce the identical result either way.
+  auto m = instance(32, 8);
+  JobResult results[2];
+  for (int obs_on = 0; obs_on < 2; ++obs_on) {
+    ServiceOptions o = small_service(1, 64, 0);
+    o.observability = obs_on == 1;
+    SchedulerService svc(o);
+    JobSpec spec;
+    spec.etc = m;
+    spec.seed = 42;
+    spec.deadline_ms = 10000.0;
+    spec.policy = SolvePolicy::kCga;
+    spec.max_generations = 12;
+    spec.use_cache = false;
+    results[obs_on] = svc.wait(svc.submit(std::move(spec)));
+  }
+  EXPECT_EQ(results[0].status, results[1].status);
+  EXPECT_EQ(results[0].makespan, results[1].makespan);  // bit-identical
+  EXPECT_EQ(results[0].generations, results[1].generations);
+  EXPECT_EQ(results[0].evaluations, results[1].evaluations);
+}
+
+TEST(Exposition, FormatMetricPrintsDashForNonFinite) {
+  EXPECT_EQ(format_metric(std::nan("")), "-");
+  EXPECT_EQ(format_metric(std::numeric_limits<double>::infinity()), "-");
+  EXPECT_EQ(format_metric(-std::numeric_limits<double>::infinity()), "-");
+  EXPECT_EQ(format_metric(1.5), "1.500");
+  EXPECT_EQ(format_metric(2.25, 2), "2.25");
+  EXPECT_EQ(format_metric(0.0), "0.000");
+}
+
+TEST(Exposition, PrometheusTextOfAnIdleServiceIsWellFormed) {
+  SchedulerService svc(small_service(2, 64, 64));
+  std::ostringstream out;
+  write_prometheus(out, svc.metrics());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("pacga_jobs_submitted_total 0"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pacga_solve_seconds summary"),
+            std::string::npos);
+  // Empty distributions expose quantiles as NaN (the Prometheus spelling,
+  // never a bare nan from printf).
+  EXPECT_NE(text.find("{quantile=\"0.99\"} NaN"), std::string::npos);
+  EXPECT_NE(text.find("pacga_solve_seconds_count 0"), std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
 }
 
 }  // namespace

@@ -30,6 +30,19 @@ for s in $subs; do
   fi
 done
 
+# --- span taxonomy ---------------------------------------------------------
+# Every SpanKind name the code can emit (obs::to_string) must appear in
+# docs/OBSERVABILITY.md's taxonomy table — trace consumers read the docs.
+kinds=$(grep -o 'return "[a-z_]*";' src/obs/trace.cpp \
+          | sed 's/return "\([a-z_]*\)";/\1/' | grep -v '^x$' | sort -u)
+[ -n "$kinds" ] || { echo "BUG: no span kinds found — check the grep"; exit 1; }
+for k in $kinds; do
+  if ! grep -q "\`$k\`" docs/OBSERVABILITY.md; then
+    echo "MISSING: span kind $k not in docs/OBSERVABILITY.md's taxonomy"
+    fail=1
+  fi
+done
+
 # --- runtime environment switches ------------------------------------------
 switches=$(grep -rho 'getenv("PACGA_[A-Z_]*")' src \
              | sed 's/.*"\(PACGA_[A-Z_]*\)".*/\1/' | sort -u)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate a `TRACE DUMP` Chrome trace_event JSON file.
+
+Checks, in order:
+  1. the file parses as JSON with a non-empty "traceEvents" list;
+  2. every event carries the trace_event required fields, with "ph" in
+     {"X", "i", "M"}, numeric non-negative "ts", and "X" events a
+     non-negative "dur";
+  3. duration events on each WORKER lane (pid 1) nest properly: the
+     serve envelope must contain its cache-probe / arena-build / solver
+     phases, with no partial overlap. Queue lanes (pid 2) are exempt —
+     several jobs legitimately wait on one shard at once.
+
+Usage: validate_trace.py <trace.json>   (exit 0 = valid)
+"""
+import json
+import sys
+
+EPS = 0.0015  # microsecond slack for the 3-decimal fixed-point export
+
+
+def fail(msg):
+    print(f"INVALID: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents array (or it is empty)")
+
+    lanes = {}  # (pid, tid) -> [(ts, dur, name)]
+    spans = instants = 0
+    for i, e in enumerate(events):
+        for field in ("ph", "pid", "tid"):
+            if field not in e:
+                fail(f"event #{i} missing '{field}': {e}")
+        ph = e["ph"]
+        if ph not in ("X", "i", "M"):
+            fail(f"event #{i} has unexpected ph={ph!r}")
+        if ph == "M":
+            continue  # metadata (thread names)
+        if "name" not in e or "ts" not in e:
+            fail(f"event #{i} missing 'name'/'ts': {e}")
+        ts = e["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event #{i} has bad ts={ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event #{i} has bad dur={dur!r}")
+            spans += 1
+            if e["pid"] == 1:  # worker lanes must nest; queue lanes may not
+                lanes.setdefault((e["pid"], e["tid"]), []).append(
+                    (ts, dur, e["name"]))
+        else:
+            instants += 1
+
+    for (pid, tid), lane in lanes.items():
+        # Sort children after parents at equal start so the stack check
+        # sees the enclosing span first.
+        lane.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (end, name)
+        for ts, dur, name in lane:
+            end = ts + dur
+            while stack and stack[-1][0] <= ts + EPS:
+                stack.pop()
+            if stack and end > stack[-1][0] + EPS:
+                fail(f"lane pid={pid} tid={tid}: span '{name}' "
+                     f"[{ts}, {end}] partially overlaps enclosing "
+                     f"'{stack[-1][1]}' ending at {stack[-1][0]}")
+            stack.append((end, name))
+
+    print(f"OK: {len(events)} events ({spans} spans, {instants} instants, "
+          f"{len(lanes)} nested worker lanes)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
