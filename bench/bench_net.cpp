@@ -1,0 +1,317 @@
+// bench_net — closed-loop soak benchmark of the TCP daemon edge.
+//
+// Stands up the scheduler service plus the poll() event-loop server
+// (src/net/server.hpp) in-process on an ephemeral loopback port, then
+// drives it with hundreds of concurrent closed-loop socket clients — each
+// one a real TCP connection doing submit -> WAIT -> next, exactly the
+// traffic the multi-client edge exists to survive. A full queue answers
+// "ERR BUSY queue full"; the client counts the rejection and retries
+// after a short backoff (closed-loop load shedding), so the bench also
+// measures how much of the offered load the edge admits versus sheds.
+//
+// Every client checks its own transcript while it runs: session-local
+// job ids must come back 1, 2, 3, ... in submission order and every WAIT
+// must answer a RESULT for exactly the id it asked — a lost, duplicated
+// or cross-wired response line aborts the run (exit 1). The soak is the
+// acceptance gate for "hundreds of concurrent clients, zero lost or
+// duplicated RESULT lines".
+//
+// Emits BENCH_net.json: served/rejected counts, jobs/sec through the
+// socket edge, client-observed end-to-end p50/p99 latency, and the
+// server-side metrics snapshot. Defaults are smoke-scale (~100 clients,
+// a few seconds); --full scales the client count and per-client work up.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/threading.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace pacga;
+
+struct Options {
+  std::size_t clients = 100;       ///< concurrent socket clients
+  std::size_t jobs_per_client = 10;
+  std::size_t workers = 3;         ///< solver workers
+  std::size_t queue_capacity = 256;
+  std::size_t tasks = 32;          ///< workload shape per job
+  std::size_t machines = 8;
+  double deadline_ms = 60000.0;
+  std::uint64_t seed = 1;
+  std::string policy = "minmin";   ///< fast jobs: the edge is the subject
+  double backoff_ms = 2.0;         ///< client retry pause after ERR BUSY
+  bool full = false;
+};
+
+/// Minimal blocking loopback client: buffered line reader, send-all.
+class SockClient {
+ public:
+  explicit SockClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+      throw std::runtime_error(std::string("connect failed: ") +
+                               std::strerror(errno));
+  }
+  ~SockClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  SockClient(const SockClient&) = delete;
+  SockClient& operator=(const SockClient&) = delete;
+
+  void send_line(const std::string& line) {
+    const std::string data = line + "\n";
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                               MSG_NOSIGNAL
+#else
+                               0
+#endif
+      );
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw std::runtime_error("send failed");
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string read_line() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw std::runtime_error("connection closed by daemon");
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct ClientTally {
+  std::size_t served = 0;
+  std::size_t rejected = 0;
+  std::vector<double> e2e_ms;
+  std::string error;  ///< first transcript violation ("" = clean)
+};
+
+/// One closed-loop client: submit, retry through ERR BUSY, WAIT, verify.
+void run_client(std::uint16_t port, const Options& opts, std::size_t index,
+                ClientTally& tally) {
+  try {
+    SockClient c(port);
+    // Distinct workload seed per client: real tenants don't all submit the
+    // same matrix, and distinct seeds defeat cross-client cache hits that
+    // would turn the soak into a cache bench.
+    const std::string submit =
+        "WORKLOAD 0 " + std::to_string(opts.deadline_ms) + " " +
+        std::to_string(opts.seed + index) + " " + std::to_string(opts.tasks) +
+        " " + std::to_string(opts.machines) + " " +
+        std::to_string(opts.seed + index);
+    tally.e2e_ms.reserve(opts.jobs_per_client);
+    for (std::size_t j = 1; j <= opts.jobs_per_client; ++j) {
+      support::WallTimer t;
+      std::string reply;
+      for (;;) {
+        c.send_line(submit);
+        reply = c.read_line();
+        if (reply != "ERR BUSY queue full") break;
+        ++tally.rejected;
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            opts.backoff_ms));
+      }
+      // Local ids must be dense and ordered: the j-th admitted job of THIS
+      // connection is id j, no matter what the other tenants are doing.
+      const std::string expected_job = "JOB " + std::to_string(j);
+      if (reply != expected_job)
+        throw std::runtime_error("expected '" + expected_job + "', got '" +
+                                 reply + "'");
+      c.send_line("WAIT " + std::to_string(j));
+      const std::string result = c.read_line();
+      const std::string expected_prefix = "RESULT id=" + std::to_string(j) + " ";
+      if (result.compare(0, expected_prefix.size(), expected_prefix) != 0 ||
+          result.find(" status=done ") == std::string::npos)
+        throw std::runtime_error("bad RESULT for job " + std::to_string(j) +
+                                 ": '" + result + "'");
+      tally.e2e_ms.push_back(t.elapsed_seconds() * 1e3);
+      ++tally.served;
+    }
+    c.send_line("QUIT");
+    if (c.read_line() != "BYE") throw std::runtime_error("missing BYE");
+  } catch (const std::exception& e) {
+    tally.error = e.what();
+  }
+}
+
+void write_json(const char* path, const Options& opts, std::size_t served,
+                std::size_t rejected, double wall_s, double p50, double p99,
+                double mean_ms, const service::ServiceMetrics::Snapshot& snap) {
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"config\": {\"clients\": %zu, \"jobs_per_client\": %zu, "
+               "\"workers\": %zu, \"queue_capacity\": %zu, \"tasks\": %zu, "
+               "\"machines\": %zu, \"policy\": \"%s\", \"backoff_ms\": %.3f},\n",
+               opts.clients, opts.jobs_per_client, opts.workers,
+               opts.queue_capacity, opts.tasks, opts.machines,
+               opts.policy.c_str(), opts.backoff_ms);
+  std::fprintf(out,
+               "  \"served\": %zu, \"rejected\": %zu, \"wall_seconds\": %.4f, "
+               "\"jobs_per_sec\": %.2f,\n",
+               served, rejected, wall_s,
+               wall_s > 0.0 ? static_cast<double>(served) / wall_s : 0.0);
+  std::fprintf(out,
+               "  \"e2e_p50_ms\": %.4f, \"e2e_p99_ms\": %.4f, "
+               "\"e2e_mean_ms\": %.4f,\n",
+               p50, p99, mean_ms);
+  std::fprintf(out,
+               "  \"service\": {\"submitted\": %llu, \"completed\": %llu, "
+               "\"cancelled\": %llu, \"rejected\": %llu}\n",
+               static_cast<unsigned long long>(snap.submitted),
+               static_cast<unsigned long long>(snap.completed),
+               static_cast<unsigned long long>(snap.cancelled),
+               static_cast<unsigned long long>(snap.rejected));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  support::Cli cli(
+      "bench_net — closed-loop soak bench of the TCP daemon edge "
+      "(hundreds of concurrent socket clients; --full for a long run)");
+  cli.option("clients", &opts.clients, "concurrent socket clients")
+      .option("jobs-per-client", &opts.jobs_per_client,
+              "closed-loop jobs per client")
+      .option("workers", &opts.workers, "solver workers")
+      .option("queue", &opts.queue_capacity, "queue capacity")
+      .option("tasks", &opts.tasks, "workload tasks per job")
+      .option("machines", &opts.machines, "workload machines per job")
+      .option("deadline-ms", &opts.deadline_ms, "per-job deadline")
+      .option("seed", &opts.seed, "master seed")
+      .option("policy", &opts.policy,
+              {"auto", "minmin", "sufferage", "cga", "pacga"},
+              "solve policy for every job")
+      .option("backoff-ms", &opts.backoff_ms,
+              "client retry pause after ERR BUSY")
+      .flag("full", &opts.full, "4x clients, 4x jobs per client");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (opts.full) {
+    opts.clients *= 4;
+    opts.jobs_per_client *= 4;
+  }
+  if (opts.clients == 0 || opts.jobs_per_client == 0) {
+    std::fprintf(stderr, "need clients >= 1 and jobs-per-client >= 1\n");
+    return 2;
+  }
+
+  service::ServiceOptions service_options;
+  service_options.workers = support::clamp_threads(opts.workers);
+  service_options.queue_capacity = opts.queue_capacity;
+  service_options.cache_capacity = 0;  // every job is a real solve
+  service::SchedulerService svc(service_options);
+
+  net::ServerOptions server_options;
+  server_options.max_connections = opts.clients + 16;
+  server_options.protocol.policy = opts.policy;
+  net::Server server(svc, server_options);
+  std::thread loop([&server] { server.run(); });
+
+  std::vector<ClientTally> tallies(opts.clients);
+  support::WallTimer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(opts.clients);
+    for (std::size_t i = 0; i < opts.clients; ++i)
+      threads.emplace_back(run_client, server.port(), std::cref(opts), i,
+                           std::ref(tallies[i]));
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s = wall.elapsed_seconds();
+
+  server.stop();
+  loop.join();
+  svc.drain();
+  const auto snap = svc.metrics();
+  svc.shutdown();
+
+  std::size_t served = 0, rejected = 0, broken = 0;
+  std::vector<double> e2e;
+  support::RunningStats e2e_stats;
+  for (std::size_t i = 0; i < tallies.size(); ++i) {
+    served += tallies[i].served;
+    rejected += tallies[i].rejected;
+    for (double ms : tallies[i].e2e_ms) {
+      e2e.push_back(ms);
+      e2e_stats.add(ms);
+    }
+    if (!tallies[i].error.empty()) {
+      ++broken;
+      std::fprintf(stderr, "client %zu transcript violation: %s\n", i,
+                   tallies[i].error.c_str());
+    }
+  }
+  const double p50 = support::quantile(e2e, 0.50);
+  const double p99 = support::quantile(e2e, 0.99);
+
+  std::printf(
+      "net soak: %zu clients x %zu jobs -> %zu served, %zu rejected in "
+      "%6.2f s | %8.1f jobs/s | e2e p50 %7.2f ms  p99 %7.2f ms | %zu broken "
+      "transcripts\n",
+      opts.clients, opts.jobs_per_client, served, rejected, wall_s,
+      wall_s > 0.0 ? static_cast<double>(served) / wall_s : 0.0, p50, p99,
+      broken);
+  write_json("BENCH_net.json", opts, served, rejected, wall_s, p50, p99,
+             e2e_stats.mean(), snap);
+
+  // The soak IS the acceptance check: any lost/duplicated/cross-wired
+  // response line, or a client that could not finish, fails the run.
+  const std::size_t expected = opts.clients * opts.jobs_per_client;
+  if (broken > 0 || served != expected) {
+    std::fprintf(stderr, "FAIL: served %zu of %zu with %zu broken clients\n",
+                 served, expected, broken);
+    return 1;
+  }
+  return 0;
+}

@@ -1,8 +1,20 @@
 // scheduler_service — the solve service as a scriptable daemon.
 //
-// Speaks a newline-delimited request protocol on stdin/stdout, so it can
-// be driven from a shell pipe, a CI script, or a socket wrapper (socat).
-// One request per line, one response line per request:
+// Speaks a newline-delimited request protocol (docs/DAEMON_PROTOCOL.md)
+// over one of two transports:
+//
+//   * default: stdin/stdout — one client, one request per line, one
+//     response line per request; drivable from a shell pipe or CI script.
+//   * --listen <port>: a TCP socket served by a single-threaded poll()
+//     event loop (src/net/server.hpp) — many concurrent clients, each
+//     with its own protocol session, session-local job ids and dynamic
+//     grid. Port 0 binds an ephemeral port; the daemon announces
+//     "LISTENING <host>:<port>" on stdout either way so scripts can
+//     connect. A full queue answers "ERR BUSY queue full" instead of
+//     blocking the loop; disconnecting mid-flight cancels and drains that
+//     client's jobs without disturbing the others.
+//
+// Verbs (full grammar in docs/DAEMON_PROTOCOL.md):
 //
 //   INSTANCE <priority> <deadline_ms> <seed> <name>
 //       Submit a Braun-suite instance by name (e.g. u_c_hihi.0).
@@ -15,7 +27,8 @@
 //       Submit an inline ETC matrix (tasks*machines task-major values).
 //       -> JOB <id>
 //   WAIT <id>
-//       Block until the job finishes.
+//       Block until the job finishes (socket clients: other connections
+//       keep being served while this one waits).
 //       -> RESULT id=<id> status=<s> makespan=<m> policy=<p> cache_hit=<0|1>
 //                 deadline_missed=<0|1> generations=<g> evaluations=<e>
 //                 wait_ms=<w> solve_ms=<s>
@@ -31,10 +44,12 @@
 //   TRACE DUMP <file>
 //                 -> TRACE dump=<file> spans=<n>  (writes Chrome
 //                    trace_event JSON loadable in chrome://tracing)
-//   DRAIN         -> DRAINED
-//   QUIT (or EOF) -> graceful shutdown, exit 0
+//   DRAIN         -> DRAINED  (socket clients: drains THIS connection's
+//                    in-flight jobs; the pipe drains the whole service)
+//   QUIT (or EOF) -> pipe: graceful shutdown, exit 0; socket: closes the
+//                    connection, the daemon keeps serving
 //
-// Dynamic-grid verbs (one live rescheduling session per daemon):
+// Dynamic-grid verbs (one live rescheduling session per client session):
 //
 //   DYNAMIC <tasks> <machines> <wseed>
 //       Open (or replace) the dynamic session: generate the workload,
@@ -66,20 +81,12 @@
 // is set — stdout carries only protocol responses either way. --no-obs
 // disables the observability layer at runtime (TRACE returns empty,
 // latency percentiles print `-`).
-#include <fstream>
+#include <csignal>
 #include <iostream>
-#include <memory>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <type_traits>
-#include <unordered_map>
-#include <vector>
 
-#include "batch/workload.hpp"
-#include "dynamic/session.hpp"
-#include "etc/suite.hpp"
-#include "service/exposition.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
 #include "service/service.hpp"
 #include "support/cli.hpp"
 #include "support/log.hpp"
@@ -93,359 +100,62 @@ struct DaemonOptions {
   std::size_t workers = 2;
   std::size_t queue_capacity = 256;
   std::size_t cache_capacity = 1024;
-  std::string policy = "auto";
-  std::string repair_policy = "minmin";
-  double default_deadline_ms = 100.0;
   std::size_t trace_capacity = 8192;
-  /// Suppress timing fields in RESULT lines so scripted runs (REPLAY +
-  /// generation-capped RESCHEDULE) are byte-identical across runs.
-  bool deterministic = false;
   /// Disable the observability layer (trace rings + latency histograms).
   bool no_obs = false;
+  /// TCP mode: port to listen on (0 = ephemeral); negative = pipe mode.
+  int listen = -1;
+  std::string bind = "127.0.0.1";
+  std::size_t max_connections = 512;
+  net::ProtocolOptions protocol;
 };
 
-service::JobSpec base_spec(const DaemonOptions& opts, int priority,
-                           double deadline_ms, std::uint64_t seed) {
-  service::JobSpec spec;
-  spec.priority = priority;
-  spec.deadline_ms = deadline_ms > 0.0 ? deadline_ms : opts.default_deadline_ms;
-  spec.seed = seed;
-  spec.policy = service::parse_policy(opts.policy);
-  return spec;
+net::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server) g_server->stop();  // async-signal-safe
 }
 
-std::string result_line(const service::JobResult& r, bool deterministic) {
-  std::ostringstream out;
-  out.precision(10);
-  out << "RESULT id=" << r.id << " status=" << service::to_string(r.status)
-      << " makespan=" << r.makespan
-      << " policy=" << service::to_string(r.policy_used)
-      << " cache_hit=" << (r.cache_hit ? 1 : 0)
-      << " warm_started=" << (r.warm_started ? 1 : 0)
-      << " deadline_missed=" << (r.deadline_missed ? 1 : 0)
-      << " generations=" << r.generations
-      << " evaluations=" << r.evaluations;
-  if (!deterministic) {
-    out << " wait_ms=" << r.queue_wait_seconds * 1e3
-        << " solve_ms=" << r.solve_seconds * 1e3;
-  }
-  return out.str();
+int serve_socket(service::SchedulerService& svc, const DaemonOptions& opts) {
+  net::ServerOptions server_options;
+  server_options.bind = opts.bind;
+  server_options.port = static_cast<std::uint16_t>(opts.listen);
+  server_options.max_connections = opts.max_connections;
+  server_options.protocol = opts.protocol;
+  net::Server server(svc, std::move(server_options));
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  // Announced on stdout (not the log) so scripts binding port 0 can read
+  // the ephemeral port back without parsing stderr.
+  std::cout << "LISTENING " << opts.bind << ":" << server.port() << std::endl;
+  support::log_info() << "scheduler_service: listening on " << opts.bind << ":"
+                      << server.port();
+  server.run();
+  g_server = nullptr;
+  support::log_info() << "scheduler_service: shutting down";
+  svc.shutdown();
+  return 0;
 }
 
-/// Comma-joins a vector of counters (no spaces: one STATS token per field).
-template <typename T>
-std::string join_counts(const std::vector<T>& v) {
-  std::ostringstream out;
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (i > 0) out << ',';
-    out << v[i];
+int serve_pipe(service::SchedulerService& svc, const DaemonOptions& opts) {
+  net::InstancePool instances;
+  net::Session session(svc, opts.protocol, instances, /*blocking=*/true);
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    const net::Reply reply = session.handle(line);
+    quit = reply.quit;
+    // Diagnostics go to the logger (stderr, off by default), never stdout:
+    // the protocol stream must stay parseable.
+    if (reply.text.compare(0, 4, "ERR ") == 0) {
+      support::log_warn() << "request failed: " << line << " -> " << reply.text;
+    }
+    if (!reply.text.empty()) std::cout << reply.text << std::endl;  // flush
   }
-  return out.str();
-}
-
-std::string stats_line(const service::SchedulerService& svc) {
-  const service::ServiceMetrics::Snapshot s = svc.metrics();
-  std::ostringstream out;
-  // Append-only: scripts key on leading fields by prefix, so new fields go
-  // at the end (the per-shard/per-worker block is newest).
-  out << "STATS submitted=" << s.submitted << " completed=" << s.completed
-      << " cancelled=" << s.cancelled << " failed=" << s.failed
-      << " rejected=" << s.rejected << " reschedules=" << s.reschedules
-      << " cache_hits=" << s.cache_hits
-      << " deadline_misses=" << s.deadline_misses
-      << " jobs_per_sec=" << s.jobs_per_second()
-      << " deadline_miss_rate=" << s.deadline_miss_rate()
-      << " cache_hit_rate=" << s.cache_hit_rate()
-      << " mean_wait_ms=" << s.queue_wait_seconds.mean() * 1e3
-      << " mean_solve_ms=" << s.solve_seconds.mean() * 1e3
-      << " workers=" << s.worker_completed.size()
-      << " shards=" << svc.shards() << " steals=" << svc.queue_steals()
-      << " arena_builds=" << s.arena_builds
-      << " shard_depth=" << join_counts(svc.shard_depths())
-      << " shard_hits=" << join_counts(svc.cache().stripe_hits())
-      << " worker_completed=" << join_counts(s.worker_completed);
-  // Latency distribution fields (newest appendix). All through
-  // format_metric: an empty distribution's min/max/quantiles are NaN,
-  // which must print as `-`, never "nan".
-  const auto& fm = service::format_metric;
-  out << " min_wait_ms=" << fm(s.queue_wait_seconds.min() * 1e3, 3)
-      << " max_wait_ms=" << fm(s.queue_wait_seconds.max() * 1e3, 3)
-      << " min_solve_ms=" << fm(s.solve_seconds.min() * 1e3, 3)
-      << " max_solve_ms=" << fm(s.solve_seconds.max() * 1e3, 3)
-      << " p50_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.5), 3)
-      << " p90_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.9), 3)
-      << " p99_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.99), 3)
-      << " p999_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.999), 3)
-      << " p50_solve_ms=" << fm(s.solve_hist.quantile_ms(0.5), 3)
-      << " p90_solve_ms=" << fm(s.solve_hist.quantile_ms(0.9), 3)
-      << " p99_solve_ms=" << fm(s.solve_hist.quantile_ms(0.99), 3)
-      << " p999_solve_ms=" << fm(s.solve_hist.quantile_ms(0.999), 3)
-      << " p50_e2e_ms=" << fm(s.e2e_hist.quantile_ms(0.5), 3)
-      << " p99_e2e_ms=" << fm(s.e2e_hist.quantile_ms(0.99), 3);
-  return out.str();
-}
-
-/// Named instances memoized across requests: a sweep campaign repeating
-/// 'INSTANCE ... u_c_hihi.0' must hit the solution cache in O(tasks), not
-/// regenerate and rehash the full matrix per request.
-using InstancePool =
-    std::unordered_map<std::string, std::shared_ptr<const etc::EtcMatrix>>;
-
-std::string event_line(const dynamic::RescheduleSession& session,
-                       const dynamic::RepairStats& stats) {
-  std::ostringstream out;
-  out.precision(10);
-  out << "EVENT kind=" << dynamic::to_string(stats.kind)
-      << " orphans=" << stats.orphaned << " committed=" << stats.committed
-      << " tasks=" << session.tasks() << " machines=" << session.machines()
-      << " makespan=" << session.schedule().makespan();
-  return out.str();
-}
-
-/// Reads an optional trailing numeric argument. Returns false when the
-/// stream is exhausted; throws std::invalid_argument naming `what` when a
-/// token is present but does not parse completely as a T.
-template <typename T>
-bool parse_optional(std::istringstream& in, const char* what, T& out) {
-  std::string token;
-  if (!(in >> token)) return false;
-  std::istringstream value(token);
-  // istream extraction into an unsigned target accepts "-40" by modulo
-  // wraparound; reject the sign explicitly.
-  const bool bad_sign =
-      std::is_unsigned_v<T> && !token.empty() && token.front() == '-';
-  if (bad_sign || !(value >> out) || value.peek() != EOF)
-    throw std::invalid_argument(std::string("malformed ") + what + " " +
-                                token);
-  return true;
-}
-
-/// Parses the EVENT sub-command into a GridEvent; throws on bad input.
-dynamic::GridEvent parse_event(std::istringstream& in) {
-  std::string what;
-  if (!(in >> what))
-    throw std::invalid_argument(
-        "EVENT expects DOWN|UP|SLOW|ARRIVE|CANCEL|COMMIT ...");
-  if (what == "DOWN") {
-    std::size_t m = 0;
-    if (!(in >> m)) throw std::invalid_argument("EVENT DOWN expects <machine>");
-    return dynamic::machine_down(m);
-  }
-  if (what == "UP") {
-    double mips = 0.0;
-    if (!(in >> mips))
-      throw std::invalid_argument("EVENT UP expects <mips> [ready]");
-    double ready = 0.0;
-    if (parse_optional(in, "EVENT UP ready", ready))
-      return dynamic::machine_up_ready(mips, ready);
-    return dynamic::machine_up(mips);
-  }
-  if (what == "COMMIT") {
-    double elapsed = 0.0;
-    if (!(in >> elapsed))
-      throw std::invalid_argument("EVENT COMMIT expects <elapsed>");
-    return dynamic::epoch_commit(elapsed);
-  }
-  if (what == "SLOW") {
-    std::size_t m = 0;
-    double factor = 0.0;
-    if (!(in >> m >> factor))
-      throw std::invalid_argument("EVENT SLOW expects <machine> <factor>");
-    return dynamic::machine_slowdown(m, factor);
-  }
-  if (what == "ARRIVE") {
-    double workload = 0.0;
-    if (!(in >> workload))
-      throw std::invalid_argument("EVENT ARRIVE expects <workload>");
-    return dynamic::task_arrival(workload);
-  }
-  if (what == "CANCEL") {
-    std::size_t t = 0;
-    if (!(in >> t)) throw std::invalid_argument("EVENT CANCEL expects <task>");
-    return dynamic::task_cancel(t);
-  }
-  throw std::invalid_argument("unknown EVENT kind " + what);
-}
-
-/// Handles one request line; returns the response (empty = quit).
-std::string handle(service::SchedulerService& svc, const DaemonOptions& opts,
-                   InstancePool& instances,
-                   std::optional<dynamic::RescheduleSession>& session,
-                   const std::string& line, bool& quit) {
-  std::istringstream in(line);
-  std::string cmd;
-  if (!(in >> cmd)) return "";  // blank line: no response
-  try {
-    if (cmd == "QUIT") {
-      quit = true;
-      return "BYE";
-    }
-    if (cmd == "STATS") return stats_line(svc);
-    if (cmd == "METRICS") {
-      // The protocol's one multi-line response; `# EOF` marks the end so a
-      // pipe client knows when to stop reading.
-      std::ostringstream out;
-      service::write_prometheus(out, svc.metrics());
-      std::string text = out.str();
-      if (!text.empty() && text.back() == '\n') text.pop_back();
-      return text;
-    }
-    if (cmd == "TRACE") {
-      std::string target;
-      if (!(in >> target)) return "ERR TRACE expects <job-id> or DUMP <file>";
-      if (target == "DUMP") {
-        std::string path;
-        if (!(in >> path)) return "ERR TRACE DUMP expects a file path";
-        std::ofstream file(path);
-        if (!file) return "ERR TRACE DUMP cannot open " + path;
-        svc.trace().write_chrome_trace(file);
-        std::ostringstream out;
-        out << "TRACE dump=" << path
-            << " spans=" << svc.trace().snapshot().size();
-        return out.str();
-      }
-      service::JobId id = 0;
-      std::istringstream value(target);
-      if (!(value >> id) || value.peek() != EOF)
-        return "ERR TRACE expects <job-id> or DUMP <file>";
-      const std::vector<obs::SpanEvent> spans = svc.trace().job_spans(id);
-      std::ostringstream out;
-      out << "TRACE id=" << id << " spans=" << spans.size();
-      if (!spans.empty()) out << ' ' << obs::format_job_timeline(spans);
-      return out.str();
-    }
-    if (cmd == "DRAIN") {
-      svc.drain();
-      return "DRAINED";
-    }
-    if (cmd == "WAIT") {
-      service::JobId id = 0;
-      if (!(in >> id)) return "ERR WAIT expects a job id";
-      return result_line(svc.wait(id), opts.deterministic);
-    }
-    if (cmd == "CANCEL") {
-      service::JobId id = 0;
-      if (!(in >> id)) return "ERR CANCEL expects a job id";
-      const bool ok = svc.cancel(id);
-      std::ostringstream out;
-      out << "CANCELLED " << id << ' ' << (ok ? 1 : 0);
-      return out.str();
-    }
-    if (cmd == "DYNAMIC") {
-      batch::WorkloadSpec w;
-      if (!(in >> w.tasks >> w.machines >> w.seed))
-        return "ERR DYNAMIC expects <tasks> <machines> <wseed>";
-      const auto policy = opts.repair_policy == "sufferage"
-                              ? dynamic::RepairPolicy::kSufferage
-                              : dynamic::RepairPolicy::kMinMin;
-      session.emplace(w, policy);
-      std::ostringstream out;
-      out.precision(10);
-      out << "DYNAMIC tasks=" << session->tasks()
-          << " machines=" << session->machines()
-          << " makespan=" << session->schedule().makespan();
-      return out.str();
-    }
-    if (cmd == "EVENT") {
-      if (!session) return "ERR EVENT requires a DYNAMIC session";
-      const dynamic::GridEvent e = parse_event(in);
-      const dynamic::RepairStats stats = session->apply(e);
-      return event_line(*session, stats);
-    }
-    if (cmd == "RESCHEDULE") {
-      if (!session) return "ERR RESCHEDULE requires a DYNAMIC session";
-      int priority = 0;
-      double deadline_ms = 0.0;
-      std::uint64_t seed = 1;
-      if (!(in >> priority >> deadline_ms >> seed))
-        return "ERR RESCHEDULE expects <priority> <deadline_ms> <seed> "
-               "[max_generations]";
-      // Optional; absent leaves the deadline in charge of the budget.
-      std::uint64_t max_generations = 0;
-      (void)parse_optional(in, "RESCHEDULE max_generations", max_generations);
-      service::JobSpec spec = session->make_reschedule_spec(
-          priority,
-          deadline_ms > 0.0 ? deadline_ms : opts.default_deadline_ms, seed);
-      spec.policy = service::parse_policy(opts.policy);
-      spec.max_generations = max_generations;
-      const service::JobResult r = svc.wait(svc.submit_reschedule(std::move(spec)));
-      const bool adopted =
-          r.status == service::JobStatus::kDone && session->adopt(r.assignment);
-      return result_line(r, opts.deterministic) +
-             " adopted=" + (adopted ? "1" : "0");
-    }
-    if (cmd == "REPLAY") {
-      if (!session) return "ERR REPLAY requires a DYNAMIC session";
-      std::string path;
-      if (!(in >> path)) return "ERR REPLAY expects a file path";
-      std::ifstream file(path);
-      if (!file) return "ERR REPLAY cannot open " + path;
-      std::string event_line_text;
-      std::size_t applied = 0;
-      std::size_t lineno = 0;
-      while (std::getline(file, event_line_text)) {
-        ++lineno;
-        if (event_line_text.empty()) continue;
-        try {
-          session->apply(dynamic::parse_event(event_line_text));
-        } catch (const std::exception& e) {
-          std::ostringstream out;
-          out << "ERR REPLAY " << path << ":" << lineno << ": " << e.what();
-          return out.str();
-        }
-        ++applied;
-      }
-      std::ostringstream out;
-      out.precision(10);
-      out << "REPLAY events=" << applied << " tasks=" << session->tasks()
-          << " machines=" << session->machines()
-          << " makespan=" << session->schedule().makespan();
-      return out.str();
-    }
-    if (cmd == "INSTANCE" || cmd == "WORKLOAD" || cmd == "SUBMIT") {
-      int priority = 0;
-      double deadline_ms = 0.0;
-      std::uint64_t seed = 1;
-      if (!(in >> priority >> deadline_ms >> seed))
-        return "ERR " + cmd + " expects <priority> <deadline_ms> <seed> ...";
-      service::JobSpec spec = base_spec(opts, priority, deadline_ms, seed);
-      if (cmd == "INSTANCE") {
-        std::string name;
-        if (!(in >> name)) return "ERR INSTANCE expects an instance name";
-        auto it = instances.find(name);
-        if (it == instances.end()) {
-          it = instances
-                   .emplace(name, std::make_shared<const etc::EtcMatrix>(
-                                      etc::generate_by_name(name)))
-                   .first;
-        }
-        spec.etc = it->second;
-      } else if (cmd == "WORKLOAD") {
-        batch::WorkloadSpec w;
-        if (!(in >> w.tasks >> w.machines >> w.seed))
-          return "ERR WORKLOAD expects <tasks> <machines> <wseed>";
-        spec.etc = std::make_shared<const etc::EtcMatrix>(
-            batch::make_workload_etc(w));
-      } else {
-        std::size_t tasks = 0, machines = 0;
-        if (!(in >> tasks >> machines))
-          return "ERR SUBMIT expects <tasks> <machines> <values...>";
-        std::vector<double> data(tasks * machines);
-        for (auto& v : data) {
-          if (!(in >> v)) return "ERR SUBMIT: too few ETC values";
-        }
-        spec.etc = std::make_shared<const etc::EtcMatrix>(tasks, machines,
-                                                          std::move(data));
-      }
-      const service::JobId id = svc.submit(std::move(spec));
-      std::ostringstream out;
-      out << "JOB " << id;
-      return out.str();
-    }
-    return "ERR unknown command " + cmd;
-  } catch (const std::exception& e) {
-    return std::string("ERR ") + e.what();
-  }
+  support::log_info() << "scheduler_service: shutting down";
+  svc.shutdown();
+  return 0;
 }
 
 }  // namespace
@@ -454,21 +164,28 @@ int main(int argc, char** argv) {
   DaemonOptions opts;
   support::Cli cli(
       "scheduler_service — multi-tenant solve service daemon "
-      "(newline-delimited protocol on stdin/stdout)");
+      "(newline-delimited protocol on stdin/stdout, or TCP via --listen)");
   cli.option("workers", &opts.workers, "solver worker threads")
       .option("queue-capacity", &opts.queue_capacity, "bounded job queue size")
       .option("cache-capacity", &opts.cache_capacity,
               "solution cache entries (0 disables)")
-      .option("policy", &opts.policy,
+      .option("policy", &opts.protocol.policy,
               {"auto", "minmin", "sufferage", "cga", "pacga"},
               "solve policy applied to every job")
-      .option("repair-policy", &opts.repair_policy, {"minmin", "sufferage"},
+      .option("repair-policy", &opts.protocol.repair_policy,
+              {"minmin", "sufferage"},
               "orphan reassignment order of the dynamic session")
-      .option("default-deadline-ms", &opts.default_deadline_ms,
+      .option("default-deadline-ms", &opts.protocol.default_deadline_ms,
               "deadline used when a request passes 0")
       .option("trace-capacity", &opts.trace_capacity,
               "span flight-recorder entries per worker (0 disables tracing)")
-      .flag("deterministic", &opts.deterministic,
+      .option("listen", &opts.listen,
+              "serve the protocol on this TCP port instead of stdin/stdout "
+              "(0 = ephemeral; prints LISTENING <host>:<port>)")
+      .option("bind", &opts.bind, "address to bind with --listen")
+      .option("max-connections", &opts.max_connections,
+              "concurrent TCP connections accepted with --listen")
+      .flag("deterministic", &opts.protocol.deterministic,
             "omit timing fields from RESULT lines (byte-identical replays)")
       .flag("no-obs", &opts.no_obs,
             "disable the observability layer (traces and latency histograms)");
@@ -491,21 +208,10 @@ int main(int argc, char** argv) {
                       << " cache=" << options.cache_capacity
                       << " obs=" << (options.observability ? 1 : 0);
 
-  std::string line;
-  bool quit = false;
-  InstancePool instances;
-  std::optional<dynamic::RescheduleSession> session;
-  while (!quit && std::getline(std::cin, line)) {
-    const std::string response =
-        handle(svc, opts, instances, session, line, quit);
-    // Diagnostics go to the logger (stderr, off by default), never stdout:
-    // the protocol stream must stay parseable.
-    if (response.compare(0, 4, "ERR ") == 0) {
-      support::log_warn() << "request failed: " << line << " -> " << response;
-    }
-    if (!response.empty()) std::cout << response << std::endl;  // flush: piped
+  try {
+    return opts.listen >= 0 ? serve_socket(svc, opts) : serve_pipe(svc, opts);
+  } catch (const std::exception& e) {
+    std::cerr << "scheduler_service: " << e.what() << '\n';
+    return 1;
   }
-  support::log_info() << "scheduler_service: shutting down";
-  svc.shutdown();
-  return 0;
 }

@@ -1,0 +1,464 @@
+#include "net/protocol.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "batch/workload.hpp"
+#include "etc/suite.hpp"
+#include "service/exposition.hpp"
+
+namespace pacga::net {
+
+namespace {
+
+/// Comma-joins a vector of counters (no spaces: one STATS token per field).
+template <typename T>
+std::string join_counts(const std::vector<T>& v) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out << ',';
+    out << v[i];
+  }
+  return out.str();
+}
+
+std::string stats_line(const service::SchedulerService& svc) {
+  const service::ServiceMetrics::Snapshot s = svc.metrics();
+  std::ostringstream out;
+  // Append-only: scripts key on leading fields by prefix, so new fields go
+  // at the end (the per-shard/per-worker block is newest).
+  out << "STATS submitted=" << s.submitted << " completed=" << s.completed
+      << " cancelled=" << s.cancelled << " failed=" << s.failed
+      << " rejected=" << s.rejected << " reschedules=" << s.reschedules
+      << " cache_hits=" << s.cache_hits
+      << " deadline_misses=" << s.deadline_misses
+      << " jobs_per_sec=" << s.jobs_per_second()
+      << " deadline_miss_rate=" << s.deadline_miss_rate()
+      << " cache_hit_rate=" << s.cache_hit_rate()
+      << " mean_wait_ms=" << s.queue_wait_seconds.mean() * 1e3
+      << " mean_solve_ms=" << s.solve_seconds.mean() * 1e3
+      << " workers=" << s.worker_completed.size()
+      << " shards=" << svc.shards() << " steals=" << svc.queue_steals()
+      << " arena_builds=" << s.arena_builds
+      << " shard_depth=" << join_counts(svc.shard_depths())
+      << " shard_hits=" << join_counts(svc.cache().stripe_hits())
+      << " worker_completed=" << join_counts(s.worker_completed);
+  // Latency distribution fields (newest appendix). All through
+  // format_metric: an empty distribution's min/max/quantiles are NaN,
+  // which must print as `-`, never "nan".
+  const auto& fm = service::format_metric;
+  out << " min_wait_ms=" << fm(s.queue_wait_seconds.min() * 1e3, 3)
+      << " max_wait_ms=" << fm(s.queue_wait_seconds.max() * 1e3, 3)
+      << " min_solve_ms=" << fm(s.solve_seconds.min() * 1e3, 3)
+      << " max_solve_ms=" << fm(s.solve_seconds.max() * 1e3, 3)
+      << " p50_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.5), 3)
+      << " p90_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.9), 3)
+      << " p99_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.99), 3)
+      << " p999_wait_ms=" << fm(s.queue_wait_hist.quantile_ms(0.999), 3)
+      << " p50_solve_ms=" << fm(s.solve_hist.quantile_ms(0.5), 3)
+      << " p90_solve_ms=" << fm(s.solve_hist.quantile_ms(0.9), 3)
+      << " p99_solve_ms=" << fm(s.solve_hist.quantile_ms(0.99), 3)
+      << " p999_solve_ms=" << fm(s.solve_hist.quantile_ms(0.999), 3)
+      << " p50_e2e_ms=" << fm(s.e2e_hist.quantile_ms(0.5), 3)
+      << " p99_e2e_ms=" << fm(s.e2e_hist.quantile_ms(0.99), 3);
+  return out.str();
+}
+
+std::string event_line(const dynamic::RescheduleSession& session,
+                       const dynamic::RepairStats& stats) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "EVENT kind=" << dynamic::to_string(stats.kind)
+      << " orphans=" << stats.orphaned << " committed=" << stats.committed
+      << " tasks=" << session.tasks() << " machines=" << session.machines()
+      << " makespan=" << session.schedule().makespan();
+  return out.str();
+}
+
+/// Reads an optional trailing numeric argument. Returns false when the
+/// stream is exhausted; throws std::invalid_argument naming `what` when a
+/// token is present but does not parse completely as a T.
+template <typename T>
+bool parse_optional(std::istringstream& in, const char* what, T& out) {
+  std::string token;
+  if (!(in >> token)) return false;
+  std::istringstream value(token);
+  // istream extraction into an unsigned target accepts "-40" by modulo
+  // wraparound; reject the sign explicitly.
+  const bool bad_sign =
+      std::is_unsigned_v<T> && !token.empty() && token.front() == '-';
+  if (bad_sign || !(value >> out) || value.peek() != EOF)
+    throw std::invalid_argument(std::string("malformed ") + what + " " +
+                                token);
+  return true;
+}
+
+/// Parses the EVENT sub-command into a GridEvent; throws on bad input.
+dynamic::GridEvent parse_event(std::istringstream& in) {
+  std::string what;
+  if (!(in >> what))
+    throw std::invalid_argument(
+        "EVENT expects DOWN|UP|SLOW|ARRIVE|CANCEL|COMMIT ...");
+  if (what == "DOWN") {
+    std::size_t m = 0;
+    if (!(in >> m)) throw std::invalid_argument("EVENT DOWN expects <machine>");
+    return dynamic::machine_down(m);
+  }
+  if (what == "UP") {
+    double mips = 0.0;
+    if (!(in >> mips))
+      throw std::invalid_argument("EVENT UP expects <mips> [ready]");
+    double ready = 0.0;
+    if (parse_optional(in, "EVENT UP ready", ready))
+      return dynamic::machine_up_ready(mips, ready);
+    return dynamic::machine_up(mips);
+  }
+  if (what == "COMMIT") {
+    double elapsed = 0.0;
+    if (!(in >> elapsed))
+      throw std::invalid_argument("EVENT COMMIT expects <elapsed>");
+    return dynamic::epoch_commit(elapsed);
+  }
+  if (what == "SLOW") {
+    std::size_t m = 0;
+    double factor = 0.0;
+    if (!(in >> m >> factor))
+      throw std::invalid_argument("EVENT SLOW expects <machine> <factor>");
+    return dynamic::machine_slowdown(m, factor);
+  }
+  if (what == "ARRIVE") {
+    double workload = 0.0;
+    if (!(in >> workload))
+      throw std::invalid_argument("EVENT ARRIVE expects <workload>");
+    return dynamic::task_arrival(workload);
+  }
+  if (what == "CANCEL") {
+    std::size_t t = 0;
+    if (!(in >> t)) throw std::invalid_argument("EVENT CANCEL expects <task>");
+    return dynamic::task_cancel(t);
+  }
+  throw std::invalid_argument("unknown EVENT kind " + what);
+}
+
+}  // namespace
+
+Session::Session(service::SchedulerService& svc, const ProtocolOptions& opts,
+                 InstancePool& instances, bool blocking)
+    : svc_(svc), opts_(opts), instances_(instances), blocking_(blocking) {}
+
+std::uint64_t Session::map_job(service::JobId global_id) {
+  const std::uint64_t local = next_local_++;
+  local_to_global_.emplace(local, global_id);
+  global_to_local_.emplace(global_id, local);
+  return local;
+}
+
+std::uint64_t Session::local_of(service::JobId global_id) const {
+  const auto it = global_to_local_.find(global_id);
+  return it == global_to_local_.end() ? 0 : it->second;
+}
+
+std::string Session::result_line(std::uint64_t local_id,
+                                 const service::JobResult& r) const {
+  std::ostringstream out;
+  out.precision(10);
+  out << "RESULT id=" << local_id
+      << " status=" << service::to_string(r.status)
+      << " makespan=" << r.makespan
+      << " policy=" << service::to_string(r.policy_used)
+      << " cache_hit=" << (r.cache_hit ? 1 : 0)
+      << " warm_started=" << (r.warm_started ? 1 : 0)
+      << " deadline_missed=" << (r.deadline_missed ? 1 : 0)
+      << " generations=" << r.generations
+      << " evaluations=" << r.evaluations;
+  if (!opts_.deterministic) {
+    out << " wait_ms=" << r.queue_wait_seconds * 1e3
+        << " solve_ms=" << r.solve_seconds * 1e3;
+  }
+  return out.str();
+}
+
+std::string Session::finish_wait(service::JobId global_id,
+                                 const service::JobResult& result) {
+  return result_line(local_of(global_id), result);
+}
+
+std::string Session::finish_reschedule(service::JobId global_id,
+                                       const service::JobResult& result) {
+  const bool adopted = result.status == service::JobStatus::kDone &&
+                       dynamic_ && dynamic_->adopt(result.assignment);
+  return result_line(local_of(global_id), result) +
+         " adopted=" + (adopted ? "1" : "0");
+}
+
+std::string Session::trace(std::istringstream& in) {
+  std::string target;
+  if (!(in >> target)) return "ERR TRACE expects <job-id> or DUMP <file>";
+  if (target == "DUMP") {
+    std::string path;
+    if (!(in >> path)) return "ERR TRACE DUMP expects a file path";
+    std::ofstream file(path);
+    if (!file) return "ERR TRACE DUMP cannot open " + path;
+    svc_.trace().write_chrome_trace(file);
+    // A full disk or I/O error surfaces on the stream state, not as an
+    // exception — an unchecked dump would answer success over a truncated
+    // (unloadable) trace file.
+    file.flush();
+    if (!file.good()) return "ERR TRACE DUMP write failed " + path;
+    std::ostringstream out;
+    out << "TRACE dump=" << path
+        << " spans=" << svc_.trace().snapshot().size();
+    return out.str();
+  }
+  std::uint64_t id = 0;
+  std::istringstream value(target);
+  if (!(value >> id) || value.peek() != EOF)
+    return "ERR TRACE expects <job-id> or DUMP <file>";
+  service::JobId global = id;
+  if (!blocking_) {
+    const auto it = local_to_global_.find(id);
+    if (it == local_to_global_.end()) {
+      // Never issued on this session: same answer the pipe daemon gives
+      // for an id the flight recorder has no spans for.
+      std::ostringstream out;
+      out << "TRACE id=" << id << " spans=0";
+      return out.str();
+    }
+    global = it->second;
+  }
+  const std::vector<obs::SpanEvent> spans = svc_.trace().job_spans(global);
+  std::ostringstream out;
+  out << "TRACE id=" << id << " spans=" << spans.size();
+  if (!spans.empty()) out << ' ' << obs::format_job_timeline(spans);
+  return out.str();
+}
+
+std::string Session::submit_job(std::istringstream& in, const std::string& cmd,
+                                Reply& reply) {
+  int priority = 0;
+  double deadline_ms = 0.0;
+  std::uint64_t seed = 1;
+  if (!(in >> priority >> deadline_ms >> seed))
+    return "ERR " + cmd + " expects <priority> <deadline_ms> <seed> ...";
+  service::JobSpec spec;
+  spec.priority = priority;
+  spec.deadline_ms =
+      deadline_ms > 0.0 ? deadline_ms : opts_.default_deadline_ms;
+  spec.seed = seed;
+  spec.policy = service::parse_policy(opts_.policy);
+  if (cmd == "INSTANCE") {
+    std::string name;
+    if (!(in >> name)) return "ERR INSTANCE expects an instance name";
+    auto it = instances_.find(name);
+    if (it == instances_.end()) {
+      it = instances_
+               .emplace(name, std::make_shared<const etc::EtcMatrix>(
+                                  etc::generate_by_name(name)))
+               .first;
+    }
+    spec.etc = it->second;
+  } else if (cmd == "WORKLOAD") {
+    batch::WorkloadSpec w;
+    if (!(in >> w.tasks >> w.machines >> w.seed))
+      return "ERR WORKLOAD expects <tasks> <machines> <wseed>";
+    spec.etc =
+        std::make_shared<const etc::EtcMatrix>(batch::make_workload_etc(w));
+  } else {
+    std::size_t tasks = 0, machines = 0;
+    if (!(in >> tasks >> machines))
+      return "ERR SUBMIT expects <tasks> <machines> <values...>";
+    std::vector<double> data(tasks * machines);
+    for (auto& v : data) {
+      if (!(in >> v)) return "ERR SUBMIT: too few ETC values";
+    }
+    spec.etc = std::make_shared<const etc::EtcMatrix>(tasks, machines,
+                                                      std::move(data));
+  }
+  std::uint64_t shown = 0;
+  if (blocking_) {
+    const service::JobId id = svc_.submit(std::move(spec));
+    map_job(id);
+    reply.submitted = id;
+    shown = id;  // identity: the pipe session is the sole tenant
+  } else {
+    const std::optional<service::JobId> id = svc_.try_submit(std::move(spec));
+    if (!id) return "ERR BUSY queue full";
+    shown = map_job(*id);
+    reply.submitted = *id;
+  }
+  std::ostringstream out;
+  out << "JOB " << shown;
+  return out.str();
+}
+
+std::string Session::reschedule(std::istringstream& in, Reply& reply) {
+  if (!dynamic_) return "ERR RESCHEDULE requires a DYNAMIC session";
+  int priority = 0;
+  double deadline_ms = 0.0;
+  std::uint64_t seed = 1;
+  if (!(in >> priority >> deadline_ms >> seed))
+    return "ERR RESCHEDULE expects <priority> <deadline_ms> <seed> "
+           "[max_generations]";
+  // Optional; absent leaves the deadline in charge of the budget.
+  std::uint64_t max_generations = 0;
+  (void)parse_optional(in, "RESCHEDULE max_generations", max_generations);
+  service::JobSpec spec = dynamic_->make_reschedule_spec(
+      priority, deadline_ms > 0.0 ? deadline_ms : opts_.default_deadline_ms,
+      seed);
+  spec.policy = service::parse_policy(opts_.policy);
+  spec.max_generations = max_generations;
+  if (blocking_) {
+    const service::JobId id = svc_.submit_reschedule(std::move(spec));
+    map_job(id);
+    const service::JobResult r = svc_.wait(id);
+    const bool adopted =
+        r.status == service::JobStatus::kDone && dynamic_->adopt(r.assignment);
+    return result_line(r.id, r) + " adopted=" + (adopted ? "1" : "0");
+  }
+  const std::optional<service::JobId> id =
+      svc_.try_submit_reschedule(std::move(spec));
+  if (!id) return "ERR BUSY queue full";
+  map_job(*id);
+  reply.submitted = *id;
+  reply.reschedule_on = *id;
+  return "";
+}
+
+std::string Session::handle_checked(std::istringstream& in,
+                                    const std::string& cmd, Reply& reply) {
+  if (cmd == "QUIT") {
+    reply.quit = true;
+    return "BYE";
+  }
+  if (cmd == "STATS") return stats_line(svc_);
+  if (cmd == "METRICS") {
+    // The protocol's one multi-line response; `# EOF` marks the end so a
+    // pipe client knows when to stop reading.
+    std::ostringstream out;
+    service::write_prometheus(out, svc_.metrics());
+    std::string text = out.str();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }
+  if (cmd == "TRACE") return trace(in);
+  if (cmd == "DRAIN") {
+    if (blocking_) {
+      svc_.drain();
+      return "DRAINED";
+    }
+    // Socket edge: per-connection drain, delivered by the event loop once
+    // this session's in-flight jobs are terminal (a global drain would let
+    // one tenant stall the loop on every other tenant's backlog).
+    reply.drain = true;
+    return "";
+  }
+  if (cmd == "WAIT") {
+    std::uint64_t id = 0;
+    if (!(in >> id)) return "ERR WAIT expects a job id";
+    if (blocking_) return result_line(id, svc_.wait(id));
+    const auto it = local_to_global_.find(id);
+    if (it == local_to_global_.end())
+      return "ERR SchedulerService::wait: unknown job id";
+    service::JobResult r;
+    switch (svc_.poll_result(it->second, r)) {
+      case service::SchedulerService::Poll::kReady:
+        return result_line(id, r);
+      case service::SchedulerService::Poll::kPending:
+        reply.wait_on = it->second;
+        return "";
+      case service::SchedulerService::Poll::kUnknown:
+      default:
+        return "ERR SchedulerService::wait: unknown job id";
+    }
+  }
+  if (cmd == "CANCEL") {
+    std::uint64_t id = 0;
+    if (!(in >> id)) return "ERR CANCEL expects a job id";
+    bool ok = false;
+    if (blocking_) {
+      ok = svc_.cancel(id);
+    } else {
+      const auto it = local_to_global_.find(id);
+      ok = it != local_to_global_.end() && svc_.cancel(it->second);
+    }
+    std::ostringstream out;
+    out << "CANCELLED " << id << ' ' << (ok ? 1 : 0);
+    return out.str();
+  }
+  if (cmd == "DYNAMIC") {
+    batch::WorkloadSpec w;
+    if (!(in >> w.tasks >> w.machines >> w.seed))
+      return "ERR DYNAMIC expects <tasks> <machines> <wseed>";
+    const auto policy = opts_.repair_policy == "sufferage"
+                            ? dynamic::RepairPolicy::kSufferage
+                            : dynamic::RepairPolicy::kMinMin;
+    dynamic_.emplace(w, policy);
+    std::ostringstream out;
+    out.precision(10);
+    out << "DYNAMIC tasks=" << dynamic_->tasks()
+        << " machines=" << dynamic_->machines()
+        << " makespan=" << dynamic_->schedule().makespan();
+    return out.str();
+  }
+  if (cmd == "EVENT") {
+    if (!dynamic_) return "ERR EVENT requires a DYNAMIC session";
+    const dynamic::GridEvent e = parse_event(in);
+    const dynamic::RepairStats stats = dynamic_->apply(e);
+    return event_line(*dynamic_, stats);
+  }
+  if (cmd == "RESCHEDULE") return reschedule(in, reply);
+  if (cmd == "REPLAY") {
+    if (!dynamic_) return "ERR REPLAY requires a DYNAMIC session";
+    std::string path;
+    if (!(in >> path)) return "ERR REPLAY expects a file path";
+    std::ifstream file(path);
+    if (!file) return "ERR REPLAY cannot open " + path;
+    std::string event_line_text;
+    std::size_t applied = 0;
+    std::size_t lineno = 0;
+    while (std::getline(file, event_line_text)) {
+      ++lineno;
+      if (event_line_text.empty()) continue;
+      try {
+        dynamic_->apply(dynamic::parse_event(event_line_text));
+      } catch (const std::exception& e) {
+        std::ostringstream out;
+        out << "ERR REPLAY " << path << ":" << lineno << ": " << e.what();
+        return out.str();
+      }
+      ++applied;
+    }
+    std::ostringstream out;
+    out.precision(10);
+    out << "REPLAY events=" << applied << " tasks=" << dynamic_->tasks()
+        << " machines=" << dynamic_->machines()
+        << " makespan=" << dynamic_->schedule().makespan();
+    return out.str();
+  }
+  if (cmd == "INSTANCE" || cmd == "WORKLOAD" || cmd == "SUBMIT")
+    return submit_job(in, cmd, reply);
+  return "ERR unknown command " + cmd;
+}
+
+Reply Session::handle(const std::string& line) {
+  Reply reply;
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd)) return reply;  // blank line: no response
+  try {
+    reply.text = handle_checked(in, cmd, reply);
+  } catch (const std::exception& e) {
+    reply.text = std::string("ERR ") + e.what();
+    // A request that threw must not leave a half-built continuation.
+    reply.submitted.reset();
+    reply.wait_on.reset();
+    reply.reschedule_on.reset();
+    reply.drain = false;
+  }
+  return reply;
+}
+
+}  // namespace pacga::net

@@ -1,0 +1,133 @@
+// Transport-independent daemon protocol handler — one Session per client.
+//
+// The scheduler daemon speaks a newline-delimited request/response protocol
+// (docs/DAEMON_PROTOCOL.md). This class owns the verb dispatch for ONE
+// client session over either transport:
+//
+//   * blocking mode (the stdin/stdout pipe): WAIT and RESCHEDULE block
+//     inline on SchedulerService::wait, admission blocks on a full queue —
+//     byte-identical to the pre-socket daemon.
+//   * async mode (a TCP connection on the event loop): WAIT/RESCHEDULE
+//     that cannot answer immediately return a pending continuation in the
+//     Reply instead of blocking (the server delivers the RESULT line from
+//     the service completion callback), and admission fails fast with
+//     "ERR BUSY queue full" when the job's queue shard is full.
+//
+// Job ids are NAMESPACED PER SESSION: responses carry local ids (1, 2, ...
+// in submission order) and the session translates them to the service's
+// global ids. A single client therefore sees the same transcript whether
+// it is the only pipe tenant or one of hundreds of socket tenants — which
+// is what makes per-client socket transcripts byte-comparable against a
+// pipe run under --deterministic.
+//
+// Each Session owns its dynamic RescheduleSession (one live grid per
+// client); the named-instance pool is shared across sessions (memoization
+// is global, all access happens on the transport thread).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dynamic/session.hpp"
+#include "etc/etc_matrix.hpp"
+#include "service/service.hpp"
+
+namespace pacga::net {
+
+/// Behavior knobs shared by both transports (set from the daemon flags).
+struct ProtocolOptions {
+  std::string policy = "auto";
+  std::string repair_policy = "minmin";
+  double default_deadline_ms = 100.0;
+  /// Suppress timing fields in RESULT lines so scripted runs (REPLAY +
+  /// generation-capped RESCHEDULE) are byte-identical across runs.
+  bool deterministic = false;
+};
+
+/// Named instances memoized across requests AND sessions: a sweep campaign
+/// repeating 'INSTANCE ... u_c_hihi.0' must hit the solution cache in
+/// O(tasks), not regenerate and rehash the full matrix per request. Only
+/// ever touched from the transport thread.
+using InstancePool =
+    std::unordered_map<std::string, std::shared_ptr<const etc::EtcMatrix>>;
+
+/// What handling one request line produced. `text` is the immediate
+/// response ("" = none, e.g. a blank line or a pending continuation).
+/// At most ONE of wait_on / reschedule_on / drain is set; the transport
+/// must deliver that continuation before handling the session's next line
+/// (responses stay in request order).
+struct Reply {
+  std::string text;
+  bool quit = false;  ///< QUIT: pipe daemon exits, socket connection closes
+  /// Global id of a job admitted by this request (the transport tracks
+  /// per-connection in-flight jobs for drain/cancel-on-disconnect).
+  std::optional<service::JobId> submitted;
+  /// Async WAIT continuation: poll this global id when the completion
+  /// callback fires, then answer Session::finish_wait.
+  std::optional<service::JobId> wait_on;
+  /// Async RESCHEDULE continuation: like wait_on, answered with
+  /// Session::finish_reschedule (which also adopts the improvement).
+  std::optional<service::JobId> reschedule_on;
+  /// Async DRAIN: answer "DRAINED" once the session's in-flight jobs have
+  /// all reached a terminal state (per-connection drain at the socket
+  /// edge; the pipe's global drain happens inline).
+  bool drain = false;
+};
+
+class Session {
+ public:
+  /// `blocking` selects the pipe transport semantics (see file comment).
+  /// `svc`, `opts` and `instances` must outlive the session.
+  Session(service::SchedulerService& svc, const ProtocolOptions& opts,
+          InstancePool& instances, bool blocking);
+
+  /// Handles one request line. Never throws: malformed input answers
+  /// "ERR <reason>" in Reply.text.
+  Reply handle(const std::string& line);
+
+  /// Finishes an async WAIT continuation: `result` is the polled result of
+  /// the wait_on id; returns the RESULT line (with the session-local id).
+  std::string finish_wait(service::JobId global_id,
+                          const service::JobResult& result);
+
+  /// Finishes an async RESCHEDULE continuation: adopts an improvement into
+  /// the dynamic session and returns the RESULT ... adopted= line.
+  std::string finish_reschedule(service::JobId global_id,
+                                const service::JobResult& result);
+
+ private:
+  std::string handle_checked(std::istringstream& in, const std::string& cmd,
+                             Reply& reply);
+  std::string submit_job(std::istringstream& in, const std::string& cmd,
+                         Reply& reply);
+  std::string reschedule(std::istringstream& in, Reply& reply);
+  std::string trace(std::istringstream& in);
+  /// Allocates the next session-local id for an admitted global id.
+  std::uint64_t map_job(service::JobId global_id);
+  /// Session-local view of a global id ("?" when unknown — cannot happen
+  /// for ids that went through map_job).
+  std::uint64_t local_of(service::JobId global_id) const;
+  std::string result_line(std::uint64_t local_id,
+                          const service::JobResult& r) const;
+
+  service::SchedulerService& svc_;
+  const ProtocolOptions& opts_;
+  InstancePool& instances_;
+  const bool blocking_;
+  /// One live rescheduling session per client session.
+  std::optional<dynamic::RescheduleSession> dynamic_;
+  /// Local ids are allocated per admitted job, in submission order. The
+  /// maps live for the session (two words per job) so TRACE keeps working
+  /// after WAIT released the service-side handle. In blocking mode the
+  /// mapping is identity by construction (sole tenant) and raw ids are
+  /// passed through untranslated to preserve the pipe daemon's byte-exact
+  /// error behavior.
+  std::uint64_t next_local_ = 1;
+  std::unordered_map<std::uint64_t, service::JobId> local_to_global_;
+  std::unordered_map<service::JobId, std::uint64_t> global_to_local_;
+};
+
+}  // namespace pacga::net

@@ -126,10 +126,19 @@ ShardedJobQueue::ShardedJobQueue(std::size_t capacity, std::size_t shards) {
     throw std::invalid_argument("ShardedJobQueue: shards must be >= 1");
   if (capacity == 0)
     throw std::invalid_argument("ShardedJobQueue: capacity must be >= 1");
-  const std::size_t per_shard = std::max<std::size_t>(1, capacity / shards);
+  // Exact split: base slots everywhere, the remainder spread one slot each
+  // over the leading shards, and a floor of 1 per shard (a shard must be
+  // able to hold at least one job). Per-shard capacities therefore sum to
+  // exactly max(capacity, shards) — `max(1, capacity/shards)` alone would
+  // admit 8 of a requested 10 across 4 shards, or 4 of a requested 3.
+  const std::size_t base = capacity / shards;
+  const std::size_t remainder = capacity % shards;
   shards_.reserve(shards);
-  for (std::size_t i = 0; i < shards; ++i)
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::size_t per_shard =
+        std::max<std::size_t>(1, base + (i < remainder ? 1 : 0));
     shards_.push_back(std::make_unique<JobQueue>(per_shard));
+  }
 }
 
 std::size_t ShardedJobQueue::shard_of_shape(
@@ -211,8 +220,14 @@ std::vector<std::size_t> ShardedJobQueue::depths() const {
   return d;
 }
 
-std::size_t ShardedJobQueue::shard_capacity() const noexcept {
-  return shards_.front()->capacity();
+std::size_t ShardedJobQueue::shard_capacity(std::size_t shard) const noexcept {
+  return shards_[shard % shards_.size()]->capacity();
+}
+
+std::size_t ShardedJobQueue::capacity() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->capacity();
+  return total;
 }
 
 }  // namespace pacga::service

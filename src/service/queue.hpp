@@ -116,9 +116,12 @@ inline constexpr std::chrono::nanoseconds kStealPatience =
 
 /// N independent JobQueue shards keyed by instance shape, one pinned
 /// consumer per shard, bounded work-stealing between them (see the file
-/// comment). Capacity is split evenly across shards (at least 1 each), so
-/// backpressure is per-shard: a hot shape fills ITS shard and sheds load
-/// without starving other tenants' admission.
+/// comment). Capacity is split exactly across shards — `capacity/shards`
+/// each plus one extra slot on the leading `capacity%shards` shards, never
+/// below 1 — so per-shard capacities sum to max(capacity, shards) and the
+/// total admitted backlog equals the capacity a tenant asked for.
+/// Backpressure stays per-shard: a hot shape fills ITS shard and sheds
+/// load without starving other tenants' admission.
 class ShardedJobQueue {
  public:
   /// `capacity` >= 1 total queued jobs (split across shards), `shards` >= 1.
@@ -157,7 +160,12 @@ class ShardedJobQueue {
   /// Queued depth per shard (the daemon's STATS shard_depth field).
   std::vector<std::size_t> depths() const;
   std::size_t shards() const noexcept { return shards_.size(); }
-  std::size_t shard_capacity() const noexcept;
+  /// Queued-job capacity of one shard (see the class comment for the
+  /// split). Indexed modulo the shard count.
+  std::size_t shard_capacity(std::size_t shard) const noexcept;
+  /// Total queued-job capacity across shards: exactly the constructor's
+  /// `capacity`, or `shards` when capacity < shards (1-per-shard floor).
+  std::size_t capacity() const noexcept;
   /// Jobs served off a non-home shard since construction.
   std::uint64_t steals() const noexcept {
     return steals_.load(std::memory_order_relaxed);

@@ -103,23 +103,34 @@ JobId SchedulerService::submit(JobSpec spec) {
   return id;
 }
 
+void SchedulerService::source_warm_start(JobSpec& spec) {
+  if (!spec.warm_start.empty() || !spec.use_cache) return;
+  const std::uint64_t key =
+      SolverPool::cache_key(*spec.etc, options_.solver, spec.policy);
+  // Same stripe the pool stores under: stripe follows the queue shard,
+  // which is a pure function of the instance shape.
+  const std::size_t stripe =
+      queue_.shard_of_shape(spec.etc->tasks(), spec.etc->machines());
+  SolutionCache::Entry cached;
+  if (cache_.lookup(stripe, key, cached) &&
+      cached.assignment.size() == spec.etc->tasks()) {
+    spec.warm_start = std::move(cached.assignment);
+  }
+}
+
 JobId SchedulerService::submit_reschedule(JobSpec spec) {
   validate_spec(spec);
-  if (spec.warm_start.empty() && spec.use_cache) {
-    const std::uint64_t key =
-        SolverPool::cache_key(*spec.etc, options_.solver, spec.policy);
-    // Same stripe the pool stores under: stripe follows the queue shard,
-    // which is a pure function of the instance shape.
-    const std::size_t stripe =
-        queue_.shard_of_shape(spec.etc->tasks(), spec.etc->machines());
-    SolutionCache::Entry cached;
-    if (cache_.lookup(stripe, key, cached) &&
-        cached.assignment.size() == spec.etc->tasks()) {
-      spec.warm_start = std::move(cached.assignment);
-    }
-  }
+  source_warm_start(spec);
   const JobId id = submit(std::move(spec));  // may throw: count admissions only
   metrics_.on_reschedule();
+  return id;
+}
+
+std::optional<JobId> SchedulerService::try_submit_reschedule(JobSpec spec) {
+  validate_spec(spec);
+  source_warm_start(spec);
+  const std::optional<JobId> id = try_submit(std::move(spec));
+  if (id) metrics_.on_reschedule();
   return id;
 }
 
@@ -156,6 +167,31 @@ JobResult SchedulerService::wait(JobId id) {
     registry_.erase(id);
   }
   return result;
+}
+
+SchedulerService::Poll SchedulerService::poll_result(JobId id, JobResult& out) {
+  JobTicket ticket;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = registry_.find(id);
+    if (it == registry_.end()) return Poll::kUnknown;
+    ticket = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ticket->mutex);
+    if (!ticket->finished) return Poll::kPending;
+    out = ticket->result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_.erase(id);
+  }
+  return Poll::kReady;
+}
+
+void SchedulerService::set_completion_callback(CompletionCallback cb) {
+  std::lock_guard<std::mutex> lock(completion_mutex_);
+  completion_cb_ = std::move(cb);
 }
 
 bool SchedulerService::cancel(JobId id) {
@@ -214,6 +250,14 @@ void SchedulerService::on_terminal(const JobState& job) {
     std::lock_guard<std::mutex> lock(drain_mutex_);
     drained_.notify_all();
   }
+  // Completion notification LAST: by the time a listener polls the id, the
+  // result is published and the drain accounting has already seen the job.
+  CompletionCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    cb = completion_cb_;
+  }
+  if (cb) cb(job.result.id);
 }
 
 JobSpec make_workload_job(const batch::WorkloadSpec& workload, int priority,

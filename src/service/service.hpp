@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -93,6 +94,11 @@ class SchedulerService {
   /// repaired schedule.
   JobId submit_reschedule(JobSpec spec);
 
+  /// Fail-fast submit_reschedule: same warm-start sourcing, but admission
+  /// goes through try_submit — nullopt when the shard is full (counted as
+  /// a reject). The network edge maps this onto ERR BUSY.
+  std::optional<JobId> try_submit_reschedule(JobSpec spec);
+
   /// Blocks until the job reaches a terminal state and returns its result.
   /// Each id can be waited on once (the handle is released); a second wait
   /// throws std::invalid_argument. Fire-and-forget tenants do not leak:
@@ -100,6 +106,24 @@ class SchedulerService {
   /// kRetainedResults terminal jobs, then released (a late wait() on an
   /// evicted id reports it unknown).
   JobResult wait(JobId id);
+
+  /// Non-blocking wait, the event-loop counterpart of wait(): kReady
+  /// copies the result into `out` and releases the handle exactly like a
+  /// completed wait() (a second poll answers kUnknown); kPending leaves
+  /// the job untouched — poll again after the completion callback fires;
+  /// kUnknown means the id was never issued, already waited, or evicted.
+  enum class Poll { kReady, kPending, kUnknown };
+  Poll poll_result(JobId id, JobResult& out);
+
+  /// Registers `cb`, invoked once per job as it reaches a terminal state
+  /// (done, failed, or cancelled — including cancel-before-run), AFTER the
+  /// result is published, from whichever thread finished the job (a pool
+  /// worker, or the canceller). The callback must not block and must not
+  /// re-enter the service except through poll_result/wait/try_submit —
+  /// the intended shape is "enqueue the id and wake an event loop".
+  /// Replaces any previous callback; pass {} to clear.
+  using CompletionCallback = std::function<void(JobId)>;
+  void set_completion_callback(CompletionCallback cb);
 
   /// How many finished-but-unwaited results are kept before the oldest is
   /// released.
@@ -135,6 +159,7 @@ class SchedulerService {
 
  private:
   JobTicket make_ticket(JobSpec&& spec);
+  void source_warm_start(JobSpec& spec);
   void reject_unregistered(const JobTicket& ticket);
   void on_terminal(const JobState& job);
 
@@ -146,6 +171,8 @@ class SchedulerService {
 
   mutable std::mutex registry_mutex_;
   std::unordered_map<JobId, JobTicket> registry_;
+  mutable std::mutex completion_mutex_;       ///< guards completion_cb_
+  CompletionCallback completion_cb_;          ///< see set_completion_callback
   std::deque<JobId> retired_;  ///< terminal order; bounds unwaited results
   std::atomic<JobId> next_id_{1};
   std::atomic<std::size_t> outstanding_{0};

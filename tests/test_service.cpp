@@ -222,6 +222,38 @@ TEST(ShardedJobQueue, BackpressureIsPerShard) {
   EXPECT_TRUE(q.try_submit(ticket_for_shard(1)));   // shard 1 unaffected
 }
 
+TEST(ShardedJobQueue, CapacitySplitsExactlyAcrossShards) {
+  // Regression: max(1, capacity/shards) rounded the total DOWN (10 over 4
+  // admitted 8) or UP (3 over 4 admitted 4 is the floor case and stays).
+  // The split must hand out the remainder so shard capacities sum to
+  // max(capacity, shards).
+  const ShardedJobQueue q10(10, 4);
+  EXPECT_EQ(q10.capacity(), 10u);
+  EXPECT_EQ(q10.shard_capacity(0), 3u);  // 10 = 3 + 3 + 2 + 2
+  EXPECT_EQ(q10.shard_capacity(1), 3u);
+  EXPECT_EQ(q10.shard_capacity(2), 2u);
+  EXPECT_EQ(q10.shard_capacity(3), 2u);
+  const ShardedJobQueue q3(3, 4);  // under-provisioned: 1-per-shard floor
+  EXPECT_EQ(q3.capacity(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(q3.shard_capacity(s), 1u);
+  const ShardedJobQueue q8(8, 4);  // exact division unchanged
+  EXPECT_EQ(q8.capacity(), 8u);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(q8.shard_capacity(s), 2u);
+}
+
+TEST(ShardedJobQueue, TotalAdmittedBacklogEqualsRequestedCapacity) {
+  // Fill every shard to refusal: the number of admitted jobs — the point
+  // where backpressure starts across the whole queue — must equal the
+  // requested capacity, not a rounded-down multiple of the shard count.
+  ShardedJobQueue q(10, 4);
+  std::size_t admitted = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    while (q.try_submit(ticket_for_shard(s))) ++admitted;
+  }
+  EXPECT_EQ(admitted, 10u);
+  EXPECT_EQ(q.size(), 10u);
+}
+
 TEST(ShardedJobQueue, BlockedSubmitWakesWhenAThiefDrainsTheShard) {
   ShardedJobQueue q(2, 2);
   ASSERT_TRUE(q.try_submit(ticket_for_shard(0)));

@@ -1,16 +1,17 @@
 #!/bin/sh
 # Docs drift gate: every daemon verb (and EVENT subcommand) that exists in
-# examples/scheduler_service.cpp must be documented in
-# docs/DAEMON_PROTOCOL.md, and every runtime environment switch read
-# anywhere in src/ must appear in the README's switch table. Run from
-# anywhere; CI (and `ctest -R docs_consistency`) fails when code grows a
-# verb or switch without its docs.
+# the shared protocol handler (src/net/protocol.cpp) must be documented in
+# docs/DAEMON_PROTOCOL.md, every daemon command-line flag must appear
+# there too, and every runtime environment switch read anywhere in src/
+# must appear in the README's switch table. Run from anywhere; CI (and
+# `ctest -R docs_consistency`) fails when code grows a verb, flag or
+# switch without its docs.
 set -eu
 cd "$(dirname "$0")/.."
 fail=0
 
 # --- daemon verbs ----------------------------------------------------------
-verbs=$(grep -o 'cmd == "[A-Z]*"' examples/scheduler_service.cpp \
+verbs=$(grep -o 'cmd == "[A-Z]*"' src/net/protocol.cpp \
           | sed 's/.*"\([A-Z]*\)".*/\1/' | sort -u)
 [ -n "$verbs" ] || { echo "BUG: no daemon verbs found — check the grep"; exit 1; }
 for v in $verbs; do
@@ -21,11 +22,24 @@ for v in $verbs; do
 done
 
 # --- EVENT subcommands -----------------------------------------------------
-subs=$(grep -o 'what == "[A-Z]*"' examples/scheduler_service.cpp \
+subs=$(grep -o 'what == "[A-Z]*"' src/net/protocol.cpp \
          | sed 's/.*"\([A-Z]*\)".*/\1/' | sort -u)
 for s in $subs; do
   if ! grep -q "EVENT $s" docs/DAEMON_PROTOCOL.md; then
     echo "MISSING: EVENT subcommand $s undocumented in docs/DAEMON_PROTOCOL.md"
+    fail=1
+  fi
+done
+
+# --- daemon flags -----------------------------------------------------------
+# Every --flag the daemon binary registers must be mentioned (as `--flag`)
+# in the protocol reference — flags are part of the operator contract.
+flags=$(grep -o '\.\(option\|flag\)("[a-z-]*"' examples/scheduler_service.cpp \
+          | sed 's/.*"\([a-z-]*\)".*/\1/' | sort -u)
+[ -n "$flags" ] || { echo "BUG: no daemon flags found — check the grep"; exit 1; }
+for f in $flags; do
+  if ! grep -q -- "--$f" docs/DAEMON_PROTOCOL.md; then
+    echo "MISSING: daemon flag --$f undocumented in docs/DAEMON_PROTOCOL.md"
     fail=1
   fi
 done
@@ -55,6 +69,6 @@ for s in $switches; do
 done
 
 if [ "$fail" -eq 0 ]; then
-  echo "docs consistency OK ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$subs" | wc -w | tr -d ' ') EVENT subcommands, $(echo "$switches" | wc -w | tr -d ' ') switches)"
+  echo "docs consistency OK ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$subs" | wc -w | tr -d ' ') EVENT subcommands, $(echo "$flags" | wc -w | tr -d ' ') flags, $(echo "$switches" | wc -w | tr -d ' ') switches)"
 fi
 exit $fail

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Minimal TCP client for the scheduler daemon's line protocol.
+
+Sends a request script (file or stdin) to a daemon started with
+--listen, pipelining every line at once — the hardest ordering case for
+the server, since parked continuations must keep replies in request
+order — then prints the raw response bytes until the daemon closes the
+connection. Scripts should end with QUIT so the daemon hangs up;
+otherwise the client half-closes and drains (also a supported path).
+
+Used by tools/net_smoke.sh to byte-compare per-client socket transcripts
+against solo pipe-daemon runs of the same scripts.
+"""
+
+import argparse
+import socket
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--script", default="-", help="request script file ('-' = stdin)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="socket timeout (seconds)"
+    )
+    args = parser.parse_args()
+
+    if args.script == "-":
+        script = sys.stdin.buffer.read()
+    else:
+        with open(args.script, "rb") as f:
+            script = f.read()
+
+    sock = socket.create_connection((args.host, args.port), timeout=args.timeout)
+    try:
+        sock.sendall(script)
+        if not script.rstrip(b"\n").endswith(b"QUIT"):
+            sock.shutdown(socket.SHUT_WR)  # half-close: daemon serves, then FIN
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            sys.stdout.buffer.write(chunk)
+        sys.stdout.buffer.flush()
+    finally:
+        sock.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
