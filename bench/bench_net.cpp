@@ -144,7 +144,7 @@ void run_client(std::uint16_t port, const Options& opts, std::size_t index,
       for (;;) {
         c.send_line(submit);
         reply = c.read_line();
-        if (reply != "ERR BUSY queue full") break;
+        if (reply.compare(0, 19, "ERR BUSY queue full") != 0) break;
         ++tally.rejected;
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
             opts.backoff_ms));

@@ -32,6 +32,17 @@
 // best-of-N per arm, and the run FAILS (exit 1) if the instrumented
 // throughput is more than --obs-overhead-max-pct (default 2%) below the
 // uninstrumented one. Writes BENCH_obs_overhead.json.
+//
+// --failpoint-overhead is the same gate for the fault-injection layer:
+// the cached arm runs with the hot-path failpoint sites (queue.submit,
+// cache.lookup) ARMED on a schedule that never fires vs fully disarmed.
+// Armed-but-silent is the worst case a production box with a forgotten
+// PACGA_FAILPOINTS setting would see — every hit takes the site's slow
+// path (mutex + counter) without misbehaving. FAILS (exit 1) when the
+// loss exceeds --failpoint-overhead-max-pct (default 1%); exits 0 with
+// a skip notice on PACGA_NO_FAILPOINTS builds, where the sites are
+// `((void)0)` and there is nothing to measure. Writes
+// BENCH_failpoint_overhead.json.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -46,6 +57,7 @@
 #include "etc/braun.hpp"
 #include "service/service.hpp"
 #include "support/cli.hpp"
+#include "support/failpoints.hpp"
 #include "support/stats.hpp"
 #include "support/threading.hpp"
 #include "support/timer.hpp"
@@ -73,6 +85,8 @@ struct Options {
   bool obs_overhead = false;          ///< run the overhead gate instead
   std::size_t obs_overhead_trials = 3;  ///< best-of-N per arm
   double obs_overhead_max_pct = 2.0;  ///< gate threshold (percent)
+  bool failpoint_overhead = false;    ///< run the failpoint overhead gate
+  double failpoint_overhead_max_pct = 1.0;  ///< gate threshold (percent)
 };
 
 struct ArmResult {
@@ -183,14 +197,25 @@ ArmResult run_arm(const Options& opts, bool use_cache, const char* name,
 
 // --- observability overhead gate -------------------------------------------
 
+/// Shared between the obs gate and the failpoint gate: arm A is the
+/// instrumented/armed configuration, arm B the baseline.
 struct OverheadResult {
-  std::vector<double> jps_obs;    ///< per-trial cached jobs/sec, obs on
-  std::vector<double> jps_noobs;  ///< per-trial cached jobs/sec, obs off
-  double best_obs = 0.0;
-  double best_noobs = 0.0;
-  double overhead_pct = 0.0;  ///< (best_noobs - best_obs) / best_noobs
+  std::vector<double> jps_a;  ///< per-trial cached jobs/sec, arm A
+  std::vector<double> jps_b;  ///< per-trial cached jobs/sec, arm B
+  double best_a = 0.0;
+  double best_b = 0.0;
+  double overhead_pct = 0.0;  ///< (best_b - best_a) / best_b
   bool pass = false;
 };
+
+/// Best-of-N reduction + the pass/fail verdict, common to both gates.
+void finish_overhead(OverheadResult& r, double max_pct) {
+  r.best_a = *std::max_element(r.jps_a.begin(), r.jps_a.end());
+  r.best_b = *std::max_element(r.jps_b.begin(), r.jps_b.end());
+  r.overhead_pct =
+      r.best_b > 0.0 ? 100.0 * (r.best_b - r.best_a) / r.best_b : 0.0;
+  r.pass = r.overhead_pct <= max_pct;
+}
 
 /// One pure-hit throughput trial: warms the cache with every pool instance
 /// first (untimed), then times `opts.jobs` round-robin submissions that
@@ -246,20 +271,44 @@ double cached_hit_throughput(const Options& opts, bool observability) {
 OverheadResult run_obs_overhead(const Options& opts) {
   OverheadResult r;
   for (std::size_t t = 0; t < opts.obs_overhead_trials; ++t) {
-    r.jps_obs.push_back(cached_hit_throughput(opts, true));
-    r.jps_noobs.push_back(cached_hit_throughput(opts, false));
+    r.jps_a.push_back(cached_hit_throughput(opts, true));
+    r.jps_b.push_back(cached_hit_throughput(opts, false));
   }
-  r.best_obs = *std::max_element(r.jps_obs.begin(), r.jps_obs.end());
-  r.best_noobs = *std::max_element(r.jps_noobs.begin(), r.jps_noobs.end());
-  r.overhead_pct = r.best_noobs > 0.0
-                       ? 100.0 * (r.best_noobs - r.best_obs) / r.best_noobs
-                       : 0.0;
-  r.pass = r.overhead_pct <= opts.obs_overhead_max_pct;
+  finish_overhead(r, opts.obs_overhead_max_pct);
   return r;
 }
 
+/// The failpoint sites on the pure-hit path: queue.submit fires on every
+/// submission, cache.lookup on every probe — two slow-path entries per
+/// timed job when armed.
+void arm_hot_sites(const char* spec) {
+  support::failpoints().configure("queue.submit", spec);
+  support::failpoints().configure("cache.lookup", spec);
+}
+
+/// Interleaved best-of-N pure-hit throughput with the hot-path failpoint
+/// sites armed-but-never-firing (`after=1e9:throw` — every hit pays the
+/// slow path, none triggers) vs disarmed. Observability stays ON in both
+/// arms: the question is the marginal cost of the failpoint layer, not a
+/// re-measure of the obs layer.
+OverheadResult run_failpoint_overhead(const Options& opts) {
+  OverheadResult r;
+  for (std::size_t t = 0; t < opts.obs_overhead_trials; ++t) {
+    arm_hot_sites("after=1000000000:throw");
+    r.jps_a.push_back(cached_hit_throughput(opts, true));
+    arm_hot_sites("off");
+    r.jps_b.push_back(cached_hit_throughput(opts, true));
+  }
+  arm_hot_sites("off");  // leave nothing armed behind
+  finish_overhead(r, opts.failpoint_overhead_max_pct);
+  return r;
+}
+
+/// `arm_a` / `arm_b` name the two arms in the JSON keys ("obs"/"noobs",
+/// "armed"/"off") so the two gates' artifacts stay self-describing.
 void write_overhead_json(const char* path, const Options& opts,
-                         const OverheadResult& r) {
+                         const OverheadResult& r, const char* arm_a,
+                         const char* arm_b, double max_pct) {
   std::FILE* out = std::fopen(path, "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", path);
@@ -279,15 +328,15 @@ void write_overhead_json(const char* path, const Options& opts,
                "  \"config\": {\"jobs\": %zu, \"clients\": 1, \"workers\": 1, "
                "\"unique_instances\": %zu, \"trials\": %zu, "
                "\"max_overhead_pct\": %.3f},\n",
-               opts.jobs, opts.unique, opts.obs_overhead_trials,
-               opts.obs_overhead_max_pct);
-  std::fprintf(out, "  \"jobs_per_sec_obs\": [%s],\n", list(r.jps_obs).c_str());
-  std::fprintf(out, "  \"jobs_per_sec_noobs\": [%s],\n",
-               list(r.jps_noobs).c_str());
+               opts.jobs, opts.unique, opts.obs_overhead_trials, max_pct);
+  std::fprintf(out, "  \"jobs_per_sec_%s\": [%s],\n", arm_a,
+               list(r.jps_a).c_str());
+  std::fprintf(out, "  \"jobs_per_sec_%s\": [%s],\n", arm_b,
+               list(r.jps_b).c_str());
   std::fprintf(out,
-               "  \"best_obs\": %.2f, \"best_noobs\": %.2f, "
+               "  \"best_%s\": %.2f, \"best_%s\": %.2f, "
                "\"overhead_pct\": %.4f, \"pass\": %s\n",
-               r.best_obs, r.best_noobs, r.overhead_pct,
+               arm_a, r.best_a, arm_b, r.best_b, r.overhead_pct,
                r.pass ? "true" : "false");
   std::fprintf(out, "}\n");
   std::fclose(out);
@@ -500,8 +549,12 @@ int main(int argc, char** argv) {
               "best-of-N trials per arm of the overhead gate")
       .option("obs-overhead-max-pct", &opts.obs_overhead_max_pct,
               "max tolerated instrumented-throughput loss (percent)")
+      .option("failpoint-overhead-max-pct", &opts.failpoint_overhead_max_pct,
+              "max tolerated armed-failpoint throughput loss (percent)")
       .flag("obs-overhead", &opts.obs_overhead,
             "run the observability overhead gate instead of the bench")
+      .flag("failpoint-overhead", &opts.failpoint_overhead,
+            "run the failpoint overhead gate instead of the bench")
       .flag("full", &opts.full, "10x jobs, paper-style campaign");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -517,18 +570,38 @@ int main(int argc, char** argv) {
 
   if (opts.full) opts.mixed_jobs *= 4;
 
-  if (opts.obs_overhead) {
+  if (opts.obs_overhead || opts.failpoint_overhead) {
     if (opts.obs_overhead_trials == 0) {
       std::fprintf(stderr, "need obs-overhead-trials >= 1\n");
       return 2;
     }
+  }
+  if (opts.obs_overhead) {
     const OverheadResult r = run_obs_overhead(opts);
     std::printf(
         "obs overhead: best obs %8.1f jobs/s vs best no-obs %8.1f jobs/s "
         "-> %+.2f %% (max %.2f %%) %s\n",
-        r.best_obs, r.best_noobs, r.overhead_pct, opts.obs_overhead_max_pct,
+        r.best_a, r.best_b, r.overhead_pct, opts.obs_overhead_max_pct,
         r.pass ? "PASS" : "FAIL");
-    write_overhead_json("BENCH_obs_overhead.json", opts, r);
+    write_overhead_json("BENCH_obs_overhead.json", opts, r, "obs", "noobs",
+                        opts.obs_overhead_max_pct);
+    return r.pass ? 0 : 1;
+  }
+  if (opts.failpoint_overhead) {
+    if (!support::kFailpointsCompiledIn) {
+      std::printf(
+          "failpoint overhead: skipped (PACGA_NO_FAILPOINTS build — sites "
+          "compile to no-ops)\n");
+      return 0;
+    }
+    const OverheadResult r = run_failpoint_overhead(opts);
+    std::printf(
+        "failpoint overhead: best armed %8.1f jobs/s vs best off %8.1f "
+        "jobs/s -> %+.2f %% (max %.2f %%) %s\n",
+        r.best_a, r.best_b, r.overhead_pct, opts.failpoint_overhead_max_pct,
+        r.pass ? "PASS" : "FAIL");
+    write_overhead_json("BENCH_failpoint_overhead.json", opts, r, "armed",
+                        "off", opts.failpoint_overhead_max_pct);
     return r.pass ? 0 : 1;
   }
 

@@ -107,6 +107,15 @@ struct DaemonOptions {
   int listen = -1;
   std::string bind = "127.0.0.1";
   std::size_t max_connections = 512;
+  /// Reap TCP connections silent for this long (0 disables; parked
+  /// continuations are exempt — see ServerOptions::idle_timeout_ms).
+  double idle_timeout_ms = 0.0;
+  /// JobSpec::max_retries for every admitted job (0 = fail fast).
+  std::size_t max_retries = 0;
+  /// Shed admissions once a shard is this full (fraction; >= 1 disables).
+  double shed_watermark = 1.0;
+  /// Watchdog stall threshold as a multiple of the job's deadline.
+  double stall_factor = 8.0;
   net::ProtocolOptions protocol;
 };
 
@@ -121,6 +130,7 @@ int serve_socket(service::SchedulerService& svc, const DaemonOptions& opts) {
   server_options.bind = opts.bind;
   server_options.port = static_cast<std::uint16_t>(opts.listen);
   server_options.max_connections = opts.max_connections;
+  server_options.idle_timeout_ms = opts.idle_timeout_ms;
   server_options.protocol = opts.protocol;
   net::Server server(svc, std::move(server_options));
   g_server = &server;
@@ -185,6 +195,18 @@ int main(int argc, char** argv) {
       .option("bind", &opts.bind, "address to bind with --listen")
       .option("max-connections", &opts.max_connections,
               "concurrent TCP connections accepted with --listen")
+      .option("idle-timeout-ms", &opts.idle_timeout_ms,
+              "reap TCP connections silent for this long (0 disables; "
+              "connections waiting on a result are never reaped)")
+      .option("max-retries", &opts.max_retries,
+              "transient-failure retries per job before quarantine (0 = "
+              "first failure is terminal)")
+      .option("shed-watermark", &opts.shed_watermark,
+              "refuse admissions once a queue shard is this full "
+              "(fraction of shard capacity; >= 1 disables)")
+      .option("stall-factor", &opts.stall_factor,
+              "watchdog declares a worker stalled past stall-factor x the "
+              "job's deadline (respawns the worker, fails the job)")
       .flag("deterministic", &opts.protocol.deterministic,
             "omit timing fields from RESULT lines (byte-identical replays)")
       .flag("no-obs", &opts.no_obs,
@@ -202,6 +224,9 @@ int main(int argc, char** argv) {
   options.cache_capacity = opts.cache_capacity;
   options.trace_capacity = opts.trace_capacity;
   options.observability = !opts.no_obs;
+  options.shed_watermark = opts.shed_watermark;
+  options.supervision.stall_factor = opts.stall_factor;
+  opts.protocol.max_retries = static_cast<std::uint32_t>(opts.max_retries);
   service::SchedulerService svc(options);
   support::log_info() << "scheduler_service: workers=" << options.workers
                       << " queue=" << options.queue_capacity

@@ -1,5 +1,6 @@
 #include "net/protocol.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "batch/workload.hpp"
 #include "etc/suite.hpp"
 #include "service/exposition.hpp"
+#include "support/failpoints.hpp"
 
 namespace pacga::net {
 
@@ -64,7 +66,31 @@ std::string stats_line(const service::SchedulerService& svc) {
       << " p999_solve_ms=" << fm(s.solve_hist.quantile_ms(0.999), 3)
       << " p50_e2e_ms=" << fm(s.e2e_hist.quantile_ms(0.5), 3)
       << " p99_e2e_ms=" << fm(s.e2e_hist.quantile_ms(0.99), 3);
+  // Robustness counters (newest appendix): retry/quarantine/watchdog/shed
+  // activity. All zero on a healthy service.
+  out << " retries=" << s.retries << " quarantined=" << s.quarantined
+      << " stalled=" << s.stalled << " worker_restarts=" << s.worker_restarts
+      << " shed=" << s.shed;
   return out.str();
+}
+
+/// The congestion rejection, with a back-off hint derived from observed
+/// solve latency times backlog depth. Scripts key on the "ERR BUSY queue
+/// full" prefix; the hint is append-only.
+std::string busy_line(const service::SchedulerService& svc) {
+  std::ostringstream out;
+  out << "ERR BUSY queue full retry_ms="
+      << static_cast<long long>(std::llround(svc.retry_hint_ms()));
+  return out.str();
+}
+
+/// Failure reasons travel in a space-delimited line; whitespace inside the
+/// reason (exception texts) must not break tokenization.
+std::string sanitize_token(std::string s) {
+  for (char& c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return s;
 }
 
 std::string event_line(const dynamic::RescheduleSession& session,
@@ -178,6 +204,12 @@ std::string Session::result_line(std::uint64_t local_id,
     out << " wait_ms=" << r.queue_wait_seconds * 1e3
         << " solve_ms=" << r.solve_seconds * 1e3;
   }
+  // Failure-only appendix: RESULT lines for successful jobs stay
+  // byte-identical to the pre-failpoint protocol (replay determinism);
+  // a failed or retried job carries its story at the end of the line.
+  if (r.retries > 0) out << " retries=" << r.retries;
+  if (r.status == service::JobStatus::kFailed && !r.error.empty())
+    out << " error=" << sanitize_token(r.error);
   return out.str();
 }
 
@@ -249,6 +281,7 @@ std::string Session::submit_job(std::istringstream& in, const std::string& cmd,
       deadline_ms > 0.0 ? deadline_ms : opts_.default_deadline_ms;
   spec.seed = seed;
   spec.policy = service::parse_policy(opts_.policy);
+  spec.max_retries = opts_.max_retries;
   if (cmd == "INSTANCE") {
     std::string name;
     if (!(in >> name)) return "ERR INSTANCE expects an instance name";
@@ -285,7 +318,7 @@ std::string Session::submit_job(std::istringstream& in, const std::string& cmd,
     shown = id;  // identity: the pipe session is the sole tenant
   } else {
     const std::optional<service::JobId> id = svc_.try_submit(std::move(spec));
-    if (!id) return "ERR BUSY queue full";
+    if (!id) return busy_line(svc_);
     shown = map_job(*id);
     reply.submitted = *id;
   }
@@ -310,6 +343,7 @@ std::string Session::reschedule(std::istringstream& in, Reply& reply) {
       seed);
   spec.policy = service::parse_policy(opts_.policy);
   spec.max_generations = max_generations;
+  spec.max_retries = opts_.max_retries;
   if (blocking_) {
     const service::JobId id = svc_.submit_reschedule(std::move(spec));
     map_job(id);
@@ -320,7 +354,7 @@ std::string Session::reschedule(std::istringstream& in, Reply& reply) {
   }
   const std::optional<service::JobId> id =
       svc_.try_submit_reschedule(std::move(spec));
-  if (!id) return "ERR BUSY queue full";
+  if (!id) return busy_line(svc_);
   map_job(*id);
   reply.submitted = *id;
   reply.reschedule_on = *id;
@@ -344,6 +378,19 @@ std::string Session::handle_checked(std::istringstream& in,
     return text;
   }
   if (cmd == "TRACE") return trace(in);
+  if (cmd == "FAILPOINT") {
+    // Arms / reconfigures one fault-injection site (docs/ROBUSTNESS.md).
+    // Answers ERR when the spec is malformed — or on every use in a
+    // PACGA_NO_FAILPOINTS build, which must refuse rather than pretend.
+    std::string name, spec;
+    if (!(in >> name >> spec)) return "ERR FAILPOINT expects <name> <spec>";
+    try {
+      support::failpoints().configure(name, spec);
+    } catch (const std::exception& e) {
+      return std::string("ERR FAILPOINT ") + e.what();
+    }
+    return "FAILPOINT " + name + " " + spec;
+  }
   if (cmd == "DRAIN") {
     if (blocking_) {
       svc_.drain();

@@ -45,6 +45,11 @@ struct ProtocolOptions {
   /// Suppress timing fields in RESULT lines so scripted runs (REPLAY +
   /// generation-capped RESCHEDULE) are byte-identical across runs.
   bool deterministic = false;
+  /// JobSpec::max_retries stamped on every job this daemon admits (the
+  /// --max-retries flag): how many transient solver failures are retried
+  /// with backoff before the job is quarantined. 0 = first failure is
+  /// terminal (historical semantics).
+  std::uint32_t max_retries = 0;
 };
 
 /// Named instances memoized across requests AND sessions: a sweep campaign

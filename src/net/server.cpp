@@ -8,10 +8,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "support/failpoints.hpp"
 #include "support/log.hpp"
 
 namespace pacga::net {
@@ -117,11 +121,23 @@ void Server::stop() noexcept {
 void Server::send_line(Connection& c, const std::string& line) {
   c.outbuf += line;
   c.outbuf += '\n';
+  // A delivered reply restarts the idle clock: a client whose WAIT just
+  // resolved gets a full window to issue its next request.
+  c.last_activity = std::chrono::steady_clock::now();
   flush_out(c);
 }
 
 void Server::flush_out(Connection& c) {
   if (c.dead) return;
+  // An armed net.write failpoint fails THIS connection, never the loop: a
+  // thrown FailpointError is the injected equivalent of a peer reset.
+  try {
+    PACGA_FAILPOINT("net.write");
+  } catch (const support::FailpointError& e) {
+    support::log_warn() << "net: " << e.what() << " fd=" << c.fd;
+    c.dead = true;
+    return;
+  }
   while (c.out_off < c.outbuf.size()) {
     const ssize_t n = send_nosignal(c.fd, c.outbuf.data() + c.out_off,
                                     c.outbuf.size() - c.out_off);
@@ -235,11 +251,19 @@ void Server::process_lines(Connection& c) {
 }
 
 void Server::read_from(Connection& c) {
+  try {
+    PACGA_FAILPOINT("net.read");
+  } catch (const support::FailpointError& e) {
+    support::log_warn() << "net: " << e.what() << " fd=" << c.fd;
+    c.dead = true;
+    return;
+  }
   char chunk[4096];
   for (;;) {
     const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
     if (n > 0) {
       c.inbuf.append(chunk, static_cast<std::size_t>(n));
+      c.last_activity = std::chrono::steady_clock::now();
       // Paced read: a parked or oversized connection stops pulling more
       // input (poll drops POLLIN below) — TCP backpressure reaches the
       // client instead of the daemon buffering without bound.
@@ -277,6 +301,7 @@ void Server::accept_clients() {
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
     conn->session = std::make_unique<Session>(svc_, options_.protocol,
                                               instances_, /*blocking=*/false);
     conns_.emplace(fd, std::move(conn));
@@ -341,6 +366,7 @@ void Server::disconnect(int fd) {
 }
 
 void Server::sweep_dead() {
+  const auto now = std::chrono::steady_clock::now();
   std::vector<int> dead;
   for (const auto& [fd, conn] : conns_) {
     // A half-closed connection lives until its buffered requests are
@@ -349,6 +375,16 @@ void Server::sweep_dead() {
     if (!conn->dead && conn->eof && conn->pending == PendingKind::kNone &&
         conn->inbuf.empty() && conn->out_off == conn->outbuf.size())
       conn->dead = true;
+    // Idle reap: silent past the timeout with nothing owed to it. A
+    // parked continuation exempts the connection — slow-but-live clients
+    // waiting on a long solve are exactly who must NOT be dropped.
+    if (!conn->dead && !conn->closing && options_.idle_timeout_ms > 0.0 &&
+        conn->pending == PendingKind::kNone &&
+        std::chrono::duration<double, std::milli>(now - conn->last_activity)
+                .count() > options_.idle_timeout_ms) {
+      support::log_warn() << "net: reaping idle fd=" << fd;
+      conn->dead = true;
+    }
     if (conn->dead) dead.push_back(fd);
   }
   for (const int fd : dead) disconnect(fd);
@@ -371,7 +407,15 @@ void Server::run() {
       if (conn->out_off < conn->outbuf.size()) events |= POLLOUT;
       fds.push_back({fd, events, 0});
     }
-    const int rc = ::poll(fds.data(), fds.size(), -1);
+    // Without an idle timeout the loop sleeps until traffic; with one it
+    // must wake on its own to notice silence (half the window keeps reap
+    // latency under 1.5x the configured timeout).
+    int poll_timeout = -1;
+    if (options_.idle_timeout_ms > 0.0 && !conns_.empty()) {
+      poll_timeout = std::max(
+          1, static_cast<int>(std::lround(options_.idle_timeout_ms / 2.0)));
+    }
+    const int rc = ::poll(fds.data(), fds.size(), poll_timeout);
     if (rc < 0) {
       if (errno == EINTR) continue;
       support::log_error() << "net: poll failed: " << std::strerror(errno);

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -64,6 +65,13 @@ struct ServerOptions {
   std::size_t max_line = 1 << 20;
   /// Pending-output cap per connection; a reader slower than this drops.
   std::size_t max_output = 16u << 20;
+  /// Reap a connection that has sent nothing for this long (0 disables).
+  /// A connection parked on a WAIT/RESCHEDULE/DRAIN continuation is NOT
+  /// idle — the daemon owes it a reply, however long the solve takes; the
+  /// idle clock restarts when the reply is delivered. A silent connection
+  /// that abandoned in-flight jobs has them cancelled on reap, so a
+  /// vanished tenant cannot pin queue slots forever.
+  double idle_timeout_ms = 0.0;
   ProtocolOptions protocol;
 };
 
@@ -124,6 +132,8 @@ class Server {
     /// the service (released on WAIT or reaped on disconnect; stale
     /// entries are harmless — reaping tolerates kUnknown).
     std::unordered_set<service::JobId> unreaped;
+    /// Last inbound bytes or delivered reply; drives the idle reaper.
+    std::chrono::steady_clock::time_point last_activity{};
     bool closing = false;  ///< QUIT: flush outbuf, then disconnect
     /// Peer half-closed (FIN). Buffered requests still run and their
     /// replies still flush — mirroring the pipe daemon, which serves every

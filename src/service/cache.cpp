@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/failpoints.hpp"
+
 namespace pacga::service {
 
 SolutionCache::SolutionCache(std::size_t capacity, std::size_t stripes)
@@ -20,6 +22,7 @@ SolutionCache::SolutionCache(std::size_t capacity, std::size_t stripes)
 
 bool SolutionCache::lookup(std::size_t stripe, std::uint64_t key,
                            Entry& out) {
+  PACGA_FAILPOINT("cache.lookup");
   Stripe& s = *stripes_[stripe % stripes_.size()];
   std::lock_guard<std::mutex> lock(s.mutex);
   const auto it = s.index.find(key);
@@ -43,6 +46,7 @@ bool SolutionCache::lookup(std::uint64_t key, Entry& out) {
 void SolutionCache::insert(std::size_t stripe, std::uint64_t key,
                            std::span<const sched::MachineId> assignment,
                            double fitness, SolvePolicy policy) {
+  PACGA_FAILPOINT("cache.insert");
   if (stripe_capacity_ == 0) return;
   Stripe& s = *stripes_[stripe % stripes_.size()];
   std::lock_guard<std::mutex> lock(s.mutex);

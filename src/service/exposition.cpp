@@ -57,6 +57,16 @@ void write_prometheus(std::ostream& out,
           "Completions past their deadline");
   counter(out, "arena_builds_total", s.arena_builds,
           "Warm-arena cold rebuilds");
+  counter(out, "retries_total", s.retries,
+          "Failed attempts re-queued with backoff");
+  counter(out, "quarantined_total", s.quarantined,
+          "Jobs terminally failed after exhausting max_retries");
+  counter(out, "stalled_total", s.stalled,
+          "Jobs the watchdog declared stalled");
+  counter(out, "worker_restarts_total", s.worker_restarts,
+          "Workers respawned by the watchdog");
+  counter(out, "shed_total", s.shed,
+          "Admissions refused at the shed watermark");
 
   out << "# HELP pacga_worker_completed_total Jobs served per worker\n";
   out << "# TYPE pacga_worker_completed_total counter\n";

@@ -81,6 +81,14 @@ struct JobSpec {
   /// Look up / store this instance in the solution cache. Disable for
   /// jobs that want a fresh stochastic solve per seed.
   bool use_cache = true;
+  /// How many times a transiently-failed job (solver threw) is re-queued
+  /// before it is quarantined. 0 keeps the historical semantics: the
+  /// first failure is terminal. A job that fails max_retries + 1 times
+  /// is terminally failed with error "quarantined" and never retried
+  /// again, so one poisonous instance cannot crash-loop a worker.
+  /// Retried jobs re-enter their home shard with their original
+  /// priority after a capped exponential backoff (see SupervisorOptions).
+  std::uint32_t max_retries = 0;
   /// Optional warm start (the dynamic rescheduling path): a feasible
   /// assignment for `etc` — typically a repaired schedule — seeded into
   /// the CGA population, and returned verbatim if the solver cannot beat
@@ -111,11 +119,23 @@ struct JobResult {
   /// this observable: same-shape jobs gravitate to one worker, so its warm
   /// arena stays hot (tests and the mixed-shape bench read it).
   std::int32_t worker = -1;
+  /// How many failed attempts preceded this result (0 = served first try).
+  std::uint32_t retries = 0;
+  /// Failure reason, set only when status == kFailed: "solver: <what()>"
+  /// for a solver exception, "stalled" when the watchdog killed a stuck
+  /// worker, "quarantined" when max_retries were exhausted. Empty on
+  /// success so RESULT lines for successful jobs stay byte-identical to
+  /// the pre-failpoint protocol (replay determinism).
+  std::string error;
 };
 
 /// Internal shared job handle (queue entry + waiter rendezvous).
 struct JobState {
   JobSpec spec;
+  /// The job id, fixed at admission. Duplicated from result.id so the
+  /// supervisor can name the job without touching the result, which is
+  /// owned by whoever wins try_finish_with().
+  JobId id = 0;
   std::chrono::steady_clock::time_point submitted{};
   std::chrono::steady_clock::time_point deadline{};
 
@@ -127,21 +147,50 @@ struct JobState {
   /// Raised by cancel(); polled by the solver once per generation.
   std::atomic<bool> cancel{false};
 
+  /// Failed serve attempts so far. Written by the serving worker, read by
+  /// the supervisor's retry timer; the retry handoff (schedule_retry ->
+  /// requeue) orders the accesses, so no atomics are needed.
+  std::uint32_t attempts = 0;
+  /// Reason of the most recent failed attempt (same ordering argument).
+  /// Used when a pending retry must be abandoned at shutdown.
+  std::string last_error;
+
   std::mutex mutex;
   std::condition_variable cv;
   bool finished = false;  ///< guarded by mutex
   JobResult result;       ///< stable once finished is true
 
-  /// Publishes the result and wakes every waiter. Call exactly once.
-  void finish() {
+  /// Publishes `r` as the final result and wakes every waiter — unless
+  /// someone else finished the job first, in which case `r` is dropped
+  /// and false is returned. Two finishers can race by design: the serving
+  /// worker and the watchdog that declared it stalled. Whoever wins owns
+  /// the terminal accounting (metrics, completion hook); the loser must
+  /// do none of it.
+  ///
+  /// `before_publish` runs under the job mutex, after the win is decided
+  /// but before the result becomes visible: metric/trace accounting done
+  /// there is guaranteed to be observable by the time any waiter wakes
+  /// (a client that wait()s a job and then reads a metrics snapshot must
+  /// see its completion counted). Keep it cheap and lock-free — it holds
+  /// the mutex every waiter blocks on, and `r` is still intact inside it.
+  template <typename Fn>
+  bool try_finish_with(JobResult&& r, Fn&& before_publish) {
     {
       std::lock_guard<std::mutex> lock(mutex);
+      if (finished) return false;
+      before_publish();
+      result = std::move(r);
       finished = true;
     }
     cv.notify_all();
+    return true;
   }
 
-  /// Blocks until finish(); returns a copy of the result.
+  bool try_finish_with(JobResult&& r) {
+    return try_finish_with(std::move(r), [] {});
+  }
+
+  /// Blocks until the job is finished; returns a copy of the result.
   JobResult await() {
     std::unique_lock<std::mutex> lock(mutex);
     cv.wait(lock, [this] { return finished; });

@@ -83,6 +83,12 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.reschedules = reschedules_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.stalled = stalled_.load(std::memory_order_relaxed);
+  s.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
+  s.failed = failed_external_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   s.worker_completed.reserve(slots_.size());
   // Merge in worker order (slot 0 first): repeated snapshots of a quiesced
   // service are bit-identical, and the equivalence test can reproduce the
@@ -106,6 +112,21 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   }
   s.elapsed_seconds = clock_.elapsed_seconds();
   return s;
+}
+
+double ServiceMetrics::approx_solve_p50_ms() const {
+  // A pressure hint, not an SLO figure: merge-once per rejection is fine
+  // because rejections are the rare path by construction.
+  if (histograms_) {
+    obs::HistogramSnapshot hist;
+    for (const auto& padded : slots_) hist.merge(padded->solve_hist.snapshot());
+    const double p50 = hist.quantile_ms(0.50);
+    if (p50 == p50 && p50 > 0.0) return p50;  // finite and positive
+  }
+  support::RunningStats solve;
+  for (const auto& padded : slots_) solve.merge(padded->solve.materialize());
+  const double mean_ms = solve.mean() * 1e3;
+  return (mean_ms == mean_ms && mean_ms > 0.0) ? mean_ms : 1.0;
 }
 
 }  // namespace pacga::service

@@ -51,6 +51,11 @@ class ServiceMetrics {
     std::uint64_t failed = 0;     ///< solver threw (kFailed)
     std::uint64_t rejected = 0;   ///< try_submit refused: queue full
     std::uint64_t reschedules = 0;  ///< submit_reschedule admissions
+    std::uint64_t retries = 0;      ///< failed attempts re-queued for retry
+    std::uint64_t quarantined = 0;  ///< jobs that exhausted max_retries
+    std::uint64_t stalled = 0;      ///< jobs the watchdog declared stuck
+    std::uint64_t worker_restarts = 0;  ///< workers respawned by watchdog
+    std::uint64_t shed = 0;  ///< submissions refused by the shard watermark
     std::uint64_t cache_hits = 0;
     std::uint64_t deadline_misses = 0;
     /// Warm-arena rebuilds across all workers — the shape-affinity figure
@@ -102,6 +107,31 @@ class ServiceMetrics {
   void on_reschedule() noexcept {
     reschedules_.fetch_add(1, std::memory_order_relaxed);
   }
+  void on_retry() noexcept {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_quarantine() noexcept {
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A watchdog-declared stall: counts both the stalled event and the
+  /// off-worker terminal failure (the job never returns to a worker slot).
+  void on_stall() noexcept {
+    stalled_.fetch_add(1, std::memory_order_relaxed);
+    failed_external_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_worker_restart() noexcept {
+    worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A job failed terminally outside any worker slot (e.g. a pending
+  /// retry abandoned at shutdown). Folded into Snapshot::failed.
+  void on_fail_external() noexcept {
+    failed_external_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A submission refused by the queue-pressure watermark. The caller
+  /// also raises on_reject(): shed is the "why" breakdown of rejected.
+  void on_shed() noexcept {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Completion-path events: touch only slot `worker`'s cache line. The
   /// caller must be the single thread that owns that slot.
@@ -118,6 +148,12 @@ class ServiceMetrics {
   std::size_t workers() const noexcept { return slots_.size(); }
 
   Snapshot snapshot() const;
+
+  /// Cheap estimate of the p50 per-job solve latency in milliseconds,
+  /// for the overload-shedding retry hint: histogram quantile when
+  /// available, mean solve time otherwise, 1 ms when nothing has been
+  /// served yet. Never returns a non-finite or non-positive value.
+  double approx_solve_p50_ms() const;
 
  private:
   /// Single-writer streaming accumulator: the owning worker updates the
@@ -158,6 +194,12 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> reschedules_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> stalled_{0};
+  std::atomic<std::uint64_t> worker_restarts_{0};
+  std::atomic<std::uint64_t> failed_external_{0};  ///< off-worker failures
+  std::atomic<std::uint64_t> shed_{0};
   std::vector<support::Padded<WorkerSlot>> slots_;
   bool histograms_;  ///< runtime switch; recording is skipped when false
   support::WallTimer clock_;  ///< started at service construction

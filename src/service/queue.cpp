@@ -220,6 +220,10 @@ std::vector<std::size_t> ShardedJobQueue::depths() const {
   return d;
 }
 
+std::size_t ShardedJobQueue::depth(std::size_t shard) const {
+  return shards_[shard % shards_.size()]->size();
+}
+
 std::size_t ShardedJobQueue::shard_capacity(std::size_t shard) const noexcept {
   return shards_[shard % shards_.size()]->capacity();
 }

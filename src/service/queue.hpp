@@ -159,6 +159,10 @@ class ShardedJobQueue {
   std::size_t size() const;  ///< total queued across shards
   /// Queued depth per shard (the daemon's STATS shard_depth field).
   std::vector<std::size_t> depths() const;
+  /// Queued depth of one shard (indexed modulo the shard count) — the
+  /// admission-time watermark check, without the vector the full report
+  /// allocates.
+  std::size_t depth(std::size_t shard) const;
   std::size_t shards() const noexcept { return shards_.size(); }
   /// Queued-job capacity of one shard (see the class comment for the
   /// split). Indexed modulo the shard count.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/failpoints.hpp"
+
 namespace pacga::service {
 
 namespace {
@@ -44,6 +46,7 @@ SchedulerService::SchedulerService(ServiceOptions options)
   SolverPoolOptions pool_options;
   pool_options.workers = options_.workers;
   pool_options.solver = options_.solver;
+  pool_options.supervision = options_.supervision;
   pool_.emplace(queue_, cache_, metrics_, std::move(pool_options), &trace_,
                 [this](const JobState& job) { on_terminal(job); });
 }
@@ -70,7 +73,8 @@ JobTicket SchedulerService::make_ticket(JobSpec&& spec) {
       ticket->submitted +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double, std::milli>(capped_ms));
-  ticket->result.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ticket->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ticket->result.id = ticket->id;
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     registry_.emplace(ticket->result.id, ticket);
@@ -91,6 +95,7 @@ void SchedulerService::reject_unregistered(const JobTicket& ticket) {
 }
 
 JobId SchedulerService::submit(JobSpec spec) {
+  PACGA_FAILPOINT("queue.submit");
   JobTicket ticket = make_ticket(std::move(spec));
   const JobId id = ticket->result.id;
   JobTicket keep = ticket;  // queue takes one reference, we keep one
@@ -135,9 +140,23 @@ std::optional<JobId> SchedulerService::try_submit_reschedule(JobSpec spec) {
 }
 
 std::optional<JobId> SchedulerService::try_submit(JobSpec spec) {
+  PACGA_FAILPOINT("queue.submit");
   JobTicket ticket = make_ticket(std::move(spec));
   const JobId id = ticket->result.id;
   JobTicket keep = ticket;  // queue takes one reference, we keep one
+  // Watermark shedding: refuse BEFORE the shard is hard-full, so the
+  // remaining headroom keeps absorbing retries and in-flight work while
+  // clients are told to back off. Disabled at the default watermark 1.0
+  // (only a truly full shard rejects, below).
+  if (options_.shed_watermark < 1.0 &&
+      static_cast<double>(queue_.depth(ticket->shard)) >=
+          options_.shed_watermark *
+              static_cast<double>(queue_.shard_capacity(ticket->shard))) {
+    reject_unregistered(keep);
+    metrics_.on_shed();
+    metrics_.on_reject();
+    return std::nullopt;
+  }
   if (!queue_.try_submit(std::move(ticket))) {
     reject_unregistered(keep);
     // Distinguish shutdown from congestion: a load-shedder treats nullopt
@@ -204,12 +223,17 @@ bool SchedulerService::cancel(JobId id) {
   }
   ticket->cancel.store(true, std::memory_order_relaxed);
   if (queue_.remove(ticket.get())) {
-    // Never ran: finish it here, on the canceller's thread.
-    ticket->result.status = JobStatus::kCancelled;
-    metrics_.on_cancel();
-    ticket->finish();
-    on_terminal(*ticket);
-    return true;
+    // Never ran: finish it here, on the canceller's thread. The commit
+    // can still lose to a concurrent finisher (e.g. the watchdog), in
+    // which case fall through to the already-finished report below.
+    JobResult r;
+    r.id = ticket->id;
+    r.status = JobStatus::kCancelled;
+    r.retries = ticket->attempts;
+    if (ticket->try_finish_with(std::move(r), [&] { metrics_.on_cancel(); })) {
+      on_terminal(*ticket);
+      return true;
+    }
   }
   // Either running (the flag stops it within a generation) or already
   // finished (the flag is moot).
@@ -217,6 +241,14 @@ bool SchedulerService::cancel(JobId id) {
     std::lock_guard<std::mutex> lock(ticket->mutex);
     return !ticket->finished;
   }
+}
+
+double SchedulerService::retry_hint_ms() const {
+  std::size_t deepest = 1;
+  for (std::size_t d : queue_.depths()) deepest = std::max(deepest, d);
+  const double hint =
+      metrics_.approx_solve_p50_ms() * static_cast<double>(deepest);
+  return std::clamp(hint, 1.0, 10000.0);
 }
 
 void SchedulerService::drain() {

@@ -62,6 +62,16 @@ struct ServiceOptions {
   /// seeding). Termination and seed are per-job; collect_trace is forced
   /// off.
   cga::Config solver;
+  /// Watchdog + retry-backoff knobs (stall detection, worker respawn,
+  /// capped exponential retry backoff — see supervisor.hpp).
+  SupervisorOptions supervision;
+  /// Queue-pressure shedding watermark, as a fraction of one shard's
+  /// capacity: a try_submit whose target shard already holds at least
+  /// watermark * shard_capacity queued jobs is refused (counted as
+  /// shed + rejected; the net edge answers ERR BUSY with a retry hint).
+  /// >= 1.0 disables the watermark — only a truly full shard rejects,
+  /// the historical behavior.
+  double shed_watermark = 1.0;
 };
 
 class SchedulerService {
@@ -142,6 +152,13 @@ class SchedulerService {
   void shutdown();
 
   ServiceMetrics::Snapshot metrics() const { return metrics_.snapshot(); }
+
+  /// Suggested client back-off after a shed/busy rejection, in
+  /// milliseconds: observed p50 solve latency scaled by the deepest
+  /// shard's backlog, clamped to [1, 10000]. Cheap enough to call on
+  /// every rejection; the net edge appends it to ERR BUSY.
+  double retry_hint_ms() const;
+
   const SolutionCache& cache() const noexcept { return cache_; }
   const ServiceOptions& options() const noexcept { return options_; }
 

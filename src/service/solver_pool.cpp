@@ -9,6 +9,7 @@
 #include "heuristics/sufferage.hpp"
 #include "pacga/parallel_engine.hpp"
 #include "sched/fitness.hpp"
+#include "support/failpoints.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -228,6 +229,7 @@ void WarmSolver::solve(const etc::EtcMatrix& etc, const JobSpec& spec,
                        double budget_seconds, const std::atomic<bool>* cancel,
                        JobResult& out, const cga::GenerationObserver& observer,
                        obs::WorkerTracer* tracer, std::uint64_t job_id) {
+  PACGA_FAILPOINT("solver.solve");
   out.cache_hit = false;
   out.warm_started = false;
   out.generations = 0;
@@ -293,19 +295,59 @@ SolverPool::SolverPool(ShardedJobQueue& queue, SolutionCache& cache,
   if (options_.workers == 0)
     throw std::invalid_argument("SolverPool: workers must be >= 1");
   options_.solver.validate();
-  threads_.emplace(options_.workers, [this](std::size_t worker) {
-    WarmSolver solver(options_.solver);
-    obs::WorkerTracer tracer(trace_, worker);
-    const std::size_t home = worker % queue_.shards();
-    bool stolen = false;
-    while (JobTicket job = queue_.pop(home, &stolen)) {
-      serve(*job, solver, worker, tracer, stolen);
-    }
-  });
+  supervisor_ = std::make_unique<Supervisor>(
+      options_.supervision, options_.workers, metrics_,
+      /*requeue=*/
+      [this](const JobTicket& job) -> int {
+        if (queue_.try_submit(job)) return 0;
+        return queue_.closed() ? -1 : 1;
+      },
+      /*respawn=*/[this](std::size_t worker) { spawn_worker(worker); },
+      /*terminal=*/
+      [this](const JobTicket& job) {
+        if (on_terminal_) on_terminal_(*job);
+      });
+  for (std::size_t w = 0; w < options_.workers; ++w) spawn_worker(w);
+  supervisor_->start();
+}
+
+SolverPool::~SolverPool() { join(); }
+
+void SolverPool::spawn_worker(std::size_t worker) {
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  if (joining_) return;  // shutting down: a replacement would leak
+  const std::uint64_t generation = supervisor_->generation(worker);
+  threads_.emplace_back(
+      [this, worker, generation] { run_worker(worker, generation); });
+}
+
+void SolverPool::run_worker(std::size_t worker, std::uint64_t generation) {
+  WarmSolver solver(options_.solver);
+  obs::WorkerTracer tracer(trace_, worker);
+  const std::size_t home = worker % queue_.shards();
+  bool stolen = false;
+  while (JobTicket job = queue_.pop(home, &stolen)) {
+    supervisor_->begin_serve(worker, generation, job);
+    const ServeOutcome outcome = serve(job, solver, worker, tracer, stolen);
+    supervisor_->end_serve(worker, generation);
+    if (outcome == ServeOutcome::kSuperseded) return;
+  }
 }
 
 void SolverPool::join() {
-  if (threads_) threads_->join();
+  // Order matters: stop the supervisor first (no respawns or retries can
+  // race the join), then let wedge-parked workers through so the closed
+  // queue can drain, then join whatever threads exist — including any
+  // replacements the watchdog spawned before it stopped.
+  if (supervisor_) supervisor_->stop();
+  support::ScopedWedgeSuspend wedge_release;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    joining_ = true;
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) t.join();
 }
 
 std::uint64_t SolverPool::cache_key(const etc::EtcMatrix& etc,
@@ -319,10 +361,20 @@ std::uint64_t SolverPool::cache_key(const etc::EtcMatrix& etc,
   return support::hash_mix(h, static_cast<std::uint64_t>(policy) + 1);
 }
 
-void SolverPool::serve(JobState& job, WarmSolver& solver, std::size_t worker,
-                       obs::WorkerTracer& tracer, bool stolen) {
+SolverPool::ServeOutcome SolverPool::serve(const JobTicket& ticket,
+                                           WarmSolver& solver,
+                                           std::size_t worker,
+                                           obs::WorkerTracer& tracer,
+                                           bool stolen) {
+  JobState& job = *ticket;
   const auto picked_up = std::chrono::steady_clock::now();
-  JobResult& out = job.result;
+  // The result is built in a LOCAL and committed through try_finish_with:
+  // the watchdog may concurrently publish a "stalled" result for this very
+  // job, so job.result has no single writer until one of the two commits
+  // wins. Everything after the commit is gated on winning it.
+  JobResult out;
+  out.id = job.id;
+  out.retries = job.attempts;
   out.queue_wait_seconds = seconds_between(job.submitted, picked_up);
   out.worker = static_cast<std::int32_t>(worker);
 
@@ -339,11 +391,13 @@ void SolverPool::serve(JobState& job, WarmSolver& solver, std::size_t worker,
 
   if (job.cancel.load(std::memory_order_relaxed)) {
     out.status = JobStatus::kCancelled;
-    if (tracing) tracer.instant(obs::SpanKind::kCancelled, out.id);
-    metrics_.on_cancel();
-    job.finish();
+    const bool won = job.try_finish_with(std::move(out), [&] {
+      if (tracing) tracer.instant(obs::SpanKind::kCancelled, job.id);
+      metrics_.on_cancel();
+    });
+    if (!won) return ServeOutcome::kSuperseded;
     if (on_terminal_) on_terminal_(job);
-    return;
+    return ServeOutcome::kFinished;
   }
 
   out.status = JobStatus::kRunning;
@@ -361,103 +415,143 @@ void SolverPool::serve(JobState& job, WarmSolver& solver, std::size_t worker,
   // fingerprint — one shape, one stripe).
   const std::size_t stripe = job.shard;
   const bool cache_lookup = job.spec.use_cache && job.spec.warm_start.empty();
+  const std::uint64_t builds_before = solver.arena_builds();
   bool cache_hit = false;
-  if (cache_lookup) {
-    const std::uint64_t probe_start = tracing ? tracer.now_ns() : 0;
-    cache_hit = cache_.lookup(stripe, key, cached);
-    if (tracing) {
-      tracer.span(obs::SpanKind::kCacheProbe, out.id, probe_start,
-                  tracer.now_ns(), 0, cache_hit ? 1 : 0);
+  // One try block over lookup + solve + insert: any exception on the
+  // serving path — the solver's own, or an armed cache failpoint — must
+  // fail ONE job, not escape the worker thread (std::terminate would kill
+  // the service and strand every waiter).
+  try {
+    if (cache_lookup) {
+      const std::uint64_t probe_start = tracing ? tracer.now_ns() : 0;
+      cache_hit = cache_.lookup(stripe, key, cached);
+      if (tracing) {
+        tracer.span(obs::SpanKind::kCacheProbe, out.id, probe_start,
+                    tracer.now_ns(), 0, cache_hit ? 1 : 0);
+      }
     }
-  }
-  if (cache_hit) {
-    out.assignment = std::move(cached.assignment);
-    out.makespan = cached.fitness;
-    out.cache_hit = true;
-    out.generations = 0;
-    out.evaluations = 0;
-    out.policy_used = cached.policy;  // provenance: what PRODUCED the answer
-    out.status = JobStatus::kDone;
-  } else {
-    // The solver gets whatever wall budget remains after queueing, minus
-    // ~10% headroom: the anytime loop stops within one generation AFTER
-    // its budget, so aiming at the raw deadline would miss it by
-    // construction. A job popped past its deadline still gets a
-    // floor-of-zero budget, which kAuto escalates to the heuristics
-    // (serve late rather than never).
-    const double remaining = std::max(
-        0.0, seconds_between(picked_up, job.deadline));
-    const std::uint64_t builds_before = solver.arena_builds();
-    try {
+    if (cache_hit) {
+      out.assignment = std::move(cached.assignment);
+      out.makespan = cached.fitness;
+      out.cache_hit = true;
+      out.generations = 0;
+      out.evaluations = 0;
+      out.policy_used = cached.policy;  // provenance: what PRODUCED it
+      out.status = JobStatus::kDone;
+    } else {
+      // The solver gets whatever wall budget remains after queueing, minus
+      // ~10% headroom: the anytime loop stops within one generation AFTER
+      // its budget, so aiming at the raw deadline would miss it by
+      // construction. A job popped past its deadline still gets a
+      // floor-of-zero budget, which kAuto escalates to the heuristics
+      // (serve late rather than never).
+      const double remaining = std::max(
+          0.0, seconds_between(picked_up, job.deadline));
       solver.solve(etc, job.spec, remaining * kDeadlineHeadroom, &job.cancel,
                    out, {}, &tracer, out.id);
       out.status = job.cancel.load(std::memory_order_relaxed)
                        ? JobStatus::kCancelled
                        : JobStatus::kDone;
-    } catch (const std::exception& e) {
-      // A throwing solver must fail ONE job, not escape the worker thread
-      // (std::terminate would kill the service and strand every waiter).
-      support::log_warn() << "SolverPool: job " << out.id
-                          << " failed: " << e.what();
-      out.status = JobStatus::kFailed;
-    }
-    const std::uint64_t built = solver.arena_builds() - builds_before;
-    if (built > 0) metrics_.add_arena_builds(worker, built);
-    if (out.status == JobStatus::kDone && job.spec.use_cache &&
-        !out.assignment.empty()) {
-      // Don't let a budget-starved kAuto escalation poison the cache: its
-      // heuristic answer would be served to every later budget-rich kAuto
-      // job on this matrix, which would then never trigger the
-      // keep-better refresh. Tiny instances escalate by SIZE, so their
-      // heuristic answers are the steady state and cache fine.
-      const bool budget_starved_heuristic =
-          job.spec.policy == SolvePolicy::kAuto &&
-          (out.policy_used == SolvePolicy::kMinMin ||
-           out.policy_used == SolvePolicy::kSufferage ||
-           out.policy_used == SolvePolicy::kWarmStart) &&
-          etc.tasks() > kHeuristicMaxTasks;
-      if (!budget_starved_heuristic) {
-        cache_.insert(stripe, key, out.assignment, out.makespan,
-                      out.policy_used);
+      if (out.status == JobStatus::kDone && job.spec.use_cache &&
+          !out.assignment.empty()) {
+        // Don't let a budget-starved kAuto escalation poison the cache: its
+        // heuristic answer would be served to every later budget-rich kAuto
+        // job on this matrix, which would then never trigger the
+        // keep-better refresh. Tiny instances escalate by SIZE, so their
+        // heuristic answers are the steady state and cache fine.
+        const bool budget_starved_heuristic =
+            job.spec.policy == SolvePolicy::kAuto &&
+            (out.policy_used == SolvePolicy::kMinMin ||
+             out.policy_used == SolvePolicy::kSufferage ||
+             out.policy_used == SolvePolicy::kWarmStart) &&
+            etc.tasks() > kHeuristicMaxTasks;
+        if (!budget_starved_heuristic) {
+          cache_.insert(stripe, key, out.assignment, out.makespan,
+                        out.policy_used);
+        }
       }
     }
+  } catch (const std::exception& e) {
+    support::log_warn() << "SolverPool: job " << out.id
+                        << " failed: " << e.what();
+    out.status = JobStatus::kFailed;
+    out.error = std::string("solver: ") + e.what();
   }
+  const std::uint64_t built = solver.arena_builds() - builds_before;
   out.solve_seconds = solve_timer.elapsed_seconds();
   const auto finished_at = std::chrono::steady_clock::now();
   out.deadline_missed = finished_at > job.deadline;
 
-  if (tracing) {
-    tracer.span(obs::SpanKind::kServe, out.id, pickup_ns, tracer.now_ns(), 0,
-                static_cast<std::uint64_t>(out.status));
-    switch (out.status) {
-      case JobStatus::kCancelled:
-        tracer.instant(obs::SpanKind::kCancelled, out.id);
-        break;
-      case JobStatus::kFailed:
-        tracer.instant(obs::SpanKind::kFailed, out.id);
-        break;
-      default:
-        tracer.instant(obs::SpanKind::kCompleted, out.id, 0,
-                       std::bit_cast<std::uint64_t>(out.makespan));
-        break;
+  // Transient failure, retry budget left, not cancelled: hand the job to
+  // the supervisor's backoff timer instead of finishing it. The ticket
+  // stays unfinished (waiters keep waiting) and re-enters its home shard
+  // with its original priority.
+  bool quarantined = false;
+  if (out.status == JobStatus::kFailed &&
+      !job.cancel.load(std::memory_order_relaxed)) {
+    job.attempts += 1;
+    if (job.attempts <= job.spec.max_retries) {
+      job.last_error = out.error;
+      if (supervisor_->schedule_retry(ticket)) {
+        metrics_.on_retry();
+        if (built > 0) metrics_.add_arena_builds(worker, built);
+        if (tracing) {
+          tracer.span(obs::SpanKind::kServe, out.id, pickup_ns,
+                      tracer.now_ns(), 0,
+                      static_cast<std::uint64_t>(out.status));
+          tracer.instant(obs::SpanKind::kFailed, out.id, job.attempts);
+        }
+        return ServeOutcome::kRetried;
+      }
+      // Supervisor already stopping (shutdown): fall through, terminal.
+    } else if (job.spec.max_retries > 0) {
+      out.error = "quarantined";
+      quarantined = true;
     }
   }
 
-  switch (out.status) {
-    case JobStatus::kCancelled:
-      metrics_.on_cancel();
-      break;
-    case JobStatus::kFailed:
-      metrics_.on_fail(worker);
-      break;
-    default:
-      metrics_.on_complete(worker, out.queue_wait_seconds, out.solve_seconds,
-                           out.cache_hit, out.deadline_missed,
-                           seconds_between(job.submitted, finished_at));
-      break;
-  }
-  job.finish();
+  // Accounting runs inside the commit, under the job mutex, BEFORE the
+  // result becomes visible: a client that wait()s this job and then reads
+  // a metrics snapshot must see the job counted. `out` is still intact
+  // inside the callback (the move into job.result happens after it); a
+  // LOST commit runs none of this and touches neither metrics nor tracer.
+  const bool won = job.try_finish_with(std::move(out), [&] {
+    if (built > 0) metrics_.add_arena_builds(worker, built);
+    if (tracing) {
+      tracer.span(obs::SpanKind::kServe, out.id, pickup_ns, tracer.now_ns(),
+                  0, static_cast<std::uint64_t>(out.status));
+      switch (out.status) {
+        case JobStatus::kCancelled:
+          tracer.instant(obs::SpanKind::kCancelled, out.id);
+          break;
+        case JobStatus::kFailed:
+          tracer.instant(obs::SpanKind::kFailed, out.id);
+          break;
+        default:
+          tracer.instant(obs::SpanKind::kCompleted, out.id, 0,
+                         std::bit_cast<std::uint64_t>(out.makespan));
+          break;
+      }
+    }
+    switch (out.status) {
+      case JobStatus::kCancelled:
+        metrics_.on_cancel();
+        break;
+      case JobStatus::kFailed:
+        metrics_.on_fail(worker);
+        break;
+      default:
+        metrics_.on_complete(worker, out.queue_wait_seconds,
+                             out.solve_seconds, out.cache_hit,
+                             out.deadline_missed,
+                             seconds_between(job.submitted, finished_at));
+        break;
+    }
+    if (quarantined) metrics_.on_quarantine();
+  });
+  if (!won) return ServeOutcome::kSuperseded;
   if (on_terminal_) on_terminal_(job);
+  return ServeOutcome::kFinished;
 }
 
 }  // namespace pacga::service

@@ -21,7 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <vector>
 
 #include "cga/breeder.hpp"
 #include "cga/config.hpp"
@@ -33,6 +37,7 @@
 #include "service/job.hpp"
 #include "service/metrics.hpp"
 #include "service/queue.hpp"
+#include "service/supervisor.hpp"
 #include "support/rng.hpp"
 #include "support/threading.hpp"
 
@@ -120,6 +125,8 @@ struct SolverPoolOptions {
   /// Solver base configuration: grid, operators, objective, Min-min
   /// seeding. Termination and seed are per-job.
   cga::Config solver;
+  /// Watchdog + retry-backoff knobs (see supervisor.hpp).
+  SupervisorOptions supervision;
 };
 
 /// N worker threads, each owning one WarmSolver and pinned to one home
@@ -130,6 +137,13 @@ struct SolverPoolOptions {
 /// home is empty. Jobs are finished (result published, waiters woken) by
 /// the worker that served them; `on_terminal` (optional) runs after each
 /// finish — the service uses it for outstanding-job accounting.
+///
+/// Supervision: a Supervisor watchdog kills jobs whose worker wedged
+/// (kFailed, error "stalled") and respawns a replacement thread onto the
+/// same worker index — so the home shard, metrics slot, and tracer lane
+/// keep exactly one owner (the supersede protocol in supervisor.hpp).
+/// Transient solver failures retry through the same supervisor when
+/// JobSpec::max_retries allows.
 class SolverPool {
  public:
   using CompletionHook = std::function<void(const JobState&)>;
@@ -141,9 +155,12 @@ class SolverPool {
              obs::TraceCollector* trace = nullptr,
              CompletionHook on_terminal = {});
 
-  /// Joins the workers. The queue must have been closed first or this
-  /// blocks forever (ScopedThreads joins in its destructor too).
-  ~SolverPool() = default;
+  /// Joins the workers (join() semantics).
+  ~SolverPool();
+
+  /// Stops the supervisor (pending retries fail terminally), releases
+  /// workers parked at wedge failpoints, and joins every worker thread.
+  /// The queue must have been closed first or this blocks forever.
   void join();
 
   /// Solution-cache key: the ETC fingerprint with the objective (and
@@ -158,9 +175,27 @@ class SolverPool {
 
   std::size_t workers() const noexcept { return options_.workers; }
 
+  /// Workers respawned by the watchdog since construction.
+  std::uint64_t worker_restarts() const noexcept {
+    return supervisor_ ? supervisor_->restarts() : 0;
+  }
+
  private:
-  void serve(JobState& job, WarmSolver& solver, std::size_t worker,
-             obs::WorkerTracer& tracer, bool stolen);
+  /// Why serve() returned.
+  enum class ServeOutcome {
+    kFinished,    ///< this worker committed the terminal result
+    kRetried,     ///< failed transiently; the supervisor owns the job now
+    kSuperseded,  ///< the watchdog finished the job and replaced this
+                  ///< worker — the thread must exit without touching its
+                  ///< metrics slot again
+  };
+
+  ServeOutcome serve(const JobTicket& ticket, WarmSolver& solver,
+                     std::size_t worker, obs::WorkerTracer& tracer,
+                     bool stolen);
+  void run_worker(std::size_t worker, std::uint64_t generation);
+  /// Starts (or restarts, from the watchdog) the thread of worker index w.
+  void spawn_worker(std::size_t worker);
 
   ShardedJobQueue& queue_;
   SolutionCache& cache_;
@@ -168,7 +203,12 @@ class SolverPool {
   SolverPoolOptions options_;
   obs::TraceCollector* trace_;
   CompletionHook on_terminal_;
-  std::optional<support::ScopedThreads> threads_;  ///< last member: joins first
+  /// Declared before threads_: worker threads dereference it, so it must
+  /// outlive them (join() enforces the runtime ordering as well).
+  std::unique_ptr<Supervisor> supervisor_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;  ///< live + exited-but-unjoined workers
+  bool joining_ = false;              ///< guarded by threads_mutex_
 };
 
 }  // namespace pacga::service

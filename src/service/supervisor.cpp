@@ -1,0 +1,218 @@
+#include "service/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "service/metrics.hpp"
+#include "support/log.hpp"
+
+namespace pacga::service {
+
+Supervisor::Supervisor(SupervisorOptions options, std::size_t workers,
+                       ServiceMetrics& metrics, RequeueFn requeue,
+                       RespawnFn respawn, TerminalFn terminal)
+    : options_(options),
+      metrics_(metrics),
+      requeue_(std::move(requeue)),
+      respawn_(std::move(respawn)),
+      terminal_(std::move(terminal)),
+      slots_(workers) {}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start() {
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  if (timer_.joinable() || stopping_) return;
+  timer_ = std::thread([this] { run(); });
+}
+
+void Supervisor::stop() {
+  std::thread timer;
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    stopping_ = true;
+    timer = std::move(timer_);
+  }
+  run_cv_.notify_all();
+  if (timer.joinable()) timer.join();
+  // Any retry still pending can never be served: its backoff outlived the
+  // pool. Fail each with the reason of its last attempt.
+  flush_retries(Clock::now(), /*abandon=*/true);
+}
+
+std::uint64_t Supervisor::generation(std::size_t worker) const {
+  const Slot& slot = slots_[worker % slots_.size()];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.generation;
+}
+
+bool Supervisor::superseded(std::size_t worker, std::uint64_t gen) const {
+  const Slot& slot = slots_[worker % slots_.size()];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.generation != gen;
+}
+
+void Supervisor::begin_serve(std::size_t worker, std::uint64_t gen,
+                             JobTicket job) {
+  Slot& slot = slots_[worker % slots_.size()];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.generation != gen) return;  // stale thread: leave the slot alone
+  slot.job = std::move(job);
+  slot.since = Clock::now();
+}
+
+void Supervisor::end_serve(std::size_t worker, std::uint64_t gen) {
+  Slot& slot = slots_[worker % slots_.size()];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.generation != gen) return;
+  slot.job.reset();
+}
+
+bool Supervisor::schedule_retry(JobTicket job) {
+  const double delay = backoff_ms(job->attempts);
+  const auto due =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(delay));
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    if (stopping_) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(retry_mutex_);
+    retries_.push_back(PendingRetry{due, std::move(job)});
+  }
+  run_cv_.notify_all();  // the timer may need to wake sooner than its tick
+  return true;
+}
+
+double Supervisor::backoff_ms(std::uint32_t attempt) const noexcept {
+  if (attempt == 0) return 0.0;
+  const double exp =
+      options_.retry_base_ms * std::ldexp(1.0, static_cast<int>(
+                                                   std::min<std::uint32_t>(
+                                                       attempt - 1, 62)));
+  return std::min(options_.retry_cap_ms, exp);
+}
+
+void Supervisor::run() {
+  std::unique_lock<std::mutex> lock(run_mutex_);
+  const auto tick = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(
+          std::max(1.0, options_.poll_ms)));
+  while (!stopping_) {
+    // Wake at the next tick, or earlier if a pending retry is due sooner.
+    auto deadline = Clock::now() + tick;
+    {
+      std::lock_guard<std::mutex> rlock(retry_mutex_);
+      for (const PendingRetry& r : retries_)
+        deadline = std::min(deadline, r.due);
+    }
+    run_cv_.wait_until(lock, deadline);
+    if (stopping_) break;
+    lock.unlock();
+    const auto now = Clock::now();
+    flush_retries(now, /*abandon=*/false);
+    if (options_.watchdog) check_stalls(now);
+    lock.lock();
+  }
+}
+
+void Supervisor::flush_retries(Clock::time_point now, bool abandon) {
+  std::vector<JobTicket> due;
+  {
+    std::lock_guard<std::mutex> lock(retry_mutex_);
+    auto split = std::stable_partition(
+        retries_.begin(), retries_.end(), [&](const PendingRetry& r) {
+          return !abandon && r.due > now;
+        });
+    due.reserve(static_cast<std::size_t>(retries_.end() - split));
+    for (auto it = split; it != retries_.end(); ++it)
+      due.push_back(std::move(it->job));
+    retries_.erase(split, retries_.end());
+  }
+  for (JobTicket& job : due) {
+    if (abandon) {
+      fail_job(job, job->last_error.empty() ? "failed" : nullptr, -1,
+               /*stalled=*/false);
+      continue;
+    }
+    const int admitted = requeue_(job);
+    if (admitted == 0) continue;
+    if (admitted > 0) {
+      // Shard full: not a terminal condition, try again next tick.
+      std::lock_guard<std::mutex> lock(retry_mutex_);
+      retries_.push_back(PendingRetry{
+          now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        std::max(1.0, options_.poll_ms))),
+          std::move(job)});
+      continue;
+    }
+    fail_job(job, job->last_error.empty() ? "failed" : nullptr, -1,
+             /*stalled=*/false);
+  }
+}
+
+void Supervisor::check_stalls(Clock::time_point now) {
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    Slot& slot = slots_[w];
+    JobTicket job;
+    {
+      std::unique_lock<std::mutex> lock(slot.mutex);
+      if (!slot.job) continue;
+      const double deadline_ms = slot.job->spec.deadline_ms;
+      const double stall_ms =
+          std::max(options_.min_stall_ms, options_.stall_factor * deadline_ms);
+      const double in_serve_ms =
+          std::chrono::duration<double, std::milli>(now - slot.since).count();
+      if (in_serve_ms <= stall_ms) continue;
+
+      job = slot.job;
+      // Stop the solver if it is still polling, then race it for the
+      // terminal commit. Losing the race proves the worker is alive and
+      // just slow — in that case nothing happens (no restart, no metric):
+      // the worker keeps sole ownership of its slot and its job.
+      job->cancel.store(true, std::memory_order_relaxed);
+      lock.unlock();
+      if (!fail_job(job, "stalled", static_cast<std::int32_t>(w),
+                    /*stalled=*/true))
+        continue;
+      lock.lock();
+      // Commit won: the worker is provably stuck inside serve. Supersede
+      // its generation (its slot writes become no-ops, and it will exit
+      // when its own commit fails) and hand the slot to a replacement.
+      slot.generation += 1;
+      slot.job.reset();
+    }
+    restarts_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.on_worker_restart();
+    support::log_warn() << "supervisor: worker " << w
+                        << " stalled on job " << job->id
+                        << ", respawning";
+    respawn_(w);
+  }
+}
+
+bool Supervisor::fail_job(const JobTicket& job, const char* reason,
+                          std::int32_t worker, bool stalled) {
+  JobResult r;
+  r.id = job->id;
+  r.status = JobStatus::kFailed;
+  r.error = reason != nullptr ? reason : job->last_error;
+  r.retries = job->attempts;
+  r.worker = worker;
+  const bool won = job->try_finish_with(std::move(r), [&] {
+    // Under the job mutex, pre-publish: a waiter that wakes on this
+    // failure must already see it counted in the snapshot.
+    if (stalled)
+      metrics_.on_stall();
+    else
+      metrics_.on_fail_external();
+  });
+  if (!won) return false;
+  if (terminal_) terminal_(job);
+  return true;
+}
+
+}  // namespace pacga::service

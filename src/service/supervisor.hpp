@@ -1,0 +1,160 @@
+// Self-healing supervision for the solver pool: a watchdog that detects
+// wedged workers, and the retry timer that re-queues transiently-failed
+// jobs with capped exponential backoff.
+//
+// Ownership protocol. Every job has exactly one terminal owner, decided
+// by JobState::try_finish_with (first finisher wins). Two candidates can
+// race: the serving worker, and the watchdog that declared that worker
+// stalled. The watchdog only acts when ITS try_finish_with succeeds —
+// which proves the worker was still inside solve() — and only then bumps
+// the worker's generation and respawns a replacement onto the same home
+// shard. A worker whose commit fails knows it was superseded and exits
+// without touching its metrics slot or tracer lane, so the per-worker
+// single-writer discipline survives restarts: at any instant exactly one
+// live thread owns worker index w.
+//
+// Heartbeats are passive: the worker publishes "serving job J since T"
+// into its slot at pop/serve boundaries (begin_serve/end_serve), and the
+// watchdog polls the slots. A worker is stalled when its current job has
+// been in serve longer than max(min_stall_ms, stall_factor x deadline_ms)
+// — a deadline-proportional contract, since a job with a generous budget
+// legitimately solves for a long time.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace pacga::service {
+
+class ServiceMetrics;
+
+struct SupervisorOptions {
+  /// Master switch for the stall watchdog (the retry timer always runs:
+  /// it is what makes JobSpec::max_retries > 0 work).
+  bool watchdog = true;
+  /// A worker is stalled after stall_factor x the job's deadline_ms ...
+  double stall_factor = 8.0;
+  /// ... but never sooner than this floor, so tight-deadline jobs are not
+  /// killed over scheduler jitter.
+  double min_stall_ms = 250.0;
+  /// Watchdog / retry-timer tick. Also the retry-latency granularity
+  /// floor when backoffs are shorter than one tick.
+  double poll_ms = 20.0;
+  /// Backoff before retry attempt k: min(retry_cap_ms,
+  /// retry_base_ms * 2^(k-1)).
+  double retry_base_ms = 1.0;
+  double retry_cap_ms = 64.0;
+};
+
+class Supervisor {
+ public:
+  /// Re-queues a retried job into its home shard. Returns 0 when
+  /// admitted, +1 when the shard is full (try again next tick), -1 when
+  /// the queue is closed (fail the job terminally).
+  using RequeueFn = std::function<int(const JobTicket&)>;
+  /// Spawns a replacement thread for worker index w (same home shard).
+  using RespawnFn = std::function<void(std::size_t)>;
+  /// The pool's terminal hook (retire ring, drain accounting, completion
+  /// callback); invoked for every job the supervisor finishes itself.
+  using TerminalFn = std::function<void(const JobTicket&)>;
+
+  Supervisor(SupervisorOptions options, std::size_t workers,
+             ServiceMetrics& metrics, RequeueFn requeue, RespawnFn respawn,
+             TerminalFn terminal);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Starts the watchdog/retry thread. Idempotent.
+  void start();
+
+  /// Stops the thread and terminally fails every pending retry (their
+  /// jobs can never run again — the pool is shutting down). Idempotent;
+  /// after stop(), schedule_retry() returns false.
+  void stop();
+
+  // --- worker heartbeat interface ------------------------------------------
+  // All calls are generation-guarded: a superseded worker holds a stale
+  // generation, so its slot writes become no-ops instead of clobbering
+  // the replacement's heartbeat.
+
+  /// Current generation of worker slot w (passed to the thread at spawn).
+  std::uint64_t generation(std::size_t worker) const;
+  /// True once the watchdog has replaced generation `gen` of worker w.
+  bool superseded(std::size_t worker, std::uint64_t gen) const;
+  void begin_serve(std::size_t worker, std::uint64_t gen, JobTicket job);
+  void end_serve(std::size_t worker, std::uint64_t gen);
+
+  // --- retry interface ------------------------------------------------------
+
+  /// Queues `job` (whose attempts counter was already bumped) for
+  /// re-submission after backoff_ms(job->attempts). False once stop()
+  /// has begun — the caller must fail the job terminally itself.
+  bool schedule_retry(JobTicket job);
+
+  /// Backoff before retry attempt k (1-based): capped exponential.
+  double backoff_ms(std::uint32_t attempt) const noexcept;
+
+  std::uint64_t restarts() const noexcept {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+
+  const SupervisorOptions& options() const noexcept { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Per-worker heartbeat slot. The mutex orders worker-vs-watchdog slot
+  /// access; it is held only for pointer/counter updates, never across a
+  /// solve.
+  struct Slot {
+    mutable std::mutex mutex;
+    std::uint64_t generation = 0;
+    JobTicket job;          ///< set while the worker is inside serve()
+    Clock::time_point since{};  ///< when `job` entered serve
+  };
+
+  struct PendingRetry {
+    Clock::time_point due;
+    JobTicket job;
+  };
+
+  void run();
+  void check_stalls(Clock::time_point now);
+  /// Moves due retries back into the queue; `abandon` fails them all
+  /// terminally instead (shutdown path).
+  void flush_retries(Clock::time_point now, bool abandon);
+  /// Terminally fails `job` off-worker. False when someone else finished
+  /// it first (then nothing was done).
+  bool fail_job(const JobTicket& job, const char* reason, std::int32_t worker,
+                bool stalled);
+
+  const SupervisorOptions options_;
+  ServiceMetrics& metrics_;
+  const RequeueFn requeue_;
+  const RespawnFn respawn_;
+  const TerminalFn terminal_;
+
+  std::vector<Slot> slots_;
+
+  std::mutex retry_mutex_;
+  std::vector<PendingRetry> retries_;
+
+  std::mutex run_mutex_;
+  std::condition_variable run_cv_;
+  bool stopping_ = false;  ///< guarded by run_mutex_
+  std::thread timer_;
+
+  std::atomic<std::uint64_t> restarts_{0};
+};
+
+}  // namespace pacga::service

@@ -255,7 +255,7 @@ TEST_F(NetTest, FullQueueAnswersBusyInsteadOfBlocking) {
     const std::string reply = c.read_line();
     if (reply.compare(0, 4, "JOB ") == 0)
       ++admitted;
-    else if (reply == "ERR BUSY queue full")
+    else if (reply.compare(0, 19, "ERR BUSY queue full") == 0)
       ++busy;
     else
       FAIL() << reply;
@@ -387,6 +387,74 @@ TEST_F(NetTest, ConnectionCapAnswersBusy) {
   Client over(port());
   EXPECT_EQ(over.read_line(), "ERR BUSY too many connections");
   EXPECT_TRUE(over.at_eof());
+}
+
+// ---------------------------------------------------------------------------
+// Overload / idle robustness.
+
+TEST_F(NetTest, BusyAnswerCarriesARetryHint) {
+  service::ServiceOptions svc_options;
+  svc_options.workers = 1;
+  svc_options.queue_capacity = 1;
+  net::ServerOptions server_options;
+  server_options.protocol.policy = "pacga";  // runs until the deadline
+  start(svc_options, server_options);
+  Client c(port());
+  for (int i = 0; i < 6; ++i) c.send_line("WORKLOAD 0 2000 1 64 8 1");
+  bool saw_busy = false;
+  for (int i = 0; i < 6; ++i) {
+    const std::string reply = c.read_line();
+    if (reply.compare(0, 19, "ERR BUSY queue full") != 0) continue;
+    saw_busy = true;
+    // The shed line carries the daemon's own backoff hint: a positive
+    // integer millisecond count a client can sleep before re-sending.
+    const std::string key = " retry_ms=";
+    const std::size_t at = reply.find(key);
+    ASSERT_NE(at, std::string::npos) << reply;
+    const std::string digits = reply.substr(at + key.size());
+    ASSERT_FALSE(digits.empty()) << reply;
+    for (char ch : digits) EXPECT_TRUE(ch >= '0' && ch <= '9') << reply;
+    EXPECT_GE(std::stol(digits), 1) << reply;
+  }
+  EXPECT_TRUE(saw_busy);
+}
+
+TEST_F(NetTest, IdleConnectionIsReaped) {
+  net::ServerOptions server_options;
+  server_options.idle_timeout_ms = 150.0;
+  start({}, server_options);
+  Client c(port());
+  c.send_line("STATS");
+  EXPECT_EQ(c.read_line().compare(0, 6, "STATS "), 0);
+  // Fall silent with nothing pending: the server must hang up on its own
+  // (read_line returns "" on EOF well before the 20 s recv timeout).
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(c.read_line(), "");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, 100ms);  // not an instant slam
+  EXPECT_LT(elapsed, 10s);    // reaped by the timeout, not our recv timeout
+}
+
+TEST_F(NetTest, SlowButLiveClientWithParkedWaitIsNotReaped) {
+  // A client saying nothing because it WAITs on a slow job is NOT idle:
+  // its parked continuation is pending server->client work, exempt from
+  // the reaper no matter how long the solve takes.
+  service::ServiceOptions svc_options;
+  svc_options.workers = 1;
+  net::ServerOptions server_options;
+  server_options.idle_timeout_ms = 150.0;
+  server_options.protocol.policy = "pacga";  // runs until the deadline
+  start(svc_options, server_options);
+  Client c(port());
+  c.send_line("WORKLOAD 0 1200 1 64 8 1");  // ~1.2 s solve >> idle timeout
+  EXPECT_EQ(c.read_line(), "JOB 1");
+  c.send_line("WAIT 1");
+  // Silent for ~8x the idle timeout while the job solves.
+  const std::string result = c.read_line();
+  EXPECT_EQ(result.compare(0, 12, "RESULT id=1 "), 0) << result;
+  // And the connection survived to speak again.
+  c.send_line("QUIT");
+  EXPECT_EQ(c.read_line(), "BYE");
 }
 
 // ---------------------------------------------------------------------------

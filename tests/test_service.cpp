@@ -31,6 +31,7 @@
 #include "sched/fitness.hpp"
 #include "service/exposition.hpp"
 #include "service/solver_pool.hpp"
+#include "support/failpoints.hpp"
 #include "support/rng.hpp"
 #include "support/threading.hpp"
 #include "support/timer.hpp"
@@ -1297,6 +1298,189 @@ TEST(Exposition, PrometheusTextOfAnIdleServiceIsWellFormed) {
   EXPECT_NE(text.find("pacga_solve_seconds_count 0"), std::string::npos);
   EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
 }
+
+// --- robustness: failure paths, retry/quarantine, watchdog, shedding -------
+
+/// Overload shedding needs no failpoints: watermark 0.5 on a 1-shard
+/// (1-worker) service must start refusing at HALF the shard capacity,
+/// well before the queue itself is full, and count the refusals as shed.
+TEST(SchedulerService, ShedWatermarkRejectsBeforeTheQueueIsFull) {
+  ServiceOptions o = small_service(1, 8, 0);
+  o.shed_watermark = 0.5;
+  SchedulerService svc(o);
+  auto m = instance(128, 16);
+  const JobId running = svc.submit(long_job(m, 5000.0));  // occupies the worker
+  std::vector<JobId> queued;
+  support::WallTimer t;
+  for (;;) {
+    auto id = svc.try_submit(long_job(m, 5000.0));
+    if (!id) break;
+    queued.push_back(*id);
+    ASSERT_LT(t.elapsed_seconds(), 5.0) << "watermark never tripped";
+  }
+  const auto snap = svc.metrics();
+  EXPECT_GE(snap.shed, 1u);
+  EXPECT_EQ(snap.rejected, snap.shed) << "watermark, not queue-full, refused";
+  // The shard (capacity 8) was refused at watermark depth, not at 8.
+  EXPECT_LE(queued.size(), 5u);
+  EXPECT_GT(svc.retry_hint_ms(), 0.0);
+  svc.cancel(running);
+  for (JobId id : queued) svc.cancel(id);
+  svc.drain();
+}
+
+#ifndef PACGA_NO_FAILPOINTS
+
+/// Arms `site` for the test body, disarming on scope exit even on
+/// assertion failure — armed leftovers would poison later tests.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(const char* site, const char* spec) : site_(site) {
+    support::failpoints().configure(site_, spec);
+  }
+  ~ScopedFailpoint() { support::failpoints().configure(site_, "off"); }
+
+ private:
+  const char* site_;
+};
+
+TEST(SchedulerService, SolverFailureIsTerminalUnderEveryPolicy) {
+  const SolvePolicy policies[] = {SolvePolicy::kMinMin, SolvePolicy::kSufferage,
+                                  SolvePolicy::kCga, SolvePolicy::kPaCga,
+                                  SolvePolicy::kAuto};
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance();
+  std::uint64_t failed = 0;
+  for (SolvePolicy p : policies) {
+    ScopedFailpoint fp("solver.solve", "once:throw");
+    JobSpec spec;
+    spec.etc = m;
+    spec.policy = p;
+    spec.deadline_ms = 1000.0;
+    spec.max_generations = 10;
+    spec.use_cache = false;
+    const JobResult r = svc.wait(svc.submit(spec));
+    EXPECT_EQ(r.status, JobStatus::kFailed) << to_string(p);
+    // WAIT-side failure reason: the error names the thrown cause.
+    EXPECT_NE(r.error.find("failpoint solver.solve"), std::string::npos)
+        << to_string(p) << ": '" << r.error << "'";
+    EXPECT_TRUE(r.assignment.empty()) << to_string(p);
+    ++failed;
+  }
+  svc.drain();
+  EXPECT_EQ(svc.metrics().failed, failed);
+  EXPECT_EQ(svc.metrics().completed, 0u);
+}
+
+TEST(SchedulerService, FailedJobNeverPollutesTheCache) {
+  SchedulerService svc(small_service(1, 8, 64));
+  auto m = instance();
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kMinMin;
+  spec.deadline_ms = 1000.0;
+  {
+    ScopedFailpoint fp("solver.solve", "once:throw");
+    const JobResult r = svc.wait(svc.submit(spec));
+    ASSERT_EQ(r.status, JobStatus::kFailed);
+  }
+  // The SAME spec, injection gone: a poisoned cache would replay the
+  // failure (or hit on garbage); a clean one re-solves, THEN hits.
+  const JobResult first = svc.wait(svc.submit(spec));
+  EXPECT_EQ(first.status, JobStatus::kDone);
+  EXPECT_FALSE(first.cache_hit);
+  const JobResult second = svc.wait(svc.submit(spec));
+  EXPECT_EQ(second.status, JobStatus::kDone);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.assignment, first.assignment);
+}
+
+TEST(SchedulerService, TransientFailureIsRetriedToSuccess) {
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance();
+  ScopedFailpoint fp("solver.solve", "once:throw");  // attempt 1 fails
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kMinMin;
+  spec.deadline_ms = 1000.0;
+  spec.use_cache = false;
+  spec.max_retries = 2;
+  const JobResult r = svc.wait(svc.submit(spec));
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_EQ(r.retries, 1u);
+  ASSERT_EQ(r.assignment.size(), m->tasks());
+  svc.drain();
+  const auto snap = svc.metrics();
+  EXPECT_EQ(snap.retries, 1u);
+  EXPECT_EQ(snap.quarantined, 0u);
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.failed, 0u) << "a retried-to-success job is not a failure";
+}
+
+TEST(SchedulerService, PoisonJobIsQuarantinedAfterExhaustingRetries) {
+  SchedulerService svc(small_service(1, 8, 0));
+  auto m = instance();
+  ScopedFailpoint fp("solver.solve", "every=1:throw");  // every attempt fails
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kMinMin;
+  spec.deadline_ms = 1000.0;
+  spec.use_cache = false;
+  spec.max_retries = 2;
+  const JobResult r = svc.wait(svc.submit(spec));
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.error, "quarantined");
+  EXPECT_EQ(r.retries, 2u) << "attempts 2 and 3 were the retry budget";
+  svc.drain();
+  const auto snap = svc.metrics();
+  EXPECT_EQ(snap.retries, 2u);
+  EXPECT_EQ(snap.quarantined, 1u);
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_EQ(snap.submitted, snap.completed + snap.failed + snap.cancelled);
+}
+
+TEST(SchedulerService, WatchdogFailsWedgedJobAndRespawnsTheWorker) {
+  ServiceOptions o = small_service(1, 8, 0);
+  o.supervision.stall_factor = 2.0;
+  o.supervision.min_stall_ms = 100.0;
+  o.supervision.poll_ms = 5.0;
+  SchedulerService svc(o);
+  auto m = instance();
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kMinMin;
+  spec.deadline_ms = 50.0;  // stall threshold = max(100, 2 x 50) = 100 ms
+  spec.use_cache = false;
+  JobId wedged_id;
+  {
+    ScopedFailpoint fp("solver.solve", "once:wedge");
+    support::WallTimer t;
+    wedged_id = svc.submit(spec);
+    const JobResult r = svc.wait(wedged_id);
+    // The ONLY worker is parked inside the wedge; this result can only
+    // come from the watchdog, well before any multi-second hang.
+    EXPECT_EQ(r.status, JobStatus::kFailed);
+    EXPECT_NE(r.error.find("stalled"), std::string::npos) << r.error;
+    EXPECT_LT(t.elapsed_seconds(), 5.0);
+  }  // disarm releases the parked (now superseded) thread
+  // The respawned worker must serve the same home shard: same-shape jobs
+  // keep completing on worker 0.
+  for (int i = 0; i < 3; ++i) {
+    const JobResult r = svc.wait(svc.submit(spec));
+    EXPECT_EQ(r.status, JobStatus::kDone);
+  }
+  svc.drain();
+  const auto snap = svc.metrics();
+  EXPECT_EQ(snap.stalled, 1u);
+  EXPECT_GE(snap.worker_restarts, 1u);
+  EXPECT_EQ(snap.completed, 3u);
+  ASSERT_EQ(snap.worker_completed.size(), 1u);
+  EXPECT_EQ(snap.worker_completed[0], 3u)
+      << "replacement thread owns the restarted worker's slot";
+  EXPECT_EQ(snap.submitted, snap.completed + snap.failed + snap.cancelled);
+}
+
+#endif  // PACGA_NO_FAILPOINTS
 
 }  // namespace
 }  // namespace pacga::service

@@ -57,6 +57,22 @@ for k in $kinds; do
   fi
 done
 
+# --- failpoint sites --------------------------------------------------------
+# Every PACGA_FAILPOINT("name") site placed in production code must be
+# listed (backticked) in docs/ROBUSTNESS.md's site catalog — operators
+# arm sites by name, so an undocumented site is unusable. The macro's
+# own header is excluded (its doc comment shows a placeholder name).
+sites=$(grep -rho 'PACGA_FAILPOINT("[a-z_.]*")' src \
+          --exclude=failpoints.hpp \
+          | sed 's/.*"\([a-z_.]*\)".*/\1/' | sort -u)
+[ -n "$sites" ] || { echo "BUG: no failpoint sites found — check the grep"; exit 1; }
+for s in $sites; do
+  if ! grep -q "\`$s\`" docs/ROBUSTNESS.md; then
+    echo "MISSING: failpoint site $s not in docs/ROBUSTNESS.md's catalog"
+    fail=1
+  fi
+done
+
 # --- runtime environment switches ------------------------------------------
 switches=$(grep -rho 'getenv("PACGA_[A-Z_]*")' src \
              | sed 's/.*"\(PACGA_[A-Z_]*\)".*/\1/' | sort -u)
@@ -69,6 +85,6 @@ for s in $switches; do
 done
 
 if [ "$fail" -eq 0 ]; then
-  echo "docs consistency OK ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$subs" | wc -w | tr -d ' ') EVENT subcommands, $(echo "$flags" | wc -w | tr -d ' ') flags, $(echo "$switches" | wc -w | tr -d ' ') switches)"
+  echo "docs consistency OK ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$subs" | wc -w | tr -d ' ') EVENT subcommands, $(echo "$flags" | wc -w | tr -d ' ') flags, $(echo "$sites" | wc -w | tr -d ' ') failpoint sites, $(echo "$switches" | wc -w | tr -d ' ') switches)"
 fi
 exit $fail

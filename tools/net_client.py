@@ -10,11 +10,43 @@ otherwise the client half-closes and drains (also a supported path).
 
 Used by tools/net_smoke.sh to byte-compare per-client socket transcripts
 against solo pipe-daemon runs of the same scripts.
+
+With --honor-busy the client switches to request/response mode (one line
+at a time instead of pipelining): a reply matching "ERR BUSY queue full
+retry_ms=<n>" re-sends the same request after sleeping the daemon's own
+hint — the cooperative back-off loop docs/ROBUSTNESS.md describes. The
+retried request's replies replace the ERR BUSY line in the transcript,
+so a calm daemon still produces byte-identical output.
 """
 
 import argparse
+import re
 import socket
 import sys
+import time
+
+BUSY = re.compile(rb"^ERR BUSY queue full(?: retry_ms=(\d+))?$")
+
+
+def run_honor_busy(sock: socket.socket, script: bytes) -> None:
+    """One request per round-trip; replays a request the daemon shed."""
+    reader = sock.makefile("rb")
+    for line in script.splitlines():
+        if not line.strip():
+            continue
+        while True:
+            sock.sendall(line + b"\n")
+            # STATS/WAIT answer exactly one line; METRICS would need # EOF
+            # framing — scripts using --honor-busy stick to one-liners.
+            reply = reader.readline()
+            if not reply:
+                return
+            m = BUSY.match(reply.rstrip(b"\r\n"))
+            if m is None:
+                sys.stdout.buffer.write(reply)
+                break
+            time.sleep(int(m.group(1) or b"1") / 1000.0)
+    reader.close()
 
 
 def main() -> int:
@@ -27,6 +59,12 @@ def main() -> int:
     parser.add_argument(
         "--timeout", type=float, default=60.0, help="socket timeout (seconds)"
     )
+    parser.add_argument(
+        "--honor-busy",
+        action="store_true",
+        help="request/response mode: on 'ERR BUSY ... retry_ms=<n>' sleep "
+        "the daemon's hint and re-send the request",
+    )
     args = parser.parse_args()
 
     if args.script == "-":
@@ -37,6 +75,10 @@ def main() -> int:
 
     sock = socket.create_connection((args.host, args.port), timeout=args.timeout)
     try:
+        if args.honor_busy:
+            run_honor_busy(sock, script)
+            sys.stdout.buffer.flush()
+            return 0
         sock.sendall(script)
         if not script.rstrip(b"\n").endswith(b"QUIT"):
             sock.shutdown(socket.SHUT_WR)  # half-close: daemon serves, then FIN
