@@ -158,7 +158,18 @@ struct JobState {
   std::mutex mutex;
   std::condition_variable cv;
   bool finished = false;  ///< guarded by mutex
-  JobResult result;       ///< stable once finished is true
+  /// Guarded by mutex. Set while the serving worker holds the retry
+  /// handoff for its latest failed attempt (try_claim_retry ->
+  /// Supervisor::schedule_retry), cleared by the retry timer just before
+  /// re-queueing. A held claim proves the worker is alive and already
+  /// past its solve, so the watchdog's "stalled" commit is refused while
+  /// it is up (see Supervisor::fail_job) — without it, a worker whose
+  /// solve threw near the stall threshold could be superseded WITHOUT
+  /// ever learning it lost (the retry path commits nothing), leaving two
+  /// live threads on one worker index and a finished job in the retry
+  /// list.
+  bool retry_claimed = false;
+  JobResult result;  ///< stable once finished is true
 
   /// Publishes `r` as the final result and wakes every waiter — unless
   /// someone else finished the job first, in which case `r` is dropped
@@ -172,12 +183,28 @@ struct JobState {
   /// there is guaranteed to be observable by the time any waiter wakes
   /// (a client that wait()s a job and then reads a metrics snapshot must
   /// see its completion counted). Keep it cheap and lock-free — it holds
-  /// the mutex every waiter blocks on, and `r` is still intact inside it.
+  /// the mutex every waiter blocks on, and `r` is still intact inside it
+  /// (the move into job.result happens after it returns).
   template <typename Fn>
   bool try_finish_with(JobResult&& r, Fn&& before_publish) {
+    return try_finish_if([] { return true; }, std::move(r),
+                         std::forward<Fn>(before_publish));
+  }
+
+  bool try_finish_with(JobResult&& r) {
+    return try_finish_with(std::move(r), [] {});
+  }
+
+  /// try_finish_with, additionally gated on `precondition()` — evaluated
+  /// under the job mutex, atomically with the finish decision. The commit
+  /// happens only when the job is unfinished AND the precondition holds.
+  /// Used by the watchdog's stalled path, which must not finish a job
+  /// whose worker already claimed the retry handoff.
+  template <typename Pre, typename Fn>
+  bool try_finish_if(Pre&& precondition, JobResult&& r, Fn&& before_publish) {
     {
       std::lock_guard<std::mutex> lock(mutex);
-      if (finished) return false;
+      if (finished || !precondition()) return false;
       before_publish();
       result = std::move(r);
       finished = true;
@@ -186,8 +213,38 @@ struct JobState {
     return true;
   }
 
-  bool try_finish_with(JobResult&& r) {
-    return try_finish_with(std::move(r), [] {});
+  /// Claims the retry handoff for the serving worker; part of the same
+  /// ownership race as try_finish_with. Fails when the job is already
+  /// finished — the watchdog won the stall race (and respawned a
+  /// replacement onto this worker's index), so the caller lost ownership
+  /// exactly as if its own commit had failed and must touch neither its
+  /// metrics slot nor its tracer ring again. After a successful claim
+  /// the watchdog can no longer finish the job as stalled, so the
+  /// claimant's subsequent attempts/last_error writes cannot race the
+  /// supervisor's reads (which happen under the mutex, gated on the
+  /// claim being down). The claim survives until release_retry_claim()
+  /// or until the job is finished (a finished job's claim is moot).
+  bool try_claim_retry() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (finished) return false;
+    retry_claimed = true;
+    return true;
+  }
+
+  /// Drops the retry claim (the retry timer, just before re-queueing:
+  /// the NEXT serve attempt must again be subject to the watchdog).
+  void release_retry_claim() {
+    std::lock_guard<std::mutex> lock(mutex);
+    retry_claimed = false;
+  }
+
+  /// Snapshot of the terminal flag. The retry timer uses it to drop
+  /// tickets finished while waiting out their backoff: re-queueing a
+  /// finished job would make the innocent worker that picks it up lose
+  /// a commit it is entitled to win.
+  bool is_finished() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return finished;
   }
 
   /// Blocks until the job is finished; returns a copy of the result.

@@ -328,9 +328,17 @@ void SolverPool::run_worker(std::size_t worker, std::uint64_t generation) {
   bool stolen = false;
   while (JobTicket job = queue_.pop(home, &stolen)) {
     supervisor_->begin_serve(worker, generation, job);
-    const ServeOutcome outcome = serve(job, solver, worker, tracer, stolen);
+    serve(job, solver, worker, tracer, stolen);
     supervisor_->end_serve(worker, generation);
-    if (outcome == ServeOutcome::kSuperseded) return;
+    // Exit iff the watchdog handed this slot to a replacement — the
+    // authoritative signal, checked after EVERY serve. A lost commit
+    // (kSuperseded) alone is not proof: a queued job can legitimately be
+    // finished by someone else (e.g. a racing cancel), and exiting on it
+    // would silently retire a healthy worker with no respawn. Conversely
+    // a commit can never be lost at all on some superseded paths (the
+    // retry handoff claims instead of finishing), so the generation is
+    // the one signal that covers them all.
+    if (supervisor_->superseded(worker, generation)) return;
   }
 }
 
@@ -482,13 +490,24 @@ SolverPool::ServeOutcome SolverPool::serve(const JobTicket& ticket,
   const auto finished_at = std::chrono::steady_clock::now();
   out.deadline_missed = finished_at > job.deadline;
 
-  // Transient failure, retry budget left, not cancelled: hand the job to
-  // the supervisor's backoff timer instead of finishing it. The ticket
-  // stays unfinished (waiters keep waiting) and re-enters its home shard
-  // with its original priority.
+  // Transient failure, not cancelled: hand the job to the supervisor's
+  // backoff timer instead of finishing it. The ticket stays unfinished
+  // (waiters keep waiting) and re-enters its home shard with its
+  // original priority.
   bool quarantined = false;
   if (out.status == JobStatus::kFailed &&
       !job.cancel.load(std::memory_order_relaxed)) {
+    // Enter the ownership race BEFORE touching any retry state: the
+    // handoff commits nothing, so without a claim a worker superseded
+    // right here (watchdog set cancel after our load above, then won the
+    // stalled commit) would never learn it lost — it would keep looping
+    // next to its own replacement and park the finished job in the retry
+    // list. A failed claim means exactly a lost commit: exit without
+    // touching the metrics slot or tracer ring. A won claim blocks the
+    // watchdog's stalled commit until the retry is re-queued, which also
+    // orders the attempts/last_error writes below against the
+    // supervisor's under-mutex reads.
+    if (!job.try_claim_retry()) return ServeOutcome::kSuperseded;
     job.attempts += 1;
     if (job.attempts <= job.spec.max_retries) {
       job.last_error = out.error;
@@ -504,6 +523,8 @@ SolverPool::ServeOutcome SolverPool::serve(const JobTicket& ticket,
         return ServeOutcome::kRetried;
       }
       // Supervisor already stopping (shutdown): fall through, terminal.
+      // The claim stays up through our own commit below (which it does
+      // not gate) and is moot once the job is finished.
     } else if (job.spec.max_retries > 0) {
       out.error = "quarantined";
       quarantined = true;

@@ -181,13 +181,16 @@ class SolverPool {
   }
 
  private:
-  /// Why serve() returned.
+  /// Why serve() returned. Informational: run_worker's exit decision is
+  /// NOT taken from this (someone else finishing a job does not by
+  /// itself retire the worker) but from Supervisor::superseded(), the
+  /// authoritative generation check, after every serve.
   enum class ServeOutcome {
     kFinished,    ///< this worker committed the terminal result
     kRetried,     ///< failed transiently; the supervisor owns the job now
-    kSuperseded,  ///< the watchdog finished the job and replaced this
-                  ///< worker — the thread must exit without touching its
-                  ///< metrics slot again
+    kSuperseded,  ///< someone else finished the job first (watchdog
+                  ///< stall verdict, racing cancel); nothing — metrics,
+                  ///< tracer, completion hook — was touched
   };
 
   ServeOutcome serve(const JobTicket& ticket, WarmSolver& solver,

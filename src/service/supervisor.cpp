@@ -36,6 +36,17 @@ void Supervisor::stop() {
   }
   run_cv_.notify_all();
   if (timer.joinable()) timer.join();
+  // Close the retry intake under ITS mutex before the final flush: a
+  // worker racing stop() either lands its push before the close (the
+  // flush below drains it) or observes the close, gets false back, and
+  // fails the job terminally itself. Checking stopping_ alone (a
+  // different mutex) left a window where a push could land AFTER the
+  // final flush and never be drained — the job's waiters would hang
+  // forever.
+  {
+    std::lock_guard<std::mutex> lock(retry_mutex_);
+    retries_closed_ = true;
+  }
   // Any retry still pending can never be served: its backoff outlived the
   // pool. Fail each with the reason of its last attempt.
   flush_retries(Clock::now(), /*abandon=*/true);
@@ -75,11 +86,11 @@ bool Supervisor::schedule_retry(JobTicket job) {
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double, std::milli>(delay));
   {
-    std::lock_guard<std::mutex> lock(run_mutex_);
-    if (stopping_) return false;
-  }
-  {
+    // The shutdown check and the push are one critical section: stop()
+    // closes the intake under the same mutex before its final flush, so
+    // a push either lands where that flush can see it or fails here.
     std::lock_guard<std::mutex> lock(retry_mutex_);
+    if (retries_closed_) return false;
     retries_.push_back(PendingRetry{due, std::move(job)});
   }
   run_cv_.notify_all();  // the timer may need to wake sooner than its tick
@@ -132,11 +143,19 @@ void Supervisor::flush_retries(Clock::time_point now, bool abandon) {
     retries_.erase(split, retries_.end());
   }
   for (JobTicket& job : due) {
+    // Finished while waiting out its backoff (defense in depth — the
+    // retry claim should make this unreachable): drop the ticket.
+    // Re-queueing a finished job would make the innocent worker that
+    // pops it lose a commit it is entitled to win.
+    if (job->is_finished()) continue;
     if (abandon) {
       fail_job(job, job->last_error.empty() ? "failed" : nullptr, -1,
                /*stalled=*/false);
       continue;
     }
+    // The next serve attempt must again be subject to the watchdog's
+    // stall verdict; the claim protected only the handoff window.
+    job->release_retry_claim();
     const int admitted = requeue_(job);
     if (admitted == 0) continue;
     if (admitted > 0) {
@@ -199,17 +218,30 @@ bool Supervisor::fail_job(const JobTicket& job, const char* reason,
   JobResult r;
   r.id = job->id;
   r.status = JobStatus::kFailed;
-  r.error = reason != nullptr ? reason : job->last_error;
-  r.retries = job->attempts;
   r.worker = worker;
-  const bool won = job->try_finish_with(std::move(r), [&] {
-    // Under the job mutex, pre-publish: a waiter that wakes on this
-    // failure must already see it counted in the snapshot.
-    if (stalled)
-      metrics_.on_stall();
-    else
-      metrics_.on_fail_external();
-  });
+  const bool won = job->try_finish_if(
+      // A held retry claim proves the serving worker is alive and past
+      // its solve: a stalled verdict would be wrong (and would respawn a
+      // second thread onto a worker index that still has a live owner),
+      // so it is refused. Non-stalled commits (shutdown abandon, closed
+      // queue) are not gated — a claimed job parked in the retry list
+      // must still be failable.
+      [&] { return !stalled || !job->retry_claimed; },
+      std::move(r),
+      [&] {
+        // Under the job mutex, after the win is decided. attempts and
+        // last_error are read HERE, not when `r` was built: the serving
+        // worker writes them only while it holds the retry claim, which
+        // this commit's precondition just saw down — so the reads cannot
+        // race. Metrics pre-publish: a waiter that wakes on this failure
+        // must already see it counted in the snapshot.
+        r.error = reason != nullptr ? reason : job->last_error;
+        r.retries = job->attempts;
+        if (stalled)
+          metrics_.on_stall();
+        else
+          metrics_.on_fail_external();
+      });
   if (!won) return false;
   if (terminal_) terminal_(job);
   return true;

@@ -5,10 +5,16 @@
 // Ownership protocol. Every job has exactly one terminal owner, decided
 // by JobState::try_finish_with (first finisher wins). Two candidates can
 // race: the serving worker, and the watchdog that declared that worker
-// stalled. The watchdog only acts when ITS try_finish_with succeeds —
-// which proves the worker was still inside solve() — and only then bumps
-// the worker's generation and respawns a replacement onto the same home
-// shard. A worker whose commit fails knows it was superseded and exits
+// stalled. The watchdog only acts when ITS commit succeeds — which
+// proves the worker was still inside solve() — and only then bumps the
+// worker's generation and respawns a replacement onto the same home
+// shard. The retry handoff participates in the same race without
+// finishing anything: the worker claims the job under its mutex
+// (JobState::try_claim_retry) before schedule_retry — a failed claim
+// means the watchdog already won (the worker unwinds exactly as on a
+// lost commit), and a held claim makes the watchdog refuse its stalled
+// verdict (the worker is provably alive). A worker learns it was
+// superseded from the generation check after each serve and exits
 // without touching its metrics slot or tracer lane, so the per-worker
 // single-writer discipline survives restarts: at any instant exactly one
 // live thread owns worker index w.
@@ -96,9 +102,10 @@ class Supervisor {
 
   // --- retry interface ------------------------------------------------------
 
-  /// Queues `job` (whose attempts counter was already bumped) for
-  /// re-submission after backoff_ms(job->attempts). False once stop()
-  /// has begun — the caller must fail the job terminally itself.
+  /// Queues `job` (whose attempts counter was already bumped, under a
+  /// retry claim — see JobState::try_claim_retry) for re-submission
+  /// after backoff_ms(job->attempts). False once stop() has closed the
+  /// retry intake — the caller must fail the job terminally itself.
   bool schedule_retry(JobTicket job);
 
   /// Backoff before retry attempt k (1-based): capped exponential.
@@ -148,6 +155,10 @@ class Supervisor {
 
   std::mutex retry_mutex_;
   std::vector<PendingRetry> retries_;
+  /// Guarded by retry_mutex_, NOT run_mutex_: set by stop() immediately
+  /// before its final abandon-flush, checked atomically with every push
+  /// in schedule_retry, so no retry can slip in after the flush.
+  bool retries_closed_ = false;
 
   std::mutex run_mutex_;
   std::condition_variable run_cv_;

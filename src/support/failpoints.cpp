@@ -12,8 +12,10 @@ namespace pacga::support {
 namespace {
 
 // >0 while any ScopedWedgeSuspend is alive. Read inside wedge wait
-// predicates; bumped under no particular lock (the notify that follows
-// each change chases down every waiter).
+// predicates; bumped under no particular lock — which is why
+// Failpoint::notify() must pass through each site's mutex before
+// notifying (see the comment there), or the wakeup can race a waiter
+// into a lost-notification park.
 std::atomic<int> g_wedge_suspend{0};
 
 }  // namespace
@@ -147,7 +149,19 @@ std::size_t Failpoint::wedged() const {
   return wedged_;
 }
 
-void Failpoint::notify() { cv_.notify_all(); }
+void Failpoint::notify() {
+  // Empty lock/unlock before notifying: the wedge predicate reads
+  // g_wedge_suspend, an atomic flipped OUTSIDE mutex_ (by
+  // ScopedWedgeSuspend). Without the lock, the flip + notify could land
+  // entirely between a waiter's predicate check (suspend still 0, under
+  // mutex_) and its block on the cv — the wakeup would be lost and
+  // SolverPool::join() would hang on the parked worker forever.
+  // Acquiring mutex_ here cannot complete until that waiter has released
+  // it, i.e. until it is actually parked (or re-checking the predicate,
+  // where the mutex ordering makes the new flag value visible).
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
+}
 
 // --- FailpointRegistry ------------------------------------------------------
 

@@ -143,6 +143,26 @@ TEST(Failpoints, ScopedWedgeSuspendReleasesAndNeutralizesWedges) {
   failpoints().configure("test.suspend", "off");
 }
 
+TEST(Failpoints, WedgeSuspendWakeupIsNeverLost) {
+  // Regression for a lost-wakeup race: ScopedWedgeSuspend flips an
+  // atomic OUTSIDE the site mutex and then notifies. If the flip+notify
+  // landed between a waiter's predicate check (suspend still 0, under
+  // the mutex) and its park on the cv, the wakeup was lost and the
+  // thread parked forever — SolverPool::join() hung on it at shutdown.
+  // notify() now passes through the site mutex, which orders it after
+  // the waiter's park. Iterate the handshake with NO wait for the park,
+  // so the suspend races threads that are already parked, mid-predicate,
+  // and not yet at the site; pre-fix this loop hung within a few dozen
+  // iterations under load.
+  for (int i = 0; i < 200; ++i) {
+    failpoints().configure("test.suspend_race", "every=1:wedge");
+    std::thread parked([] { failpoints().site("test.suspend_race").fire(); });
+    ScopedWedgeSuspend suspend;
+    parked.join();
+  }
+  failpoints().configure("test.suspend_race", "off");
+}
+
 TEST(Failpoints, BadSpecsThrowAndDoNotArm) {
   EXPECT_THROW(failpoints().configure("test.bad", "sometimes"),
                std::runtime_error);

@@ -1329,6 +1329,116 @@ TEST(SchedulerService, ShedWatermarkRejectsBeforeTheQueueIsFull) {
   svc.drain();
 }
 
+// --- supervisor ownership protocol -----------------------------------------
+// The retry handoff participates in the first-finisher-wins race without
+// finishing anything: a worker whose solve threw CLAIMS the job before
+// schedule_retry. These pin the three legs of that protocol — claim vs
+// finish ordering, the watchdog refusing its stall verdict under a held
+// claim, and the retry timer dropping tickets someone else finished.
+
+TEST(JobState, RetryClaimParticipatesInTheOwnershipRace) {
+  // Claim first: a commit gated on the claim (the watchdog's stalled
+  // verdict) is refused; releasing the claim lets it through.
+  JobState job;
+  ASSERT_TRUE(job.try_claim_retry());
+  JobResult stalled;
+  stalled.status = JobStatus::kFailed;
+  EXPECT_FALSE(job.try_finish_if([&] { return !job.retry_claimed; },
+                                 std::move(stalled), [] {}));
+  EXPECT_FALSE(job.is_finished());
+  job.release_retry_claim();
+  JobResult r;
+  r.status = JobStatus::kFailed;
+  EXPECT_TRUE(job.try_finish_if([&] { return !job.retry_claimed; },
+                                std::move(r), [] {}));
+  EXPECT_TRUE(job.is_finished());
+  // Finish first: the claim must fail — the would-be claimant lost the
+  // race exactly as if its own commit had failed.
+  JobState done;
+  ASSERT_TRUE(done.try_finish_with(JobResult{}));
+  EXPECT_FALSE(done.try_claim_retry());
+}
+
+TEST(Supervisor, ScheduleRetryRefusedOnceStopped) {
+  ServiceMetrics metrics(1);
+  Supervisor sup({}, 1, metrics, [](const JobTicket&) { return 0; },
+                 [](std::size_t) {}, {});
+  sup.start();
+  sup.stop();
+  auto job = std::make_shared<JobState>();
+  job->attempts = 1;
+  EXPECT_FALSE(sup.schedule_retry(job))
+      << "the intake closes before stop()'s final flush, so a handoff can "
+         "never land where nothing will ever drain it";
+}
+
+TEST(Supervisor, FlushDropsTicketsFinishedDuringBackoff) {
+  ServiceMetrics metrics(1);
+  std::atomic<int> requeued{0};
+  SupervisorOptions o;
+  o.poll_ms = 2.0;
+  Supervisor sup(
+      o, 1, metrics,
+      [&](const JobTicket&) {
+        requeued.fetch_add(1);
+        return 0;
+      },
+      [](std::size_t) {}, {});
+  sup.start();
+  auto job = std::make_shared<JobState>();
+  job->attempts = 1;
+  ASSERT_TRUE(job->try_claim_retry());
+  ASSERT_TRUE(sup.schedule_retry(job));
+  // Someone else finishes the job while it waits out its backoff: the
+  // timer must DROP the ticket — re-queueing a finished job would make
+  // the worker that pops it lose a commit and look superseded.
+  JobResult r;
+  r.status = JobStatus::kCancelled;
+  ASSERT_TRUE(job->try_finish_with(std::move(r)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(requeued.load(), 0);
+  sup.stop();  // the abandon flush must not resurrect it either
+  EXPECT_EQ(requeued.load(), 0);
+  EXPECT_EQ(job->result.status, JobStatus::kCancelled);
+}
+
+TEST(Supervisor, WatchdogRefusesStallVerdictWhileRetryClaimIsHeld) {
+  ServiceMetrics metrics(1);
+  std::atomic<int> respawns{0};
+  SupervisorOptions o;
+  o.poll_ms = 2.0;
+  o.min_stall_ms = 5.0;
+  o.stall_factor = 1.0;
+  Supervisor sup(o, 1, metrics, [](const JobTicket&) { return 0; },
+                 [&](std::size_t) { respawns.fetch_add(1); }, {});
+  sup.start();
+  auto job = std::make_shared<JobState>();
+  job->spec.deadline_ms = 1.0;  // stall threshold = min_stall_ms = 5 ms
+  ASSERT_TRUE(job->try_claim_retry());  // worker mid-handoff: alive
+  const std::uint64_t gen = sup.generation(0);
+  sup.begin_serve(0, gen, job);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Long past the threshold, but the claim proves the worker is alive:
+  // no verdict, no respawn, no generation bump — the alternative is two
+  // live threads owning one worker index.
+  EXPECT_FALSE(job->is_finished());
+  EXPECT_EQ(respawns.load(), 0);
+  EXPECT_FALSE(sup.superseded(0, gen));
+  // Claim down (as after a re-queue): the same stall now draws the
+  // verdict, the supersession, and the respawn.
+  job->release_retry_claim();
+  support::WallTimer t;
+  while (!job->is_finished()) {
+    ASSERT_LT(t.elapsed_seconds(), 5.0) << "watchdog never fired";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(job->result.status, JobStatus::kFailed);
+  EXPECT_EQ(job->result.error, "stalled");
+  EXPECT_TRUE(sup.superseded(0, gen));
+  EXPECT_GE(respawns.load(), 1);
+  sup.stop();
+}
+
 #ifndef PACGA_NO_FAILPOINTS
 
 /// Arms `site` for the test body, disarming on scope exit even on
