@@ -90,6 +90,7 @@ etc::EtcMatrix random_matrix(std::size_t tasks, std::size_t machines,
 
 struct KernelPoint {
   const char* kernel;
+  const char* dispatch;  ///< which SIMD table the dispatched arm ran
   std::size_t machines;
   double scalar_ns;
   double dispatched_ns;
@@ -110,32 +111,66 @@ double time_ns(Fn&& fn, std::size_t reps) {
 std::vector<KernelPoint> bench_kernel_level(std::uint64_t seed) {
   std::vector<KernelPoint> points;
   const auto& scalar = kernels::detail::scalar_table();
-  const auto& active = kernels::active();
+  // Every SIMD tier this host can run gets its own rows against the scalar
+  // reference — the 8-wide AVX-512 table shows up here as a third set of
+  // rows on capable hardware, not just as whatever active() resolved to.
+  std::vector<const kernels::Dispatch*> tiers;
+  if (kernels::detail::avx2_supported())
+    tiers.push_back(&kernels::detail::avx2_table());
+  if (kernels::detail::avx512_supported())
+    tiers.push_back(&kernels::detail::avx512_table());
+  if (tiers.empty()) tiers.push_back(&scalar);
   support::Xoshiro256 rng(seed);
   for (const std::size_t n : {std::size_t{64}, std::size_t{512},
                               std::size_t{4096}}) {
     std::vector<double> ct(n), row(n);
     for (auto& v : ct) v = rng.uniform(0.0, 1e6);
     for (auto& v : row) v = rng.uniform(0.0, 1e3);
+    // A sweep's worth of completion vectors for the batched kernel (the
+    // breeder's staged-offspring shape).
+    constexpr std::size_t kBatch = 64;
+    std::vector<std::vector<double>> batch(kBatch);
+    std::vector<const double*> batch_rows(kBatch);
+    std::vector<double> batch_out(kBatch);
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      batch[b].resize(n);
+      for (auto& v : batch[b]) v = rng.uniform(0.0, 1e6);
+      batch_rows[b] = batch[b].data();
+    }
     const std::size_t reps = std::max<std::size_t>(1, 40'000'000 / n);
 
-    const auto point = [&](const char* name, auto scalar_fn, auto active_fn) {
-      const double s = time_ns(scalar_fn, reps);
-      const double d = time_ns(active_fn, reps);
-      points.push_back({name, n, s, d, s / d});
-      std::printf("  %-10s n=%5zu  scalar %8.1f ns  %s %8.1f ns  %5.2fx\n",
-                  name, n, s, active.name, d, s / d);
-    };
-    point(
-        "max", [&] { return scalar.max_value(ct.data(), n); },
-        [&] { return active.max_value(ct.data(), n); });
-    point(
-        "argmax",
-        [&] { return static_cast<double>(scalar.argmax(ct.data(), n)); },
-        [&] { return static_cast<double>(active.argmax(ct.data(), n)); });
-    point(
-        "fused-min", [&] { return scalar.min_plus(ct.data(), row.data(), n).value; },
-        [&] { return active.min_plus(ct.data(), row.data(), n).value; });
+    for (const kernels::Dispatch* tier : tiers) {
+      const auto point = [&](const char* name, std::size_t point_reps,
+                             auto scalar_fn, auto tier_fn) {
+        const double s = time_ns(scalar_fn, point_reps);
+        const double d = time_ns(tier_fn, point_reps);
+        points.push_back({name, tier->name, n, s, d, s / d});
+        std::printf(
+            "  %-10s n=%5zu  scalar %8.1f ns  %-6s %8.1f ns  %5.2fx\n",
+            name, n, s, tier->name, d, s / d);
+      };
+      point(
+          "max", reps, [&] { return scalar.max_value(ct.data(), n); },
+          [&] { return tier->max_value(ct.data(), n); });
+      point(
+          "argmax", reps,
+          [&] { return static_cast<double>(scalar.argmax(ct.data(), n)); },
+          [&] { return static_cast<double>(tier->argmax(ct.data(), n)); });
+      point(
+          "fused-min", reps,
+          [&] { return scalar.min_plus(ct.data(), row.data(), n).value; },
+          [&] { return tier->min_plus(ct.data(), row.data(), n).value; });
+      point(
+          "batch-max", std::max<std::size_t>(1, reps / kBatch),
+          [&] {
+            scalar.batch_max(batch_rows.data(), kBatch, n, batch_out.data());
+            return batch_out[0];
+          },
+          [&] {
+            tier->batch_max(batch_rows.data(), kBatch, n, batch_out.data());
+            return batch_out[0];
+          });
+    }
   }
   return points;
 }
@@ -350,10 +385,12 @@ void write_json(const char* path, const Options& opts,
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     std::fprintf(out,
-                 "    {\"kernel\": \"%s\", \"machines\": %zu, "
+                 "    {\"kernel\": \"%s\", \"dispatch\": \"%s\", "
+                 "\"machines\": %zu, "
                  "\"scalar_ns\": %.1f, \"dispatched_ns\": %.1f, "
                  "\"speedup\": %.2f}%s\n",
-                 p.kernel, p.machines, p.scalar_ns, p.dispatched_ns, p.speedup,
+                 p.kernel, p.dispatch, p.machines, p.scalar_ns,
+                 p.dispatched_ns, p.speedup,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n  \"end_to_end\": [\n");
@@ -402,8 +439,11 @@ int main(int argc, char** argv) {
   }
   opts.finalize();
 
-  std::printf("dispatch: %s (avx2 %s)\n", kernels::active_dispatch(),
-              kernels::detail::avx2_supported() ? "available" : "unavailable");
+  std::printf("dispatch: %s (avx2 %s, avx512 %s)\n",
+              kernels::active_dispatch(),
+              kernels::detail::avx2_supported() ? "available" : "unavailable",
+              kernels::detail::avx512_supported() ? "available"
+                                                  : "unavailable");
   std::printf("kernel-level (scalar vs dispatched):\n");
   const auto points = bench_kernel_level(opts.seed);
 

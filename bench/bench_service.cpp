@@ -55,6 +55,7 @@
 #include "etc/etc_matrix.hpp"
 
 #include "etc/braun.hpp"
+#include "heuristics/minmin.hpp"
 #include "service/service.hpp"
 #include "support/cli.hpp"
 #include "support/failpoints.hpp"
@@ -426,6 +427,100 @@ MixedResult run_mixed(const Options& opts, std::size_t workers) {
   return m;
 }
 
+// --- large-shape warm-reschedule scenario ----------------------------------
+
+struct WarmRescheduleResult {
+  std::size_t tasks = 0;
+  std::size_t machines = 0;
+  std::size_t jobs = 0;
+  double seed_makespan = 0.0;       ///< the Min-min repair every job seeds
+  double warm_mean_solve_ms = 0.0;  ///< seeded PA-CGA reschedules
+  double warm_mean_makespan = 0.0;
+  double cold_mean_solve_ms = 0.0;  ///< same jobs without the seed
+  double cold_mean_makespan = 0.0;
+  double warm_improvement_pct = 0.0;  ///< warm result vs the seed
+  bool all_warm_started = false;      ///< every warm job reported the seed
+  bool all_pacga = false;             ///< every warm job stayed on PA-CGA
+  bool never_worse_than_seed = false;
+};
+
+/// The dynamic-rescheduling shape the service escalates to PA-CGA: a large
+/// instance (>= kParallelMinTasks), a Min-min repair as the warm seed, and
+/// a generation-capped budget. The warm arm measures the seeded engine
+/// path end to end; the cold arm re-solves from scratch for contrast.
+WarmRescheduleResult run_warm_reschedule(const Options& opts) {
+  WarmRescheduleResult r;
+  r.tasks = 512;
+  r.machines = 16;
+  r.jobs = opts.full ? 24 : 6;
+
+  etc::GenSpec gen;
+  gen.tasks = r.tasks;
+  gen.machines = r.machines;
+  gen.consistency = etc::Consistency::kInconsistent;
+  gen.seed = opts.seed + 2000;
+  const auto m =
+      std::make_shared<const etc::EtcMatrix>(etc::generate(gen));
+  const sched::Schedule repair = heur::min_min(*m);
+  r.seed_makespan = repair.makespan();
+
+  service::ServiceOptions so;
+  so.workers = 1;
+  so.cache_capacity = 0;
+  service::SchedulerService svc(so);
+
+  const auto run = [&](bool warm, double& mean_solve_ms,
+                       double& mean_makespan) {
+    double solve_s = 0.0, makespan = 0.0;
+    bool all_warm = true, all_pacga = true, never_worse = true;
+    for (std::size_t j = 0; j < r.jobs; ++j) {
+      service::JobSpec spec;
+      spec.etc = m;
+      spec.seed = opts.seed + j;
+      spec.policy = service::SolvePolicy::kAuto;
+      spec.deadline_ms = 10000.0;  // the generation cap is the budget
+      spec.max_generations = 8;
+      spec.use_cache = false;
+      if (warm) {
+        spec.warm_start.assign(repair.assignment().begin(),
+                               repair.assignment().end());
+      }
+      const service::JobResult res =
+          svc.wait(svc.submit_reschedule(std::move(spec)));
+      solve_s += res.solve_seconds;
+      makespan += res.makespan;
+      all_warm = all_warm && res.warm_started;
+      all_pacga =
+          all_pacga && res.policy_used == service::SolvePolicy::kPaCga;
+      never_worse = never_worse && res.makespan <= r.seed_makespan + 1e-9;
+    }
+    mean_solve_ms = solve_s * 1e3 / static_cast<double>(r.jobs);
+    mean_makespan = makespan / static_cast<double>(r.jobs);
+    if (warm) {
+      r.all_warm_started = all_warm;
+      r.all_pacga = all_pacga;
+      r.never_worse_than_seed = never_worse;
+    }
+  };
+  run(true, r.warm_mean_solve_ms, r.warm_mean_makespan);
+  run(false, r.cold_mean_solve_ms, r.cold_mean_makespan);
+  r.warm_improvement_pct =
+      100.0 * (r.seed_makespan - r.warm_mean_makespan) / r.seed_makespan;
+  svc.shutdown();
+  return r;
+}
+
+void print_warm_reschedule(const WarmRescheduleResult& r) {
+  std::printf(
+      "warm-reschedule %zux%zu: seed %9.1f | warm %9.1f (%.2f %% better, "
+      "%6.1f ms/job) | cold %9.1f (%6.1f ms/job) | warm_started %s | "
+      "pa-cga %s | never-worse %s\n",
+      r.tasks, r.machines, r.seed_makespan, r.warm_mean_makespan,
+      r.warm_improvement_pct, r.warm_mean_solve_ms, r.cold_mean_makespan,
+      r.cold_mean_solve_ms, r.all_warm_started ? "yes" : "NO",
+      r.all_pacga ? "yes" : "NO", r.never_worse_than_seed ? "yes" : "NO");
+}
+
 std::vector<std::size_t> parse_sweep(const std::string& spec) {
   std::vector<std::size_t> out;
   std::size_t pos = 0;
@@ -465,7 +560,8 @@ void print_arm(const ArmResult& a) {
 
 void write_json(const char* path, const Options& opts,
                 const std::vector<ArmResult>& arms,
-                const std::vector<MixedResult>& mixed) {
+                const std::vector<MixedResult>& mixed,
+                const WarmRescheduleResult& warm) {
   std::FILE* out = std::fopen(path, "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", path);
@@ -517,7 +613,22 @@ void write_json(const char* path, const Options& opts,
         static_cast<unsigned long long>(m.steals), per_worker.c_str(),
         i + 1 < mixed.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(
+      out,
+      "  \"warm_reschedule\": {\"tasks\": %zu, \"machines\": %zu, "
+      "\"jobs\": %zu, \"seed_makespan\": %.4f, "
+      "\"warm_mean_makespan\": %.4f, \"warm_mean_solve_ms\": %.4f, "
+      "\"cold_mean_makespan\": %.4f, \"cold_mean_solve_ms\": %.4f, "
+      "\"warm_improvement_pct\": %.4f, \"all_warm_started\": %s, "
+      "\"all_pacga\": %s, \"never_worse_than_seed\": %s}\n",
+      warm.tasks, warm.machines, warm.jobs, warm.seed_makespan,
+      warm.warm_mean_makespan, warm.warm_mean_solve_ms,
+      warm.cold_mean_makespan, warm.cold_mean_solve_ms,
+      warm.warm_improvement_pct, warm.all_warm_started ? "true" : "false",
+      warm.all_pacga ? "true" : "false",
+      warm.never_worse_than_seed ? "true" : "false");
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path);
 }
@@ -631,6 +742,9 @@ int main(int argc, char** argv) {
       print_mixed(mixed.back());
     }
   }
-  write_json("BENCH_service.json", opts, arms, mixed);
+  const WarmRescheduleResult warm = run_warm_reschedule(opts);
+  print_warm_reschedule(warm);
+
+  write_json("BENCH_service.json", opts, arms, mixed, warm);
   return 0;
 }

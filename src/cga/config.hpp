@@ -92,6 +92,16 @@ struct Config {
   /// 0.75 is the common choice in the cMA literature.
   double lambda = 0.75;
   Termination termination = Termination::after_generations(100);
+  /// Optional warm seed: when non-empty, one designated cell of the
+  /// initial population adopts this assignment in place
+  /// (Population::seed_cell) before evolution starts, so the engine can
+  /// only improve on it — the dynamic-rescheduling injection point,
+  /// honored by every engine. The seed lands in cell 1 when Min-min
+  /// seeding occupies cell 0 (both survive), cell 0 otherwise
+  /// (cga::warm_seed_cell). Length must equal the instance's task count
+  /// and every id must be a valid machine (Schedule::adopt throws
+  /// std::invalid_argument otherwise).
+  std::vector<sched::MachineId> warm_seed;
   std::uint64_t seed = 1;
   std::size_t threads = 3;  ///< used by the parallel engine only
   /// Record a TracePoint per generation (Figure 6 raw data). Off by

@@ -53,6 +53,7 @@ Result run_sequential(const etc::EtcMatrix& etc, const Config& config,
   Grid grid(config.width, config.height);
   Population pop(etc, grid, rng, config.seed_min_min, config.objective,
                  config.lambda);
+  apply_warm_seed(pop, etc, config);
   const std::size_t n = pop.size();
   const bool synchronous = config.update == UpdatePolicy::kSynchronous;
 
@@ -85,20 +86,29 @@ Result run_sequential(const etc::EtcMatrix& etc, const Config& config,
   run_sweep_loop(
       order, rng,
       [&](std::size_t idx) {  // one breeding step
-        Individual& out = synchronous ? staged[staged_count] : scratch;
-        breeder.breed_into(pop, idx, rng, out);
-        ++evaluations;
-        best.observe(out);
         if (synchronous) {
+          // Staged with evaluation deferred: the whole sweep's offspring
+          // get their fitness from one batched kernel dispatch at end of
+          // sweep (bit-identical to evaluating here).
+          breeder.breed_into_deferred(pop, idx, rng, staged[staged_count]);
           ++staged_count;
-        } else if (detail::should_replace(config.replacement, out.fitness,
-                                          pop.at(idx).fitness)) {
-          Breeder::replace(pop.at(idx), out);
+        } else {
+          breeder.breed_into(pop, idx, rng, scratch);
+          best.observe(scratch);
+          if (detail::should_replace(config.replacement, scratch.fitness,
+                                     pop.at(idx).fitness)) {
+            Breeder::replace(pop.at(idx), scratch);
+          }
         }
+        ++evaluations;
         return termination.evaluations_exhausted(evaluations);
       },
       [&] {  // end of sweep
         if (synchronous) {
+          breeder.evaluate_batch(staged.data(), staged_count);
+          for (std::size_t k = 0; k < staged_count; ++k) {
+            best.observe(staged[k]);
+          }
           // Generational commit: every staged offspring competes with the
           // cell it was bred for.
           const auto& o = order.order();

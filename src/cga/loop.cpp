@@ -49,6 +49,14 @@ const std::vector<std::size_t>& SweepOrderCache::next_sweep(
   return order_;
 }
 
+std::size_t apply_warm_seed(Population& pop, const etc::EtcMatrix& etc,
+                            const Config& config) {
+  if (config.warm_seed.empty()) return pop.size();
+  const std::size_t cell = warm_seed_cell(config.seed_min_min, pop.size());
+  pop.seed_cell(cell, etc, config.warm_seed, config.objective, config.lambda);
+  return cell;
+}
+
 void TraceRecorder::sample(std::uint64_t generation, double elapsed_seconds,
                            const Population& pop) {
   if (!enabled_) return;

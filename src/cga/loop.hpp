@@ -177,6 +177,26 @@ class TraceRecorder {
   std::vector<TracePoint> trace_;
 };
 
+/// The cell a warm seed occupies: cell 1 when Min-min seeding holds cell 0
+/// (so both survive into the initial population), cell 0 otherwise. One
+/// shared answer to "where does the seed live" for every engine and the
+/// warm solver.
+inline constexpr std::size_t warm_seed_cell(bool seed_min_min,
+                                            std::size_t pop_size) noexcept {
+  return seed_min_min && pop_size > 1 ? 1 : 0;
+}
+
+/// Injects config.warm_seed into a freshly initialized population (no-op
+/// when the seed is empty): the designated cell adopts the assignment in
+/// place (Population::seed_cell — zero allocations) while every other cell
+/// keeps its random/Min-min initialization. Draws no RNG, so seeding never
+/// perturbs a run's trajectory beyond the seeded cell itself. Returns the
+/// seeded cell index, or pop.size() when nothing was injected. Throws
+/// std::invalid_argument when the seed's length or machine ids do not fit
+/// `etc`.
+std::size_t apply_warm_seed(Population& pop, const etc::EtcMatrix& etc,
+                            const Config& config);
+
 /// Snapshot handed to the per-generation observer. The population reference
 /// is live: in the asynchronous parallel engine other threads keep evolving
 /// it, so observers there must take the per-cell locks themselves (the

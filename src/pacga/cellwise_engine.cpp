@@ -36,6 +36,7 @@ ParallelResult run_cellwise(const etc::EtcMatrix& etc,
   cga::Grid grid(config.width, config.height);
   cga::Population pop(etc, grid, init_rng, config.seed_min_min,
                       config.objective, config.lambda);
+  cga::apply_warm_seed(pop, etc, config);
   const std::size_t n = pop.size();
 
   // Shared core components. The auxiliary population is preallocated once;

@@ -136,15 +136,21 @@ void worker_sync(Shared& sh, std::size_t tid) {
 
   cga::run_sweep_loop(
       order, order_rng,
-      [&](std::size_t pos) {  // stage one offspring
+      [&](std::size_t pos) {  // stage one offspring (evaluation deferred)
         const std::size_t idx = block.begin + pos;
-        cga::Individual& slot = staged[staged_count++];
-        breeder.breed_locked_into(sh.pop, idx, rng, slot);
+        breeder.breed_locked_into_deferred(sh.pop, idx, rng,
+                                           staged[staged_count++]);
         ++st.evaluations;
-        best.observe(slot);
         return false;
       },
       [&] {  // generational commit + collective verdict
+        // One batched kernel dispatch evaluates the whole staged block —
+        // before the barrier, on purely thread-private storage, so the
+        // batch runs in the parallel phase, not the commit phase.
+        breeder.evaluate_batch(staged.data(), staged_count);
+        for (std::size_t k = 0; k < staged_count; ++k) {
+          best.observe(staged[k]);
+        }
         sh.barrier->arrive_and_wait();  // everyone finished breeding
 
         // Commit this thread's own block; only this thread writes these
@@ -203,6 +209,10 @@ ParallelResult run_parallel(const etc::EtcMatrix& etc,
   cga::Grid grid(config.width, config.height);
   cga::Population pop(etc, grid, init_rng, config.seed_min_min,
                       config.objective, config.lambda);
+  // Warm-seed injection BEFORE initial_best is taken: a seeded run is
+  // never-worse-than-seed by construction (the tracker starts at or below
+  // the seed's fitness), with no clamp needed downstream.
+  cga::apply_warm_seed(pop, etc, config);
   const auto blocks = cga::partition_blocks(pop.size(), n_threads);
   // Thread streams are decorrelated from the init stream by construction
   // (SplitMix64 expansion of the same master seed).

@@ -48,6 +48,17 @@ struct ParallelResult {
 /// bounds each thread's own sweep count; `max_evaluations` bounds the
 /// global evaluation total (checked per sweep).
 ///
+/// Warm seeding: a non-empty `config.warm_seed` is injected into one cell
+/// of the initial population (cga::apply_warm_seed) before the workers
+/// start AND before the initial best is recorded, so a seeded run's result
+/// is never worse than the seed by construction — the service's dynamic
+/// rescheduling path relies on this instead of clamping after the fact.
+///
+/// The synchronous mode evaluates each thread's staged offspring block
+/// through one batched kernel dispatch per sweep (Breeder::evaluate_batch)
+/// rather than one per child; fitness values are bit-identical, so sync
+/// trajectories are unchanged.
+///
 /// With `config.threads == 1` this is the canonical asynchronous CGA of
 /// §3.1 (same algorithm as cga::run_sequential, modulo lock overhead).
 ///

@@ -149,10 +149,11 @@ void WarmSolver::solve_cga(const etc::EtcMatrix& etc, const JobSpec& spec,
              arena_config_.lambda);
   if (!spec.warm_start.empty()) {
     // Dynamic rescheduling: the repaired schedule becomes one individual
-    // (the cell AFTER the optional Min-min seed, so both survive) and the
-    // anytime loop can only improve on it. seed_cell adopts into existing
-    // storage — the warm arena stays allocation-free.
-    const std::size_t cell = base_.seed_min_min && pop.size() > 1 ? 1 : 0;
+    // (cga::warm_seed_cell — the cell after the optional Min-min seed, so
+    // both survive) and the anytime loop can only improve on it. seed_cell
+    // adopts into existing storage — the warm arena stays allocation-free.
+    const std::size_t cell = cga::warm_seed_cell(base_.seed_min_min,
+                                                 pop.size());
     pop.seed_cell(cell, etc, spec.warm_start, arena_config_.objective,
                   arena_config_.lambda);
     out.warm_started = true;
@@ -216,6 +217,14 @@ void WarmSolver::solve_parallel(const etc::EtcMatrix& etc, const JobSpec& spec,
       std::max(budget_seconds, kHeuristicBudgetSeconds));
   if (spec.max_generations > 0)
     config.termination.max_generations = spec.max_generations;
+  if (!spec.warm_start.empty()) {
+    // The repaired schedule rides into the engine's initial population
+    // (cga::apply_warm_seed), so the PA-CGA re-optimizes FROM the seed and
+    // the result is never worse than it by construction — the clamp in
+    // solve() stays as a safety net only.
+    config.warm_seed = spec.warm_start;
+    out.warm_started = true;
+  }
   const par::ParallelResult r = par::run_parallel(etc, config, {}, cancel);
   const auto a = r.result.best.assignment();
   out.assignment.assign(a.begin(), a.end());
@@ -263,11 +272,12 @@ void WarmSolver::solve(const etc::EtcMatrix& etc, const JobSpec& spec,
     }
   }
   if (!spec.warm_start.empty()) {
-    // The reschedule contract: never answer worse than the seed. The CGA
-    // path holds this by construction (the seed is in the population);
-    // the heuristic escalation of a budget-starved reschedule and the
-    // unseedable PA-CGA engine need the explicit clamp — the repaired
-    // schedule IS a valid anytime answer.
+    // The reschedule contract: never answer worse than the seed. Both CGA
+    // engines hold this by construction (the seed is in the initial
+    // population — solve_cga via seed_cell, solve_parallel via
+    // Config::warm_seed), so the explicit clamp is the final safety net
+    // for the heuristic escalation of a budget-starved (expired-deadline)
+    // reschedule only — the repaired schedule IS a valid anytime answer.
     const sched::Schedule seed(
         etc, {spec.warm_start.begin(), spec.warm_start.end()});
     const double seed_fitness =

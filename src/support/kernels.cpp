@@ -1,7 +1,9 @@
 #include "support/kernels.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "support/rng.hpp"
 
@@ -110,9 +112,15 @@ std::uint64_t scalar_hash_block(const double* d, std::size_t n,
   return acc;
 }
 
+void scalar_batch_max(const double* const* rows, std::size_t count,
+                      std::size_t n, double* out) {
+  for (std::size_t r = 0; r < count; ++r) out[r] = scalar_max_value(rows[r], n);
+}
+
 constexpr Dispatch kScalar{
-    scalar_max_value, scalar_min_value,    scalar_argmax,     scalar_argmin,
-    scalar_min_plus,  scalar_scale_inplace, scalar_hash_block, "scalar"};
+    scalar_max_value, scalar_min_value,     scalar_argmax,     scalar_argmin,
+    scalar_min_plus,  scalar_scale_inplace, scalar_hash_block,
+    scalar_batch_max, "scalar"};
 
 // ---- AVX2 path -----------------------------------------------------------
 
@@ -378,22 +386,269 @@ __attribute__((target("avx2"))) std::uint64_t avx2_hash_block(
   return acc;
 }
 
+__attribute__((target("avx2"))) void avx2_batch_max(const double* const* rows,
+                                                    std::size_t count,
+                                                    std::size_t n,
+                                                    double* out) {
+  for (std::size_t r = 0; r < count; ++r) out[r] = avx2_max_value(rows[r], n);
+}
+
 constexpr Dispatch kAvx2{avx2_max_value, avx2_min_value,     avx2_argmax,
                          avx2_argmin,    avx2_min_plus,      avx2_scale_inplace,
-                         avx2_hash_block, "avx2"};
+                         avx2_hash_block, avx2_batch_max,    "avx2"};
+
+// ---- AVX-512 path --------------------------------------------------------
+//
+// Same contract, 8-wide. The structure mirrors the AVX2 tier — raw
+// max_pd/min_pd value reductions under `+ 0.0` canonicalization, strict
+// per-lane compares that keep each lane's EARLIEST extreme, a cross-lane
+// fold by (value, then lowest stored index), and a scalar tail — with two
+// AVX-512 specifics: comparisons produce __mmask8 registers consumed by
+// mask blends (no bit-pattern casts between double and integer vectors),
+// and the 4-stream unroll advances 32 elements per round. Only avx512f is
+// required. hash_block stays on the AVX2 path: its semantics are DEFINED
+// as a 4-lane interleaved mix, so an 8-wide register buys nothing — the
+// table reuses avx2_hash_block verbatim (avx512_supported() therefore also
+// requires AVX2, a subset of every real AVX-512 CPU).
+
+__attribute__((target("avx512f"))) double avx512_max_value(const double* d,
+                                                           std::size_t n) {
+  assert(n > 0);
+  std::size_t i = 0;
+  double best = d[0];
+  if (n >= 16) {
+    __m512d acc = _mm512_loadu_pd(d);
+    for (i = 8; i + 8 <= n; i += 8) {
+      acc = _mm512_max_pd(acc, _mm512_loadu_pd(d + i));
+    }
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, acc);
+    best = lanes[0];
+    for (std::size_t l = 1; l < 8; ++l) {
+      if (lanes[l] > best) best = lanes[l];
+    }
+  }
+  for (; i < n; ++i) {
+    if (d[i] > best) best = d[i];
+  }
+  return best + 0.0;
+}
+
+__attribute__((target("avx512f"))) double avx512_min_value(const double* d,
+                                                           std::size_t n) {
+  assert(n > 0);
+  std::size_t i = 0;
+  double best = d[0];
+  if (n >= 16) {
+    __m512d acc = _mm512_loadu_pd(d);
+    for (i = 8; i + 8 <= n; i += 8) {
+      acc = _mm512_min_pd(acc, _mm512_loadu_pd(d + i));
+    }
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, acc);
+    best = lanes[0];
+    for (std::size_t l = 1; l < 8; ++l) {
+      if (lanes[l] < best) best = lanes[l];
+    }
+  }
+  for (; i < n; ++i) {
+    if (d[i] < best) best = d[i];
+  }
+  return best + 0.0;
+}
+
+__attribute__((target("avx512f"))) inline __m512i avx512_iota(long long o) {
+  return _mm512_set_epi64(o + 7, o + 6, o + 5, o + 4, o + 3, o + 2, o + 1, o);
+}
+
+template <bool kMax>
+__attribute__((target("avx512f"))) std::size_t avx512_argextreme(
+    const double* d, std::size_t n) {
+  assert(n > 0);
+  std::size_t i = 0;
+  std::size_t arg = 0;
+  if (n >= 64) {
+    __m512d best[4];
+    __m512i best_idx[4];
+    __m512i idx[4];
+    const __m512i step = _mm512_set1_epi64(32);
+    for (int s = 0; s < 4; ++s) {
+      best[s] = _mm512_loadu_pd(d + 8 * s);
+      best_idx[s] = avx512_iota(8 * s);
+      idx[s] = _mm512_add_epi64(best_idx[s], step);
+    }
+    for (i = 32; i + 32 <= n; i += 32) {
+      for (int s = 0; s < 4; ++s) {
+        const __m512d v = _mm512_loadu_pd(d + i + 8 * s);
+        const __mmask8 better =
+            kMax ? _mm512_cmp_pd_mask(v, best[s], _CMP_GT_OQ)
+                 : _mm512_cmp_pd_mask(v, best[s], _CMP_LT_OQ);
+        best[s] = _mm512_mask_blend_pd(better, best[s], v);
+        best_idx[s] = _mm512_mask_blend_epi64(better, best_idx[s], idx[s]);
+        idx[s] = _mm512_add_epi64(idx[s], step);
+      }
+    }
+    alignas(64) double v[32];
+    alignas(64) std::uint64_t vi[32];
+    for (int s = 0; s < 4; ++s) {
+      _mm512_store_pd(v + 8 * s, best[s]);
+      _mm512_store_si512(vi + 8 * s, best_idx[s]);
+    }
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < 32; ++l) {
+      const bool better = kMax ? v[l] > v[lane] : v[l] < v[lane];
+      if (better || (v[l] == v[lane] && vi[l] < vi[lane])) lane = l;
+    }
+    arg = static_cast<std::size_t>(vi[lane]);
+  } else if (n >= 16) {
+    __m512d best = _mm512_loadu_pd(d);
+    __m512i best_idx = avx512_iota(0);
+    __m512i idx = avx512_iota(8);
+    const __m512i step = _mm512_set1_epi64(8);
+    for (i = 8; i + 8 <= n; i += 8) {
+      const __m512d v = _mm512_loadu_pd(d + i);
+      const __mmask8 better = kMax ? _mm512_cmp_pd_mask(v, best, _CMP_GT_OQ)
+                                   : _mm512_cmp_pd_mask(v, best, _CMP_LT_OQ);
+      best = _mm512_mask_blend_pd(better, best, v);
+      best_idx = _mm512_mask_blend_epi64(better, best_idx, idx);
+      idx = _mm512_add_epi64(idx, step);
+    }
+    alignas(64) double v[8];
+    alignas(64) std::uint64_t vi[8];
+    _mm512_store_pd(v, best);
+    _mm512_store_si512(vi, best_idx);
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < 8; ++l) {
+      const bool better = kMax ? v[l] > v[lane] : v[l] < v[lane];
+      if (better || (v[l] == v[lane] && vi[l] < vi[lane])) lane = l;
+    }
+    arg = static_cast<std::size_t>(vi[lane]);
+  }
+  // Tail indices are all larger than any vector-phase index, so the strict
+  // compare alone preserves the tie-break.
+  for (; i < n; ++i) {
+    const bool better = kMax ? d[i] > d[arg] : d[i] < d[arg];
+    if (better) arg = i;
+  }
+  return arg;
+}
+
+__attribute__((target("avx512f"))) std::size_t avx512_argmax(const double* d,
+                                                             std::size_t n) {
+  return avx512_argextreme<true>(d, n);
+}
+
+__attribute__((target("avx512f"))) std::size_t avx512_argmin(const double* d,
+                                                             std::size_t n) {
+  return avx512_argextreme<false>(d, n);
+}
+
+__attribute__((target("avx512f"))) MinScan avx512_min_plus(const double* a,
+                                                           const double* b,
+                                                           std::size_t n) {
+  assert(n > 0);
+  std::size_t i = 0;
+  MinScan r{a[0] + b[0], 0};
+  if (n >= 64) {
+    __m512d best[4];
+    __m512i best_idx[4];
+    __m512i idx[4];
+    const __m512i step = _mm512_set1_epi64(32);
+    for (int s = 0; s < 4; ++s) {
+      best[s] = _mm512_add_pd(_mm512_loadu_pd(a + 8 * s),
+                              _mm512_loadu_pd(b + 8 * s));
+      best_idx[s] = avx512_iota(8 * s);
+      idx[s] = _mm512_add_epi64(best_idx[s], step);
+    }
+    for (i = 32; i + 32 <= n; i += 32) {
+      for (int s = 0; s < 4; ++s) {
+        const __m512d c = _mm512_add_pd(_mm512_loadu_pd(a + i + 8 * s),
+                                        _mm512_loadu_pd(b + i + 8 * s));
+        const __mmask8 lt = _mm512_cmp_pd_mask(c, best[s], _CMP_LT_OQ);
+        best[s] = _mm512_mask_blend_pd(lt, best[s], c);
+        best_idx[s] = _mm512_mask_blend_epi64(lt, best_idx[s], idx[s]);
+        idx[s] = _mm512_add_epi64(idx[s], step);
+      }
+    }
+    alignas(64) double v[32];
+    alignas(64) std::uint64_t vi[32];
+    for (int s = 0; s < 4; ++s) {
+      _mm512_store_pd(v + 8 * s, best[s]);
+      _mm512_store_si512(vi + 8 * s, best_idx[s]);
+    }
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < 32; ++l) {
+      if (v[l] < v[lane] || (v[l] == v[lane] && vi[l] < vi[lane])) lane = l;
+    }
+    r = {v[lane], static_cast<std::size_t>(vi[lane])};
+  } else if (n >= 16) {
+    __m512d best = _mm512_add_pd(_mm512_loadu_pd(a), _mm512_loadu_pd(b));
+    __m512i best_idx = avx512_iota(0);
+    __m512i idx = avx512_iota(8);
+    const __m512i step = _mm512_set1_epi64(8);
+    for (i = 8; i + 8 <= n; i += 8) {
+      const __m512d c =
+          _mm512_add_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+      const __mmask8 lt = _mm512_cmp_pd_mask(c, best, _CMP_LT_OQ);
+      best = _mm512_mask_blend_pd(lt, best, c);
+      best_idx = _mm512_mask_blend_epi64(lt, best_idx, idx);
+      idx = _mm512_add_epi64(idx, step);
+    }
+    alignas(64) double v[8];
+    alignas(64) std::uint64_t vi[8];
+    _mm512_store_pd(v, best);
+    _mm512_store_si512(vi, best_idx);
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < 8; ++l) {
+      if (v[l] < v[lane] || (v[l] == v[lane] && vi[l] < vi[lane])) lane = l;
+    }
+    r = {v[lane], static_cast<std::size_t>(vi[lane])};
+  }
+  for (; i < n; ++i) {
+    const double c = a[i] + b[i];
+    if (c < r.value) r = {c, i};
+  }
+  return r;
+}
+
+__attribute__((target("avx512f"))) void avx512_scale_inplace(double* d,
+                                                             std::size_t n,
+                                                             double factor) {
+  const __m512d f = _mm512_set1_pd(factor);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(d + i, _mm512_mul_pd(_mm512_loadu_pd(d + i), f));
+  }
+  for (; i < n; ++i) d[i] *= factor;
+}
+
+__attribute__((target("avx512f"))) void avx512_batch_max(
+    const double* const* rows, std::size_t count, std::size_t n,
+    double* out) {
+  for (std::size_t r = 0; r < count; ++r) out[r] = avx512_max_value(rows[r], n);
+}
+
+constexpr Dispatch kAvx512{avx512_max_value, avx512_min_value,
+                           avx512_argmax,    avx512_argmin,
+                           avx512_min_plus,  avx512_scale_inplace,
+                           avx2_hash_block,  avx512_batch_max,
+                           "avx512"};
 
 #endif  // PACGA_KERNELS_X86_AVX2
 
-bool force_scalar_env() {
-  const char* v = std::getenv("PACGA_FORCE_SCALAR");
-  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
-}
-
 const Dispatch* resolve() {
-#if PACGA_KERNELS_X86_AVX2
-  if (!force_scalar_env() && detail::avx2_supported()) return &kAvx2;
-#endif
-  return &kScalar;
+  const char* error = nullptr;
+  const Dispatch* d = detail::resolve_tables(
+      std::getenv("PACGA_FORCE_KERNELS"), std::getenv("PACGA_FORCE_SCALAR"),
+      detail::avx2_supported(), detail::avx512_supported(), &error);
+  if (d == nullptr) {
+    // A forced tier the host cannot honor must not degrade silently: the
+    // caller asked for a specific code path (bit-identity audit, CI matrix
+    // leg) and running any other would void what the run claims to prove.
+    std::fprintf(stderr, "pacga: %s\n", error);
+    std::abort();
+  }
+  return d;
 }
 
 }  // namespace
@@ -416,6 +671,17 @@ bool avx2_supported() noexcept {
 #endif
 }
 
+bool avx512_supported() noexcept {
+#if PACGA_KERNELS_X86_AVX2
+  // avx2 is required too: the 512-bit table's hash_block reuses the AVX2
+  // path (every shipping AVX-512 CPU satisfies this; the check is belt and
+  // suspenders against hypothetical feature-masked environments).
+  return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
 const Dispatch& scalar_table() noexcept { return kScalar; }
 
 const Dispatch& avx2_table() noexcept {
@@ -424,6 +690,46 @@ const Dispatch& avx2_table() noexcept {
 #else
   return kScalar;
 #endif
+}
+
+const Dispatch& avx512_table() noexcept {
+#if PACGA_KERNELS_X86_AVX2
+  return kAvx512;
+#else
+  return kScalar;
+#endif
+}
+
+const Dispatch* resolve_tables(const char* force_kernels,
+                               const char* force_scalar, bool have_avx2,
+                               bool have_avx512,
+                               const char** error) noexcept {
+  *error = nullptr;
+  if (force_kernels != nullptr && *force_kernels != '\0') {
+    const std::string_view want(force_kernels);
+    if (want == "scalar") return &scalar_table();
+    if (want == "avx2") {
+      if (have_avx2) return &avx2_table();
+      *error = "PACGA_FORCE_KERNELS=avx2 refused: no AVX2 support on this "
+               "CPU/build";
+      return nullptr;
+    }
+    if (want == "avx512") {
+      if (have_avx512) return &avx512_table();
+      *error = "PACGA_FORCE_KERNELS=avx512 refused: no AVX-512 support on "
+               "this CPU/build";
+      return nullptr;
+    }
+    *error = "unrecognized PACGA_FORCE_KERNELS value (want scalar|avx2|"
+             "avx512)";
+    return nullptr;
+  }
+  const bool alias_scalar = force_scalar != nullptr && *force_scalar != '\0' &&
+                            !(force_scalar[0] == '0' && force_scalar[1] == '\0');
+  if (alias_scalar) return &scalar_table();
+  if (have_avx512) return &avx512_table();
+  if (have_avx2) return &avx2_table();
+  return &scalar_table();
 }
 
 }  // namespace detail

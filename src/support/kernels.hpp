@@ -4,9 +4,12 @@
 // Every hot reduction in the repo (makespan max-scans, argmax/argmin over
 // machine completions, the fused `ct[m] + etc_row[m]` min-scan at the heart
 // of Min-min / Sufferage / H2LL candidate selection, machine-column scaling,
-// content fingerprinting) funnels through this header. An AVX2 path and a
-// portable scalar path are selected ONCE at startup; `PACGA_FORCE_SCALAR=1`
-// pins the scalar path for testing.
+// content fingerprinting, batched offspring evaluation) funnels through this
+// header. Three tiers — AVX-512 (8-wide doubles), AVX2 (4-wide), and a
+// portable scalar path — are resolved ONCE at startup from CPU features;
+// `PACGA_FORCE_KERNELS=scalar|avx2|avx512` pins a specific tier for testing
+// (refusing tiers the CPU cannot run), and `PACGA_FORCE_SCALAR=1` survives
+// as an alias for `PACGA_FORCE_KERNELS=scalar`.
 //
 // Semantics are PINNED and dispatch-independent:
 //   * argmax/argmin and the fused min scans break ties toward the LOWEST
@@ -37,7 +40,7 @@ struct MinScan {
 };
 
 /// The resolved kernel table. All function pointers are non-null; `name` is
-/// "avx2" or "scalar". Scans require n >= 1 unless noted.
+/// "avx512", "avx2" or "scalar". Scans require n >= 1 unless noted.
 struct Dispatch {
   double (*max_value)(const double* data, std::size_t n);
   double (*min_value)(const double* data, std::size_t n);
@@ -52,14 +55,23 @@ struct Dispatch {
   /// Stable across platforms, standard libraries, and dispatch paths.
   std::uint64_t (*hash_block)(const double* data, std::size_t n,
                               std::uint64_t seed);
+  /// One dispatch, many rows: out[r] = max over rows[r][0..n). Each row is
+  /// reduced exactly as max_value reduces it (same canonicalized result,
+  /// bit-identical across tiers); the batched form exists so callers with a
+  /// sweep's worth of completion vectors — the breeder's staged offspring —
+  /// pay the indirect call once per sweep instead of once per child.
+  void (*batch_max)(const double* const* rows, std::size_t count,
+                    std::size_t n, double* out);
   const char* name;
 };
 
 /// The active table: resolved once (first use) from CPU features and the
-/// PACGA_FORCE_SCALAR environment variable.
+/// PACGA_FORCE_KERNELS / PACGA_FORCE_SCALAR environment variables. A forced
+/// tier the CPU cannot run (or an unrecognized value) aborts loudly rather
+/// than silently running something else.
 const Dispatch& active() noexcept;
 
-/// "avx2" or "scalar" — what active() resolved to.
+/// "avx512", "avx2" or "scalar" — what active() resolved to.
 const char* active_dispatch() noexcept;
 
 // ---- convenience wrappers over the active table --------------------------
@@ -116,6 +128,11 @@ inline std::uint64_t hash_block(const double* data, std::size_t n,
   return active().hash_block(data, n, seed);
 }
 
+inline void batch_max(const double* const* rows, std::size_t count,
+                      std::size_t n, double* out) noexcept {
+  active().batch_max(rows, count, n, out);
+}
+
 // ---- direct access to both paths (equivalence tests, benchmarks) ---------
 
 namespace detail {
@@ -123,12 +140,31 @@ namespace detail {
 /// True when this CPU can run the AVX2 table.
 bool avx2_supported() noexcept;
 
+/// True when this CPU can run the AVX-512 table (requires avx512f; AVX2
+/// support is also required because the 4-lane hash stays on that path).
+bool avx512_supported() noexcept;
+
 /// The portable reference path — always valid.
 const Dispatch& scalar_table() noexcept;
 
 /// The AVX2 path; only callable when avx2_supported(). On non-x86 builds
 /// this aliases the scalar table.
 const Dispatch& avx2_table() noexcept;
+
+/// The AVX-512 path; only callable when avx512_supported(). On non-x86
+/// builds this aliases the scalar table.
+const Dispatch& avx512_table() noexcept;
+
+/// The pure resolution rule behind active(), exposed so tests can pin the
+/// precedence order without forking per environment combination:
+/// PACGA_FORCE_KERNELS (scalar|avx2|avx512) wins when set; otherwise a
+/// truthy PACGA_FORCE_SCALAR pins scalar; otherwise the best supported
+/// tier (avx512 > avx2 > scalar). Returns nullptr with `*error` set to a
+/// static message when a forced tier is unsupported or the value is
+/// unrecognized — active() turns that into an abort.
+const Dispatch* resolve_tables(const char* force_kernels,
+                               const char* force_scalar, bool have_avx2,
+                               bool have_avx512, const char** error) noexcept;
 
 }  // namespace detail
 

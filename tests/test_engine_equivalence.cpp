@@ -11,15 +11,22 @@
 //    lambda = 1 is numerically the makespan objective, so the whole
 //    trajectory must match);
 //  * the per-generation observer fires with consistent accounting in all
-//    engines.
+//    engines;
+//  * warm seeding (Config::warm_seed) places the seed verbatim in the
+//    documented cell of the initial population, perturbs nothing else, and
+//    a seeded run reproduces the hand-rolled seeded reference gene for
+//    gene.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "cga/engine.hpp"
 #include "etc/suite.hpp"
+#include "heuristics/minmin.hpp"
 #include "pacga/cellwise_engine.hpp"
 #include "pacga/parallel_engine.hpp"
+#include "sched/schedule.hpp"
 #include "support/timer.hpp"
 
 namespace pacga {
@@ -53,6 +60,14 @@ cga::Result reference_sequential(const etc::EtcMatrix& etc,
   cga::Population pop(etc, grid, rng, config.seed_min_min, config.objective,
                       config.lambda);
   const std::size_t n = pop.size();
+  if (!config.warm_seed.empty()) {
+    // Hand-rolled warm injection, written out the way the engines document
+    // it: cell 1 when Min-min holds cell 0, cell 0 otherwise — BEFORE the
+    // initial best is taken.
+    const std::size_t cell = config.seed_min_min && n > 1 ? 1 : 0;
+    pop.seed_cell(cell, etc, config.warm_seed, config.objective,
+                  config.lambda);
+  }
 
   cga::Individual best = pop.at(pop.best_index());
   support::WallTimer timer;
@@ -133,6 +148,30 @@ TEST_P(UpdatePolicyEquivalence, RefactoredEngineMatchesLegacyLoop) {
         << "seed " << seed;
     EXPECT_EQ(refactored.evaluations, legacy.evaluations);
     EXPECT_EQ(refactored.generations, legacy.generations);
+  }
+}
+
+TEST_P(UpdatePolicyEquivalence, SeededRunMatchesLegacyLoopGeneForGene) {
+  // Warm seeding must not change anything about the trajectory except the
+  // contents of the seeded cell: a seeded engine run reproduces the seeded
+  // legacy loop exactly, and the result is never worse than the seed.
+  const auto m = instance();
+  support::Xoshiro256 seed_rng(77);
+  const auto warm = sched::Schedule::random(m, seed_rng);
+  for (std::uint64_t seed : {5ull, 97ull}) {
+    cga::Config c = fast_config();
+    c.update = GetParam();
+    c.seed = seed;
+    c.warm_seed.assign(warm.assignment().begin(), warm.assignment().end());
+    const auto refactored = cga::run_sequential(m, c);
+    const auto legacy = reference_sequential(m, c);
+    EXPECT_DOUBLE_EQ(refactored.best_fitness, legacy.best_fitness)
+        << "seed " << seed;
+    EXPECT_EQ(refactored.best.hamming_distance(legacy.best), 0u)
+        << "seed " << seed;
+    EXPECT_EQ(refactored.evaluations, legacy.evaluations);
+    EXPECT_EQ(refactored.generations, legacy.generations);
+    EXPECT_LE(refactored.best_fitness, warm.makespan());
   }
 }
 
@@ -257,6 +296,55 @@ TEST(EngineEquivalence, ObserverFiresPerGenerationInAllEngines) {
     EXPECT_GT(e.evaluations, 0u);
   });
   EXPECT_GT(par_calls, 0u);
+}
+
+TEST(EngineEquivalence, WarmSeedPresentVerbatimInInitialPopulation) {
+  // apply_warm_seed is THE injection point every engine routes through:
+  // the seed lands gene-for-gene in the documented cell, the Min-min
+  // individual survives in cell 0, and an empty seed is a no-op.
+  const auto m = instance();
+  support::Xoshiro256 seed_rng(5);
+  const auto warm = sched::Schedule::random(m, seed_rng);
+
+  for (bool min_min : {true, false}) {
+    cga::Config c = fast_config();
+    c.seed_min_min = min_min;
+    c.warm_seed.assign(warm.assignment().begin(), warm.assignment().end());
+    support::Xoshiro256 init(c.seed);
+    cga::Grid grid(c.width, c.height);
+    cga::Population pop(m, grid, init, c.seed_min_min, c.objective,
+                        c.lambda);
+    const std::size_t cell = cga::apply_warm_seed(pop, m, c);
+    EXPECT_EQ(cell, cga::warm_seed_cell(min_min, pop.size()));
+    const cga::Individual& seeded = pop.at(cell);
+    EXPECT_EQ(seeded.schedule.hamming_distance(warm), 0u);
+    EXPECT_DOUBLE_EQ(seeded.fitness, warm.makespan());
+    if (min_min) {
+      // Both survive: the heuristic seed keeps cell 0.
+      EXPECT_DOUBLE_EQ(pop.at(0).fitness, heur::min_min(m).makespan());
+    }
+  }
+
+  cga::Config empty = fast_config();
+  support::Xoshiro256 init(empty.seed);
+  cga::Grid grid(empty.width, empty.height);
+  cga::Population pop(m, grid, init, empty.seed_min_min, empty.objective,
+                      empty.lambda);
+  EXPECT_EQ(cga::apply_warm_seed(pop, m, empty), pop.size());
+}
+
+TEST(EngineEquivalence, MalformedWarmSeedThrows) {
+  // A wrong-length or out-of-range seed must be rejected loudly (the
+  // Schedule::adopt checks), not silently clamped or truncated.
+  const auto m = instance();
+  cga::Config short_seed = fast_config();
+  short_seed.warm_seed.assign(m.tasks() - 1, sched::MachineId{0});
+  EXPECT_THROW(cga::run_sequential(m, short_seed), std::invalid_argument);
+
+  cga::Config bad_machine = fast_config();
+  bad_machine.warm_seed.assign(
+      m.tasks(), static_cast<sched::MachineId>(m.machines()));
+  EXPECT_THROW(cga::run_sequential(m, bad_machine), std::invalid_argument);
 }
 
 TEST(EngineEquivalence, CellwiseEvaluationAccountingIsExact) {

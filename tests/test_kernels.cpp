@@ -1,9 +1,11 @@
-// Kernel equivalence suite: the AVX2 and scalar paths must agree
+// Kernel equivalence suite: the AVX-512, AVX2, and scalar paths must agree
 // BIT-FOR-BIT — same extreme values, same lowest-index tie-breaks — over
 // randomized and adversarial inputs (exact ties across lane boundaries,
-// denormals, infinities as parked sentinels, sizes straddling the vector
-// width, sizes below it). Golden determinism across dispatch paths rests
-// on this file.
+// denormals, infinities as parked sentinels, sizes straddling the 8/16/
+// 32/64 vector boundaries, sizes below them). Vector tiers the host cannot
+// run are skipped at run time but always compiled. Golden determinism
+// across dispatch paths rests on this file; the PACGA_FORCE_KERNELS
+// resolution order is regression-tested here too.
 #include "support/kernels.hpp"
 
 #include <gtest/gtest.h>
@@ -22,6 +24,16 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+
+/// Every tier this host can execute (the scalar reference always; the
+/// vector tiers when the CPU supports them). Unsupported tiers are skipped
+/// at run time only — the code under test always compiles.
+std::vector<const Dispatch*> testable_tables() {
+  std::vector<const Dispatch*> tables{&detail::scalar_table()};
+  if (detail::avx2_supported()) tables.push_back(&detail::avx2_table());
+  if (detail::avx512_supported()) tables.push_back(&detail::avx512_table());
+  return tables;
+}
 
 /// In-order strict-comparison reference scans — the pinned semantics,
 /// written independently of the library's scalar path.
@@ -57,8 +69,7 @@ void check_reductions(const std::vector<double>& d, const std::string& label) {
   const std::size_t n = d.size();
   const std::size_t amax = ref_argmax(d);
   const std::size_t amin = ref_argmin(d);
-  for (const Dispatch* t : {&detail::scalar_table(), &detail::avx2_table()}) {
-    if (t == &detail::avx2_table() && !detail::avx2_supported()) continue;
+  for (const Dispatch* t : testable_tables()) {
     SCOPED_TRACE(label + " via " + t->name);
     EXPECT_EQ(t->argmax(d.data(), n), amax);
     EXPECT_EQ(t->argmin(d.data(), n), amin);
@@ -77,8 +88,7 @@ void check_min_plus(const std::vector<double>& a, const std::vector<double>& b,
                     const std::string& label) {
   ASSERT_EQ(a.size(), b.size());
   const MinScan ref = ref_min_plus(a, b);
-  for (const Dispatch* t : {&detail::scalar_table(), &detail::avx2_table()}) {
-    if (t == &detail::avx2_table() && !detail::avx2_supported()) continue;
+  for (const Dispatch* t : testable_tables()) {
     SCOPED_TRACE(label + " via " + t->name);
     const MinScan got = t->min_plus(a.data(), b.data(), a.size());
     EXPECT_EQ(got.index, ref.index);
@@ -87,11 +97,13 @@ void check_min_plus(const std::vector<double>& a, const std::vector<double>& b,
   }
 }
 
-/// Sizes straddling every interesting boundary: below the 4-lane width,
-/// at it, around the 8-element vector-phase threshold, unaligned tails,
-/// and larger blocks.
-const std::size_t kSizes[] = {1,  2,  3,  4,  5,  7,   8,   9,   12,  15, 16,
-                              17, 31, 32, 33, 63, 64, 65, 100, 511, 512, 513};
+/// Sizes straddling every interesting boundary: below the 4- and 8-lane
+/// widths, at them, around the 8/16-element single-stream thresholds and
+/// the 32/64-element 4-stream thresholds of the vector tiers, unaligned
+/// tails, and larger blocks.
+const std::size_t kSizes[] = {1,   2,   3,   4,   5,   7,   8,   9,   12,  15,
+                              16,  17,  31,  32,  33,  63,  64,  65,  100, 127,
+                              128, 129, 255, 256, 257, 511, 512, 513};
 
 TEST(Kernels, RandomizedEquivalenceAcrossSizes) {
   Xoshiro256 rng(42);
@@ -110,17 +122,16 @@ TEST(Kernels, RandomizedEquivalenceAcrossSizes) {
 
 TEST(Kernels, ExactTiesBreakToLowestIndexEverywhere) {
   // Duplicate the extreme value at every pair of positions; the winner
-  // must always be the earlier one, under both paths.
-  for (const std::size_t n : {5ul, 8ul, 9ul, 13ul, 16ul}) {
+  // must always be the earlier one, under every path. Sizes cross the
+  // 8-lane width and the AVX-512 single-stream threshold too.
+  for (const std::size_t n : {5ul, 8ul, 9ul, 13ul, 16ul, 17ul, 33ul}) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         std::vector<double> d(n, 1.0);
         d[i] = d[j] = 2.0;  // tied maxima
         const std::string label = "tie n=" + std::to_string(n) + " at " +
                                   std::to_string(i) + "," + std::to_string(j);
-        for (const Dispatch* t :
-             {&detail::scalar_table(), &detail::avx2_table()}) {
-          if (t == &detail::avx2_table() && !detail::avx2_supported()) continue;
+        for (const Dispatch* t : testable_tables()) {
           SCOPED_TRACE(label + " via " + t->name);
           EXPECT_EQ(t->argmax(d.data(), n), i);
           d[i] = d[j] = 0.5;  // tied minima
@@ -143,7 +154,7 @@ TEST(Kernels, AllEqualPicksIndexZero) {
 
 TEST(Kernels, DenormalsAndParkedInfinities) {
   Xoshiro256 rng(7);
-  for (const std::size_t n : {3ul, 8ul, 17ul, 64ul, 65ul}) {
+  for (const std::size_t n : {3ul, 8ul, 16ul, 17ul, 64ul, 65ul, 129ul, 257ul}) {
     std::vector<double> d(n);
     for (std::size_t i = 0; i < n; ++i) {
       // A mix of denormals, tiny normals, and parked +/-inf sentinels —
@@ -208,12 +219,13 @@ TEST(Kernels, ScaleInplaceBitIdenticalAcrossPaths) {
         EXPECT_EQ(std::bit_cast<std::uint64_t>(scalar_out[i]),
                   std::bit_cast<std::uint64_t>(base[i] * factor));
       }
-      if (detail::avx2_supported()) {
-        std::vector<double> avx_out = base;
-        detail::avx2_table().scale_inplace(avx_out.data(), n, factor);
+      for (const Dispatch* t : testable_tables()) {
+        std::vector<double> vec_out = base;
+        t->scale_inplace(vec_out.data(), n, factor);
         for (std::size_t i = 0; i < n; ++i) {
-          EXPECT_EQ(std::bit_cast<std::uint64_t>(avx_out[i]),
-                    std::bit_cast<std::uint64_t>(scalar_out[i]));
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(vec_out[i]),
+                    std::bit_cast<std::uint64_t>(scalar_out[i]))
+              << "via " << t->name;
         }
       }
     }
@@ -227,9 +239,9 @@ TEST(Kernels, HashBlockIdenticalAcrossPathsAndSensitive) {
     for (auto& x : d) x = rng.uniform(0.0, 1e6);
     const std::uint64_t scalar_h =
         detail::scalar_table().hash_block(d.data(), n, 77);
-    if (detail::avx2_supported()) {
-      EXPECT_EQ(detail::avx2_table().hash_block(d.data(), n, 77), scalar_h)
-          << "n=" << n;
+    for (const Dispatch* t : testable_tables()) {
+      EXPECT_EQ(t->hash_block(d.data(), n, 77), scalar_h)
+          << "n=" << n << " via " << t->name;
     }
     // Sensitivity: flipping any single element changes the hash.
     for (std::size_t i = 0; i < n; ++i) {
@@ -244,17 +256,139 @@ TEST(Kernels, HashBlockIdenticalAcrossPathsAndSensitive) {
   }
 }
 
+TEST(Kernels, ExhaustiveSizesOneToFiveHundredThirteen) {
+  // Every size from 1 to 513: covers each possible tail length and stream
+  // phase of every tier (4/8-lane single-stream, 16/32-element rounds).
+  // One random vector per size keeps the sweep cheap; the adversarial
+  // content cases live in the dedicated suites above.
+  Xoshiro256 rng(21);
+  for (std::size_t n = 1; n <= 513; ++n) {
+    std::vector<double> d(n), b(n);
+    for (auto& x : d) x = rng.uniform(0.0, 1e6);
+    for (auto& x : b) x = rng.uniform(0.0, 1e3);
+    // Planted duplicate extremes make ties likely even at large n.
+    if (n >= 3) {
+      d[n / 3] = d[0];
+      d[n - 1] = d[n / 2];
+    }
+    const std::string label = "exhaustive n=" + std::to_string(n);
+    check_reductions(d, label);
+    check_min_plus(d, b, label);
+  }
+}
+
+TEST(Kernels, BatchMaxMatchesPerRowMaxBitForBit) {
+  // The batched kernel must be indistinguishable from a per-row max_value
+  // loop on every tier — including rows of denormals, parked infinities,
+  // and signed-zero ties.
+  Xoshiro256 rng(31);
+  for (const std::size_t n : {1ul, 7ul, 8ul, 16ul, 17ul, 64ul, 65ul, 257ul}) {
+    for (const std::size_t count : {1ul, 2ul, 5ul, 25ul, 64ul}) {
+      std::vector<std::vector<double>> rows(count, std::vector<double>(n));
+      for (std::size_t r = 0; r < count; ++r) {
+        for (std::size_t i = 0; i < n; ++i) {
+          switch ((r + i) % 5) {
+            case 0: rows[r][i] = kDenorm * static_cast<double>(i + 1); break;
+            case 1: rows[r][i] = -kInf; break;
+            case 2: rows[r][i] = (i % 2 == 0) ? -0.0 : +0.0; break;
+            default: rows[r][i] = rng.uniform(0.0, 1e6); break;
+          }
+        }
+      }
+      std::vector<const double*> ptrs(count);
+      for (std::size_t r = 0; r < count; ++r) ptrs[r] = rows[r].data();
+      for (const Dispatch* t : testable_tables()) {
+        SCOPED_TRACE(std::string("batch n=") + std::to_string(n) +
+                     " count=" + std::to_string(count) + " via " + t->name);
+        std::vector<double> out(count, -1.0);
+        t->batch_max(ptrs.data(), count, n, out.data());
+        for (std::size_t r = 0; r < count; ++r) {
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(out[r]),
+                    std::bit_cast<std::uint64_t>(
+                        detail::scalar_table().max_value(ptrs[r], n)))
+              << "row " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, Avx512TierRunsOnThisHostOrSkips) {
+  // The dedicated presence check: on AVX-512 hosts the tier must actually
+  // execute (a direct call, not just table registration); elsewhere the
+  // test skips visibly instead of silently passing.
+  if (!detail::avx512_supported()) {
+    GTEST_SKIP() << "host has no AVX-512; tier compiled but not executable";
+  }
+  const double d[17] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2};
+  EXPECT_EQ(detail::avx512_table().argmax(d, 17), 5u);  // first 9
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(detail::avx512_table().max_value(d, 17)),
+            std::bit_cast<std::uint64_t>(9.0));
+  EXPECT_STREQ(detail::avx512_table().name, "avx512");
+}
+
+TEST(Kernels, ForceResolutionOrderIsPinned) {
+  // detail::resolve_tables is the pure rule behind active(); exercising it
+  // directly pins the precedence across every environment combination
+  // without forking per-env child processes.
+  const Dispatch* scalar = &detail::scalar_table();
+  const Dispatch* avx2 = &detail::avx2_table();
+  const Dispatch* avx512 = &detail::avx512_table();
+  const char* err = nullptr;
+
+  // Unforced: best supported tier wins.
+  EXPECT_EQ(detail::resolve_tables(nullptr, nullptr, true, true, &err), avx512);
+  EXPECT_EQ(detail::resolve_tables(nullptr, nullptr, true, false, &err), avx2);
+  EXPECT_EQ(detail::resolve_tables(nullptr, nullptr, false, false, &err),
+            scalar);
+
+  // PACGA_FORCE_KERNELS pins a tier; supported requests are honored...
+  EXPECT_EQ(detail::resolve_tables("scalar", nullptr, true, true, &err),
+            scalar);
+  EXPECT_EQ(detail::resolve_tables("avx2", nullptr, true, true, &err), avx2);
+  EXPECT_EQ(detail::resolve_tables("avx512", nullptr, true, true, &err),
+            avx512);
+
+  // ...unsupported or malformed ones are refused loudly (null + message),
+  // never silently downgraded.
+  EXPECT_EQ(detail::resolve_tables("avx512", nullptr, true, false, &err),
+            nullptr);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(std::string(err).find("avx512"), std::string::npos);
+  EXPECT_EQ(detail::resolve_tables("avx2", nullptr, false, false, &err),
+            nullptr);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(detail::resolve_tables("sse9", nullptr, true, true, &err), nullptr);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(std::string(err).find("unrecognized"), std::string::npos);
+
+  // The legacy PACGA_FORCE_SCALAR alias still pins scalar — but only when
+  // PACGA_FORCE_KERNELS is unset (or empty); the new variable wins.
+  EXPECT_EQ(detail::resolve_tables(nullptr, "1", true, true, &err), scalar);
+  EXPECT_EQ(detail::resolve_tables("", "1", true, true, &err), scalar);
+  EXPECT_EQ(detail::resolve_tables(nullptr, "0", true, true, &err), avx512);
+  EXPECT_EQ(detail::resolve_tables(nullptr, "", true, true, &err), avx512);
+  EXPECT_EQ(detail::resolve_tables("avx512", "1", true, true, &err), avx512);
+  EXPECT_EQ(detail::resolve_tables("avx2", "1", true, true, &err), avx2);
+}
+
 TEST(Kernels, ActiveDispatchIsOneOfTheTables) {
   const std::string name = active_dispatch();
-  EXPECT_TRUE(name == "avx2" || name == "scalar");
+  EXPECT_TRUE(name == "avx512" || name == "avx2" || name == "scalar");
   if (!detail::avx2_supported()) {
     EXPECT_EQ(name, "scalar");
   }
-  // PACGA_FORCE_SCALAR pins the scalar path; the forced-scalar CI job
-  // exercises this branch for the whole suite.
-  const char* forced = std::getenv("PACGA_FORCE_SCALAR");
-  if (forced && *forced && std::string(forced) != "0") {
-    EXPECT_EQ(name, "scalar");
+  // The forced-tier CI matrix runs the whole suite under each value of
+  // PACGA_FORCE_KERNELS; the legacy PACGA_FORCE_SCALAR alias applies only
+  // when the new variable is unset.
+  const char* forced_tier = std::getenv("PACGA_FORCE_KERNELS");
+  if (forced_tier && *forced_tier) {
+    EXPECT_EQ(name, forced_tier);
+  } else {
+    const char* forced = std::getenv("PACGA_FORCE_SCALAR");
+    if (forced && *forced && std::string(forced) != "0") {
+      EXPECT_EQ(name, "scalar");
+    }
   }
 }
 

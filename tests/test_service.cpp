@@ -28,6 +28,7 @@
 
 #include "etc/braun.hpp"
 #include "heuristics/minmin.hpp"
+#include "heuristics/sufferage.hpp"
 #include "sched/fitness.hpp"
 #include "service/exposition.hpp"
 #include "service/solver_pool.hpp"
@@ -1075,6 +1076,83 @@ TEST(SchedulerService, RejectsMalformedWarmStart) {
                std::invalid_argument);
 }
 
+/// Refines Min-min into a near-local-optimum via a generous warm CGA
+/// solve: a stand-in for a thoroughly repaired reschedule seed that a
+/// generation-capped cold engine cannot reach from scratch.
+JobResult refined_seed(const etc::EtcMatrix& m) {
+  cga::Config base;
+  WarmSolver refiner(base);
+  JobSpec refine;
+  refine.policy = SolvePolicy::kCga;
+  refine.max_generations = 40;
+  refine.use_cache = false;
+  JobResult out;
+  refiner.solve(m, refine, 5.0, nullptr, out);
+  return out;
+}
+
+TEST(SchedulerService, LargeRescheduleEscalatesToSeededPaCga) {
+  // THE seeding acceptance test: a large-shape reschedule with a refined
+  // seed and a tight generation cap escalates to PA-CGA and must report
+  // kPaCga provenance while matching-or-beating the seed. Before the seed
+  // was plumbed into the engine, the capped cold run ended worse than the
+  // refined seed, the safety-net clamp overwrote the result, and
+  // policy_used came back kWarmStart — exactly what this pins out.
+  auto m = instance(512, 16, 9);
+  const JobResult refined = refined_seed(*m);
+  ASSERT_EQ(refined.assignment.size(), m->tasks());
+
+  SchedulerService svc(small_service(1, 8, 0));
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kAuto;
+  spec.deadline_ms = 5000.0;  // budget >= kParallelBudgetSeconds -> kPaCga
+  spec.max_generations = 2;   // too few to reach the seed from cold
+  spec.use_cache = false;
+  spec.warm_start = refined.assignment;
+  const JobResult r = svc.wait(svc.submit_reschedule(std::move(spec)));
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_TRUE(r.warm_started);
+  EXPECT_EQ(r.policy_used, SolvePolicy::kPaCga)
+      << "kWarmStart here means the clamp fired: the seed never entered "
+         "the parallel engine";
+  ASSERT_EQ(r.assignment.size(), m->tasks());
+  EXPECT_LE(r.makespan, refined.makespan + 1e-9)
+      << "a seeded PA-CGA run is never worse than its seed";
+}
+
+TEST(SchedulerService, ExpiredDeadlineLargeRescheduleReturnsRepairVerbatim) {
+  // The seed-clamp fallback is reached ONLY on expired deadlines now: the
+  // zero-budget escalation runs the microsecond heuristics, the refined
+  // repair beats them, and the clamp hands the repair back verbatim with
+  // kWarmStart provenance.
+  auto m = instance(512, 16, 9);
+  const JobResult refined = refined_seed(*m);
+  // The discriminating premise: the refined repair is strictly better
+  // than anything the expired-deadline heuristics can produce.
+  const double heuristic_best =
+      std::min(heur::min_min(*m).makespan(), heur::sufferage(*m).makespan());
+  ASSERT_LT(refined.makespan, heuristic_best);
+
+  SchedulerService svc(small_service(1, 8, 0));
+  const JobId blocker = svc.submit(long_job(m, 400.0));
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kAuto;
+  spec.deadline_ms = 5.0;  // expires in the queue behind the blocker
+  spec.use_cache = false;
+  spec.warm_start = refined.assignment;
+  const JobResult r = svc.wait(svc.submit_reschedule(std::move(spec)));
+  (void)svc.wait(blocker);
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_TRUE(r.warm_started);
+  EXPECT_TRUE(r.deadline_missed);
+  EXPECT_EQ(r.policy_used, SolvePolicy::kWarmStart);
+  EXPECT_EQ(r.assignment, refined.assignment)
+      << "the expired-deadline path must return the repair verbatim";
+  EXPECT_DOUBLE_EQ(r.makespan, refined.makespan);
+}
+
 // --- WarmSolver ------------------------------------------------------------
 
 TEST(WarmSolver, AutoEscalationByBudgetAndSize) {
@@ -1588,6 +1666,35 @@ TEST(SchedulerService, WatchdogFailsWedgedJobAndRespawnsTheWorker) {
   EXPECT_EQ(snap.worker_completed[0], 3u)
       << "replacement thread owns the restarted worker's slot";
   EXPECT_EQ(snap.submitted, snap.completed + snap.failed + snap.cancelled);
+}
+
+TEST(SchedulerService, FailpointMidSeededSolveRetriesWithWarmPathIntact) {
+  // Chaos flavor of the escalation test: the first seeded PA-CGA attempt
+  // throws at the solver.solve failpoint; the retry must run the SAME
+  // warm path — seeded engine, kPaCga provenance, never worse than the
+  // seed — not degrade to a cold solve or the clamp.
+  auto m = instance(512, 16, 9);
+  const JobResult refined = refined_seed(*m);
+
+  SchedulerService svc(small_service(1, 8, 0));
+  ScopedFailpoint fp("solver.solve", "once:throw");  // attempt 1 fails
+  JobSpec spec;
+  spec.etc = m;
+  spec.policy = SolvePolicy::kAuto;
+  spec.deadline_ms = 5000.0;
+  spec.max_generations = 2;
+  spec.use_cache = false;
+  spec.max_retries = 1;
+  spec.warm_start = refined.assignment;
+  const JobResult r = svc.wait(svc.submit_reschedule(std::move(spec)));
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  EXPECT_EQ(r.retries, 1u);
+  EXPECT_TRUE(r.warm_started);
+  EXPECT_EQ(r.policy_used, SolvePolicy::kPaCga);
+  ASSERT_EQ(r.assignment.size(), m->tasks());
+  EXPECT_LE(r.makespan, refined.makespan + 1e-9);
+  svc.drain();
+  EXPECT_EQ(svc.metrics().quarantined, 0u);
 }
 
 #endif  // PACGA_NO_FAILPOINTS
